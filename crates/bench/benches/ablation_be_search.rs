@@ -1,0 +1,91 @@
+//! Ablation: simulated annealing (Algorithm 2) vs alternatives for the
+//! BE fairness allocation.
+//!
+//! DESIGN.md §5.2 asks what the SA search buys over (a) the naive even
+//! split and (b) a greedy hill-climb. Criterion measures the search
+//! cost; the achieved fairness of each strategy is printed once to
+//! stderr so cost and quality can be weighed together.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtat_core::ppm::annealing::{anneal, even_split, AnnealingConfig};
+use mtat_core::ppm::be::min_np;
+use mtat_core::ppm::profiler::{profile_all, BeProfile};
+use mtat_tiermem::{GIB, MIB};
+use mtat_workloads::be::BeSpec;
+
+const UNITS: u64 = 16; // 16 GiB residual FMem
+
+fn profiles() -> Vec<BeProfile> {
+    profile_all(&BeSpec::all_paper_workloads(), 32 * GIB, 2 * MIB)
+}
+
+/// Greedy hill-climb: repeatedly apply the single ±1 GB move that most
+/// improves the objective, until no move improves it.
+fn greedy(profiles: &[BeProfile], initial: &[u64]) -> (Vec<u64>, f64) {
+    let mut alloc = initial.to_vec();
+    let mut best = min_np(profiles, &alloc);
+    loop {
+        let mut improved = false;
+        for i in 0..alloc.len() {
+            for j in 0..alloc.len() {
+                if i == j || alloc[j] == 0 {
+                    continue;
+                }
+                alloc[i] += 1;
+                alloc[j] -= 1;
+                let score = min_np(profiles, &alloc);
+                if score > best {
+                    best = score;
+                    improved = true;
+                } else {
+                    alloc[i] -= 1;
+                    alloc[j] += 1;
+                }
+            }
+        }
+        if !improved {
+            return (alloc, best);
+        }
+    }
+}
+
+fn bench_be_search(c: &mut Criterion) {
+    let profiles = profiles();
+    let initial = even_split(UNITS, profiles.len());
+
+    // Quality report (once).
+    let even_score = min_np(&profiles, &initial);
+    let (_, greedy_score) = greedy(&profiles, &initial);
+    let sa = anneal(
+        &initial,
+        |a| min_np(&profiles, a),
+        &AnnealingConfig::default(),
+        7,
+    );
+    eprintln!(
+        "[ablation_be_search] fairness: even={even_score:.3} greedy={greedy_score:.3} sa={:.3} ({} iters)",
+        sa.best_score, sa.iterations
+    );
+
+    let mut group = c.benchmark_group("be_search");
+    group.bench_function("even_split_eval", |b| {
+        b.iter(|| black_box(min_np(&profiles, &initial)));
+    });
+    group.bench_function("greedy_hill_climb", |b| {
+        b.iter(|| black_box(greedy(&profiles, &initial)));
+    });
+    group.bench_function("simulated_annealing_2000", |b| {
+        b.iter(|| {
+            black_box(anneal(
+                &initial,
+                |a| min_np(&profiles, a),
+                &AnnealingConfig::default(),
+                7,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_be_search);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Ablation: SAC reinforcement learning vs a proportional feedback
+//! controller for LC partition sizing (DESIGN.md §5.5).
+//!
+//! Rolls both sizers through the same scripted load trace on the
+//! analytic environment and prints their violation frequency and mean
+//! FMem usage (the two terms of the Eq.-2 reward), then benchmarks the
+//! per-decision cost of each.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtat_core::ppm::controller::{ControllerConfig, ProportionalController};
+use mtat_core::ppm::lc::{LcObservation, LcPartitioner, LcPartitionerConfig};
+use mtat_tiermem::GIB;
+use mtat_workloads::lc::LcSpec;
+
+const FMEM: u64 = 32 * GIB;
+const STEP: f64 = 20.0 * GIB as f64;
+
+/// Scripted trapezoid of load levels, three passes.
+fn load_trace() -> Vec<f64> {
+    let mut t = Vec::new();
+    for _ in 0..3 {
+        for l in [0.2, 0.4, 0.6, 0.8, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2] {
+            t.push(l);
+            t.push(l);
+        }
+    }
+    t
+}
+
+/// Evaluates a sizing function `decide(obs) -> target_bytes` over the
+/// trace; returns (violation_freq, mean_usage).
+fn evaluate(mut decide: impl FnMut(&LcObservation) -> u64) -> (f64, f64) {
+    let spec = LcSpec::redis();
+    let ref_max = spec.nominal_max_load() / 1.25;
+    let mut alloc: u64 = FMEM / 2;
+    let mut violations = 0u32;
+    let mut usage_sum = 0.0;
+    let trace = load_trace();
+    for &level in &trace {
+        let usage = (alloc as f64 / spec.rss_bytes as f64).min(1.0);
+        // Worst-case clamped burst of the runner's model.
+        let p99 = spec.p99(level * ref_max * 1.27, usage);
+        let violated = p99 > spec.slo_secs;
+        if violated {
+            violations += 1;
+        }
+        usage_sum += usage;
+        let obs = LcObservation {
+            usage_ratio: usage,
+            access_ratio: usage,
+            access_count_norm: level * 0.8,
+            p99_secs: p99,
+            violated,
+        };
+        alloc = decide(&obs).min(FMEM);
+    }
+    (violations as f64 / trace.len() as f64, usage_sum / trace.len() as f64)
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let spec = LcSpec::redis();
+
+    let mut rl = LcPartitioner::pretrained(
+        &spec,
+        LcPartitionerConfig {
+            fmem_total: FMEM,
+            max_step_bytes: STEP,
+            online_learning: false,
+            explore: false,
+        },
+        8_000,
+        21,
+    );
+    rl.set_target_bytes(FMEM / 2);
+    let (rl_viol, rl_usage) = evaluate(|obs| rl.decide(obs));
+
+    let mut ctl = ProportionalController::new(ControllerConfig::new(
+        FMEM,
+        spec.rss_bytes,
+        STEP,
+        spec.slo_secs,
+    ));
+    ctl.set_target_bytes(FMEM / 2);
+    let (ctl_viol, ctl_usage) = evaluate(|obs| ctl.decide(obs));
+
+    eprintln!(
+        "[ablation_controller] sac: violations={rl_viol:.3} usage={rl_usage:.3} | proportional: violations={ctl_viol:.3} usage={ctl_usage:.3}"
+    );
+
+    let obs = LcObservation {
+        usage_ratio: 0.5,
+        access_ratio: 0.5,
+        access_count_norm: 0.6,
+        p99_secs: 5e-3,
+        violated: false,
+    };
+    let mut group = c.benchmark_group("lc_sizer_decide");
+    group.bench_function("sac", |b| b.iter(|| black_box(rl.decide(&obs))));
+    group.bench_function("proportional", |b| b.iter(|| black_box(ctl.decide(&obs))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: LC-first time-sliced enforcement (Algorithm 3) vs bulk
+//! reconfiguration.
+//!
+//! PP-E subdivides each partition change into `p_max`-bounded slices so
+//! the LC workload's movement completes first and migration overhead is
+//! spread across BE workloads; within a tick it drains as many slices
+//! as the bandwidth budget allows, so slicing costs no completion time.
+//! This bench drives the *scheduler* with one slice per simulated tick
+//! (the worst case for slicing) to expose the discipline's bounds, and
+//! measures the scheduling cost itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtat_core::ppe::adjust::AdjustmentSchedule;
+
+/// Drains a schedule with a fixed per-tick budget, returning
+/// `(ticks_total, ticks_until_lc_complete)`.
+fn drain(deltas: Vec<i64>, p_max: u64, budget_per_tick: u64) -> (u32, u32) {
+    let mut schedule = AdjustmentSchedule::new(deltas, 0, p_max);
+    let mut ticks = 0;
+    let mut lc_done_at = 0;
+    while !schedule.is_complete() {
+        let _slice = schedule.next_slice(budget_per_tick);
+        ticks += 1;
+        if schedule.delta(0) == 0 && lc_done_at == 0 {
+            lc_done_at = ticks;
+        }
+        if ticks > 100_000 {
+            break;
+        }
+    }
+    (ticks, lc_done_at)
+}
+
+fn bench_enforcement(c: &mut Criterion) {
+    // A large reconfiguration: LC grows by 8 000 pages (16 GiB at 2 MiB)
+    // while four BE workloads shed proportionally.
+    let deltas = vec![8_000i64, -3_000, -2_500, -1_500, -1_000];
+    // 4 GB/s at 2 MiB pages = 2 048 page moves/s -> 1 024 pairs per 1 s tick.
+    let budget = 1_024;
+
+    for (label, p_max) in [("sliced_p512", 512u64), ("bulk_unbounded", u64::MAX)] {
+        let (ticks, lc_done) = drain(deltas.clone(), p_max, budget);
+        eprintln!(
+            "[ablation_enforcement] {label}: total_ticks={ticks} lc_complete_at_tick={lc_done}"
+        );
+    }
+
+    let mut group = c.benchmark_group("enforcement");
+    group.bench_function("schedule_drain_sliced", |b| {
+        b.iter(|| black_box(drain(deltas.clone(), 512, budget)));
+    });
+    group.bench_function("schedule_drain_bulk", |b| {
+        b.iter(|| black_box(drain(deltas.clone(), u64::MAX, budget)));
+    });
+    group.bench_function("single_slice", |b| {
+        let mut s = AdjustmentSchedule::new(deltas.clone(), 0, 512);
+        b.iter(|| {
+            if s.is_complete() {
+                s = AdjustmentSchedule::new(deltas.clone(), 0, 512);
+            }
+            black_box(s.next_slice(budget));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement);
+criterion_main!(benches);

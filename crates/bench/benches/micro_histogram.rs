@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the exponential-bin access histogram — the data
+//! structure on PP-E's per-tick hot path (§3.3.2). At paper scale one
+//! workload has ~17 000 pages of 2 MiB; `add` runs per sampled page per
+//! tick, `age` once per partitioning interval, and the hottest/coldest
+//! queries drive every promotion decision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtat_tiermem::histogram::AccessHistogram;
+use mtat_tiermem::page::{PageId, PageRegion};
+
+const PAGES: u32 = 17_200; // a 33.6 GiB workload at 2 MiB pages
+
+fn populated() -> AccessHistogram {
+    let region = PageRegion { base: 0, n_pages: PAGES };
+    let mut h = AccessHistogram::new(region);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for rank in 0..PAGES {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.add(PageId(rank), x % 4096);
+    }
+    h
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+
+    group.bench_function("add_rebin", |b| {
+        let mut h = populated();
+        let mut rank = 0u32;
+        b.iter(|| {
+            h.add(PageId(rank % PAGES), 17);
+            rank = rank.wrapping_add(7919);
+        });
+    });
+
+    group.bench_function("age_17k_pages", |b| {
+        let mut h = populated();
+        b.iter(|| h.age());
+    });
+
+    group.bench_function("hottest_512", |b| {
+        let h = populated();
+        b.iter(|| black_box(h.hottest_matching(512, |_| true)));
+    });
+
+    group.bench_function("coldest_512", |b| {
+        let h = populated();
+        b.iter(|| black_box(h.coldest_matching(512, |_| true)));
+    });
+
+    group.bench_function("kth_hottest_count", |b| {
+        let h = populated();
+        b.iter(|| black_box(h.kth_hottest_count(8_192)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

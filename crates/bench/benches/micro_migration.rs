@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the page table and migration engine: the raw
+//! cost of moving pages between tiers, which bounds how much placement
+//! work a policy can do per tick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtat_tiermem::memory::{InitialPlacement, MemorySpec, TieredMemory};
+use mtat_tiermem::migration::MigrationEngine;
+use mtat_tiermem::page::Tier;
+use mtat_tiermem::{GIB, MIB};
+
+fn paper_memory() -> TieredMemory {
+    let spec = MemorySpec::paper_scale();
+    let mut mem = TieredMemory::new(spec);
+    mem.register_workload(33 * GIB, InitialPlacement::FmemFirst).unwrap();
+    mem.register_workload(35 * GIB, InitialPlacement::AllSmem).unwrap();
+    mem
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+
+    group.bench_function("migrate_roundtrip", |b| {
+        let mut mem = paper_memory();
+        // Workload 0 fills FMem, so free a frame by demoting first.
+        let w = mtat_tiermem::page::WorkloadId(0);
+        let page = mem.region(w).page(0);
+        b.iter(|| {
+            mem.migrate(page, Tier::SMem).unwrap();
+            mem.migrate(page, Tier::FMem).unwrap();
+        });
+    });
+
+    group.bench_function("exchange_64_pages", |b| {
+        let mut mem = paper_memory();
+        let lc = mtat_tiermem::page::WorkloadId(0);
+        let be = mtat_tiermem::page::WorkloadId(1);
+        let demote: Vec<_> = (0..64).map(|r| mem.region(lc).page(r)).collect();
+        let promote: Vec<_> = (0..64).map(|r| mem.region(be).page(r)).collect();
+        b.iter(|| {
+            mem.exchange(&promote, &demote).unwrap();
+            mem.exchange(&demote, &promote).unwrap();
+        });
+    });
+
+    group.bench_function("engine_budget_accounting", |b| {
+        let mut engine = MigrationEngine::new(4.0 * GIB as f64, 2 * MIB, 10.0).unwrap();
+        b.iter(|| {
+            engine.begin_tick(1.0);
+            black_box(engine.try_consume_pages(512));
+            black_box(engine.remaining_tick_pages());
+        });
+    });
+
+    group.bench_function("residency_scan_17k", |b| {
+        let mem = paper_memory();
+        let w = mtat_tiermem::page::WorkloadId(0);
+        b.iter(|| black_box(mem.pages_in_tier(w, Tier::FMem).count()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Extension experiment — response to a sudden demand surge.
+//!
+//! The paper motivates the RL partitioner with "rapid response to sudden
+//! demand surges" (§3.2.1) but evaluates only staircase ramps. This
+//! extension drives Redis with an instantaneous 20 % → 100 % load spike
+//! and measures, for each adaptive policy:
+//!
+//! * the SLO violations incurred during the surge window,
+//! * the *recovery time* — seconds from surge onset until the P99 is
+//!   back under the SLO and stays there, and
+//! * the FMem given back after the surge ends.
+//!
+//! Output: TSV per-policy summary plus a downsampled timeline.
+
+use mtat_bench::{header, make_policy};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+const SURGE_START: f64 = 80.0;
+const SURGE_SECS: f64 = 60.0;
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let pattern = LoadPattern::spike(0.2, 1.0, SURGE_START, SURGE_SECS, 80.0);
+    let exp = Experiment::new(
+        cfg.clone(),
+        LcSpec::redis(),
+        pattern,
+        BeSpec::all_paper_workloads(),
+    );
+
+    header(&[
+        "policy",
+        "surge_violation_pct",
+        "recovery_secs",
+        "fmem_before_pct",
+        "fmem_during_pct",
+        "fmem_after_pct",
+    ]);
+    let mut timelines = Vec::new();
+    for policy_name in ["mtat_full", "mtat_full_heuristic", "memtis", "hotset"] {
+        let mut policy = make_policy(policy_name, &cfg, &exp.lc, &exp.bes);
+        let r = exp.run(policy.as_mut());
+
+        let surge_end = SURGE_START + SURGE_SECS;
+        let window =
+            |lo: f64, hi: f64| r.ticks.iter().filter(move |t| t.t >= lo && t.t < hi);
+        let surge_requests: f64 = window(SURGE_START, surge_end)
+            .map(|t| t.lc_load_rps)
+            .sum();
+        let surge_violated: f64 = window(SURGE_START, surge_end)
+            .filter(|t| t.lc_violated)
+            .map(|t| t.lc_load_rps)
+            .sum();
+        // Recovery: last violating tick within the surge window.
+        let recovery = window(SURGE_START, surge_end)
+            .filter(|t| t.lc_violated)
+            .map(|t| t.t - SURGE_START + 1.0)
+            .fold(0.0, f64::max);
+        let mean_fmem = |lo: f64, hi: f64| {
+            let v: Vec<f64> = window(lo, hi).map(|t| t.lc_fmem_ratio).collect();
+            100.0 * v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        println!(
+            "{}\t{:.1}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
+            policy_name,
+            100.0 * surge_violated / surge_requests.max(1.0),
+            recovery,
+            mean_fmem(SURGE_START - 40.0, SURGE_START),
+            mean_fmem(surge_end - 30.0, surge_end),
+            mean_fmem(surge_end + 30.0, surge_end + 70.0),
+        );
+        timelines.push((policy_name, r));
+    }
+    println!("#");
+    println!("# timeline: policy  t  p99_ms  fmem_pct");
+    for (name, r) in &timelines {
+        for tick in r.ticks.iter().step_by(10) {
+            let p99_ms = if tick.lc_p99.is_finite() { tick.lc_p99 * 1e3 } else { 1e3 };
+            println!("# {name}\t{:.0}\t{:.2}\t{:.0}", tick.t, p99_ms, tick.lc_fmem_ratio * 100.0);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 1 — Tail latency of LC workloads as load increases, at FMem
+//! allocations of 0/25/50/75/100 %.
+//!
+//! For each of the four LC workloads, sweeps the offered load and prints
+//! the P99 response time at each FMem share, plus the resulting maximum
+//! sustainable load (the knee, where the SLO line crosses the curve).
+//!
+//! Output: TSV rows `workload  fmem_pct  krps  p99_ms`, followed by a
+//! `# knee` summary block.
+
+use mtat_bench::header;
+use mtat_tiermem::GIB;
+use mtat_workloads::lc::LcSpec;
+
+fn main() {
+    let fmem_total = 32 * GIB;
+    let shares = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    header(&["workload", "fmem_pct", "krps", "p99_ms"]);
+    for spec in LcSpec::all_paper_workloads() {
+        for &share in &shares {
+            let h = spec.full_fmem_hit_ratio((share * fmem_total as f64) as u64);
+            let knee = spec.max_load(h);
+            // Sweep to slightly past the knee so the hockey stick is visible.
+            for step in 1..=30 {
+                let load = knee * 1.08 * step as f64 / 30.0;
+                let p99 = spec.p99(load, h);
+                let p99_ms = if p99.is_finite() { p99 * 1e3 } else { 1e3 };
+                println!(
+                    "{}\t{}\t{:.2}\t{:.4}",
+                    spec.name,
+                    (share * 100.0) as u32,
+                    load / 1e3,
+                    p99_ms
+                );
+            }
+        }
+    }
+
+    println!("#");
+    println!("# knee (max sustainable KRPS without exceeding the SLO)");
+    println!("# workload\tslo_ms\t0%\t25%\t50%\t75%\t100%");
+    for spec in LcSpec::all_paper_workloads() {
+        let knees: Vec<String> = shares
+            .iter()
+            .map(|&share| {
+                let h = spec.full_fmem_hit_ratio((share * fmem_total as f64) as u64);
+                format!("{:.1}", spec.max_load(h) / 1e3)
+            })
+            .collect();
+        println!(
+            "# {}\t{:.0}\t{}",
+            spec.name,
+            spec.slo_secs * 1e3,
+            knees.join("\t")
+        );
+    }
+}

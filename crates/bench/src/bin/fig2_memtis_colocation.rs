@@ -1,0 +1,72 @@
+//! Figure 2 — Redis co-located with SSSP under MEMTIS-managed tiered
+//! memory.
+//!
+//! Redis starts with 100 % of FMem, then receives a staircase of loads
+//! equal to the maximum throughputs at FMem allocations of
+//! {0, 25, 50, 75, 100} % (per Fig. 1). The output shows, per second,
+//! the imposed load, the P99 latency against the SLO, and the fraction
+//! of Redis data resident in FMem — reproducing the collapse of Redis's
+//! residency once MEMTIS fills FMem with the SSSP working set and the
+//! SLO violation once the load passes the 25 %-FMem knee.
+//!
+//! Output: TSV rows `t  load_krps  p99_ms  slo_ms  violated  redis_fmem_ratio`.
+
+use mtat_bench::{header, make_policy};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::{burst_headroom, Experiment};
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let redis = LcSpec::redis();
+    let fmem_total = cfg.mem.fmem_bytes();
+
+    // Staircase levels: the knees at each FMem share (Fig. 1), as
+    // fractions of the FMEM_ALL reference used by the runner.
+    let knee_full = redis.max_load(redis.full_fmem_hit_ratio(fmem_total));
+    let ref_load = knee_full / burst_headroom(cfg.burst_sigma);
+    let levels: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&share| {
+            let h = redis.full_fmem_hit_ratio((share * fmem_total as f64) as u64);
+            (redis.max_load(h) / burst_headroom(cfg.burst_sigma)) / ref_load
+        })
+        .collect();
+    let dwell = 60.0;
+    let pattern = LoadPattern::staircase(&levels, dwell);
+
+    let exp = Experiment::new(cfg.clone(), redis, pattern, vec![BeSpec::sssp()]);
+    let mut policy = make_policy("memtis", &cfg, &exp.lc, &exp.bes);
+    let result = exp.run(policy.as_mut());
+
+    println!("# Fig. 2: Redis + SSSP under MEMTIS; staircase of Fig.-1 knees");
+    println!(
+        "# levels (fraction of FMEM_ALL max): {:?}",
+        levels.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    header(&["t", "load_krps", "p99_ms", "slo_ms", "violated", "redis_fmem_ratio"]);
+    for tick in result.ticks.iter().step_by(2) {
+        let p99_ms = if tick.lc_p99.is_finite() {
+            tick.lc_p99 * 1e3
+        } else {
+            1e3
+        };
+        println!(
+            "{:.0}\t{:.2}\t{:.3}\t{:.0}\t{}\t{:.3}",
+            tick.t,
+            tick.lc_load_rps / 1e3,
+            p99_ms,
+            exp.lc.slo_secs * 1e3,
+            tick.lc_violated as u8,
+            tick.lc_fmem_ratio
+        );
+    }
+    println!("#");
+    println!(
+        "# summary: violation_rate={:.3} mean_redis_fmem_ratio={:.3}",
+        result.violation_rate(),
+        result.mean_lc_fmem_ratio()
+    );
+}

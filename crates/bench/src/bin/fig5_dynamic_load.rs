@@ -1,0 +1,64 @@
+//! Figure 5 — Performance under dynamic load.
+//!
+//! For each LC workload (Redis, Memcached, MongoDB, Silo) co-located
+//! with the four BE workloads, drives the Fig.-7 trapezoid load under
+//! each policy and prints the per-policy P99 latency and FMem-ratio time
+//! series, plus a violation summary.
+//!
+//! Output: TSV rows
+//! `lc  policy  t  load_frac  p99_ms  violated  lc_fmem_ratio`.
+
+use mtat_bench::{header, make_policy, MAIN_POLICIES};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+fn main() {
+    let cfg = SimConfig::paper();
+    header(&["lc", "policy", "t", "load_frac", "p99_ms", "violated", "lc_fmem_ratio"]);
+    let mut summaries = Vec::new();
+    for lc in LcSpec::all_paper_workloads() {
+        let exp = Experiment::new(
+            cfg.clone(),
+            lc.clone(),
+            LoadPattern::fig7(),
+            BeSpec::all_paper_workloads(),
+        );
+        for policy_name in MAIN_POLICIES {
+            let mut policy = make_policy(policy_name, &cfg, &exp.lc, &exp.bes);
+            let r = exp.run(policy.as_mut());
+            for tick in r.ticks.iter().step_by(5) {
+                let p99_ms = if tick.lc_p99.is_finite() {
+                    tick.lc_p99 * 1e3
+                } else {
+                    1e3
+                };
+                println!(
+                    "{}\t{}\t{:.0}\t{:.2}\t{:.3}\t{}\t{:.3}",
+                    lc.name,
+                    policy_name,
+                    tick.t,
+                    tick.lc_load_rps / exp.lc_max_ref,
+                    p99_ms,
+                    tick.lc_violated as u8,
+                    tick.lc_fmem_ratio
+                );
+            }
+            summaries.push((
+                lc.name.clone(),
+                policy_name,
+                r.violation_rate(),
+                r.worst_p99_after(0.0),
+                r.mean_lc_fmem_ratio(),
+            ));
+        }
+    }
+    println!("#");
+    println!("# summary: lc  policy  violation_rate  worst_p99_ms  mean_lc_fmem_ratio");
+    for (lc, policy, viol, worst, fmem) in summaries {
+        let worst_ms = if worst.is_finite() { worst * 1e3 } else { 1e3 };
+        println!("# {lc}\t{policy}\t{viol:.4}\t{worst_ms:.2}\t{fmem:.3}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 6 — BE fairness and throughput under dynamic LC load.
+//!
+//! Runs the same co-locations as Fig. 5 (each LC workload with the four
+//! BE workloads under the Fig.-7 trapezoid) and reports, per policy:
+//! the fairness metric (the smallest normalized performance `NP` of
+//! Eq. 3) and the summed BE throughput, both absolute and normalized to
+//! MEMTIS and TPP as the paper quotes them ("3.3× over TPP, 1.4× over
+//! MEMTIS", "at most 19 % throughput penalty").
+//!
+//! Output: TSV rows `lc  policy  fairness  be_throughput_mops  np_sssp
+//! np_bfs np_pr np_xsbench`, then normalized summary rows.
+
+use std::collections::HashMap;
+
+use mtat_bench::{geomean, header, make_policy};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+const POLICIES: [&str; 4] = ["mtat_full", "mtat_lc_only", "memtis", "tpp"];
+
+fn main() {
+    let cfg = SimConfig::paper();
+    header(&[
+        "lc", "policy", "fairness", "be_throughput_mops", "np_sssp", "np_bfs", "np_pr",
+        "np_xsbench",
+    ]);
+    let mut fairness: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut throughput: HashMap<&str, Vec<f64>> = HashMap::new();
+    for lc in LcSpec::all_paper_workloads() {
+        let exp = Experiment::new(
+            cfg.clone(),
+            lc.clone(),
+            LoadPattern::fig7(),
+            BeSpec::all_paper_workloads(),
+        );
+        for policy_name in POLICIES {
+            let mut policy = make_policy(policy_name, &cfg, &exp.lc, &exp.bes);
+            let r = exp.run(policy.as_mut());
+            let np = r.np();
+            println!(
+                "{}\t{}\t{:.3}\t{:.2}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                lc.name,
+                policy_name,
+                r.fairness(),
+                r.be_total_throughput() / 1e6,
+                np[0],
+                np[1],
+                np[2],
+                np[3]
+            );
+            fairness.entry(policy_name).or_default().push(r.fairness());
+            throughput
+                .entry(policy_name)
+                .or_default()
+                .push(r.be_total_throughput());
+        }
+    }
+
+    println!("#");
+    println!("# geomean across the four LC co-locations, normalized:");
+    println!("# policy\tfairness\tvs_memtis\tvs_tpp\tthroughput\tvs_memtis");
+    let f_memtis = geomean(&fairness["memtis"]);
+    let f_tpp = geomean(&fairness["tpp"]);
+    let t_memtis = geomean(&throughput["memtis"]);
+    for policy_name in POLICIES {
+        let f = geomean(&fairness[policy_name]);
+        let t = geomean(&throughput[policy_name]);
+        println!(
+            "# {policy_name}\t{f:.3}\t{:.2}\t{:.2}\t{:.2}M\t{:.2}",
+            f / f_memtis,
+            f / f_tpp,
+            t / 1e6,
+            t / t_memtis
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 8 — Maximum LC load without SLO violation, normalized to
+//! FMEM_ALL.
+//!
+//! For each LC workload co-located with the four BE workloads, binary-
+//! searches the largest constant load each policy sustains with a
+//! violation rate ≤ 1 % (after a convergence grace window), and prints
+//! it normalized to FMEM_ALL — the paper's Fig. 8 bars plus the
+//! geometric-mean column.
+//!
+//! Output: TSV rows `lc  policy  max_krps  normalized`, then a geomean
+//! block.
+
+use std::collections::HashMap;
+
+use mtat_bench::{geomean, header, make_policy};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::{Experiment, MaxLoadSearch};
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+const POLICIES: [&str; 6] = [
+    "fmem_all",
+    "mtat_full",
+    "mtat_lc_only",
+    "memtis",
+    "tpp",
+    "smem_all",
+];
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let opts = MaxLoadSearch::default();
+    header(&["lc", "policy", "max_krps", "normalized_to_fmem_all"]);
+    let mut normalized: HashMap<&str, Vec<f64>> = HashMap::new();
+    for lc in LcSpec::all_paper_workloads() {
+        let exp = Experiment::new(
+            cfg.clone(),
+            lc.clone(),
+            LoadPattern::Constant(1.0),
+            BeSpec::all_paper_workloads(),
+        );
+        let mut maxes: Vec<(&str, f64)> = Vec::new();
+        for policy_name in POLICIES {
+            let max = exp.find_max_load(
+                &mut || make_policy(policy_name, &cfg, &exp.lc, &exp.bes),
+                &opts,
+            );
+            maxes.push((policy_name, max));
+        }
+        let fmem_all_max = maxes
+            .iter()
+            .find(|(n, _)| *n == "fmem_all")
+            .expect("fmem_all present")
+            .1;
+        for (policy_name, max) in maxes {
+            let norm = if fmem_all_max > 0.0 { max / fmem_all_max } else { 0.0 };
+            println!(
+                "{}\t{}\t{:.1}\t{:.3}",
+                lc.name,
+                policy_name,
+                max / 1e3,
+                norm
+            );
+            normalized.entry(policy_name).or_default().push(norm);
+        }
+    }
+    println!("#");
+    println!("# geomean normalized max load (paper: MTAT ~0.99, MEMTIS ~0.85, TPP ~0.70 of FMEM_ALL)");
+    for policy_name in POLICIES {
+        println!("# {policy_name}\t{:.3}", geomean(&normalized[policy_name]));
+    }
+}

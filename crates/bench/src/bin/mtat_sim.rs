@@ -1,0 +1,203 @@
+//! `mtat_sim` — configurable co-location simulator CLI.
+//!
+//! Runs one experiment with any LC workload, BE set, policy, and load
+//! schedule, printing either a summary or the full TSV time series.
+//!
+//! ```text
+//! mtat_sim [--lc redis|memcached|mongodb|silo]
+//!          [--policy mtat_full|mtat_lc_only|memtis|tpp|hotset|fmem_all|smem_all]
+//!          [--load fig7 | --load 0.8 | --load spike]
+//!          [--duration SECS] [--seed N] [--lc-cores N]
+//!          [--be sssp,bfs,pr,xsbench] [--timeseries]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! mtat_sim --lc redis --policy mtat_full --load fig7
+//! mtat_sim --lc memcached --policy memtis --load 0.8 --duration 120 --timeseries
+//! ```
+
+use std::process::ExitCode;
+
+use mtat_bench::make_policy;
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+struct Args {
+    lc: String,
+    policy: String,
+    load: String,
+    duration: Option<f64>,
+    seed: u64,
+    lc_cores: Option<usize>,
+    be: Vec<String>,
+    timeseries: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mtat_sim [--lc NAME] [--policy NAME] [--load fig7|spike|FRAC]\n\
+     \x20               [--duration SECS] [--seed N] [--lc-cores N]\n\
+     \x20               [--be a,b,c] [--timeseries]\n\
+     \n\
+     LC workloads:  redis (default), memcached, mongodb, silo\n\
+     policies:      mtat_full (default), mtat_lc_only, memtis, tpp,\n\
+     \x20             hotset, fmem_all, smem_all\n\
+     BE workloads:  sssp, bfs, pr, xsbench (default: all four)"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        lc: "redis".to_string(),
+        policy: "mtat_full".to_string(),
+        load: "fig7".to_string(),
+        duration: None,
+        seed: 0xC0FFEE,
+        lc_cores: None,
+        be: vec!["sssp".into(), "bfs".into(), "pr".into(), "xsbench".into()],
+        timeseries: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--lc" => args.lc = value("--lc")?,
+            "--policy" => args.policy = value("--policy")?,
+            "--load" => args.load = value("--load")?,
+            "--duration" => {
+                args.duration = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--lc-cores" => {
+                args.lc_cores = Some(
+                    value("--lc-cores")?
+                        .parse()
+                        .map_err(|e| format!("--lc-cores: {e}"))?,
+                )
+            }
+            "--be" => {
+                args.be = value("--be")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--timeseries" => args.timeseries = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn lc_by_name(name: &str) -> Result<LcSpec, String> {
+    Ok(match name {
+        "redis" => LcSpec::redis(),
+        "memcached" => LcSpec::memcached(),
+        "mongodb" => LcSpec::mongodb(),
+        "silo" => LcSpec::silo(),
+        other => return Err(format!("unknown LC workload {other}")),
+    })
+}
+
+fn be_by_name(name: &str) -> Result<BeSpec, String> {
+    Ok(match name {
+        "sssp" => BeSpec::sssp(),
+        "bfs" => BeSpec::bfs(),
+        "pr" => BeSpec::pagerank(),
+        "xsbench" => BeSpec::xsbench(),
+        other => return Err(format!("unknown BE workload {other}")),
+    })
+}
+
+fn load_by_name(name: &str) -> Result<LoadPattern, String> {
+    match name {
+        "fig7" => Ok(LoadPattern::fig7()),
+        "spike" => Ok(LoadPattern::spike(0.2, 1.0, 80.0, 60.0, 80.0)),
+        frac => frac
+            .parse::<f64>()
+            .map(LoadPattern::Constant)
+            .map_err(|_| format!("--load must be fig7, spike, or a fraction; got {frac}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut lc = lc_by_name(&args.lc)?;
+    if let Some(cores) = args.lc_cores {
+        lc = lc.with_cores(cores);
+    }
+    let bes = args
+        .be
+        .iter()
+        .map(|n| be_by_name(n))
+        .collect::<Result<Vec<_>, _>>()?;
+    let load = load_by_name(&args.load)?;
+    let cfg = SimConfig::paper().with_seed(args.seed);
+
+    let mut exp = Experiment::new(cfg.clone(), lc, load, bes);
+    if let Some(d) = args.duration {
+        exp = exp.with_duration(d);
+    }
+
+    eprintln!(
+        "running {} under {} for {:.0}s (ref max {:.1} KRPS, seed {:#x})",
+        exp.lc.name, args.policy, exp.duration_secs, exp.lc_max_ref / 1e3, args.seed
+    );
+    let mut policy = make_policy(&args.policy, &cfg, &exp.lc, &exp.bes);
+    let result = exp.run(policy.as_mut());
+
+    if args.timeseries {
+        print!("{}", result.to_tsv_string());
+    }
+    eprintln!("--- summary ---");
+    eprintln!("policy:               {}", result.policy);
+    eprintln!(
+        "SLO violation rate:   {:.2}% (after 30s grace: {:.2}%)",
+        result.violation_rate() * 100.0,
+        result.violation_rate_after(30.0) * 100.0
+    );
+    eprintln!("mean LC FMem ratio:   {:.1}%", result.mean_lc_fmem_ratio() * 100.0);
+    eprintln!("BE fairness (min NP): {:.3}", result.fairness());
+    eprintln!(
+        "BE throughput:        {:.2} Mops/s  (NP {:?})",
+        result.be_total_throughput() / 1e6,
+        result
+            .np()
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    eprintln!(
+        "migration:            {:.1} GiB total, {:.2} GB/s average",
+        result.total_migration_bytes as f64 / (1u64 << 30) as f64,
+        result.avg_migration_bw() / 1e9
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

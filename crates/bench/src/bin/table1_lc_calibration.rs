@@ -1,0 +1,29 @@
+//! Table 1 — LC benchmark characteristics.
+//!
+//! Prints, for each LC workload, the configured resident set size and
+//! SLO alongside the *model-derived* maximum load (the latency knee at
+//! FMEM_ALL), so the calibration against the paper's Table 1 can be
+//! verified at a glance.
+//!
+//! Output: TSV rows `workload  rss_gb  slo_ms  max_krps  paper_max_krps`.
+
+use mtat_bench::header;
+use mtat_tiermem::GIB;
+use mtat_workloads::lc::LcSpec;
+
+fn main() {
+    let paper_max = [80.0, 1220.0, 125.0, 11.0];
+    header(&["workload", "rss_gb", "slo_ms", "max_krps", "paper_max_krps", "smem_only_ratio"]);
+    for (spec, paper) in LcSpec::all_paper_workloads().into_iter().zip(paper_max) {
+        let max = spec.nominal_max_load();
+        println!(
+            "{}\t{:.1}\t{:.0}\t{:.1}\t{:.0}\t{:.3}",
+            spec.name,
+            spec.rss_bytes as f64 / GIB as f64,
+            spec.slo_secs * 1e3,
+            max / 1e3,
+            paper,
+            spec.max_load(0.0) / max
+        );
+    }
+}

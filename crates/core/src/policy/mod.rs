@@ -1,0 +1,184 @@
+//! The page-placement policy abstraction and the built-in policies.
+//!
+//! Every memory-management scheme evaluated in the paper — MTAT (Full),
+//! MTAT (LC Only), MEMTIS, TPP, FMEM_ALL, and SMEM_ALL — implements
+//! [`Policy`]. The simulation driver calls [`Policy::on_tick`] once per
+//! tick with a [`SimState`] view: the page table, the metered migration
+//! engine, and per-workload observations (sampled access counts, loads,
+//! latencies). The policy migrates pages; the driver measures the
+//! consequences.
+
+pub mod hotset;
+pub mod memtis;
+pub mod mtat;
+pub mod statics;
+pub mod tpp;
+
+use mtat_tiermem::memory::{InitialPlacement, TieredMemory};
+use mtat_tiermem::migration::MigrationEngine;
+use mtat_tiermem::page::WorkloadId;
+
+/// Whether a workload is latency-critical or best-effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// Latency-critical: has an SLO, load varies.
+    Lc,
+    /// Best-effort: runs flat out, measured by throughput.
+    Be,
+}
+
+/// Per-workload observations for the current tick, produced by the
+/// simulation driver before the policy runs.
+#[derive(Debug, Clone)]
+pub struct WorkloadObs {
+    /// The workload's id in the page table.
+    pub id: WorkloadId,
+    /// LC or BE.
+    pub class: WorkloadClass,
+    /// Benchmark name.
+    pub name: String,
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+    /// Cores serving this workload.
+    pub cores: usize,
+    /// Offered load in requests/second (0 for BE).
+    pub load_rps: f64,
+    /// P99 response time observed last tick (seconds; infinite when
+    /// saturated, 0 for BE).
+    pub p99_secs: f64,
+    /// The workload's SLO (infinite for BE).
+    pub slo_secs: f64,
+    /// FMem hit ratio observed last tick.
+    pub hit_ratio: f64,
+    /// True memory accesses per second this tick.
+    pub access_rate: f64,
+    /// Achieved throughput (requests/s for LC, ops/s for BE).
+    pub throughput: f64,
+    /// PEBS-estimated access counts per page rank for this tick
+    /// (sampled events × sampling period).
+    pub sampled: Vec<u64>,
+    /// Whether the last tick violated the SLO.
+    pub slo_violated: bool,
+}
+
+impl WorkloadObs {
+    /// Convenience: is this the latency-critical workload?
+    pub fn is_lc(&self) -> bool {
+        self.class == WorkloadClass::Lc
+    }
+}
+
+/// Mutable view of the system handed to a policy each tick.
+///
+/// `mem` and `migration` are disjoint fields, so a policy can hold
+/// references to both simultaneously. All migrations must be paid for
+/// through `migration` (`try_consume_pages`) before being applied to
+/// `mem` — the driver resets the per-tick budget before each call.
+#[derive(Debug)]
+pub struct SimState<'a> {
+    /// The page table.
+    pub mem: &'a mut TieredMemory,
+    /// The bandwidth-metered migration engine.
+    pub migration: &'a mut MigrationEngine,
+    /// Per-workload observations (indexed by `WorkloadId`).
+    pub workloads: &'a [WorkloadObs],
+    /// Tick length in seconds.
+    pub tick_secs: f64,
+    /// Simulation time at the start of this tick.
+    pub now_secs: f64,
+    /// True when a partitioning interval boundary has just been reached
+    /// (PP-M runs, histograms age).
+    pub interval_boundary: bool,
+    /// Fast-tier bandwidth utilization (0..1) observed last tick — the
+    /// signal the §7 bandwidth-aware extension reacts to.
+    pub fmem_bw_util: f64,
+    /// Slow-tier bandwidth utilization (0..1) observed last tick.
+    pub smem_bw_util: f64,
+}
+
+/// A page-placement policy under evaluation.
+pub trait Policy {
+    /// Short display name (e.g. `"memtis"`).
+    fn name(&self) -> &str;
+
+    /// Called once after all workloads are registered, before the first
+    /// tick. Policies build their histograms and initial targets here.
+    fn init(&mut self, _mem: &TieredMemory, _workloads: &[WorkloadObs]) {}
+
+    /// Called every tick; the policy observes and migrates.
+    fn on_tick(&mut self, sim: &mut SimState<'_>);
+
+    /// Where workload pages should initially be placed for this policy.
+    /// Defaults to the paper's setup: the LC workload starts resident in
+    /// FMem (Fig. 2: "Redis initially occupies 100 % of available
+    /// FMem"), BE workloads start cold in SMem.
+    fn initial_placement(&self, class: WorkloadClass) -> InitialPlacement {
+        match class {
+            WorkloadClass::Lc => InitialPlacement::FmemFirst,
+            WorkloadClass::Be => InitialPlacement::AllSmem,
+        }
+    }
+
+    /// Extra latency (seconds) added to each *SMem* access of workload
+    /// `w` — e.g. TPP's NUMA-hint page-fault stalls. The driver folds
+    /// this into the workload's service time.
+    fn smem_access_penalty(&self, _w: WorkloadId) -> f64 {
+        0.0
+    }
+
+    /// The policy's current FMem partition target for `w` in bytes, if it
+    /// maintains explicit partitions (diagnostics; `None` for
+    /// hotness-competition policies).
+    fn fmem_target(&self, _w: WorkloadId) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl Policy for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn on_tick(&mut self, _sim: &mut SimState<'_>) {}
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let p = Noop;
+        assert_eq!(p.name(), "noop");
+        assert_eq!(p.smem_access_penalty(WorkloadId(0)), 0.0);
+        assert_eq!(p.fmem_target(WorkloadId(0)), None);
+        assert_eq!(
+            p.initial_placement(WorkloadClass::Lc),
+            InitialPlacement::FmemFirst
+        );
+        assert_eq!(
+            p.initial_placement(WorkloadClass::Be),
+            InitialPlacement::AllSmem
+        );
+    }
+
+    #[test]
+    fn workload_obs_is_lc() {
+        let obs = WorkloadObs {
+            id: WorkloadId(0),
+            class: WorkloadClass::Lc,
+            name: "x".into(),
+            rss_bytes: 1,
+            cores: 1,
+            load_rps: 0.0,
+            p99_secs: 0.0,
+            slo_secs: 1.0,
+            hit_ratio: 0.0,
+            access_rate: 0.0,
+            throughput: 0.0,
+            sampled: vec![],
+            slo_violated: false,
+        };
+        assert!(obs.is_lc());
+    }
+}

@@ -1,0 +1,508 @@
+//! The MTAT policy: PP-M + PP-E glued behind the [`Policy`] interface.
+//!
+//! Two variants, as evaluated in the paper:
+//!
+//! * **MTAT (Full)** — the RL agent sizes the LC partition and the
+//!   simulated-annealing search explicitly partitions the remaining FMem
+//!   among the BE workloads (fairness-driven, Algorithm 2); PP-E
+//!   enforces every partition with LC-first time slicing (Algorithm 3)
+//!   and per-partition hotness refinement (Fig. 4).
+//! * **MTAT (LC Only)** — only the LC partition is enforced; the BE
+//!   workloads compete for the residual pool with ordinary
+//!   frequency-based placement.
+//!
+//! Because experiments start from a fresh process while the paper's
+//! daemon has been learning for its whole uptime, the SAC agent is
+//! pretrained on the analytic environment ([`crate::ppm::env`]) and the
+//! trained network is cached per (workload, cores, FMem) configuration —
+//! repeated runs (e.g. the Fig. 8 binary search) reuse it.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use mtat_rl::sac::Sac;
+use mtat_tiermem::memory::TieredMemory;
+use mtat_tiermem::page::WorkloadId;
+use mtat_tiermem::GIB;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+
+use crate::config::SimConfig;
+use crate::policy::{Policy, SimState, WorkloadObs};
+use crate::ppe::PartitionPolicyEnforcer;
+use crate::ppm::annealing::AnnealingConfig;
+use crate::ppm::be::BePartitioner;
+use crate::ppm::controller::{ControllerConfig, ProportionalController};
+use crate::ppm::lc::{LcObservation, LcPartitioner, LcPartitionerConfig};
+use crate::ppm::profiler::profile_all;
+use crate::ppm::{LcSizer, PartitionPlan, PartitionPolicyMaker};
+
+/// Which MTAT variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtatVariant {
+    /// Explicit partitions for LC and every BE workload.
+    Full,
+    /// Explicit partition for LC only; BE workloads compete.
+    LcOnly,
+}
+
+/// MTAT policy construction options.
+#[derive(Debug, Clone)]
+pub struct MtatConfig {
+    /// Full or LC-only partitioning.
+    pub variant: MtatVariant,
+    /// Use the paper's RL sizer (`true`) or the ablation controller.
+    pub use_rl: bool,
+    /// Keep learning online during the run.
+    pub online_learning: bool,
+    /// Pretraining interactions on the analytic environment.
+    pub pretrain_steps: usize,
+    /// SLO-guard growth (fraction of the Eq. 1 bound) applied on a
+    /// violated interval; `None` disables the guard.
+    pub slo_guard_step: Option<f64>,
+    /// Per-tick refinement appetite per workload (page pairs).
+    pub refine_pairs: u64,
+    /// RNG seed for pretraining and annealing.
+    pub seed: u64,
+    /// §7 extension: pause placement churn when FMem bandwidth
+    /// utilization exceeds this threshold (`None` disables).
+    pub bandwidth_freeze_util: Option<f64>,
+}
+
+impl MtatConfig {
+    /// MTAT (Full) with paper defaults.
+    pub fn full() -> Self {
+        Self {
+            variant: MtatVariant::Full,
+            use_rl: true,
+            online_learning: true,
+            pretrain_steps: 12_000,
+            slo_guard_step: Some(1.0),
+            refine_pairs: 256,
+            seed: 0x517A7,
+            bandwidth_freeze_util: None,
+        }
+    }
+
+    /// MTAT (LC Only) with paper defaults.
+    pub fn lc_only() -> Self {
+        Self {
+            variant: MtatVariant::LcOnly,
+            ..Self::full()
+        }
+    }
+
+    /// Swap the RL sizer for the proportional controller (ablation).
+    pub fn with_heuristic_sizer(mut self) -> Self {
+        self.use_rl = false;
+        self
+    }
+
+    /// Enables the §7 bandwidth-aware extension: placement churn pauses
+    /// whenever FMem bandwidth utilization exceeds `threshold`.
+    pub fn with_bandwidth_awareness(mut self, threshold: f64) -> Self {
+        self.bandwidth_freeze_util = Some(threshold);
+        self
+    }
+}
+
+/// The MTAT policy.
+#[derive(Debug)]
+pub struct MtatPolicy {
+    cfg: MtatConfig,
+    name: String,
+    ppm: PartitionPolicyMaker,
+    ppe: Option<PartitionPolicyEnforcer>,
+    lc_id: Option<WorkloadId>,
+    page_size: u64,
+    /// Reference access rate (accesses/s at the workload's max load) for
+    /// normalizing the Memory Access Count state component.
+    ref_access_rate: f64,
+    // Interval accumulators.
+    acc_violated: bool,
+    acc_worst_p99: f64,
+    acc_access_rate: f64,
+    acc_hit_ratio: f64,
+    acc_ticks: u32,
+    latest_plan: Option<PartitionPlan>,
+}
+
+fn agent_cache() -> &'static Mutex<HashMap<String, Sac>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Sac>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl MtatPolicy {
+    /// Builds an MTAT policy for an experiment co-locating `lc_spec`
+    /// with `be_specs` under `sim`. Pretraining (or cache lookup) and BE
+    /// profiling happen here, before the run starts — both are offline
+    /// activities in the paper's prototype.
+    pub fn new(cfg: MtatConfig, sim: &SimConfig, lc_spec: &LcSpec, be_specs: &[BeSpec]) -> Self {
+        let fmem_total = sim.mem.fmem_bytes();
+        let max_step_bytes = sim.migration_bw * sim.interval_secs / 2.0;
+        let lc_cfg = LcPartitionerConfig {
+            fmem_total,
+            max_step_bytes,
+            online_learning: cfg.online_learning,
+            explore: false,
+        };
+
+        let sizer = if cfg.use_rl {
+            let key = format!(
+                "{}/c{}/f{}/s{}/p{}",
+                lc_spec.name,
+                lc_spec.cores,
+                fmem_total / GIB,
+                max_step_bytes as u64 / GIB,
+                cfg.pretrain_steps
+            );
+            let cached = agent_cache().lock().expect("cache lock").get(&key).cloned();
+            let partitioner = match cached {
+                Some(agent) => LcPartitioner::new(lc_spec.clone(), lc_cfg, agent),
+                None => {
+                    let p =
+                        LcPartitioner::pretrained(lc_spec, lc_cfg, cfg.pretrain_steps, cfg.seed);
+                    agent_cache()
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, p.agent().clone());
+                    p
+                }
+            };
+            LcSizer::Rl(partitioner)
+        } else {
+            LcSizer::Heuristic(ProportionalController::new(ControllerConfig::new(
+                fmem_total,
+                lc_spec.rss_bytes,
+                max_step_bytes,
+                lc_spec.slo_secs,
+            )))
+        };
+
+        let be = match cfg.variant {
+            MtatVariant::Full => Some(BePartitioner::new(
+                profile_all(be_specs, fmem_total, sim.mem.page_size()),
+                AnnealingConfig::default(),
+                cfg.seed ^ 0xBE,
+            )),
+            MtatVariant::LcOnly => None,
+        };
+
+        let ppm = PartitionPolicyMaker::new(
+            sizer,
+            be,
+            fmem_total,
+            max_step_bytes,
+            cfg.slo_guard_step,
+        );
+        let name = match (cfg.variant, cfg.use_rl) {
+            (MtatVariant::Full, true) => "mtat_full",
+            (MtatVariant::LcOnly, true) => "mtat_lc_only",
+            (MtatVariant::Full, false) => "mtat_full_heuristic",
+            (MtatVariant::LcOnly, false) => "mtat_lc_only_heuristic",
+        }
+        .to_string();
+        let ref_access_rate =
+            lc_spec.max_load(lc_spec.full_fmem_hit_ratio(fmem_total)) * lc_spec.accesses_per_req;
+        Self {
+            cfg,
+            name,
+            ppm,
+            ppe: None,
+            lc_id: None,
+            page_size: sim.mem.page_size(),
+            ref_access_rate,
+            acc_violated: false,
+            acc_worst_p99: 0.0,
+            acc_access_rate: 0.0,
+            acc_hit_ratio: 0.0,
+            acc_ticks: 0,
+            latest_plan: None,
+        }
+    }
+
+    /// The most recent PP-M plan (diagnostics).
+    pub fn latest_plan(&self) -> Option<&PartitionPlan> {
+        self.latest_plan.as_ref()
+    }
+
+    fn reset_accumulators(&mut self) {
+        self.acc_violated = false;
+        self.acc_worst_p99 = 0.0;
+        self.acc_access_rate = 0.0;
+        self.acc_hit_ratio = 0.0;
+        self.acc_ticks = 0;
+    }
+}
+
+impl Policy for MtatPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, mem: &TieredMemory, workloads: &[WorkloadObs]) {
+        let lc = workloads
+            .iter()
+            .find(|w| w.is_lc())
+            .expect("MTAT needs an LC workload");
+        self.lc_id = Some(lc.id);
+        let p_max_pairs = 512;
+        self.ppe = Some(PartitionPolicyEnforcer::new(
+            mem,
+            lc.id.index(),
+            p_max_pairs,
+            self.cfg.refine_pairs,
+        ));
+        // Align the sizer's starting target with the initial placement.
+        self.ppm
+            .set_lc_target_bytes(mem.fmem_bytes_of(lc.id));
+        self.reset_accumulators();
+    }
+
+    fn fmem_target(&self, w: WorkloadId) -> Option<u64> {
+        let ppe = self.ppe.as_ref()?;
+        ppe.target_pages(w).map(|pages| pages * self.page_size)
+    }
+
+    fn on_tick(&mut self, sim: &mut SimState<'_>) {
+        let lc_id = self.lc_id.expect("init() must run first");
+        let mut ppe = self.ppe.take().expect("init() must run first");
+        ppe.record_tick(sim.workloads);
+
+        // Accumulate the interval's LC observation.
+        let lc = &sim.workloads[lc_id.index()];
+        self.acc_violated |= lc.slo_violated;
+        self.acc_worst_p99 = self.acc_worst_p99.max(lc.p99_secs);
+        self.acc_access_rate += lc.access_rate;
+        self.acc_hit_ratio += lc.hit_ratio;
+        self.acc_ticks += 1;
+
+        if sim.interval_boundary && self.acc_ticks > 0 {
+            let n = self.acc_ticks as f64;
+            let usage = sim.mem.residency(lc_id).fmem_usage_ratio();
+            let obs = LcObservation {
+                usage_ratio: usage,
+                access_ratio: self.acc_hit_ratio / n,
+                access_count_norm: (self.acc_access_rate / n) / self.ref_access_rate,
+                p99_secs: self.acc_worst_p99,
+                violated: self.acc_violated,
+            };
+            let plan = self.ppm.decide(&obs);
+
+            // Convert the byte plan into PP-E page targets.
+            let mut targets = vec![None; sim.workloads.len()];
+            targets[lc_id.index()] = Some(plan.lc_bytes / self.page_size);
+            if self.cfg.variant == MtatVariant::Full {
+                let mut be_iter = plan.be_bytes.iter();
+                for w in sim.workloads {
+                    if !w.is_lc() {
+                        if let Some(&bytes) = be_iter.next() {
+                            targets[w.id.index()] = Some(bytes / self.page_size);
+                        }
+                    }
+                }
+            }
+            ppe.set_plan(sim.mem, targets);
+            ppe.age();
+            self.latest_plan = Some(plan);
+            self.reset_accumulators();
+        }
+
+        if let Some(threshold) = self.cfg.bandwidth_freeze_util {
+            ppe.set_placement_frozen(sim.fmem_bw_util > threshold);
+        }
+        ppe.tick(sim.mem, sim.migration);
+        self.ppe = Some(ppe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::policy::WorkloadClass;
+    use mtat_tiermem::memory::InitialPlacement;
+
+    fn small_lc() -> LcSpec {
+        let mut s = LcSpec::redis();
+        // Shrink the resident set so tests run on the small memory spec.
+        s.rss_bytes = 512 * mtat_tiermem::MIB;
+        s
+    }
+
+    fn small_be() -> BeSpec {
+        let mut s = BeSpec::sssp();
+        s.rss_bytes = 512 * mtat_tiermem::MIB;
+        s
+    }
+
+    fn obs(
+        mem: &TieredMemory,
+        w: WorkloadId,
+        class: WorkloadClass,
+        sampled: Vec<u64>,
+        violated: bool,
+        load: f64,
+    ) -> WorkloadObs {
+        WorkloadObs {
+            id: w,
+            class,
+            name: format!("w{}", w.0),
+            rss_bytes: mem.region(w).n_pages as u64 * mem.spec().page_size(),
+            cores: 1,
+            load_rps: load,
+            p99_secs: if violated { 1.0 } else { 1e-3 },
+            slo_secs: 20e-3,
+            hit_ratio: mem.residency(w).fmem_usage_ratio(),
+            access_rate: load * 28.0,
+            throughput: load,
+            sampled,
+            slo_violated: violated,
+        }
+    }
+
+    /// Heuristic-sizer MTAT on a miniature system: a violated interval
+    /// grows the LC partition; a calm one shrinks it.
+    #[test]
+    fn mtat_grows_lc_partition_on_violation() {
+        let sim_cfg = SimConfig::small_test();
+        let lc_spec = small_lc();
+        let be_spec = small_be();
+        let mut policy = MtatPolicy::new(
+            MtatConfig::full().with_heuristic_sizer(),
+            &sim_cfg,
+            &lc_spec,
+            &[be_spec.clone()],
+        );
+
+        let mut mem = TieredMemory::new(sim_cfg.mem);
+        let lc = mem
+            .register_workload(lc_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let be = mem
+            .register_workload(be_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let mut engine = mtat_tiermem::migration::MigrationEngine::new(
+            sim_cfg.migration_bw,
+            sim_cfg.mem.page_size(),
+            sim_cfg.interval_secs,
+        )
+        .unwrap();
+
+        let n_lc = mem.region(lc).n_pages as usize;
+        let n_be = mem.region(be).n_pages as usize;
+        let init = [
+            obs(&mem, lc, WorkloadClass::Lc, vec![0; n_lc], false, 0.0),
+            obs(&mem, be, WorkloadClass::Be, vec![0; n_be], false, 0.0),
+        ];
+        policy.init(&mem, &init);
+        assert_eq!(policy.name(), "mtat_full_heuristic");
+
+        // Drive several intervals of SLO violations.
+        for t in 0..30 {
+            let w = [
+                obs(&mem, lc, WorkloadClass::Lc, vec![1; n_lc], true, 1000.0),
+                obs(&mem, be, WorkloadClass::Be, vec![3; n_be], false, 0.0),
+            ];
+            engine.begin_tick(1.0);
+            let mut sim = SimState {
+                mem: &mut mem,
+                migration: &mut engine,
+                workloads: &w,
+                tick_secs: 1.0,
+                now_secs: t as f64,
+                interval_boundary: t > 0 && t % 5 == 0,
+                fmem_bw_util: 0.0,
+                smem_bw_util: 0.0,
+            };
+            policy.on_tick(&mut sim);
+        }
+        let grown = mem.residency(lc).fmem_pages;
+        assert!(grown > 0, "LC partition should have grown, got {grown}");
+        let plan = policy.latest_plan().expect("plan exists").clone();
+        assert!(plan.lc_bytes > 0);
+        assert_eq!(plan.be_bytes.len(), 1);
+
+        // Now calm intervals: partition should shrink back.
+        for t in 30..80 {
+            let w = [
+                obs(&mem, lc, WorkloadClass::Lc, vec![1; n_lc], false, 10.0),
+                obs(&mem, be, WorkloadClass::Be, vec![3; n_be], false, 0.0),
+            ];
+            engine.begin_tick(1.0);
+            let mut sim = SimState {
+                mem: &mut mem,
+                migration: &mut engine,
+                workloads: &w,
+                tick_secs: 1.0,
+                now_secs: t as f64,
+                interval_boundary: t % 5 == 0,
+                fmem_bw_util: 0.0,
+                smem_bw_util: 0.0,
+            };
+            policy.on_tick(&mut sim);
+        }
+        let shrunk = mem.residency(lc).fmem_pages;
+        assert!(
+            shrunk < grown,
+            "LC partition should shrink when idle: {grown} -> {shrunk}"
+        );
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lc_only_variant_has_no_be_targets() {
+        let sim_cfg = SimConfig::small_test();
+        let lc_spec = small_lc();
+        let be_spec = small_be();
+        let mut policy = MtatPolicy::new(
+            MtatConfig::lc_only().with_heuristic_sizer(),
+            &sim_cfg,
+            &lc_spec,
+            &[be_spec.clone()],
+        );
+        let mut mem = TieredMemory::new(sim_cfg.mem);
+        let lc = mem
+            .register_workload(lc_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let be = mem
+            .register_workload(be_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let n_lc = mem.region(lc).n_pages as usize;
+        let n_be = mem.region(be).n_pages as usize;
+        let init = [
+            obs(&mem, lc, WorkloadClass::Lc, vec![0; n_lc], false, 0.0),
+            obs(&mem, be, WorkloadClass::Be, vec![0; n_be], false, 0.0),
+        ];
+        policy.init(&mem, &init);
+        assert_eq!(policy.name(), "mtat_lc_only_heuristic");
+
+        let mut engine = mtat_tiermem::migration::MigrationEngine::new(
+            sim_cfg.migration_bw,
+            sim_cfg.mem.page_size(),
+            sim_cfg.interval_secs,
+        )
+        .unwrap();
+        for t in 0..12 {
+            let w = [
+                obs(&mem, lc, WorkloadClass::Lc, vec![1; n_lc], true, 500.0),
+                obs(&mem, be, WorkloadClass::Be, vec![5; n_be], false, 0.0),
+            ];
+            engine.begin_tick(1.0);
+            let mut sim = SimState {
+                mem: &mut mem,
+                migration: &mut engine,
+                workloads: &w,
+                tick_secs: 1.0,
+                now_secs: t as f64,
+                interval_boundary: t > 0 && t % 5 == 0,
+                fmem_bw_util: 0.0,
+                smem_bw_util: 0.0,
+            };
+            policy.on_tick(&mut sim);
+        }
+        // LC has an explicit target; BE does not.
+        assert!(policy.fmem_target(lc).is_some());
+        assert_eq!(policy.fmem_target(be), None);
+    }
+}

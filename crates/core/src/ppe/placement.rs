@@ -1,0 +1,351 @@
+//! Hotness-aware page placement primitives (§3.3.2, Fig. 4).
+//!
+//! Three building blocks shared by PP-E and the baseline policies:
+//!
+//! * [`enforce_target`] — move a workload toward its partition size by
+//!   promoting its hottest SMem pages or demoting its coldest FMem pages
+//!   (Fig. 4a).
+//! * [`refine_swaps`] — with the partition size fixed, swap a workload's
+//!   hottest SMem pages against its own coldest FMem pages whenever the
+//!   former are strictly hotter (Fig. 4b); isolation is preserved because
+//!   replacement happens strictly within the workload's partition.
+//! * [`compete`] — global hotness competition over a *set* of workloads
+//!   sharing an FMem pool (what MEMTIS does across all tenants, what
+//!   MTAT (LC Only) lets the BE workloads do in the residual pool).
+
+use mtat_tiermem::memory::TieredMemory;
+use mtat_tiermem::migration::MigrationEngine;
+use mtat_tiermem::page::{Tier, WorkloadId};
+
+use crate::tracker::HotnessTracker;
+
+/// Moves workload `w` toward `target_pages` of FMem residency, spending
+/// at most the engine's remaining tick budget. Promotions require free
+/// FMem frames (the caller demotes first to make room). Returns
+/// `(promoted, demoted)` page counts.
+pub fn enforce_target(
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    w: WorkloadId,
+    target_pages: u64,
+) -> (u64, u64) {
+    let current = mem.residency(w).fmem_pages;
+    if current < target_pages {
+        let want = (target_pages - current)
+            .min(engine.remaining_tick_pages())
+            .min(mem.free_pages(Tier::FMem));
+        if want == 0 {
+            return (0, 0);
+        }
+        let pages = tracker.hottest_smem(mem, w, want as usize);
+        let granted = engine.try_consume_pages(pages.len() as u64);
+        let mut promoted = 0;
+        for &p in pages.iter().take(granted as usize) {
+            mem.migrate(p, Tier::FMem).expect("promotion within capacity");
+            promoted += 1;
+        }
+        (promoted, 0)
+    } else if current > target_pages {
+        let want = (current - target_pages).min(engine.remaining_tick_pages());
+        if want == 0 {
+            return (0, 0);
+        }
+        let pages = tracker.coldest_fmem(mem, w, want as usize);
+        let granted = engine.try_consume_pages(pages.len() as u64);
+        let mut demoted = 0;
+        for &p in pages.iter().take(granted as usize) {
+            mem.migrate(p, Tier::SMem).expect("demotion always has room");
+            demoted += 1;
+        }
+        (0, demoted)
+    } else {
+        (0, 0)
+    }
+}
+
+/// Within-partition refinement (Fig. 4b): swaps workload `w`'s hottest
+/// SMem pages against its coldest FMem pages while the former are
+/// hotter by more than the `hysteresis` factor, up to `max_pairs` swaps
+/// and the engine budget. The hysteresis suppresses churn from sampling
+/// noise between near-equal pages. The workload's FMem partition size
+/// is unchanged. Returns swaps performed.
+pub fn refine_swaps(
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    w: WorkloadId,
+    max_pairs: u64,
+    hysteresis: f64,
+) -> u64 {
+    let budget_pairs = max_pairs.min(engine.remaining_tick_pages() / 2);
+    if budget_pairs == 0 {
+        return 0;
+    }
+    let hot = tracker.hottest_smem(mem, w, budget_pairs as usize);
+    let cold = tracker.coldest_fmem(mem, w, budget_pairs as usize);
+    let hist = tracker.histogram(w);
+    let mut swaps = 0;
+    for (&h, &c) in hot.iter().zip(cold.iter()) {
+        if (hist.count(h) as f64) <= hist.count(c) as f64 * hysteresis {
+            break; // candidates are sorted; no further pair can win
+        }
+        if engine.try_consume_pages(2) < 2 {
+            break;
+        }
+        mem.exchange(&[h], &[c]).expect("paired swap within partition");
+        swaps += 1;
+    }
+    swaps
+}
+
+/// Global hotness competition across the workload set `ws` sharing an
+/// FMem pool capped at `pool_cap_pages`: promote the globally hottest
+/// SMem pages, demote the globally coldest FMem pages, as long as the
+/// promotion candidate is hotter than the page it displaces by more
+/// than the `hysteresis` factor (or free pool capacity remains).
+/// Returns pages moved.
+///
+/// With `ws` = every workload and the pool = all of FMem this *is* the
+/// frequency-based placement the paper critiques: LC pages, uniformly
+/// cold, lose to hot BE pages.
+pub fn compete(
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    ws: &[WorkloadId],
+    pool_cap_pages: u64,
+    max_pairs: u64,
+    hysteresis: f64,
+) -> u64 {
+    let k = max_pairs.min(engine.remaining_tick_pages()).max(0) as usize;
+    if k == 0 {
+        return 0;
+    }
+    // Gather candidates: (count, page) sorted hottest-first / coldest-first.
+    let mut hot: Vec<(u64, mtat_tiermem::page::PageId)> = Vec::new();
+    let mut cold: Vec<(u64, mtat_tiermem::page::PageId)> = Vec::new();
+    for &w in ws {
+        let hist = tracker.histogram(w);
+        for p in tracker.hottest_smem(mem, w, k) {
+            hot.push((hist.count(p), p));
+        }
+        for p in tracker.coldest_fmem(mem, w, k) {
+            cold.push((hist.count(p), p));
+        }
+    }
+    hot.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    cold.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut pool_used: u64 = ws.iter().map(|&w| mem.residency(w).fmem_pages).sum();
+    let mut moved = 0;
+    let mut ci = 0;
+    for &(hcount, hpage) in &hot {
+        if hcount == 0 {
+            break; // nothing hot left to justify a move
+        }
+        if pool_used < pool_cap_pages && mem.free_pages(Tier::FMem) > 0 {
+            // Free capacity: promote unconditionally.
+            if engine.try_consume_pages(1) < 1 {
+                break;
+            }
+            mem.migrate(hpage, Tier::FMem).expect("free frame available");
+            pool_used += 1;
+            moved += 1;
+        } else if ci < cold.len() {
+            let (ccount, cpage) = cold[ci];
+            if (hcount as f64) <= ccount as f64 * hysteresis {
+                break; // the hottest leftover cannot displace anything
+            }
+            if engine.try_consume_pages(2) < 2 {
+                break;
+            }
+            mem.exchange(&[hpage], &[cpage]).expect("paired exchange");
+            ci += 1;
+            moved += 2;
+        } else {
+            break;
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{WorkloadClass, WorkloadObs};
+    use mtat_tiermem::memory::{InitialPlacement, MemorySpec};
+    use mtat_tiermem::page::PageId;
+    use mtat_tiermem::MIB;
+
+    fn setup(fmem_mb: u64) -> (TieredMemory, MigrationEngine) {
+        let spec = MemorySpec::new(fmem_mb * MIB, 64 * MIB, MIB).unwrap();
+        let mem = TieredMemory::new(spec);
+        let engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
+        (mem, engine)
+    }
+
+    fn obs_for(mem: &TieredMemory, w: WorkloadId, sampled: Vec<u64>) -> WorkloadObs {
+        WorkloadObs {
+            id: w,
+            class: WorkloadClass::Be,
+            name: format!("w{}", w.0),
+            rss_bytes: mem.region(w).n_pages as u64 * MIB,
+            cores: 1,
+            load_rps: 0.0,
+            p99_secs: 0.0,
+            slo_secs: f64::INFINITY,
+            hit_ratio: 0.0,
+            access_rate: 0.0,
+            throughput: 0.0,
+            sampled,
+            slo_violated: false,
+        }
+    }
+
+    #[test]
+    fn enforce_target_promotes_hottest() {
+        let (mut mem, mut engine) = setup(8);
+        let w = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[obs_for(&mem, w, vec![1, 9, 3, 7, 0, 0, 0, 0])]);
+        engine.begin_tick(1.0);
+        let (p, d) = enforce_target(&mut mem, &mut engine, &tracker, w, 2);
+        assert_eq!((p, d), (2, 0));
+        // Ranks 1 (count 9) and 3 (count 7) should be the residents.
+        let region = mem.region(w);
+        assert_eq!(mem.tier_of(region.page(1)).unwrap(), Tier::FMem);
+        assert_eq!(mem.tier_of(region.page(3)).unwrap(), Tier::FMem);
+    }
+
+    #[test]
+    fn enforce_target_demotes_coldest() {
+        let (mut mem, mut engine) = setup(8);
+        let w = mem.register_workload(8 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[obs_for(&mem, w, vec![10, 1, 8, 9, 7, 6, 5, 4])]);
+        engine.begin_tick(1.0);
+        let (p, d) = enforce_target(&mut mem, &mut engine, &tracker, w, 7);
+        assert_eq!((p, d), (0, 1));
+        // Rank 1 (count 1) is the coldest and should be demoted.
+        assert_eq!(mem.tier_of(mem.region(w).page(1)).unwrap(), Tier::SMem);
+    }
+
+    #[test]
+    fn enforce_target_respects_budget_and_free_space() {
+        let (mut mem, mut engine) = setup(4);
+        // Fill FMem with another workload first.
+        let filler = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let w = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[
+            obs_for(&mem, filler, vec![0; 4]),
+            obs_for(&mem, w, vec![5; 8]),
+        ]);
+        engine.begin_tick(1.0);
+        // No free FMem: promotion is a no-op.
+        let (p, _) = enforce_target(&mut mem, &mut engine, &tracker, w, 4);
+        assert_eq!(p, 0);
+        // Make room, then budget-limit the engine.
+        enforce_target(&mut mem, &mut engine, &tracker, filler, 0);
+        let mut tiny = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
+        tiny.begin_tick(2.0 * MIB as f64 / 1e9); // budget: 2 pages
+        let (p, _) = enforce_target(&mut mem, &mut tiny, &tracker, w, 4);
+        assert_eq!(p, 2);
+    }
+
+    #[test]
+    fn refine_swaps_fixes_misplacement() {
+        let (mut mem, mut engine) = setup(2);
+        let w = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
+        // Ranks 0,1 in FMem; but ranks 2,3 are the hot ones.
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[obs_for(&mem, w, vec![1, 2, 100, 50])]);
+        engine.begin_tick(1.0);
+        let swaps = refine_swaps(&mut mem, &mut engine, &tracker, w, 10, 1.0);
+        assert_eq!(swaps, 2);
+        let region = mem.region(w);
+        assert_eq!(mem.tier_of(region.page(2)).unwrap(), Tier::FMem);
+        assert_eq!(mem.tier_of(region.page(3)).unwrap(), Tier::FMem);
+        // Partition size unchanged.
+        assert_eq!(mem.residency(w).fmem_pages, 2);
+        // A second call finds nothing to improve.
+        assert_eq!(refine_swaps(&mut mem, &mut engine, &tracker, w, 10, 1.0), 0);
+    }
+
+    #[test]
+    fn compete_prefers_hotter_workload() {
+        let (mut mem, mut engine) = setup(2);
+        let a = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[
+            obs_for(&mem, a, vec![100, 90, 1, 1]),
+            obs_for(&mem, b, vec![5, 5, 5, 5]),
+        ]);
+        engine.begin_tick(1.0);
+        let moved = compete(&mut mem, &mut engine, &tracker, &[a, b], 2, 64, 1.0);
+        assert_eq!(moved, 2);
+        // Workload a's two hot pages win the whole pool.
+        assert_eq!(mem.residency(a).fmem_pages, 2);
+        assert_eq!(mem.residency(b).fmem_pages, 0);
+    }
+
+    #[test]
+    fn compete_displaces_colder_pages() {
+        let (mut mem, mut engine) = setup(2);
+        let a = mem.register_workload(2 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        // a's resident pages are cold; b has hot SMem pages.
+        tracker.record_tick(&[
+            obs_for(&mem, a, vec![1, 1]),
+            obs_for(&mem, b, vec![50, 40, 0, 0]),
+        ]);
+        engine.begin_tick(1.0);
+        let moved = compete(&mut mem, &mut engine, &tracker, &[a, b], 2, 64, 1.0);
+        assert_eq!(moved, 4); // two exchanges
+        assert_eq!(mem.residency(b).fmem_pages, 2);
+        assert_eq!(mem.residency(a).fmem_pages, 0);
+    }
+
+    #[test]
+    fn compete_respects_pool_cap() {
+        let (mut mem, mut engine) = setup(8);
+        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[obs_for(&mem, a, vec![9; 8])]);
+        engine.begin_tick(1.0);
+        // Pool capped at 3 pages even though FMem has 8 free.
+        compete(&mut mem, &mut engine, &tracker, &[a], 3, 64, 1.0);
+        assert_eq!(mem.residency(a).fmem_pages, 3);
+    }
+
+    #[test]
+    fn compete_ignores_outside_workloads() {
+        let (mut mem, mut engine) = setup(4);
+        let lc = mem.register_workload(2 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let be = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mut tracker = HotnessTracker::new(&mem);
+        tracker.record_tick(&[
+            obs_for(&mem, lc, vec![0, 0]),
+            obs_for(&mem, be, vec![100, 100, 100, 100]),
+        ]);
+        engine.begin_tick(1.0);
+        // BE competes only for the 2 pages not held by the LC partition.
+        compete(&mut mem, &mut engine, &tracker, &[be], 2, 64, 1.0);
+        assert_eq!(mem.residency(be).fmem_pages, 2);
+        assert_eq!(mem.residency(lc).fmem_pages, 2, "LC pages untouched");
+    }
+
+    #[test]
+    fn cold_pages_never_promoted_by_compete() {
+        let (mut mem, mut engine) = setup(4);
+        let a = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let tracker = HotnessTracker::new(&mem); // all counts zero
+        engine.begin_tick(1.0);
+        let moved = compete(&mut mem, &mut engine, &tracker, &[a], 4, 64, 1.0);
+        assert_eq!(moved, 0);
+        let _ = PageId(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,179 @@
+//! Fairness-driven BE FMem partitioning (§3.2.2, Algorithm 2).
+//!
+//! After PP-M reserves `M_LC` for the LC workload, the remaining FMem is
+//! divided among BE workloads to maximize the *minimum* normalized
+//! performance `NP_i = Perf_alloc / Perf_full` (Eq. 3) — lifting the
+//! worst-off workload as close as possible to the best-off one. The
+//! search is the simulated annealing of [`crate::ppm::annealing`] over
+//! whole-GiB units, seeded from the even split.
+
+use mtat_tiermem::GIB;
+use serde::{Deserialize, Serialize};
+
+use crate::ppm::annealing::{anneal, even_split, AnnealingConfig};
+use crate::ppm::profiler::BeProfile;
+
+/// The fairness objective `P(M) = min_i NP_i` evaluated on a candidate
+/// allocation in GiB units.
+pub fn min_np(profiles: &[BeProfile], alloc_gb: &[u64]) -> f64 {
+    profiles
+        .iter()
+        .zip(alloc_gb)
+        .map(|(p, &g)| p.np_at_gb(g))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// BE partitioner: owns the offline profiles and the SA configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BePartitioner {
+    profiles: Vec<BeProfile>,
+    cfg: AnnealingConfig,
+    seed: u64,
+}
+
+impl BePartitioner {
+    /// Creates a partitioner from offline profiles.
+    pub fn new(profiles: Vec<BeProfile>, cfg: AnnealingConfig, seed: u64) -> Self {
+        Self {
+            profiles,
+            cfg,
+            seed,
+        }
+    }
+
+    /// The profiles this partitioner allocates against.
+    pub fn profiles(&self) -> &[BeProfile] {
+        &self.profiles
+    }
+
+    /// Splits `remaining_bytes` of FMem among the BE workloads,
+    /// returning per-workload byte allocations (whole GiB granularity,
+    /// as in the paper's ±1 GB moves). The sub-GiB remainder of
+    /// `remaining_bytes` is handed to the workload with the lowest NP.
+    pub fn partition(&mut self, remaining_bytes: u64) -> Vec<u64> {
+        let n = self.profiles.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let units = remaining_bytes / GIB;
+        let initial = even_split(units, n);
+        let profiles = &self.profiles;
+        let result = anneal(
+            &initial,
+            |alloc| min_np(profiles, alloc),
+            &self.cfg,
+            self.seed,
+        );
+        // Vary the seed between invocations so repeated partitioning
+        // calls explore different random walks, as a daemon would.
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+
+        let mut bytes: Vec<u64> = result.best.iter().map(|&g| g * GIB).collect();
+        let leftover = remaining_bytes - units * GIB;
+        if leftover > 0 {
+            // Give the sub-GiB tail to the worst-off workload.
+            let worst = self
+                .profiles
+                .iter()
+                .zip(&result.best)
+                .enumerate()
+                .min_by(|(_, (pa, &ga)), (_, (pb, &gb))| {
+                    pa.np_at_gb(ga)
+                        .partial_cmp(&pb.np_at_gb(gb))
+                        .expect("NP values are finite")
+                })
+                .map(|(i, _)| i)
+                .expect("nonempty profiles");
+            bytes[worst] += leftover;
+        }
+        bytes
+    }
+
+    /// The fairness score `min NP` the partitioner expects for a given
+    /// byte allocation (interpolated).
+    pub fn expected_fairness(&self, alloc_bytes: &[u64]) -> f64 {
+        self.profiles
+            .iter()
+            .zip(alloc_bytes)
+            .map(|(p, &b)| p.at_bytes(b) / p.perf_full)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppm::profiler::profile_all;
+    use mtat_tiermem::MIB;
+    use mtat_workloads::be::BeSpec;
+
+    fn partitioner() -> BePartitioner {
+        let profiles = profile_all(&BeSpec::all_paper_workloads(), 32 * GIB, 2 * MIB);
+        BePartitioner::new(profiles, AnnealingConfig::default(), 99)
+    }
+
+    #[test]
+    fn partition_conserves_total() {
+        let mut p = partitioner();
+        for total in [0u64, GIB, 7 * GIB + 123 * MIB, 24 * GIB] {
+            let alloc = p.partition(total);
+            assert_eq!(alloc.len(), 4);
+            assert_eq!(alloc.iter().sum::<u64>(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn sa_beats_or_matches_even_split() {
+        let mut p = partitioner();
+        let total = 20 * GIB;
+        let alloc = p.partition(total);
+        let sa_fair = p.expected_fairness(&alloc);
+        let even: Vec<u64> = even_split(total / GIB, 4).iter().map(|&g| g * GIB).collect();
+        let even_fair = p.expected_fairness(&even);
+        assert!(
+            sa_fair >= even_fair - 1e-9,
+            "SA fairness {sa_fair} vs even {even_fair}"
+        );
+    }
+
+    #[test]
+    fn flat_workload_gets_more_memory() {
+        // XSBench (flat popularity) needs more FMem per unit of NP than
+        // PageRank (heavily skewed), so a fairness-maximizing allocation
+        // gives XSBench a larger share.
+        let mut p = partitioner();
+        let alloc = p.partition(16 * GIB);
+        let pr_share = alloc[2];
+        let xs_share = alloc[3];
+        assert!(
+            xs_share > pr_share,
+            "xsbench {xs_share} should exceed pr {pr_share}: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn min_np_matches_manual() {
+        let p = partitioner();
+        let alloc = [4u64, 4, 4, 4];
+        let manual = p
+            .profiles()
+            .iter()
+            .zip(alloc)
+            .map(|(pr, g)| pr.np_at_gb(g))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min_np(p.profiles(), &alloc), manual);
+    }
+
+    #[test]
+    fn zero_remaining_gives_zero_allocations() {
+        let mut p = partitioner();
+        let alloc = p.partition(0);
+        assert!(alloc.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_profile_set() {
+        let mut p = BePartitioner::new(Vec::new(), AnnealingConfig::default(), 0);
+        assert!(p.partition(4 * GIB).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Analytic training environment for the LC FMem partitioner.
+//!
+//! The SAC agent of §3.2.1 is trained against an environment whose state
+//! is `(FMem Usage Ratio, FMem Access Ratio, Memory Access Count)` and
+//! whose action is the net FMem change, clipped to `±M/2t` (Eq. 1).
+//! [`LcPartitionEnv`] is a closed-form model of exactly that loop: the
+//! offered load performs a persistent random walk with occasional jumps
+//! (the "sudden demand surges" the paper emphasizes), the allocation
+//! moves by the clipped action, and the reward follows Eq. (2) —
+//! `1 − fmem_ratio` when the interval's worst bursty P99 stays within
+//! the SLO, `−1` otherwise.
+//!
+//! Because every quantity is closed-form, a full pretraining run of tens
+//! of thousands of intervals takes seconds, letting experiments start
+//! from a converged policy exactly as the paper's long-lived daemon
+//! would have.
+
+use mtat_rl::env::Environment;
+use mtat_workloads::lc::LcSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the analytic partitioning environment.
+#[derive(Debug, Clone)]
+pub struct LcEnvConfig {
+    /// Total FMem capacity in bytes (the allocation ceiling).
+    pub fmem_total: u64,
+    /// Eq. (1) bound: maximum |net FMem change| per interval, bytes.
+    pub max_step_bytes: f64,
+    /// Reference maximum load (requests/s) that load levels scale.
+    pub max_load_rps: f64,
+    /// Log-normal burst σ applied when checking the interval's worst P99.
+    pub burst_sigma: f64,
+    /// Sub-interval burst draws per step.
+    pub burst_draws: usize,
+    /// Probability of a load jump to a uniformly random level.
+    pub jump_prob: f64,
+    /// Probability of a Fig.-7-style ±20 % load step.
+    pub step_prob: f64,
+    /// Episode length in intervals.
+    pub horizon: usize,
+}
+
+impl LcEnvConfig {
+    /// Defaults matched to the paper-scale system: 32 GiB FMem,
+    /// 20 GiB/interval action bound (4 GB/s × 10 s / 2), moderate bursts.
+    pub fn paper_scale(spec: &LcSpec) -> Self {
+        use mtat_tiermem::GIB;
+        Self {
+            fmem_total: 32 * GIB,
+            max_step_bytes: 20.0 * GIB as f64,
+            max_load_rps: spec.nominal_max_load(),
+            burst_sigma: 0.10,
+            burst_draws: 10,
+            jump_prob: 0.08,
+            step_prob: 0.30,
+            horizon: 64,
+        }
+    }
+}
+
+/// The analytic LC partitioning environment.
+#[derive(Debug, Clone)]
+pub struct LcPartitionEnv {
+    spec: LcSpec,
+    cfg: LcEnvConfig,
+    alloc_bytes: f64,
+    load_level: f64,
+    steps: usize,
+    rng: StdRng,
+}
+
+impl LcPartitionEnv {
+    /// Creates the environment with a mid-range initial allocation and
+    /// load.
+    pub fn new(spec: LcSpec, cfg: LcEnvConfig, seed: u64) -> Self {
+        let alloc = cfg.fmem_total as f64 * 0.5;
+        Self {
+            spec,
+            cfg,
+            alloc_bytes: alloc,
+            load_level: 0.4,
+            steps: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current LC FMem allocation in bytes.
+    pub fn alloc_bytes(&self) -> f64 {
+        self.alloc_bytes
+    }
+
+    /// Current load level as a fraction of the reference max load.
+    pub fn load_level(&self) -> f64 {
+        self.load_level
+    }
+
+    fn usage_ratio(&self) -> f64 {
+        (self.alloc_bytes / self.spec.rss_bytes as f64).min(1.0)
+    }
+
+    /// Worst P99 over the interval under log-normal bursts.
+    fn worst_p99(&mut self) -> f64 {
+        let h = self.usage_ratio();
+        let load = self.load_level * self.cfg.max_load_rps;
+        if self.cfg.burst_sigma <= 0.0 || self.cfg.burst_draws == 0 {
+            return self.spec.p99(load, h);
+        }
+        let sigma = self.cfg.burst_sigma;
+        let mut worst: f64 = 0.0;
+        for _ in 0..self.cfg.burst_draws {
+            let z = normal(&mut self.rng).clamp(-2.5, 2.5);
+            let burst = (sigma * z - sigma * sigma / 2.0).exp();
+            worst = worst.max(self.spec.p99(load * burst, h));
+        }
+        worst
+    }
+
+    fn evolve_load(&mut self) {
+        let u: f64 = self.rng.gen();
+        if u < self.cfg.jump_prob {
+            self.load_level = self.rng.gen_range(0.05..1.0);
+        } else if u < self.cfg.jump_prob + self.cfg.step_prob {
+            // Fig.-7-style staircase move: the load patterns the paper
+            // drives change in 20 % steps every other decision interval,
+            // so the agent must learn to survive them.
+            let dir = if self.rng.gen::<bool>() { 0.2 } else { -0.2 };
+            self.load_level = (self.load_level + dir).clamp(0.05, 1.0);
+        } else {
+            let step: f64 = normal(&mut self.rng) * 0.05;
+            self.load_level = (self.load_level + step).clamp(0.05, 1.0);
+        }
+    }
+}
+
+impl Environment for LcPartitionEnv {
+    fn state_dim(&self) -> usize {
+        3
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+
+    fn state(&self) -> Vec<f64> {
+        // (UsageRatio, AccessRatio, AccessCount). Under uniform LC
+        // traffic the measured FMem access ratio equals the usage ratio;
+        // the access count normalizes to the load level.
+        vec![self.usage_ratio(), self.usage_ratio(), self.load_level]
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        let a = action[0].clamp(-1.0, 1.0);
+        let cap = (self.cfg.fmem_total as f64).min(self.spec.rss_bytes as f64);
+        self.alloc_bytes = (self.alloc_bytes + a * self.cfg.max_step_bytes).clamp(0.0, cap);
+        self.evolve_load();
+        let p99 = self.worst_p99();
+        // Eq. (2).
+        let reward = if p99 <= self.spec.slo_secs {
+            1.0 - self.usage_ratio()
+        } else {
+            -1.0
+        };
+        self.steps += 1;
+        let done = self.steps >= self.cfg.horizon;
+        (self.state(), reward, done)
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.steps = 0;
+        self.alloc_bytes = self.rng.gen_range(0.0..self.cfg.fmem_total as f64);
+        self.load_level = self.rng.gen_range(0.05..1.0);
+        self.state()
+    }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtat_tiermem::GIB;
+
+    fn env() -> LcPartitionEnv {
+        let spec = LcSpec::redis();
+        let cfg = LcEnvConfig::paper_scale(&spec);
+        LcPartitionEnv::new(spec, cfg, 1)
+    }
+
+    #[test]
+    fn state_shape_and_ranges() {
+        let e = env();
+        let s = e.state();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(e.state_dim(), 3);
+        assert_eq!(e.action_dim(), 1);
+    }
+
+    #[test]
+    fn allocation_moves_with_action_and_clamps() {
+        let mut e = env();
+        let before = e.alloc_bytes();
+        e.step(&[1.0]);
+        assert!(e.alloc_bytes() > before);
+        // Saturate upward: cap at min(fmem_total, rss) = 32 GiB.
+        for _ in 0..10 {
+            e.step(&[1.0]);
+        }
+        assert!((e.alloc_bytes() - 32.0 * GIB as f64).abs() < 1.0);
+        // Saturate downward.
+        for _ in 0..10 {
+            e.step(&[-1.0]);
+        }
+        assert_eq!(e.alloc_bytes(), 0.0);
+    }
+
+    #[test]
+    fn full_allocation_at_low_load_meets_slo_with_low_reward() {
+        let mut e = env();
+        e.load_level = 0.2;
+        e.cfg.jump_prob = 0.0;
+        // Pin the load walk: repeatedly step with max allocation.
+        let (_, r, _) = e.step(&[1.0]);
+        // Generous allocation at modest load: SLO met, reward = 1 - usage.
+        if r > 0.0 {
+            assert!(r < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_allocation_at_high_load_violates() {
+        let mut e = env();
+        e.cfg.jump_prob = 0.0;
+        // Drain allocation, drive load to max.
+        for _ in 0..10 {
+            e.step(&[-1.0]);
+        }
+        e.load_level = 1.0;
+        // With h = 0 the workload cannot sustain max load: reward = -1.
+        // (evolve_load may wiggle the level slightly; force it)
+        let mut violated = false;
+        for _ in 0..5 {
+            e.load_level = 1.0;
+            let (_, r, _) = e.step(&[-1.0]);
+            if r == -1.0 {
+                violated = true;
+            }
+        }
+        assert!(violated);
+    }
+
+    #[test]
+    fn episodes_terminate_at_horizon() {
+        let mut e = env();
+        let horizon = e.cfg.horizon;
+        e.reset();
+        let mut done = false;
+        for _ in 0..horizon {
+            done = e.step(&[0.0]).2;
+        }
+        assert!(done);
+        let s = e.reset();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn load_walk_stays_in_bounds() {
+        let mut e = env();
+        for _ in 0..500 {
+            e.step(&[0.0]);
+            assert!((0.05..=1.0).contains(&e.load_level()));
+        }
+    }
+}

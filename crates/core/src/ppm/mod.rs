@@ -1,0 +1,246 @@
+//! The Partition Policy Maker (PP-M, §3.2).
+//!
+//! PP-M decides, at every partitioning interval, how much FMem each
+//! workload gets: a reinforcement-learning agent sizes the LC partition
+//! to the minimum that satisfies the SLO ([`lc::LcPartitioner`]), and a
+//! fairness-driven simulated-annealing search divides the remainder
+//! among the BE workloads ([`be::BePartitioner`], Algorithm 2). The
+//! resulting [`PartitionPlan`] is handed to the Partition Policy
+//! Enforcer ([`crate::ppe`]).
+
+pub mod annealing;
+pub mod be;
+pub mod controller;
+pub mod env;
+pub mod lc;
+pub mod profiler;
+
+use crate::ppm::be::BePartitioner;
+use crate::ppm::controller::ProportionalController;
+use crate::ppm::lc::{LcObservation, LcPartitioner};
+
+/// A per-interval FMem partitioning decision (bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// FMem reserved for the LC workload.
+    pub lc_bytes: u64,
+    /// FMem for each BE workload, in registration order.
+    pub be_bytes: Vec<u64>,
+}
+
+impl PartitionPlan {
+    /// Total FMem claimed by the plan.
+    pub fn total(&self) -> u64 {
+        self.lc_bytes + self.be_bytes.iter().sum::<u64>()
+    }
+}
+
+/// How PP-M sizes the LC partition.
+#[derive(Debug)]
+pub enum LcSizer {
+    /// The paper's approach: SAC reinforcement learning (§3.2.1).
+    Rl(LcPartitioner),
+    /// Ablation baseline: proportional latency-headroom controller.
+    Heuristic(ProportionalController),
+}
+
+impl LcSizer {
+    fn decide(&mut self, obs: &LcObservation) -> u64 {
+        match self {
+            LcSizer::Rl(p) => p.decide(obs),
+            LcSizer::Heuristic(c) => c.decide(obs),
+        }
+    }
+
+    fn target_bytes(&self) -> u64 {
+        match self {
+            LcSizer::Rl(p) => p.target_bytes(),
+            LcSizer::Heuristic(c) => c.target_bytes(),
+        }
+    }
+
+    fn set_target_bytes(&mut self, bytes: u64) {
+        match self {
+            LcSizer::Rl(p) => p.set_target_bytes(bytes),
+            LcSizer::Heuristic(c) => c.set_target_bytes(bytes),
+        }
+    }
+}
+
+/// The Partition Policy Maker: LC sizing + BE fairness allocation, plus
+/// the SLO guard used between RL decisions.
+#[derive(Debug)]
+pub struct PartitionPolicyMaker {
+    lc: LcSizer,
+    be: Option<BePartitioner>,
+    fmem_total: u64,
+    /// When set, an interval that violated the SLO forces the LC target
+    /// to grow by at least this fraction of the Eq. (1) bound, on top of
+    /// whatever the sizer chose — the "rapid response to sudden demand
+    /// surges" backstop.
+    slo_guard_step: Option<f64>,
+    max_step_bytes: f64,
+    /// Allocation floor installed by the guard. It persists while the
+    /// offered load stays near the level that violated (so the sizer
+    /// cannot oscillate back into violation at constant load) and clears
+    /// once demand recedes.
+    guard_floor_bytes: u64,
+    /// Normalized access-count level at which the floor was installed.
+    guard_level: f64,
+}
+
+impl PartitionPolicyMaker {
+    /// Creates a PP-M. `be` is `None` for the MTAT (LC Only) variant,
+    /// where BE workloads compete for the residual FMem instead of
+    /// receiving explicit partitions.
+    pub fn new(
+        lc: LcSizer,
+        be: Option<BePartitioner>,
+        fmem_total: u64,
+        max_step_bytes: f64,
+        slo_guard_step: Option<f64>,
+    ) -> Self {
+        Self {
+            lc,
+            be,
+            fmem_total,
+            slo_guard_step,
+            max_step_bytes,
+            guard_floor_bytes: 0,
+            guard_level: 0.0,
+        }
+    }
+
+    /// The LC target currently in force.
+    pub fn lc_target_bytes(&self) -> u64 {
+        self.lc.target_bytes()
+    }
+
+    /// Aligns the internal target with the actual initial placement.
+    pub fn set_lc_target_bytes(&mut self, bytes: u64) {
+        self.lc.set_target_bytes(bytes);
+    }
+
+    /// One PP-M decision from the interval's LC observation.
+    pub fn decide(&mut self, obs: &LcObservation) -> PartitionPlan {
+        let before = self.lc.target_bytes();
+        let mut lc_bytes = self.lc.decide(obs);
+
+        if let Some(step) = self.slo_guard_step {
+            if obs.violated {
+                // Install (or raise) the floor: grow from the previous
+                // target by the guard step and remember the demand level.
+                let forced = (before as f64 + step * self.max_step_bytes)
+                    .min(self.fmem_total as f64) as u64;
+                self.guard_floor_bytes = self.guard_floor_bytes.max(forced);
+                self.guard_level = obs.access_count_norm;
+            } else if obs.access_count_norm < 0.75 * self.guard_level {
+                // Demand receded well below the violating level: release
+                // the floor and let the sizer govern again.
+                self.guard_floor_bytes = 0;
+                self.guard_level = 0.0;
+            }
+            if self.guard_floor_bytes > lc_bytes {
+                lc_bytes = self.guard_floor_bytes;
+                self.lc.set_target_bytes(lc_bytes);
+            }
+        }
+        lc_bytes = lc_bytes.min(self.fmem_total);
+
+        let remaining = self.fmem_total - lc_bytes;
+        let be_bytes = match &mut self.be {
+            Some(p) => p.partition(remaining),
+            None => Vec::new(),
+        };
+        PartitionPlan { lc_bytes, be_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppm::annealing::AnnealingConfig;
+    use crate::ppm::controller::ControllerConfig;
+    use crate::ppm::profiler::profile_all;
+    use mtat_tiermem::{GIB, MIB};
+    use mtat_workloads::be::BeSpec;
+
+    fn heuristic_ppm(with_be: bool, guard: Option<f64>) -> PartitionPolicyMaker {
+        let fmem = 32 * GIB;
+        let ctl = ProportionalController::new(ControllerConfig::new(
+            fmem,
+            34 * GIB,
+            20.0 * GIB as f64,
+            20e-3,
+        ));
+        let be = with_be.then(|| {
+            BePartitioner::new(
+                profile_all(&BeSpec::all_paper_workloads(), fmem, 2 * MIB),
+                AnnealingConfig::default(),
+                5,
+            )
+        });
+        PartitionPolicyMaker::new(
+            LcSizer::Heuristic(ctl),
+            be,
+            fmem,
+            20.0 * GIB as f64,
+            guard,
+        )
+    }
+
+    fn obs(p99: f64, violated: bool, usage: f64) -> LcObservation {
+        LcObservation {
+            usage_ratio: usage,
+            access_ratio: usage,
+            access_count_norm: 0.5,
+            p99_secs: p99,
+            violated,
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_fmem_with_be_partitioning() {
+        let mut ppm = heuristic_ppm(true, None);
+        ppm.set_lc_target_bytes(8 * GIB);
+        let plan = ppm.decide(&obs(1e-3, false, 0.25));
+        assert_eq!(plan.be_bytes.len(), 4);
+        assert_eq!(plan.total(), 32 * GIB, "BE partitioning uses all residual FMem");
+    }
+
+    #[test]
+    fn lc_only_variant_has_no_be_partitions() {
+        let mut ppm = heuristic_ppm(false, None);
+        let plan = ppm.decide(&obs(1e-3, false, 0.0));
+        assert!(plan.be_bytes.is_empty());
+        assert!(plan.lc_bytes <= 32 * GIB);
+    }
+
+    #[test]
+    fn slo_guard_forces_growth_on_violation() {
+        let mut ppm = heuristic_ppm(false, Some(0.5));
+        ppm.set_lc_target_bytes(2 * GIB);
+        // Heuristic would already grow fully on violation; test the guard
+        // specifically by violating with a *finite small* p99, which the
+        // controller would treat mildly if not flagged. With violated =
+        // true both paths grow; guard guarantees >= 2 + 10 GiB.
+        let plan = ppm.decide(&obs(25e-3, true, 0.1));
+        assert!(plan.lc_bytes >= 12 * GIB, "{}", plan.lc_bytes);
+    }
+
+    #[test]
+    fn lc_reservation_reduces_be_share() {
+        let mut ppm = heuristic_ppm(true, None);
+        ppm.set_lc_target_bytes(0);
+        let low = ppm.decide(&obs(1e-3, false, 0.0));
+        let be_low: u64 = low.be_bytes.iter().sum();
+
+        let mut ppm2 = heuristic_ppm(true, None);
+        ppm2.set_lc_target_bytes(24 * GIB);
+        // Hold the LC target (dead-band p99).
+        let high = ppm2.decide(&obs(8e-3, false, 0.75));
+        let be_high: u64 = high.be_bytes.iter().sum();
+        assert!(be_high < be_low);
+        assert_eq!(be_high, 32 * GIB - high.lc_bytes);
+    }
+}

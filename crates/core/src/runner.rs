@@ -1,0 +1,622 @@
+//! The co-location simulation driver.
+//!
+//! [`Experiment`] wires everything together: it registers one LC and any
+//! number of BE workloads in a [`TieredMemory`], then advances time in
+//! ticks. Each tick it
+//!
+//! 1. evaluates the offered LC load (load pattern × optional log-normal
+//!    burst),
+//! 2. derives every workload's FMem hit ratio from the *actual* page
+//!    placement,
+//! 3. computes LC P99 latency (M/M/c) and BE throughput from those hit
+//!    ratios — including any per-SMem-access penalty the policy imposes
+//!    (TPP's hint faults),
+//! 4. generates the tick's page accesses and thins them through the
+//!    PEBS-like sampler, and
+//! 5. hands the observations to the policy, which may migrate pages
+//!    within the migration engine's bandwidth budget.
+//!
+//! The driver also implements the paper's *maximum load* measurement
+//! ([`Experiment::find_max_load`]): the largest constant load a policy
+//! can carry without SLO violations (Fig. 8, Table 3).
+
+use mtat_tiermem::bandwidth::BandwidthModel;
+use mtat_tiermem::latency;
+use mtat_tiermem::memory::TieredMemory;
+use mtat_tiermem::migration::MigrationEngine;
+use mtat_tiermem::page::Tier;
+use mtat_tiermem::sampler::AccessSampler;
+use mtat_workloads::access::Popularity;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::policy::{Policy, SimState, WorkloadClass, WorkloadObs};
+use crate::stats::{RunResult, TickRecord};
+
+/// A configured co-location experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// System configuration.
+    pub cfg: SimConfig,
+    /// The latency-critical workload.
+    pub lc: LcSpec,
+    /// The offered-load schedule for the LC workload.
+    pub load: LoadPattern,
+    /// Co-located best-effort workloads.
+    pub bes: Vec<BeSpec>,
+    /// Run length in seconds.
+    pub duration_secs: f64,
+    /// Reference maximum load (requests/s); load-pattern levels are
+    /// fractions of this. Defaults to the LC workload's sustainable load
+    /// under FMEM_ALL.
+    pub lc_max_ref: f64,
+}
+
+impl Experiment {
+    /// Creates an experiment. Duration defaults to the load pattern's
+    /// length (or 240 s for open-ended patterns).
+    ///
+    /// The reference max load is the FMEM_ALL queueing knee divided by
+    /// the [`burst_headroom`] of the configured burstiness, so that —
+    /// exactly as in the paper's Fig. 5 setup — a load pattern peaking at
+    /// 100 % is "the maximum capacity that FMEM_ALL can handle" without
+    /// violating the SLO (at the 1 % tolerance used throughout).
+    pub fn new(cfg: SimConfig, lc: LcSpec, load: LoadPattern, bes: Vec<BeSpec>) -> Self {
+        let duration = match load.duration_secs() {
+            d if d.is_finite() && d > 0.0 => d,
+            _ => 240.0,
+        };
+        let knee = lc.max_load(lc.full_fmem_hit_ratio(cfg.mem.fmem_bytes()));
+        let lc_max_ref = knee / burst_headroom(cfg.burst_sigma);
+        Self {
+            cfg,
+            lc,
+            load,
+            bes,
+            duration_secs: duration,
+            lc_max_ref,
+        }
+    }
+
+    /// Overrides the run length.
+    pub fn with_duration(mut self, secs: f64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Overrides the reference max load.
+    pub fn with_lc_max_ref(mut self, rps: f64) -> Self {
+        self.lc_max_ref = rps;
+        self
+    }
+
+    /// Runs the experiment under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured workloads do not fit in the configured
+    /// memory — a misconfigured experiment, not a runtime condition.
+    pub fn run(&self, policy: &mut dyn Policy) -> RunResult {
+        let page_size = self.cfg.mem.page_size();
+        let mut mem = TieredMemory::new(self.cfg.mem);
+        let lc_id = mem
+            .register_workload(
+                self.lc.rss_bytes,
+                policy.initial_placement(WorkloadClass::Lc),
+            )
+            .expect("LC workload must fit in memory");
+        let mut be_ids = Vec::with_capacity(self.bes.len());
+        for be in &self.bes {
+            be_ids.push(
+                mem.register_workload(be.rss_bytes, policy.initial_placement(WorkloadClass::Be))
+                    .expect("BE workload must fit in memory"),
+            );
+        }
+
+        // Popularity distributions, hottest-first by rank.
+        let be_pops: Vec<Popularity> = self
+            .bes
+            .iter()
+            .zip(&be_ids)
+            .map(|(spec, &id)| spec.popularity(mem.region(id).len()))
+            .collect();
+
+        let mut sampler = AccessSampler::new(self.cfg.sampler_period, self.cfg.seed ^ 0x5A)
+            .expect("valid sampler period");
+        let mut burst_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xB0);
+        let mut engine = MigrationEngine::new(self.cfg.migration_bw, page_size, self.cfg.interval_secs)
+            .expect("valid migration configuration");
+
+        // Initial observations.
+        let mut obs: Vec<WorkloadObs> = Vec::with_capacity(1 + self.bes.len());
+        obs.push(WorkloadObs {
+            id: lc_id,
+            class: WorkloadClass::Lc,
+            name: self.lc.name.clone(),
+            rss_bytes: self.lc.rss_bytes,
+            cores: self.lc.cores,
+            load_rps: 0.0,
+            p99_secs: 0.0,
+            slo_secs: self.lc.slo_secs,
+            hit_ratio: mem.residency(lc_id).fmem_usage_ratio(),
+            access_rate: 0.0,
+            throughput: 0.0,
+            sampled: vec![0; mem.region(lc_id).len()],
+            slo_violated: false,
+        });
+        for (spec, &id) in self.bes.iter().zip(&be_ids) {
+            obs.push(WorkloadObs {
+                id,
+                class: WorkloadClass::Be,
+                name: spec.name.clone(),
+                rss_bytes: spec.rss_bytes,
+                cores: spec.cores,
+                load_rps: 0.0,
+                p99_secs: 0.0,
+                slo_secs: f64::INFINITY,
+                hit_ratio: 0.0,
+                access_rate: 0.0,
+                throughput: 0.0,
+                sampled: vec![0; mem.region(id).len()],
+                slo_violated: false,
+            });
+        }
+        policy.init(&mem, &obs);
+
+        let tick_secs = self.cfg.tick_secs;
+        let n_ticks = (self.duration_secs / tick_secs).round() as u64;
+        let ticks_per_interval = self.cfg.ticks_per_interval();
+        let sigma = self.cfg.burst_sigma;
+
+        let mut ticks = Vec::with_capacity(n_ticks as usize);
+        let mut lc_requests = 0.0;
+        let mut lc_violated_requests = 0.0;
+        let mut be_ops = vec![0.0; self.bes.len()];
+
+        // Bandwidth contention (lagged feedback): last tick's per-tier
+        // demand sets this tick's latency-inflation multipliers.
+        let bw = self.cfg.bandwidth;
+        let mut fmem_util = 0.0f64;
+        let mut smem_util = 0.0f64;
+
+        for tick_index in 0..n_ticks {
+            let now = tick_index as f64 * tick_secs;
+
+            // ---- LC performance from current placement ----
+            let level = self.load.level_at(now);
+            let offered = level * self.lc_max_ref;
+            let burst = if sigma > 0.0 {
+                // Truncated at ±2.5σ: real load generators have bounded
+                // short-term variance, and a bounded tail is what makes
+                // "maximum load without SLO violation" a sharp boundary.
+                let z = standard_normal(&mut burst_rng).clamp(-2.5, 2.5);
+                (sigma * z - sigma * sigma / 2.0).exp()
+            } else {
+                1.0
+            };
+            let load_rps = offered * burst;
+            // Effective tier latencies under last tick's contention.
+            let lat_f = mtat_tiermem::FMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(fmem_util);
+            let lat_s = mtat_tiermem::SMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(smem_util);
+            let lc_hit = mem.residency(lc_id).fmem_usage_ratio();
+            let lc_pen = policy.smem_access_penalty(lc_id);
+            let lc_service = service_time(
+                self.lc.cpu_secs,
+                self.lc.accesses_per_req,
+                lc_hit,
+                lat_f,
+                lat_s,
+                lc_pen,
+            );
+            let p99 = latency::p99_response(load_rps, lc_service, self.lc.cores);
+            let violated = p99 > self.lc.slo_secs;
+            let achieved = latency::achieved_throughput(load_rps, lc_service, self.lc.cores);
+            lc_requests += offered * tick_secs;
+            if violated {
+                lc_violated_requests += offered * tick_secs;
+            }
+
+            // Demand-side access rate: queued requests still represent
+            // arriving memory demand, so a saturated server must not
+            // mask overload from the policy's Memory Access Count state.
+            let lc_access_rate = load_rps * self.lc.accesses_per_req;
+            {
+                let o = &mut obs[0];
+                o.load_rps = load_rps;
+                o.p99_secs = p99;
+                o.hit_ratio = lc_hit;
+                o.access_rate = lc_access_rate;
+                o.throughput = achieved;
+                o.slo_violated = violated;
+                // Uniform LC traffic: every page gets rate/n accesses.
+                let n = o.sampled.len();
+                let per_page = lc_access_rate * tick_secs / n as f64;
+                for s in o.sampled.iter_mut() {
+                    let ev = sampler.sample_count(per_page);
+                    *s = sampler.estimate_from_samples(ev);
+                }
+            }
+
+            // ---- BE performance ----
+            let mut be_thr_tick = Vec::with_capacity(self.bes.len());
+            for (bi, (spec, &id)) in self.bes.iter().zip(&be_ids).enumerate() {
+                let pop = &be_pops[bi];
+                let hit: f64 = mem
+                    .pages_in_tier(id, Tier::FMem)
+                    .map(|p| {
+                        let rank = (p.0 - mem.region(id).base) as usize;
+                        pop.weight(rank)
+                    })
+                    .sum();
+                let pen = policy.smem_access_penalty(id);
+                let s_op = service_time(
+                    spec.cpu_secs_per_op,
+                    spec.accesses_per_op,
+                    hit,
+                    lat_f,
+                    lat_s,
+                    pen,
+                );
+                let thr = spec.cores as f64 / s_op;
+                be_ops[bi] += thr * tick_secs;
+                be_thr_tick.push(thr);
+                let access_rate = thr * spec.accesses_per_op;
+                let o = &mut obs[1 + bi];
+                o.hit_ratio = hit;
+                o.access_rate = access_rate;
+                o.throughput = thr;
+                for (rank, s) in o.sampled.iter_mut().enumerate() {
+                    let true_count = access_rate * tick_secs * pop.weight(rank);
+                    let ev = sampler.sample_count(true_count);
+                    *s = sampler.estimate_from_samples(ev);
+                }
+            }
+
+            // ---- Policy tick ----
+            let interval_boundary = tick_index > 0 && tick_index % ticks_per_interval == 0;
+            engine.begin_tick(tick_secs);
+            {
+                let mut sim = SimState {
+                    mem: &mut mem,
+                    migration: &mut engine,
+                    workloads: &obs,
+                    tick_secs,
+                    now_secs: now,
+                    interval_boundary,
+                    fmem_bw_util: fmem_util,
+                    smem_bw_util: smem_util,
+                };
+                policy.on_tick(&mut sim);
+            }
+
+            // Update the contention state for the next tick: workload
+            // traffic split by tier plus migration traffic (which
+            // touches both tiers).
+            let mut fmem_demand = 0.0;
+            let mut smem_demand = 0.0;
+            for o in &obs {
+                fmem_demand += BandwidthModel::demand_from_access_rate(o.access_rate * o.hit_ratio);
+                smem_demand +=
+                    BandwidthModel::demand_from_access_rate(o.access_rate * (1.0 - o.hit_ratio));
+            }
+            let mig_bw = engine.tick_bandwidth_bytes_per_sec();
+            fmem_demand += mig_bw;
+            smem_demand += mig_bw;
+            fmem_util = bw.utilization(fmem_demand, true);
+            smem_util = bw.utilization(smem_demand, false);
+
+            // ---- Record ----
+            let fmem_bytes: Vec<u64> = std::iter::once(lc_id)
+                .chain(be_ids.iter().copied())
+                .map(|id| mem.fmem_bytes_of(id))
+                .collect();
+            ticks.push(TickRecord {
+                t: now,
+                lc_load_rps: load_rps,
+                lc_p99: p99,
+                lc_violated: violated,
+                lc_fmem_ratio: lc_hit,
+                fmem_bytes,
+                be_throughput: be_thr_tick,
+                migration_bw: engine.tick_bandwidth_bytes_per_sec(),
+                fmem_bw_util: fmem_util,
+                smem_bw_util: smem_util,
+            });
+        }
+
+        debug_assert!(mem.check_invariants().is_ok(), "placement invariants");
+
+        let duration = n_ticks as f64 * tick_secs;
+        RunResult {
+            policy: policy.name().to_string(),
+            lc_name: self.lc.name.clone(),
+            be_names: self.bes.iter().map(|b| b.name.clone()).collect(),
+            ticks,
+            lc_requests,
+            lc_violated_requests,
+            be_avg_throughput: be_ops
+                .iter()
+                .map(|&o| if duration > 0.0 { o / duration } else { 0.0 })
+                .collect(),
+            be_perf_full: self
+                .bes
+                .iter()
+                .map(|b| b.perf_full(self.cfg.mem.fmem_bytes(), page_size))
+                .collect(),
+            total_migration_bytes: engine.total_bytes_moved(),
+            duration_secs: duration,
+            tick_secs,
+        }
+    }
+
+    /// Measures the maximum constant load (requests/s) the policy
+    /// sustains without violating the SLO, per the paper's methodology:
+    /// each probe runs `probe_secs`, the first `grace_secs` are excluded
+    /// (policy convergence), and a load level passes if its violation
+    /// rate stays at or below `tolerance`.
+    ///
+    /// The search scans *downward* from `hi_frac` in `scan_step`
+    /// decrements until the first passing level, then bisects within the
+    /// last failing gap. A top-down scan (rather than pure bisection)
+    /// is robust to adaptive policies whose violation behaviour is not
+    /// monotone in load — e.g. a policy that allocates aggressively only
+    /// once the load is clearly high.
+    pub fn find_max_load(
+        &self,
+        make_policy: &mut dyn FnMut() -> Box<dyn Policy>,
+        opts: &MaxLoadSearch,
+    ) -> f64 {
+        let probe = |frac: f64, make_policy: &mut dyn FnMut() -> Box<dyn Policy>| -> bool {
+            let mut exp = self.clone();
+            exp.load = LoadPattern::Constant(frac);
+            exp.duration_secs = opts.probe_secs;
+            let mut policy = make_policy();
+            let result = exp.run(policy.as_mut());
+            result.violation_rate_after(opts.grace_secs) <= opts.tolerance
+        };
+        // Downward coarse scan.
+        let mut frac = opts.hi_frac;
+        let mut pass = None;
+        while frac >= opts.lo_frac {
+            if probe(frac, make_policy) {
+                pass = Some(frac);
+                break;
+            }
+            frac -= opts.scan_step;
+        }
+        let Some(mut lo) = pass else {
+            return 0.0;
+        };
+        // Refine inside the gap (lo, lo + scan_step).
+        let mut hi = (lo + opts.scan_step).min(opts.hi_frac);
+        for _ in 0..opts.iterations {
+            if hi - lo < 1e-4 {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            if probe(mid, make_policy) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo * self.lc_max_ref
+    }
+}
+
+/// Options for [`Experiment::find_max_load`].
+#[derive(Debug, Clone)]
+pub struct MaxLoadSearch {
+    /// Length of each probe run (seconds).
+    pub probe_secs: f64,
+    /// Convergence window excluded from violation accounting (seconds).
+    pub grace_secs: f64,
+    /// Maximum tolerated violation rate.
+    pub tolerance: f64,
+    /// Lower bracket (fraction of the reference max load).
+    pub lo_frac: f64,
+    /// Upper bracket (fraction of the reference max load).
+    pub hi_frac: f64,
+    /// Coarse downward-scan step (fraction of the reference max load).
+    pub scan_step: f64,
+    /// Refinement bisection iterations inside the last failing gap.
+    pub iterations: usize,
+}
+
+impl Default for MaxLoadSearch {
+    fn default() -> Self {
+        Self {
+            probe_secs: 190.0,
+            grace_secs: 70.0,
+            tolerance: 0.01,
+            lo_frac: 0.05,
+            hi_frac: 1.05,
+            scan_step: 0.05,
+            iterations: 3,
+        }
+    }
+}
+
+/// The load multiplier a mean-one log-normal burst with parameter
+/// `sigma` stays below 99 % of the time: `exp(2.326·σ − σ²/2)`. A
+/// workload loaded at `knee / burst_headroom(σ)` therefore violates its
+/// SLO on about 1 % of ticks — the tolerance used by
+/// [`Experiment::find_max_load`].
+pub fn burst_headroom(sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        1.0
+    } else {
+        (2.326 * sigma - sigma * sigma / 2.0).exp()
+    }
+}
+
+/// Service time from explicit (possibly contention-inflated) tier
+/// latencies, with a per-SMem-access penalty folded in.
+fn service_time(
+    cpu: f64,
+    accesses: f64,
+    hit_ratio: f64,
+    lat_f: f64,
+    lat_s: f64,
+    smem_penalty: f64,
+) -> f64 {
+    let h = hit_ratio.clamp(0.0, 1.0);
+    cpu + accesses * (h * lat_f + (1.0 - h) * (lat_s + smem_penalty))
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::statics::StaticPolicy;
+    use mtat_tiermem::{GIB, MIB};
+
+    /// Small-scale workloads fitting the small test memory (1 GiB FMem,
+    /// 8 GiB SMem, 1 MiB pages).
+    fn small_lc() -> LcSpec {
+        let mut s = LcSpec::redis();
+        s.rss_bytes = (1.2 * GIB as f64) as u64;
+        s
+    }
+
+    fn small_be() -> BeSpec {
+        let mut s = BeSpec::sssp();
+        s.rss_bytes = 2 * GIB;
+        s
+    }
+
+    fn experiment(load: LoadPattern) -> Experiment {
+        Experiment::new(SimConfig::small_test(), small_lc(), load, vec![small_be()])
+            .with_duration(30.0)
+    }
+
+    #[test]
+    fn fmem_all_meets_slo_at_moderate_load() {
+        let exp = experiment(LoadPattern::Constant(0.5));
+        let mut p = StaticPolicy::fmem_all();
+        let r = exp.run(&mut p);
+        assert_eq!(r.policy, "fmem_all");
+        assert_eq!(r.ticks.len(), 30);
+        assert_eq!(r.violation_rate(), 0.0, "worst p99 {}", r.worst_p99_after(0.0));
+        // LC holds the whole FMem (1 GiB of its 1.2 GiB set).
+        assert!(r.mean_lc_fmem_ratio() > 0.8);
+    }
+
+    #[test]
+    fn smem_all_violates_at_max_load() {
+        let exp = experiment(LoadPattern::Constant(1.0));
+        let mut p = StaticPolicy::smem_all();
+        let r = exp.run(&mut p);
+        // Reference max assumes full FMem; from SMem it saturates.
+        assert!(
+            r.violation_rate_after(10.0) > 0.5,
+            "rate {}",
+            r.violation_rate_after(10.0)
+        );
+        // And the BE workload picks up the FMem the LC cannot use.
+        let last = r.ticks.last().unwrap();
+        assert_eq!(last.fmem_bytes[0], 0);
+        assert!(last.fmem_bytes[1] > 0);
+    }
+
+    #[test]
+    fn be_throughput_reflects_fmem_share() {
+        // Under FMEM_ALL the BE runs from SMem; under SMEM_ALL it gets
+        // all of FMem and must be faster.
+        let exp = experiment(LoadPattern::Constant(0.2));
+        let r_fmem = exp.run(&mut StaticPolicy::fmem_all());
+        let r_smem = exp.run(&mut StaticPolicy::smem_all());
+        assert!(
+            r_smem.be_avg_throughput[0] > r_fmem.be_avg_throughput[0] * 1.05,
+            "{} vs {}",
+            r_smem.be_avg_throughput[0],
+            r_fmem.be_avg_throughput[0]
+        );
+        assert!(r_smem.fairness() > r_fmem.fairness());
+    }
+
+    #[test]
+    fn find_max_load_orders_policies() {
+        let exp = experiment(LoadPattern::Constant(1.0));
+        let opts = MaxLoadSearch {
+            probe_secs: 20.0,
+            grace_secs: 8.0,
+            scan_step: 0.1,
+            iterations: 4,
+            ..MaxLoadSearch::default()
+        };
+        let max_fmem = exp.find_max_load(&mut || Box::new(StaticPolicy::fmem_all()), &opts);
+        let max_smem = exp.find_max_load(&mut || Box::new(StaticPolicy::smem_all()), &opts);
+        assert!(max_fmem > 0.0);
+        assert!(
+            max_smem < max_fmem,
+            "SMem-only max {max_smem} must lag FMem-pinned {max_fmem}"
+        );
+    }
+
+    #[test]
+    fn burstiness_is_mean_preserving() {
+        let mut cfg = SimConfig::small_test();
+        cfg.burst_sigma = 0.3;
+        let exp = Experiment::new(cfg, small_lc(), LoadPattern::Constant(0.5), vec![])
+            .with_duration(200.0);
+        let mut p = StaticPolicy::fmem_all();
+        let r = exp.run(&mut p);
+        let mean_load: f64 =
+            r.ticks.iter().map(|t| t.lc_load_rps).sum::<f64>() / r.ticks.len() as f64;
+        let offered = 0.5 * exp.lc_max_ref;
+        assert!(
+            (mean_load / offered - 1.0).abs() < 0.1,
+            "mean {mean_load} vs offered {offered}"
+        );
+    }
+
+    #[test]
+    fn migration_accounting_is_reported() {
+        let exp = experiment(LoadPattern::Constant(0.3));
+        let mut p = StaticPolicy::smem_all(); // evicting LC costs bandwidth
+        let r = exp.run(&mut p);
+        assert!(r.total_migration_bytes > 0);
+        assert!(r.avg_migration_bw() > 0.0);
+        assert!(r.avg_migration_bw() <= exp.cfg.migration_bw);
+    }
+
+    #[test]
+    fn service_time_adds_smem_cost() {
+        let lat_f = 73e-9;
+        let lat_s = 202e-9;
+        let base = service_time(1e-6, 10.0, 0.5, lat_f, lat_s, 0.0);
+        let pen = service_time(1e-6, 10.0, 0.5, lat_f, lat_s, 100e-9);
+        // 10 accesses × 0.5 smem × 100ns = 500ns.
+        assert!((pen - base - 500e-9).abs() < 1e-15);
+        // At hit ratio 1 the penalty disappears.
+        assert_eq!(
+            service_time(1e-6, 10.0, 1.0, lat_f, lat_s, 100e-9),
+            service_time(1e-6, 10.0, 1.0, lat_f, lat_s, 0.0)
+        );
+        // Inflated latencies raise the service time.
+        assert!(
+            service_time(1e-6, 10.0, 0.5, lat_f * 2.0, lat_s * 2.0, 0.0) > base
+        );
+    }
+
+    #[test]
+    fn workload_names_and_order_in_result() {
+        let exp = experiment(LoadPattern::Constant(0.2));
+        let r = exp.run(&mut StaticPolicy::fmem_all());
+        assert_eq!(r.lc_name, "redis");
+        assert_eq!(r.be_names, vec!["sssp".to_string()]);
+        assert_eq!(r.be_perf_full.len(), 1);
+        assert!(r.be_perf_full[0] > 0.0);
+        let _ = MIB; // keep the import used in all cfg combinations
+    }
+}

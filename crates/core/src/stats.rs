@@ -1,0 +1,281 @@
+//! Experiment metrics: time series, SLO accounting, fairness.
+
+use serde::{Deserialize, Serialize};
+
+/// One simulation tick's observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TickRecord {
+    /// Simulation time at the start of the tick (seconds).
+    pub t: f64,
+    /// LC offered load this tick (requests/s, after burstiness).
+    pub lc_load_rps: f64,
+    /// LC P99 response time (seconds; may be infinite when saturated).
+    pub lc_p99: f64,
+    /// Whether the LC SLO was violated this tick.
+    pub lc_violated: bool,
+    /// Fraction of the LC resident set in FMem.
+    pub lc_fmem_ratio: f64,
+    /// FMem bytes held by each workload (LC first, then BEs).
+    pub fmem_bytes: Vec<u64>,
+    /// Instantaneous throughput of each BE workload (ops/s).
+    pub be_throughput: Vec<f64>,
+    /// Migration bandwidth consumed this tick (bytes/s).
+    pub migration_bw: f64,
+    /// Fast-tier bandwidth utilization seen this tick (0..1).
+    pub fmem_bw_util: f64,
+    /// Slow-tier bandwidth utilization seen this tick (0..1).
+    pub smem_bw_util: f64,
+}
+
+/// The result of one co-location run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name.
+    pub policy: String,
+    /// LC workload name.
+    pub lc_name: String,
+    /// BE workload names, in registration order.
+    pub be_names: Vec<String>,
+    /// Per-tick time series.
+    pub ticks: Vec<TickRecord>,
+    /// Total LC requests offered.
+    pub lc_requests: f64,
+    /// LC requests offered during SLO-violating ticks.
+    pub lc_violated_requests: f64,
+    /// Average achieved throughput per BE workload (ops/s).
+    pub be_avg_throughput: Vec<f64>,
+    /// `Perf_full` per BE workload (Eq. 3 denominator): throughput with
+    /// exclusive access to all of FMem.
+    pub be_perf_full: Vec<f64>,
+    /// Total bytes migrated during the run (§5.5 overhead).
+    pub total_migration_bytes: u64,
+    /// Run length in seconds.
+    pub duration_secs: f64,
+    /// Tick length in seconds.
+    pub tick_secs: f64,
+}
+
+impl RunResult {
+    /// Fraction of LC requests that arrived during SLO-violating ticks
+    /// (the Table 4 metric).
+    pub fn violation_rate(&self) -> f64 {
+        if self.lc_requests <= 0.0 {
+            0.0
+        } else {
+            self.lc_violated_requests / self.lc_requests
+        }
+    }
+
+    /// Violation rate counting only ticks at or after `grace_secs`
+    /// (allows adaptive policies their convergence window).
+    pub fn violation_rate_after(&self, grace_secs: f64) -> f64 {
+        let mut requests = 0.0;
+        let mut violated = 0.0;
+        for tick in &self.ticks {
+            if tick.t >= grace_secs {
+                let reqs = tick.lc_load_rps * self.tick_secs;
+                requests += reqs;
+                if tick.lc_violated {
+                    violated += reqs;
+                }
+            }
+        }
+        if requests <= 0.0 {
+            0.0
+        } else {
+            violated / requests
+        }
+    }
+
+    /// Normalized performance `NP_i` (Eq. 3) per BE workload.
+    pub fn np(&self) -> Vec<f64> {
+        self.be_avg_throughput
+            .iter()
+            .zip(&self.be_perf_full)
+            .map(|(&t, &f)| if f > 0.0 { t / f } else { 0.0 })
+            .collect()
+    }
+
+    /// The paper's fairness metric: the smallest `NP_i` (§5.1).
+    pub fn fairness(&self) -> f64 {
+        self.np().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum of average BE throughputs (the Fig. 6b metric).
+    pub fn be_total_throughput(&self) -> f64 {
+        self.be_avg_throughput.iter().sum()
+    }
+
+    /// The worst LC P99 observed at or after `grace_secs`.
+    pub fn worst_p99_after(&self, grace_secs: f64) -> f64 {
+        self.ticks
+            .iter()
+            .filter(|t| t.t >= grace_secs)
+            .map(|t| t.lc_p99)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean LC FMem residency ratio over the run.
+    pub fn mean_lc_fmem_ratio(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        self.ticks.iter().map(|t| t.lc_fmem_ratio).sum::<f64>() / self.ticks.len() as f64
+    }
+
+    /// Average migration bandwidth over the run (bytes/s) — the §5.5
+    /// PP-E overhead number.
+    pub fn avg_migration_bw(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.total_migration_bytes as f64 / self.duration_secs
+        }
+    }
+
+    /// Writes the per-tick time series as TSV (header + one row per
+    /// tick), the format the plotting scripts and committed `results/`
+    /// files use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_tsv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        write!(w, "t\tlc_load_rps\tlc_p99_ms\tlc_violated\tlc_fmem_ratio")?;
+        for name in std::iter::once(&self.lc_name).chain(&self.be_names) {
+            write!(w, "\tfmem_{name}_bytes")?;
+        }
+        for name in &self.be_names {
+            write!(w, "\tthr_{name}")?;
+        }
+        writeln!(w, "\tmigration_bw\tfmem_bw_util\tsmem_bw_util")?;
+        for tick in &self.ticks {
+            let p99_ms = if tick.lc_p99.is_finite() {
+                tick.lc_p99 * 1e3
+            } else {
+                -1.0
+            };
+            write!(
+                w,
+                "{:.3}\t{:.3}\t{:.4}\t{}\t{:.4}",
+                tick.t,
+                tick.lc_load_rps,
+                p99_ms,
+                tick.lc_violated as u8,
+                tick.lc_fmem_ratio
+            )?;
+            for &b in &tick.fmem_bytes {
+                write!(w, "\t{b}")?;
+            }
+            for &thr in &tick.be_throughput {
+                write!(w, "\t{thr:.1}")?;
+            }
+            writeln!(
+                w,
+                "\t{:.1}\t{:.4}\t{:.4}",
+                tick.migration_bw, tick.fmem_bw_util, tick.smem_bw_util
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The TSV time series as a `String` (see [`Self::write_tsv`]).
+    pub fn to_tsv_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_tsv(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("TSV output is UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        let mk = |t: f64, violated: bool, load: f64| TickRecord {
+            t,
+            lc_load_rps: load,
+            lc_p99: if violated { 1.0 } else { 1e-3 },
+            lc_violated: violated,
+            lc_fmem_ratio: 0.5,
+            fmem_bytes: vec![0, 0, 0],
+            be_throughput: vec![50.0, 100.0],
+            migration_bw: 0.0,
+            fmem_bw_util: 0.0,
+            smem_bw_util: 0.0,
+        };
+        RunResult {
+            policy: "test".into(),
+            lc_name: "redis".into(),
+            be_names: vec!["a".into(), "b".into()],
+            ticks: vec![
+                mk(0.0, true, 100.0),
+                mk(1.0, false, 100.0),
+                mk(2.0, false, 100.0),
+                mk(3.0, true, 100.0),
+            ],
+            lc_requests: 400.0,
+            lc_violated_requests: 200.0,
+            be_avg_throughput: vec![50.0, 100.0],
+            be_perf_full: vec![100.0, 400.0],
+            total_migration_bytes: 8_000_000_000,
+            duration_secs: 4.0,
+            tick_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn violation_rates() {
+        let r = result();
+        assert!((r.violation_rate() - 0.5).abs() < 1e-12);
+        // After t >= 1: one violating tick of three.
+        assert!((r.violation_rate_after(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.violation_rate_after(100.0), 0.0);
+    }
+
+    #[test]
+    fn fairness_is_min_np() {
+        let r = result();
+        let np = r.np();
+        assert!((np[0] - 0.5).abs() < 1e-12);
+        assert!((np[1] - 0.25).abs() < 1e-12);
+        assert!((r.fairness() - 0.25).abs() < 1e-12);
+        assert!((r.be_total_throughput() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = result();
+        assert_eq!(r.worst_p99_after(0.0), 1.0);
+        assert_eq!(r.worst_p99_after(1.0), 1.0);
+        assert!((r.mean_lc_fmem_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.avg_migration_bw() - 2e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tsv_export_shape() {
+        let r = result();
+        let tsv = r.to_tsv_string();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 1 + r.ticks.len());
+        let header_cols = lines[0].split('\t').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), header_cols, "{line}");
+        }
+        assert!(lines[0].contains("fmem_redis_bytes"));
+        assert!(lines[0].contains("thr_a"));
+        // Violated ticks flagged.
+        assert!(lines[1].split('\t').nth(3) == Some("1"));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let mut r = result();
+        r.ticks.clear();
+        r.lc_requests = 0.0;
+        r.duration_secs = 0.0;
+        assert_eq!(r.violation_rate(), 0.0);
+        assert_eq!(r.mean_lc_fmem_ratio(), 0.0);
+        assert_eq!(r.avg_migration_bw(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared hotness-tracking machinery.
+//!
+//! Both MTAT's PP-E and the MEMTIS baseline maintain per-workload
+//! exponential-bin access histograms fed by sampled access counts and
+//! aged (halved) periodically. [`HotnessTracker`] bundles one
+//! [`AccessHistogram`] per workload with the update/age plumbing.
+
+use mtat_tiermem::histogram::AccessHistogram;
+use mtat_tiermem::memory::TieredMemory;
+use mtat_tiermem::page::{PageId, Tier, WorkloadId};
+
+use crate::policy::WorkloadObs;
+
+/// Per-workload access histograms with bulk update and aging.
+#[derive(Debug, Clone)]
+pub struct HotnessTracker {
+    hists: Vec<AccessHistogram>,
+}
+
+impl HotnessTracker {
+    /// Builds one histogram per registered workload.
+    pub fn new(mem: &TieredMemory) -> Self {
+        let hists = (0..mem.workload_count())
+            .map(|i| AccessHistogram::new(mem.region(WorkloadId(i as u16))))
+            .collect();
+        Self { hists }
+    }
+
+    /// Number of tracked workloads.
+    pub fn len(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// Returns `true` if no workloads are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.hists.is_empty()
+    }
+
+    /// The histogram of workload `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn histogram(&self, w: WorkloadId) -> &AccessHistogram {
+        &self.hists[w.index()]
+    }
+
+    /// Feeds this tick's sampled access estimates into the histograms.
+    pub fn record_tick(&mut self, workloads: &[WorkloadObs]) {
+        for obs in workloads {
+            let hist = &mut self.hists[obs.id.index()];
+            let base = hist.region().base;
+            for (rank, &est) in obs.sampled.iter().enumerate() {
+                if est > 0 {
+                    hist.add(PageId(base + rank as u32), est);
+                }
+            }
+        }
+    }
+
+    /// Ages every histogram (halves all counts), as PP-E does at each
+    /// partitioning-policy update interval (§3.3.2).
+    pub fn age_all(&mut self) {
+        for h in &mut self.hists {
+            h.age();
+        }
+    }
+
+    /// The hottest SMem-resident pages of workload `w` (promotion
+    /// candidates per Fig. 4a).
+    pub fn hottest_smem(&self, mem: &TieredMemory, w: WorkloadId, n: usize) -> Vec<PageId> {
+        self.hists[w.index()].hottest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::SMem)
+    }
+
+    /// The coldest FMem-resident pages of workload `w` (demotion
+    /// candidates per Fig. 4a).
+    pub fn coldest_fmem(&self, mem: &TieredMemory, w: WorkloadId, n: usize) -> Vec<PageId> {
+        self.hists[w.index()].coldest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::FMem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WorkloadClass;
+    use mtat_tiermem::memory::{InitialPlacement, MemorySpec};
+    use mtat_tiermem::MIB;
+
+    fn setup() -> (TieredMemory, Vec<WorkloadObs>) {
+        let spec = MemorySpec::new(4 * MIB, 32 * MIB, MIB).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let a = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let mk = |id, sampled: Vec<u64>| WorkloadObs {
+            id,
+            class: WorkloadClass::Be,
+            name: format!("w{}", id.0),
+            rss_bytes: 4 * MIB,
+            cores: 1,
+            load_rps: 0.0,
+            p99_secs: 0.0,
+            slo_secs: f64::INFINITY,
+            hit_ratio: 0.0,
+            access_rate: 0.0,
+            throughput: 0.0,
+            sampled,
+            slo_violated: false,
+        };
+        let obs = vec![mk(a, vec![10, 0, 5, 0]), mk(b, vec![0, 100, 0, 1])];
+        (mem, obs)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let (mem, obs) = setup();
+        let mut t = HotnessTracker::new(&mem);
+        assert_eq!(t.len(), 2);
+        t.record_tick(&obs);
+        let a = WorkloadId(0);
+        let b = WorkloadId(1);
+        assert_eq!(t.histogram(a).total(), 15);
+        assert_eq!(t.histogram(b).total(), 101);
+        // Workload a is fully in FMem: no SMem promotion candidates.
+        assert!(t.hottest_smem(&mem, a, 2).is_empty());
+        // Its coldest FMem pages are the untouched ones.
+        let cold = t.coldest_fmem(&mem, a, 2);
+        assert_eq!(cold.len(), 2);
+        // Workload b is fully in SMem: hottest candidate is rank 1.
+        let hot = t.hottest_smem(&mem, b, 1);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(t.histogram(b).count(hot[0]), 100);
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let (mem, obs) = setup();
+        let mut t = HotnessTracker::new(&mem);
+        t.record_tick(&obs);
+        t.age_all();
+        assert_eq!(t.histogram(WorkloadId(0)).total(), 7); // 5 + 2
+        assert_eq!(t.histogram(WorkloadId(1)).total(), 50);
+    }
+}

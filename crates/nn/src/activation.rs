@@ -1,0 +1,102 @@
+//! Element-wise activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation applied between [`crate::linear::Linear`]
+/// layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op (used for output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to `pre` (the pre-activation values),
+    /// returning the activated output.
+    pub fn forward(&self, pre: &[f64]) -> Vec<f64> {
+        match self {
+            Activation::Relu => pre.iter().map(|&x| x.max(0.0)).collect(),
+            Activation::Tanh => pre.iter().map(|&x| x.tanh()).collect(),
+            Activation::Identity => pre.to_vec(),
+        }
+    }
+
+    /// Multiplies `grad_out` by the activation's derivative evaluated at
+    /// pre-activation `pre`, producing the gradient with respect to the
+    /// pre-activation values.
+    pub fn backward(&self, pre: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(pre.len(), grad_out.len());
+        match self {
+            Activation::Relu => pre
+                .iter()
+                .zip(grad_out)
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+            Activation::Tanh => pre
+                .iter()
+                .zip(grad_out)
+                .map(|(&x, &g)| {
+                    let t = x.tanh();
+                    g * (1.0 - t * t)
+                })
+                .collect(),
+            Activation::Identity => grad_out.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let pre = [-1.0, 0.0, 2.0];
+        let out = Activation::Relu.forward(&pre);
+        assert_eq!(out, vec![0.0, 0.0, 2.0]);
+        let grad = Activation::Relu.backward(&pre, &[1.0, 1.0, 1.0]);
+        assert_eq!(grad, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_forward_backward() {
+        let pre = [0.0, 1.0];
+        let out = Activation::Tanh.forward(&pre);
+        assert!((out[0] - 0.0).abs() < 1e-12);
+        assert!((out[1] - 1.0_f64.tanh()).abs() < 1e-12);
+        let grad = Activation::Tanh.backward(&pre, &[1.0, 1.0]);
+        assert!((grad[0] - 1.0).abs() < 1e-12);
+        let t = 1.0_f64.tanh();
+        assert!((grad[1] - (1.0 - t * t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let pre = [3.0, -4.0];
+        assert_eq!(Activation::Identity.forward(&pre), vec![3.0, -4.0]);
+        assert_eq!(
+            Activation::Identity.backward(&pre, &[0.5, 0.25]),
+            vec![0.5, 0.25]
+        );
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
+            for &x in &[-0.7, 0.3, 1.5] {
+                let f = |v: f64| act.forward(&[v])[0];
+                let numeric = (f(x + eps) - f(x - eps)) / (2.0 * eps);
+                let analytic = act.backward(&[x], &[1.0])[0];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+}

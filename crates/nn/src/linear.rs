@@ -1,0 +1,274 @@
+//! Fully-connected layer with gradient accumulation and Adam moments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::optim::Adam;
+
+/// A dense layer `y = W·x + b` with `W ∈ R^{out×in}` stored row-major.
+///
+/// The layer owns its gradient accumulators and Adam first/second
+/// moments, so a whole network can be stepped by iterating its layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    #[serde(skip)]
+    gw: Vec<f64>,
+    #[serde(skip)]
+    gb: Vec<f64>,
+    #[serde(skip)]
+    mw: Vec<f64>,
+    #[serde(skip)]
+    vw: Vec<f64>,
+    #[serde(skip)]
+    mb: Vec<f64>,
+    #[serde(skip)]
+    vb: Vec<f64>,
+}
+
+impl Linear {
+    /// Creates a layer with He-uniform initialization (suitable for ReLU
+    /// and tanh hidden layers at these scales) and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be nonzero");
+        let bound = (6.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Convenience constructor seeding its own RNG.
+    pub fn with_seed(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::new(in_dim, out_dim, &mut rng)
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Computes `W·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut y = self.b.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *yo += row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f64>();
+        }
+        y
+    }
+
+    /// Accumulates parameter gradients for one sample and returns the
+    /// gradient with respect to the input.
+    ///
+    /// `x` must be the same input passed to the corresponding
+    /// [`Self::forward`] call, and `grad_y` the gradient of the loss with
+    /// respect to that call's output.
+    pub fn backward(&mut self, x: &[f64], grad_y: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim);
+        assert_eq!(grad_y.len(), self.out_dim);
+        let mut grad_x = vec![0.0; self.in_dim];
+        for (o, &gy) in grad_y.iter().enumerate() {
+            self.gb[o] += gy;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row_start + i] += gy * x[i];
+                grad_x[i] += gy * self.w[row_start + i];
+            }
+        }
+        grad_x
+    }
+
+    /// Zeroes the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Applies one Adam update with the currently accumulated gradients,
+    /// scaled by `1/batch` (pass `batch = 1` for per-sample updates).
+    pub fn adam_step(&mut self, adam: &Adam, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f64;
+        adam.update(&mut self.w, &mut self.gw, &mut self.mw, &mut self.vw, scale);
+        adam.update(&mut self.b, &mut self.gb, &mut self.mb, &mut self.vb, scale);
+    }
+
+    /// Soft-updates this layer's parameters toward `source`:
+    /// `θ ← τ·θ_src + (1−τ)·θ`. Used for SAC target networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn soft_update_from(&mut self, source: &Linear, tau: f64) {
+        assert_eq!(self.in_dim, source.in_dim);
+        assert_eq!(self.out_dim, source.out_dim);
+        for (t, &s) in self.w.iter_mut().zip(&source.w) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+        for (t, &s) in self.b.iter_mut().zip(&source.b) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+    }
+
+    /// Ensures transient buffers (skipped by serde) match parameter
+    /// shapes after deserialization.
+    pub fn restore_buffers(&mut self) {
+        let nw = self.in_dim * self.out_dim;
+        for buf in [&mut self.gw, &mut self.mw, &mut self.vw] {
+            buf.resize(nw, 0.0);
+        }
+        for buf in [&mut self.gb, &mut self.mb, &mut self.vb] {
+            buf.resize(self.out_dim, 0.0);
+        }
+    }
+
+    /// Immutable view of the weight matrix (row-major, `out×in`). For
+    /// tests and diagnostics.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Immutable view of the bias vector.
+    pub fn biases(&self) -> &[f64] {
+        &self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::with_seed(2, 2, 0);
+        // Overwrite parameters with known values.
+        l.w = vec![1.0, 2.0, 3.0, 4.0]; // rows: [1,2], [3,4]
+        l.b = vec![0.5, -0.5];
+        let y = l.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut l = Linear::with_seed(3, 2, 7);
+        let x = [0.3, -0.8, 1.2];
+        // Scalar loss: sum of outputs.
+        let grad_y = [1.0, 1.0];
+        l.zero_grad();
+        let grad_x = l.backward(&x, &grad_y);
+
+        let eps = 1e-6;
+        // Check input gradient.
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fp: f64 = l.forward(&xp).iter().sum();
+            let fm: f64 = l.forward(&xm).iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grad_x[i]).abs() < 1e-6, "input {i}");
+        }
+        // Check one weight gradient: dL/dw[0][1] = x[1].
+        assert!((l.gw[1] - x[1]).abs() < 1e-12);
+        // Bias gradient is 1 for each output.
+        assert!((l.gb[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_step_reduces_simple_loss() {
+        let mut l = Linear::with_seed(1, 1, 3);
+        let adam = Adam::new(0.05);
+        // Minimize (y - 2)^2 for input 1: w + b -> 2.
+        for _ in 0..300 {
+            let y = l.forward(&[1.0])[0];
+            let g = 2.0 * (y - 2.0);
+            l.zero_grad();
+            l.backward(&[1.0], &[g]);
+            l.adam_step(&adam, 1);
+        }
+        let y = l.forward(&[1.0])[0];
+        assert!((y - 2.0).abs() < 0.05, "{y}");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = Linear::with_seed(2, 2, 1);
+        let b = Linear::with_seed(2, 2, 2);
+        let before = a.w.clone();
+        a.soft_update_from(&b, 0.5);
+        for i in 0..4 {
+            let want = 0.5 * b.w[i] + 0.5 * before[i];
+            assert!((a.w[i] - want).abs() < 1e-12);
+        }
+        // tau = 1 copies the source exactly.
+        a.soft_update_from(&b, 1.0);
+        assert_eq!(a.w, b.w);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = Linear::with_seed(1, 1, 5);
+        l.backward(&[1.0], &[1.0]);
+        l.backward(&[1.0], &[1.0]);
+        assert!((l.gb[0] - 2.0).abs() < 1e-12);
+        l.zero_grad();
+        assert_eq!(l.gb[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_dim_panics() {
+        let _ = Linear::with_seed(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_wrong_dim_panics() {
+        let l = Linear::with_seed(2, 1, 0);
+        let _ = l.forward(&[1.0]);
+    }
+
+    #[test]
+    fn restore_buffers_resizes_transients() {
+        let l = Linear::with_seed(4, 3, 9);
+        let mut copy = l.clone();
+        copy.gw.clear();
+        copy.mb.clear();
+        copy.restore_buffers();
+        assert_eq!(copy.gw.len(), 12);
+        assert_eq!(copy.mb.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Loss functions.
+
+/// Mean-squared error between `pred` and `target`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "mse of empty slices");
+    pred.iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Gradient of [`mse`] with respect to `pred`: `2(pred − target)/n`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "mse of empty slices");
+    let n = pred.len() as f64;
+    pred.iter()
+        .zip(target)
+        .map(|(&p, &t)| 2.0 * (p - t) / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let pred = [0.5, -1.0, 2.0];
+        let target = [0.0, 0.0, 1.0];
+        let g = mse_grad(&pred, &target);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut p = pred;
+            p[i] += eps;
+            let fp = mse(&p, &target);
+            p[i] -= 2.0 * eps;
+            let fm = mse(&p, &target);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - g[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

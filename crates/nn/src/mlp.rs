@@ -1,0 +1,305 @@
+//! Multi-layer perceptron with explicit forward caches.
+//!
+//! SAC needs three things from its networks beyond plain inference:
+//! parameter gradients (critic regression), gradients *with respect to
+//! inputs* (the actor update differentiates Q(s, a) with respect to a),
+//! and soft target-network updates. [`Mlp`] provides all three.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::optim::Adam;
+
+/// A feed-forward network: `Linear → act → … → Linear` with the hidden
+/// activation applied between layers and an identity output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+}
+
+/// Intermediate values saved by [`Mlp::forward_cached`], needed to run
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Input to each layer (`inputs[0]` is the network input).
+    inputs: Vec<Vec<f64>>,
+    /// Pre-activation output of each layer.
+    pre_acts: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer `dims` (at least input and
+    /// output) and hidden activation, deterministically initialized from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2` or any dimension is zero.
+    pub fn new(dims: &[usize], hidden_act: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers, hidden_act }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("nonempty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Inference-only forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&cur);
+            cur = if i < last {
+                self.hidden_act.forward(&pre)
+            } else {
+                pre
+            };
+        }
+        cur
+    }
+
+    /// Forward pass that records the per-layer inputs and pre-activations
+    /// needed by [`Self::backward`]. Returns `(output, cache)`.
+    pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, ForwardCache) {
+        let mut cache = ForwardCache {
+            inputs: Vec::with_capacity(self.layers.len()),
+            pre_acts: Vec::with_capacity(self.layers.len()),
+        };
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.inputs.push(cur.clone());
+            let pre = layer.forward(&cur);
+            cache.pre_acts.push(pre.clone());
+            cur = if i < last {
+                self.hidden_act.forward(&pre)
+            } else {
+                pre
+            };
+        }
+        (cur, cache)
+    }
+
+    /// Back-propagates `grad_out` through the cached forward pass,
+    /// accumulating parameter gradients and returning the gradient with
+    /// respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match this network's shape.
+    pub fn backward(&mut self, cache: &ForwardCache, grad_out: &[f64]) -> Vec<f64> {
+        assert_eq!(cache.inputs.len(), self.layers.len(), "cache depth mismatch");
+        let last = self.layers.len() - 1;
+        let mut grad = grad_out.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            // Undo the hidden activation (output layer is identity).
+            if i < last {
+                grad = self.hidden_act.backward(&cache.pre_acts[i], &grad);
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Applies one Adam step to every layer (gradient scale 1) and
+    /// advances the optimizer clock.
+    pub fn adam_step(&mut self, adam: &mut Adam) {
+        self.adam_step_batch(adam, 1);
+    }
+
+    /// Applies one Adam step with gradients averaged over `batch`
+    /// samples, then advances the optimizer clock.
+    pub fn adam_step_batch(&mut self, adam: &mut Adam, batch: usize) {
+        for l in &mut self.layers {
+            l.adam_step(adam, batch);
+        }
+        adam.tick();
+    }
+
+    /// Soft-updates all parameters toward `source`
+    /// (`θ ← τ·θ_src + (1−τ)·θ`), the SAC target-network rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len(), "depth mismatch");
+        for (t, s) in self.layers.iter_mut().zip(&source.layers) {
+            t.soft_update_from(s, tau);
+        }
+    }
+
+    /// Re-creates transient buffers after deserialization.
+    pub fn restore_buffers(&mut self) {
+        for l in &mut self.layers {
+            l.restore_buffers();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+
+    #[test]
+    fn shapes() {
+        let net = Mlp::new(&[3, 8, 8, 2], Activation::Relu, 0);
+        assert_eq!(net.in_dim(), 3);
+        assert_eq!(net.out_dim(), 2);
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn forward_and_forward_cached_agree() {
+        let net = Mlp::new(&[2, 5, 1], Activation::Tanh, 11);
+        let x = [0.4, -0.9];
+        let y1 = net.forward(&x);
+        let (y2, _) = net.forward_cached(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_difference() {
+        // Scalar-output net; loss = output itself.
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, 3);
+        let x = [0.7, -0.2];
+        let (_, cache) = net.forward_cached(&x);
+        net.zero_grad();
+        let grad_in = net.backward(&cache, &[1.0]);
+
+        // Finite-difference the *input* gradient.
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let numeric = (net.forward(&xp)[0] - net.forward(&xm)[0]) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "input grad {i}: {numeric} vs {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_network_input_gradient_check() {
+        let mut net = Mlp::new(&[3, 6, 1], Activation::Relu, 17);
+        let x = [0.5, 0.25, -0.75];
+        let (_, cache) = net.forward_cached(&x);
+        net.zero_grad();
+        let grad_in = net.backward(&cache, &[1.0]);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let numeric = (net.forward(&xp)[0] - net.forward(&xm)[0]) / (2.0 * eps);
+            assert!((numeric - grad_in[i]).abs() < 1e-5, "input grad {i}");
+        }
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, 42);
+        let mut adam = Adam::new(1e-2);
+        for step in 0..600 {
+            let x = [((step % 10) as f64) / 10.0];
+            let target = [2.0 * x[0] + 0.5];
+            let (y, cache) = net.forward_cached(&x);
+            let grad = loss::mse_grad(&y, &target);
+            net.zero_grad();
+            net.backward(&cache, &grad);
+            net.adam_step(&mut adam);
+        }
+        for x in [0.15, 0.55, 0.85] {
+            let y = net.forward(&[x])[0];
+            assert!((y - (2.0 * x + 0.5)).abs() < 0.15, "f({x}) = {y}");
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x^2 on [-1, 1] — requires the hidden layers to do real
+        // work. Full-batch gradient accumulation keeps training stable.
+        let mut net = Mlp::new(&[1, 32, 32, 1], Activation::Tanh, 5);
+        let mut adam = Adam::new(1e-2);
+        let xs: Vec<f64> = (0..41).map(|i| -1.0 + 2.0 * i as f64 / 40.0).collect();
+        for _ in 0..800 {
+            net.zero_grad();
+            for &x in &xs {
+                let (y, cache) = net.forward_cached(&[x]);
+                let grad = loss::mse_grad(&y, &[x * x]);
+                net.backward(&cache, &grad);
+            }
+            net.adam_step_batch(&mut adam, xs.len());
+        }
+        let mut worst: f64 = 0.0;
+        for &x in &xs {
+            worst = worst.max((net.forward(&[x])[0] - x * x).abs());
+        }
+        assert!(worst < 0.1, "worst error {worst}");
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let mut target = Mlp::new(&[2, 4, 1], Activation::Relu, 1);
+        let source = Mlp::new(&[2, 4, 1], Activation::Relu, 2);
+        for _ in 0..2000 {
+            target.soft_update_from(&source, 0.01);
+        }
+        let x = [0.3, 0.3];
+        assert!((target.forward(&x)[0] - source.forward(&x)[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Relu, 77);
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, 77);
+        assert_eq!(a.forward(&[0.1, 0.9]), b.forward(&[0.1, 0.9]));
+        let c = Mlp::new(&[2, 4, 1], Activation::Relu, 78);
+        assert_ne!(a.forward(&[0.1, 0.9]), c.forward(&[0.1, 0.9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_dims_panics() {
+        let _ = Mlp::new(&[3], Activation::Relu, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The environment abstraction of Algorithm 1.
+//!
+//! Algorithm 1's environment `E` provides the state
+//! `s = (UsageRatio, AccessRatio, AccessCount)` and a `step(α_clip)`
+//! returning the next state, the observed P99 (folded into the reward by
+//! the caller), and a done flag. The trait below generalizes that
+//! contract so the SAC agent can be trained both on the real partitioning
+//! environment (in `mtat-core`) and on toy problems in tests.
+
+/// A reinforcement-learning environment with continuous state and action.
+pub trait Environment {
+    /// Dimension of the state vector.
+    fn state_dim(&self) -> usize;
+    /// Dimension of the action vector.
+    fn action_dim(&self) -> usize;
+    /// The current state.
+    fn state(&self) -> Vec<f64>;
+    /// Applies `action` (components in `[-1, 1]`; the environment owns
+    /// any scaling, such as MTAT's `±M/2t` bound) and returns
+    /// `(next_state, reward, done)`.
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool);
+    /// Resets to an initial state, returning it.
+    fn reset(&mut self) -> Vec<f64>;
+}
+
+/// A 1-D set-point tracking toy environment used by the SAC tests: the
+/// agent nudges a position toward a target; reward is the negative
+/// distance. An agent that learns anything useful drives the position to
+/// the target and keeps it there.
+#[derive(Debug, Clone)]
+pub struct SetPointEnv {
+    /// Current position in `[0, 1]`.
+    pub position: f64,
+    /// Target position in `[0, 1]`.
+    pub target: f64,
+    /// Maximum movement per step (action scale).
+    pub step_size: f64,
+    steps: usize,
+    horizon: usize,
+}
+
+impl SetPointEnv {
+    /// Creates the environment with the given target and a fixed episode
+    /// horizon.
+    pub fn new(target: f64, horizon: usize) -> Self {
+        Self {
+            position: 0.0,
+            target,
+            step_size: 0.2,
+            steps: 0,
+            horizon,
+        }
+    }
+}
+
+impl Environment for SetPointEnv {
+    fn state_dim(&self) -> usize {
+        1
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+
+    fn state(&self) -> Vec<f64> {
+        vec![self.position]
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        let a = action[0].clamp(-1.0, 1.0);
+        self.position = (self.position + self.step_size * a).clamp(0.0, 1.0);
+        self.steps += 1;
+        let reward = -(self.position - self.target).abs();
+        let done = self.steps >= self.horizon;
+        (vec![self.position], reward, done)
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.position = 0.0;
+        self.steps = 0;
+        vec![self.position]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_point_env_mechanics() {
+        let mut env = SetPointEnv::new(0.7, 3);
+        assert_eq!(env.reset(), vec![0.0]);
+        let (s, r, done) = env.step(&[1.0]);
+        assert_eq!(s, vec![0.2]);
+        assert!((r - (-0.5)).abs() < 1e-12);
+        assert!(!done);
+        env.step(&[1.0]);
+        let (_, _, done) = env.step(&[1.0]);
+        assert!(done, "horizon reached");
+        // Position clamps at 1.
+        env.reset();
+        for _ in 0..10 {
+            env.step(&[1.0]);
+        }
+        assert!(env.position <= 1.0);
+    }
+
+    #[test]
+    fn reward_is_maximal_at_target() {
+        let mut env = SetPointEnv::new(0.4, 100);
+        env.reset();
+        env.position = 0.4;
+        let (_, r, _) = env.step(&[0.0]);
+        assert_eq!(r, 0.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The Soft Actor-Critic agent (Algorithm 1).
+//!
+//! SAC maintains twin Q-networks `Q₁, Q₂` (the critic), a squashed-
+//! Gaussian policy `π` (the actor), slowly-tracking target copies of the
+//! critics, and a replay buffer `D`. Each update:
+//!
+//! 1. **Critic** — regress both critics toward the soft Bellman target
+//!    `y = r + γ(1−done)·(min(Q₁ᵗ, Q₂ᵗ)(s′, a′) − α·log π(a′|s′))` with
+//!    `a′ ~ π(·|s′)`.
+//! 2. **Actor** — descend `E[α·log π(a|s) − min(Q₁, Q₂)(s, a)]` through
+//!    the reparameterized sample.
+//! 3. **Temperature** — optionally adapt `α` toward a target entropy.
+//! 4. **Targets** — soft-update `θᵗ ← τθ + (1−τ)θᵗ`.
+
+use mtat_nn::activation::Activation;
+use mtat_nn::mlp::Mlp;
+use mtat_nn::optim::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::env::Environment;
+use crate::policy::{squash_correction_grad, GaussianPolicy};
+use crate::replay::{ReplayBuffer, Transition};
+
+/// Hyperparameters for [`Sac`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SacConfig {
+    /// State dimension.
+    pub state_dim: usize,
+    /// Action dimension.
+    pub action_dim: usize,
+    /// Hidden layer widths shared by actor and critics.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Target-network soft-update rate τ.
+    pub tau: f64,
+    /// Initial entropy temperature α.
+    pub alpha: f64,
+    /// Automatically tune α toward `-action_dim` target entropy.
+    pub auto_alpha: bool,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Temperature learning rate (if `auto_alpha`).
+    pub alpha_lr: f64,
+    /// Mini-batch size per update.
+    pub batch_size: usize,
+    /// Gradient updates are attempted once this many *new* transitions
+    /// have accumulated since the previous update round (the paper's "50
+    /// new data points" cadence, §4).
+    pub update_every: usize,
+    /// Minimum transitions before learning starts.
+    pub warmup: usize,
+    /// Replay capacity.
+    pub buffer_capacity: usize,
+}
+
+impl SacConfig {
+    /// The paper's configuration: 3-dimensional state, scalar action,
+    /// updates every 50 new transitions (§4), standard SAC defaults.
+    pub fn paper(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            hidden: vec![64, 64],
+            gamma: 0.99,
+            tau: 0.005,
+            alpha: 0.2,
+            auto_alpha: true,
+            actor_lr: 3e-4,
+            critic_lr: 3e-4,
+            alpha_lr: 3e-4,
+            batch_size: 64,
+            update_every: 50,
+            warmup: 200,
+            buffer_capacity: 100_000,
+        }
+    }
+
+    /// A small, fast configuration for tests and examples.
+    pub fn small(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            hidden: vec![32, 32],
+            gamma: 0.95,
+            tau: 0.01,
+            alpha: 0.1,
+            auto_alpha: true,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            alpha_lr: 1e-3,
+            batch_size: 32,
+            update_every: 1,
+            warmup: 64,
+            buffer_capacity: 20_000,
+        }
+    }
+}
+
+/// The Soft Actor-Critic agent.
+#[derive(Debug, Clone)]
+pub struct Sac {
+    cfg: SacConfig,
+    policy: GaussianPolicy,
+    q1: Mlp,
+    q2: Mlp,
+    q1_target: Mlp,
+    q2_target: Mlp,
+    actor_adam: Adam,
+    q1_adam: Adam,
+    q2_adam: Adam,
+    log_alpha: f64,
+    target_entropy: f64,
+    replay: ReplayBuffer,
+    rng: StdRng,
+    since_update: usize,
+    updates_done: u64,
+}
+
+impl Sac {
+    /// Creates an agent with freshly initialized networks.
+    pub fn new(cfg: SacConfig, seed: u64) -> Self {
+        let q_dims: Vec<usize> = std::iter::once(cfg.state_dim + cfg.action_dim)
+            .chain(cfg.hidden.iter().copied())
+            .chain(std::iter::once(1))
+            .collect();
+        let q1 = Mlp::new(&q_dims, Activation::Relu, seed ^ 0x1111);
+        let q2 = Mlp::new(&q_dims, Activation::Relu, seed ^ 0x2222);
+        let mut q1_target = q1.clone();
+        let mut q2_target = q2.clone();
+        q1_target.soft_update_from(&q1, 1.0);
+        q2_target.soft_update_from(&q2, 1.0);
+        Self {
+            policy: GaussianPolicy::new(cfg.state_dim, cfg.action_dim, &cfg.hidden, seed ^ 0x3333),
+            q1,
+            q2,
+            q1_target,
+            q2_target,
+            actor_adam: Adam::new(cfg.actor_lr),
+            q1_adam: Adam::new(cfg.critic_lr),
+            q2_adam: Adam::new(cfg.critic_lr),
+            log_alpha: cfg.alpha.max(1e-8).ln(),
+            target_entropy: -(cfg.action_dim as f64),
+            replay: ReplayBuffer::new(cfg.buffer_capacity),
+            rng: StdRng::seed_from_u64(seed ^ 0x4444),
+            since_update: 0,
+            updates_done: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this agent was created with.
+    pub fn config(&self) -> &SacConfig {
+        &self.cfg
+    }
+
+    /// Current entropy temperature α.
+    pub fn alpha(&self) -> f64 {
+        self.log_alpha.exp()
+    }
+
+    /// Number of gradient update rounds performed so far.
+    pub fn updates_done(&self) -> u64 {
+        self.updates_done
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Stochastic (exploration) action in `[-1, 1]^action_dim`.
+    pub fn act(&mut self, state: &[f64]) -> Vec<f64> {
+        let (sample, _) = self.policy.sample(state, &mut self.rng);
+        sample.action
+    }
+
+    /// Deterministic (evaluation) action `tanh(μ(s))`.
+    pub fn act_deterministic(&self, state: &[f64]) -> Vec<f64> {
+        self.policy.deterministic(state)
+    }
+
+    /// Stores a transition (Algorithm 1 line 12) and performs gradient
+    /// updates when the cadence and warmup allow (lines 14–18). Returns
+    /// the number of update rounds executed (0 or 1).
+    pub fn observe(&mut self, t: Transition) -> usize {
+        self.replay.push(t);
+        self.since_update += 1;
+        if self.replay.len() >= self.cfg.warmup && self.since_update >= self.cfg.update_every {
+            self.since_update = 0;
+            self.update();
+            1
+        } else {
+            0
+        }
+    }
+
+    /// One SAC gradient round over a sampled mini-batch.
+    pub fn update(&mut self) {
+        let b = self.cfg.batch_size;
+        if self.replay.is_empty() {
+            return;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, b)
+            .into_iter()
+            .cloned()
+            .collect();
+        let alpha = self.alpha();
+
+        // ---- Critic targets (no gradients) ----
+        let mut targets = Vec::with_capacity(b);
+        for t in &batch {
+            let (next_sample, _) = self.policy.sample(&t.next_state, &mut self.rng);
+            let xin = concat(&t.next_state, &next_sample.action);
+            let q1t = self.q1_target.forward(&xin)[0];
+            let q2t = self.q2_target.forward(&xin)[0];
+            let soft_q = q1t.min(q2t) - alpha * next_sample.log_prob;
+            let y = t.reward + self.cfg.gamma * (1.0 - t.done as u8 as f64) * soft_q;
+            targets.push(y);
+        }
+
+        // ---- Critic regression ----
+        self.q1.zero_grad();
+        self.q2.zero_grad();
+        for (t, &y) in batch.iter().zip(&targets) {
+            let xin = concat(&t.state, &t.action);
+            let (q1v, c1) = self.q1.forward_cached(&xin);
+            let (q2v, c2) = self.q2.forward_cached(&xin);
+            self.q1.backward(&c1, &[2.0 * (q1v[0] - y)]);
+            self.q2.backward(&c2, &[2.0 * (q2v[0] - y)]);
+        }
+        self.q1.adam_step_batch(&mut self.q1_adam, b);
+        self.q2.adam_step_batch(&mut self.q2_adam, b);
+
+        // ---- Actor update through min(Q1, Q2) ----
+        // The critic backward pass below is used only to obtain ∂Q/∂a;
+        // the parameter gradients it accumulates are discarded (zeroed at
+        // the start of the next critic round).
+        self.policy.zero_grad();
+        self.q1.zero_grad();
+        self.q2.zero_grad();
+        let mut mean_log_prob = 0.0;
+        for t in &batch {
+            let (sample, pcache) = self.policy.sample(&t.state, &mut self.rng);
+            mean_log_prob += sample.log_prob / b as f64;
+            let xin = concat(&t.state, &sample.action);
+            let (q1v, c1) = self.q1.forward_cached(&xin);
+            let (q2v, c2) = self.q2.forward_cached(&xin);
+            // dQmin/da via the chosen (smaller) critic.
+            let grad_in = if q1v[0] <= q2v[0] {
+                self.q1.backward(&c1, &[1.0])
+            } else {
+                self.q2.backward(&c2, &[1.0])
+            };
+            let dq_da = &grad_in[self.cfg.state_dim..];
+
+            // L = α·logπ − Qmin; see policy.rs for the chain rule.
+            let mut dl_du = Vec::with_capacity(self.cfg.action_dim);
+            let mut dl_dlogstd = Vec::with_capacity(self.cfg.action_dim);
+            for k in 0..self.cfg.action_dim {
+                let a = sample.action[k];
+                let dlogp_du = squash_correction_grad(a);
+                let dq_du = dq_da[k] * (1.0 - a * a);
+                dl_du.push(alpha * dlogp_du - dq_du);
+                dl_dlogstd.push(-alpha);
+            }
+            self.policy
+                .backward_sample(&pcache, &sample, &dl_du, &dl_dlogstd);
+        }
+        self.policy.adam_step_batch(&mut self.actor_adam, b);
+
+        // ---- Temperature ----
+        if self.cfg.auto_alpha {
+            // J(α) = −log α · (log π + H_target); ∂J/∂log α applied to
+            // log α directly keeps α positive.
+            let grad = -(mean_log_prob + self.target_entropy);
+            self.log_alpha -= self.cfg.alpha_lr * grad;
+            self.log_alpha = self.log_alpha.clamp(-10.0, 2.0);
+        }
+
+        // ---- Target soft updates ----
+        self.q1_target.soft_update_from(&self.q1, self.cfg.tau);
+        self.q2_target.soft_update_from(&self.q2, self.cfg.tau);
+        self.updates_done += 1;
+    }
+
+    /// Critic value estimate `min(Q₁, Q₂)(s, a)` — for diagnostics.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let xin = concat(state, action);
+        self.q1.forward(&xin)[0].min(self.q2.forward(&xin)[0])
+    }
+
+    /// Runs `steps` environment interactions with exploration and online
+    /// updates — the while-loop of Algorithm 1. Returns the total reward
+    /// collected.
+    pub fn train<E: Environment>(&mut self, env: &mut E, steps: usize) -> f64 {
+        let mut state = env.state();
+        let mut total = 0.0;
+        for _ in 0..steps {
+            let action = self.act(&state);
+            let (next, reward, done) = env.step(&action);
+            total += reward;
+            self.observe(Transition {
+                state: state.clone(),
+                action,
+                reward,
+                next_state: next.clone(),
+                done,
+            });
+            state = if done { env.reset() } else { next };
+        }
+        total
+    }
+
+    /// Evaluates the deterministic policy for `steps` interactions
+    /// without learning, returning total reward.
+    pub fn evaluate<E: Environment>(&self, env: &mut E, steps: usize) -> f64 {
+        let mut state = env.reset();
+        let mut total = 0.0;
+        for _ in 0..steps {
+            let action = self.act_deterministic(&state);
+            let (next, reward, done) = env.step(&action);
+            total += reward;
+            state = if done { env.reset() } else { next };
+        }
+        total
+    }
+}
+
+fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SetPointEnv;
+
+    #[test]
+    fn act_is_bounded_and_deterministic_eval_is_stable() {
+        let mut agent = Sac::new(SacConfig::small(2, 1), 0);
+        let s = vec![0.2, 0.8];
+        for _ in 0..50 {
+            let a = agent.act(&s);
+            assert!((-1.0..=1.0).contains(&a[0]));
+        }
+        let d1 = agent.act_deterministic(&s);
+        let d2 = agent.act_deterministic(&s);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn update_cadence_respects_warmup_and_every() {
+        let mut cfg = SacConfig::small(1, 1);
+        cfg.warmup = 10;
+        cfg.update_every = 5;
+        cfg.batch_size = 4;
+        let mut agent = Sac::new(cfg, 1);
+        let t = Transition {
+            state: vec![0.0],
+            action: vec![0.1],
+            reward: 0.0,
+            next_state: vec![0.1],
+            done: false,
+        };
+        let mut updates = 0;
+        for _ in 0..9 {
+            updates += agent.observe(t.clone());
+        }
+        assert_eq!(updates, 0, "no updates before warmup");
+        for _ in 0..11 {
+            updates += agent.observe(t.clone());
+        }
+        assert!(updates >= 2, "updates every 5 after warmup, got {updates}");
+        assert_eq!(agent.updates_done() as usize, updates);
+    }
+
+    #[test]
+    fn critic_learns_constant_reward_value() {
+        // With reward 1 everywhere, done always true, gamma arbitrary:
+        // Q(s,a) should converge to 1.
+        let mut cfg = SacConfig::small(1, 1);
+        cfg.warmup = 8;
+        cfg.update_every = 1;
+        cfg.batch_size = 16;
+        cfg.auto_alpha = false;
+        cfg.alpha = 0.0;
+        let mut agent = Sac::new(cfg, 3);
+        let t = Transition {
+            state: vec![0.5],
+            action: vec![0.2],
+            reward: 1.0,
+            next_state: vec![0.5],
+            done: true,
+        };
+        for _ in 0..400 {
+            agent.observe(t.clone());
+        }
+        let q = agent.q_value(&[0.5], &[0.2]);
+        assert!((q - 1.0).abs() < 0.15, "q = {q}");
+    }
+
+    #[test]
+    fn learns_set_point_tracking() {
+        // The canonical smoke test: SAC should learn to push the position
+        // toward the target and hold it, clearly beating the untrained
+        // policy.
+        let mut env = SetPointEnv::new(0.7, 40);
+        let mut cfg = SacConfig::small(1, 1);
+        cfg.batch_size = 32;
+        cfg.warmup = 100;
+        let mut agent = Sac::new(cfg, 7);
+
+        let mut eval_env = SetPointEnv::new(0.7, 40);
+        let before = agent.evaluate(&mut eval_env, 200);
+        agent.train(&mut env, 3000);
+        let after = agent.evaluate(&mut eval_env, 200);
+        // Perfect play collects ~0 reward after converging to the target
+        // (a few steps of approach each episode); random play sits far
+        // below.
+        assert!(
+            after > before + 10.0 || after > -25.0,
+            "before {before}, after {after}"
+        );
+        assert!(agent.updates_done() > 1000);
+    }
+
+    #[test]
+    fn auto_alpha_moves_toward_target_entropy() {
+        let mut env = SetPointEnv::new(0.5, 20);
+        let mut cfg = SacConfig::small(1, 1);
+        cfg.alpha = 1.0; // start very exploratory
+        let mut agent = Sac::new(cfg, 11);
+        let a0 = agent.alpha();
+        agent.train(&mut env, 1500);
+        // With a deterministic optimum the temperature should shrink.
+        assert!(agent.alpha() < a0, "alpha {} -> {}", a0, agent.alpha());
+    }
+
+    #[test]
+    fn q_value_is_min_of_twins() {
+        let agent = Sac::new(SacConfig::small(2, 1), 5);
+        let s = [0.1, 0.2];
+        let a = [0.3];
+        let xin: Vec<f64> = s.iter().chain(a.iter()).copied().collect();
+        let q1 = agent.q1.forward(&xin)[0];
+        let q2 = agent.q2.forward(&xin)[0];
+        assert_eq!(agent.q_value(&s, &a), q1.min(q2));
+    }
+}

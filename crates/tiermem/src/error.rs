@@ -1,0 +1,117 @@
+//! Error type for tiered-memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::page::{PageId, Tier, WorkloadId};
+
+/// Errors returned by tiered-memory substrate operations.
+///
+/// Every fallible public operation in this crate returns
+/// `Result<_, TierMemError>`. The variants carry enough context to
+/// diagnose a failed experiment configuration without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TierMemError {
+    /// A capacity, page size, or rate parameter was zero, negative,
+    /// non-finite, or otherwise outside its documented domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        detail: String,
+    },
+    /// The target tier has no free pages left.
+    TierFull {
+        /// The tier that could not accept another page.
+        tier: Tier,
+        /// Pages the tier can hold in total.
+        capacity_pages: u64,
+    },
+    /// Total memory (FMem + SMem) cannot hold the requested resident set.
+    OutOfMemory {
+        /// Pages requested by the registration.
+        requested_pages: u64,
+        /// Pages still available across both tiers.
+        available_pages: u64,
+    },
+    /// A page id did not refer to a registered page.
+    UnknownPage(PageId),
+    /// A workload id did not refer to a registered workload.
+    UnknownWorkload(WorkloadId),
+    /// A page was already resident in the requested tier.
+    AlreadyResident {
+        /// The page in question.
+        page: PageId,
+        /// The tier it already occupies.
+        tier: Tier,
+    },
+}
+
+impl fmt::Display for TierMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierMemError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            TierMemError::TierFull {
+                tier,
+                capacity_pages,
+            } => write!(f, "{tier} is full (capacity {capacity_pages} pages)"),
+            TierMemError::OutOfMemory {
+                requested_pages,
+                available_pages,
+            } => write!(
+                f,
+                "out of memory: requested {requested_pages} pages, only {available_pages} available"
+            ),
+            TierMemError::UnknownPage(p) => write!(f, "unknown page {p:?}"),
+            TierMemError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            TierMemError::AlreadyResident { page, tier } => {
+                write!(f, "page {page:?} is already resident in {tier}")
+            }
+        }
+    }
+}
+
+impl Error for TierMemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let errs: Vec<TierMemError> = vec![
+            TierMemError::InvalidConfig {
+                what: "page_size",
+                detail: "must be a power of two".to_string(),
+            },
+            TierMemError::TierFull {
+                tier: Tier::FMem,
+                capacity_pages: 16,
+            },
+            TierMemError::OutOfMemory {
+                requested_pages: 100,
+                available_pages: 10,
+            },
+            TierMemError::UnknownPage(PageId(3)),
+            TierMemError::UnknownWorkload(WorkloadId(2)),
+            TierMemError::AlreadyResident {
+                page: PageId(1),
+                tier: Tier::SMem,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Error messages follow Rust conventions: no trailing period.
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TierMemError>();
+    }
+}

@@ -1,0 +1,463 @@
+//! Exponentially-binned page access-frequency histograms (Fig. 4).
+//!
+//! State-of-the-art tiered memory systems (MEMTIS, FlexMem) and MTAT's
+//! PP-E categorize pages by access count into bins that double in width at
+//! each step (2⁰, 2¹, …, 2ⁿ). Each bin is linked to the list of pages
+//! whose current count falls in its range, "making it straightforward to
+//! identify specific pages and correlate them with their memory
+//! locations" (§4). To track shifts in the hot set, counts are *aged* —
+//! halved — at every partitioning-policy update interval (§3.3.2).
+//!
+//! [`AccessHistogram`] implements exactly that: O(1) count updates with
+//! automatic re-binning, O(pages-returned) hottest/coldest queries, and
+//! O(n) aging.
+
+use crate::page::{PageId, PageRegion};
+
+/// Number of exponential bins. Bin 0 holds untouched pages; bin *k*≥1
+/// holds counts in `[2^(k−1), 2^k)`. 48 bins cover counts up to 2⁴⁷,
+/// far beyond anything a sampling period ≥ 1 can produce per interval.
+pub const NUM_BINS: usize = 48;
+
+/// Per-workload access-frequency histogram with exponential bins.
+///
+/// The histogram covers the pages of one [`PageRegion`] (one workload).
+/// Queries take a predicate so the caller can restrict results to pages
+/// currently resident in one tier — this is how the separate "FMem
+/// histogram" and "SMem histogram" of Fig. 4 are realized without
+/// duplicating count state.
+///
+/// ```
+/// use mtat_tiermem::histogram::AccessHistogram;
+/// use mtat_tiermem::page::{PageId, PageRegion};
+///
+/// let region = PageRegion { base: 0, n_pages: 4 };
+/// let mut h = AccessHistogram::new(region);
+/// h.add(PageId(0), 100);
+/// h.add(PageId(1), 3);
+/// h.add(PageId(2), 1);
+///
+/// let hottest = h.hottest_matching(2, |_| true);
+/// assert_eq!(hottest[0], PageId(0));
+/// assert_eq!(hottest[1], PageId(1));
+///
+/// // Aging halves every count.
+/// h.age();
+/// assert_eq!(h.count(PageId(0)), 50);
+/// assert_eq!(h.count(PageId(2)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessHistogram {
+    region: PageRegion,
+    counts: Vec<u64>,
+    /// bin -> local ranks currently in that bin
+    bins: Vec<Vec<u32>>,
+    /// local rank -> (bin, position within bin's vec)
+    slots: Vec<(u8, u32)>,
+    total: u64,
+}
+
+/// Returns the bin index for an access count.
+#[inline]
+pub fn bin_for_count(count: u64) -> usize {
+    if count == 0 {
+        0
+    } else {
+        ((64 - count.leading_zeros()) as usize).min(NUM_BINS - 1)
+    }
+}
+
+impl AccessHistogram {
+    /// Creates an all-zero histogram over `region`.
+    pub fn new(region: PageRegion) -> Self {
+        let n = region.len();
+        let mut bins = vec![Vec::new(); NUM_BINS];
+        bins[0] = (0..n as u32).collect();
+        let slots = (0..n as u32).map(|r| (0u8, r)).collect();
+        Self {
+            region,
+            counts: vec![0; n],
+            bins,
+            slots,
+            total: 0,
+        }
+    }
+
+    /// The region this histogram covers.
+    #[inline]
+    pub fn region(&self) -> PageRegion {
+        self.region
+    }
+
+    /// Current access count of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside this histogram's region.
+    #[inline]
+    pub fn count(&self, page: PageId) -> u64 {
+        let rank = self.rank(page);
+        self.counts[rank as usize]
+    }
+
+    /// Sum of all counts.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds `delta` accesses to `page`, re-binning if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside this histogram's region.
+    pub fn add(&mut self, page: PageId, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let rank = self.rank(page) as usize;
+        let new = self.counts[rank].saturating_add(delta);
+        self.total += new - self.counts[rank];
+        self.counts[rank] = new;
+        self.rebin(rank as u32);
+    }
+
+    /// The bin index `page` currently occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside this histogram's region.
+    #[inline]
+    pub fn bin_of(&self, page: PageId) -> usize {
+        let rank = self.rank(page);
+        self.slots[rank as usize].0 as usize
+    }
+
+    /// Number of pages currently in `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= NUM_BINS`.
+    #[inline]
+    pub fn bin_len(&self, bin: usize) -> usize {
+        self.bins[bin].len()
+    }
+
+    /// Ages the histogram: halves every count (integer division) and
+    /// re-bins, exactly as PP-E does at each partitioning update.
+    pub fn age(&mut self) {
+        self.total = 0;
+        for rank in 0..self.counts.len() {
+            self.counts[rank] /= 2;
+            self.total += self.counts[rank];
+            self.rebin(rank as u32);
+        }
+    }
+
+    /// Returns up to `n` of the *hottest* pages satisfying `pred`,
+    /// scanning bins from the highest-frequency bin downward (Fig. 4a:
+    /// "promotes pages from SMem to FMem by selecting those in the
+    /// highest frequency bin"). Pages in the zero bin are returned last,
+    /// only if the hotter bins could not satisfy `n`.
+    pub fn hottest_matching<F>(&self, n: usize, mut pred: F) -> Vec<PageId>
+    where
+        F: FnMut(PageId) -> bool,
+    {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        for bin in (0..NUM_BINS).rev() {
+            for &rank in &self.bins[bin] {
+                let page = PageId(self.region.base + rank);
+                if pred(page) {
+                    out.push(page);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns up to `n` of the *coldest* pages satisfying `pred`,
+    /// scanning bins from the zero bin upward (Fig. 4a: "pages are
+    /// demoted from FMem to SMem following the lowest-frequency bin").
+    pub fn coldest_matching<F>(&self, n: usize, mut pred: F) -> Vec<PageId>
+    where
+        F: FnMut(PageId) -> bool,
+    {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        for bin in 0..NUM_BINS {
+            for &rank in &self.bins[bin] {
+                let page = PageId(self.region.base + rank);
+                if pred(page) {
+                    out.push(page);
+                    if out.len() == n {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the access count a page must strictly exceed to be among
+    /// the hottest `k` pages — i.e. the count of the k-th hottest page
+    /// (0 if `k` ≥ population). Used by unified-histogram refinement
+    /// (Fig. 4b) to decide which pages deserve the FMem partition.
+    pub fn kth_hottest_count(&self, k: usize) -> u64 {
+        if k == 0 {
+            return u64::MAX;
+        }
+        let mut remaining = k;
+        for bin in (0..NUM_BINS).rev() {
+            let len = self.bins[bin].len();
+            if len == 0 {
+                continue;
+            }
+            if remaining <= len {
+                // The k-th hottest lies in this bin; find it exactly.
+                let mut cs: Vec<u64> = self.bins[bin]
+                    .iter()
+                    .map(|&r| self.counts[r as usize])
+                    .collect();
+                cs.sort_unstable_by(|a, b| b.cmp(a));
+                return cs[remaining - 1];
+            }
+            remaining -= len;
+        }
+        0
+    }
+
+    /// Iterates `(page, count)` over all pages in the region.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(rank, &c)| (PageId(self.region.base + rank as u32), c))
+    }
+
+    #[inline]
+    fn rank(&self, page: PageId) -> u32 {
+        self.region
+            .rank_of(page)
+            .unwrap_or_else(|| panic!("{page} outside histogram region {:?}", self.region))
+    }
+
+    /// Moves `rank` to the bin its current count demands, if different.
+    fn rebin(&mut self, rank: u32) {
+        let (old_bin, pos) = self.slots[rank as usize];
+        let new_bin = bin_for_count(self.counts[rank as usize]) as u8;
+        if new_bin == old_bin {
+            return;
+        }
+        // Swap-remove from the old bin, fixing the displaced page's slot.
+        let old_vec = &mut self.bins[old_bin as usize];
+        let last = old_vec.len() as u32 - 1;
+        old_vec.swap_remove(pos as usize);
+        if pos != last {
+            let moved_rank = old_vec[pos as usize];
+            self.slots[moved_rank as usize].1 = pos;
+        }
+        // Push into the new bin.
+        let new_vec = &mut self.bins[new_bin as usize];
+        new_vec.push(rank);
+        self.slots[rank as usize] = (new_bin, new_vec.len() as u32 - 1);
+    }
+
+    /// Verifies internal consistency (bin membership matches counts and
+    /// slots); used by tests and property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.counts.len()];
+        let mut total = 0u64;
+        for (bin, ranks) in self.bins.iter().enumerate() {
+            for (pos, &rank) in ranks.iter().enumerate() {
+                let r = rank as usize;
+                if seen[r] {
+                    return Err(format!("rank {rank} appears in multiple bins"));
+                }
+                seen[r] = true;
+                if bin_for_count(self.counts[r]) != bin {
+                    return Err(format!(
+                        "rank {rank} count {} belongs in bin {}, found in {bin}",
+                        self.counts[r],
+                        bin_for_count(self.counts[r])
+                    ));
+                }
+                if self.slots[r] != (bin as u8, pos as u32) {
+                    return Err(format!("rank {rank} slot {:?} != ({bin},{pos})", self.slots[r]));
+                }
+                total += self.counts[r];
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("some rank missing from all bins".to_string());
+        }
+        if total != self.total {
+            return Err(format!("total {} != recount {total}", self.total));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(n: u32) -> PageRegion {
+        PageRegion { base: 100, n_pages: n }
+    }
+
+    #[test]
+    fn bin_boundaries_double() {
+        assert_eq!(bin_for_count(0), 0);
+        assert_eq!(bin_for_count(1), 1);
+        assert_eq!(bin_for_count(2), 2);
+        assert_eq!(bin_for_count(3), 2);
+        assert_eq!(bin_for_count(4), 3);
+        assert_eq!(bin_for_count(7), 3);
+        assert_eq!(bin_for_count(8), 4);
+        assert_eq!(bin_for_count(u64::MAX), NUM_BINS - 1);
+    }
+
+    #[test]
+    fn new_histogram_is_all_zero_bin() {
+        let h = AccessHistogram::new(region(10));
+        assert_eq!(h.bin_len(0), 10);
+        assert_eq!(h.total(), 0);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_rebins() {
+        let mut h = AccessHistogram::new(region(4));
+        h.add(PageId(100), 5);
+        assert_eq!(h.bin_of(PageId(100)), 3);
+        assert_eq!(h.count(PageId(100)), 5);
+        h.add(PageId(100), 3); // now 8 -> bin 4
+        assert_eq!(h.bin_of(PageId(100)), 4);
+        assert_eq!(h.total(), 8);
+        h.add(PageId(101), 0); // no-op
+        assert_eq!(h.bin_of(PageId(101)), 0);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn age_halves_and_rebins() {
+        let mut h = AccessHistogram::new(region(3));
+        h.add(PageId(100), 8);
+        h.add(PageId(101), 1);
+        h.age();
+        assert_eq!(h.count(PageId(100)), 4);
+        assert_eq!(h.bin_of(PageId(100)), 3);
+        assert_eq!(h.count(PageId(101)), 0);
+        assert_eq!(h.bin_of(PageId(101)), 0);
+        assert_eq!(h.total(), 4);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_aging_forgets_everything() {
+        let mut h = AccessHistogram::new(region(2));
+        h.add(PageId(100), 1000);
+        for _ in 0..11 {
+            h.age();
+        }
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.bin_len(0), 2);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hottest_and_coldest_ordering() {
+        let mut h = AccessHistogram::new(region(5));
+        h.add(PageId(100), 100);
+        h.add(PageId(101), 10);
+        h.add(PageId(102), 1);
+        // 103, 104 untouched.
+        let hot = h.hottest_matching(3, |_| true);
+        assert_eq!(hot, vec![PageId(100), PageId(101), PageId(102)]);
+        let cold = h.coldest_matching(2, |_| true);
+        assert!(cold.contains(&PageId(103)) && cold.contains(&PageId(104)));
+        // Hottest falls through to the zero bin when needed.
+        let all = h.hottest_matching(5, |_| true);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], PageId(100));
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let mut h = AccessHistogram::new(region(4));
+        for (i, c) in [(0u32, 50u64), (1, 40), (2, 30), (3, 20)] {
+            h.add(PageId(100 + i), c);
+        }
+        let even_only = h.hottest_matching(2, |p| p.0 % 2 == 0);
+        assert_eq!(even_only, vec![PageId(100), PageId(102)]);
+    }
+
+    #[test]
+    fn kth_hottest_count_exact() {
+        let mut h = AccessHistogram::new(region(4));
+        h.add(PageId(100), 100);
+        h.add(PageId(101), 50);
+        h.add(PageId(102), 7);
+        assert_eq!(h.kth_hottest_count(0), u64::MAX);
+        assert_eq!(h.kth_hottest_count(1), 100);
+        assert_eq!(h.kth_hottest_count(2), 50);
+        assert_eq!(h.kth_hottest_count(3), 7);
+        assert_eq!(h.kth_hottest_count(4), 0);
+        assert_eq!(h.kth_hottest_count(100), 0);
+    }
+
+    #[test]
+    fn kth_hottest_within_same_bin() {
+        let mut h = AccessHistogram::new(region(3));
+        // 5, 6, 7 are all in bin 3 ([4,8)).
+        h.add(PageId(100), 5);
+        h.add(PageId(101), 7);
+        h.add(PageId(102), 6);
+        assert_eq!(h.kth_hottest_count(1), 7);
+        assert_eq!(h.kth_hottest_count(2), 6);
+        assert_eq!(h.kth_hottest_count(3), 5);
+    }
+
+    #[test]
+    fn iter_covers_region() {
+        let mut h = AccessHistogram::new(region(3));
+        h.add(PageId(101), 2);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[1], (PageId(101), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside histogram region")]
+    fn out_of_region_panics() {
+        let mut h = AccessHistogram::new(region(2));
+        h.add(PageId(0), 1);
+    }
+
+    #[test]
+    fn stress_rebinning_consistency() {
+        let mut h = AccessHistogram::new(region(64));
+        // Deterministic pseudo-random walk of adds and ages.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for step in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let rank = (x % 64) as u32;
+            let delta = x % 37;
+            h.add(PageId(100 + rank), delta);
+            if step % 257 == 0 {
+                h.age();
+            }
+        }
+        h.check_invariants().unwrap();
+    }
+}

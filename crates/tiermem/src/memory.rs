@@ -1,0 +1,632 @@
+//! The tiered-memory page table: ownership, placement, and migration.
+//!
+//! [`TieredMemory`] is the single source of truth for *where every page
+//! lives*. Policies (MTAT's PP-E, MEMTIS, TPP, …) mutate placement only
+//! through [`TieredMemory::migrate`] / [`TieredMemory::exchange`], which
+//! keep per-tier occupancy and per-workload residency counters exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TierMemError;
+use crate::page::{PageId, PageRegion, Tier, WorkloadId};
+
+/// Static description of a two-tier memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    fmem_bytes: u64,
+    smem_bytes: u64,
+    page_size: u64,
+}
+
+impl MemorySpec {
+    /// Creates a specification for a system with `fmem_bytes` of fast
+    /// memory, `smem_bytes` of slow memory, and the given page size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if the page size is zero or
+    /// not a power of two, or if either capacity is smaller than one page.
+    pub fn new(fmem_bytes: u64, smem_bytes: u64, page_size: u64) -> Result<Self, TierMemError> {
+        if page_size == 0 || !page_size.is_power_of_two() {
+            return Err(TierMemError::InvalidConfig {
+                what: "page_size",
+                detail: format!("must be a nonzero power of two, got {page_size}"),
+            });
+        }
+        if fmem_bytes < page_size {
+            return Err(TierMemError::InvalidConfig {
+                what: "fmem_bytes",
+                detail: format!("must hold at least one page of {page_size} bytes, got {fmem_bytes}"),
+            });
+        }
+        if smem_bytes < page_size {
+            return Err(TierMemError::InvalidConfig {
+                what: "smem_bytes",
+                detail: format!("must hold at least one page of {page_size} bytes, got {smem_bytes}"),
+            });
+        }
+        Ok(Self {
+            fmem_bytes,
+            smem_bytes,
+            page_size,
+        })
+    }
+
+    /// Paper-scale configuration: 32 GiB FMem, 256 GiB SMem (§5), 2 MiB pages.
+    ///
+    /// The paper's prototype tracks 4 KiB pages; the simulator defaults to
+    /// 2 MiB granularity so that a full co-location experiment manipulates
+    /// ~10⁵ pages instead of ~10⁸. All capacities and ratios are unchanged.
+    pub fn paper_scale() -> Self {
+        Self::new(32 * crate::GIB, 256 * crate::GIB, 2 * crate::MIB)
+            .expect("paper-scale spec is valid")
+    }
+
+    /// Capacity of the fast tier in bytes.
+    #[inline]
+    pub fn fmem_bytes(&self) -> u64 {
+        self.fmem_bytes
+    }
+
+    /// Capacity of the slow tier in bytes.
+    #[inline]
+    pub fn smem_bytes(&self) -> u64 {
+        self.smem_bytes
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Capacity of the fast tier in pages (rounded down).
+    #[inline]
+    pub fn fmem_pages(&self) -> u64 {
+        self.fmem_bytes / self.page_size
+    }
+
+    /// Capacity of the slow tier in pages (rounded down).
+    #[inline]
+    pub fn smem_pages(&self) -> u64 {
+        self.smem_bytes / self.page_size
+    }
+
+    /// Capacity of a tier in pages.
+    #[inline]
+    pub fn tier_pages(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::FMem => self.fmem_pages(),
+            Tier::SMem => self.smem_pages(),
+        }
+    }
+
+    /// Converts a byte count to whole pages, rounding up.
+    #[inline]
+    pub fn bytes_to_pages(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_size)
+    }
+
+    /// Converts a page count to bytes.
+    #[inline]
+    pub fn pages_to_bytes(&self, pages: u64) -> u64 {
+        pages * self.page_size
+    }
+}
+
+/// Where a newly registered workload's pages are initially placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialPlacement {
+    /// All pages start in the slow tier (cold start).
+    AllSmem,
+    /// Pages fill the fast tier first (in rank order), spilling the
+    /// remainder into the slow tier. This models the paper's Fig. 2 setup
+    /// where Redis "initially occupies 100 % of available FMem".
+    FmemFirst,
+}
+
+/// Per-workload residency counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Residency {
+    /// Pages of this workload currently resident in FMem.
+    pub fmem_pages: u64,
+    /// Pages of this workload currently resident in SMem.
+    pub smem_pages: u64,
+}
+
+impl Residency {
+    /// Total pages owned by the workload.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.fmem_pages + self.smem_pages
+    }
+
+    /// Fraction of the workload's pages resident in FMem
+    /// (the paper's *FMem Usage Ratio* state component).
+    ///
+    /// Returns 0 for a workload with no pages.
+    #[inline]
+    pub fn fmem_usage_ratio(&self) -> f64 {
+        let t = self.total_pages();
+        if t == 0 {
+            0.0
+        } else {
+            self.fmem_pages as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct PageMeta {
+    owner: WorkloadId,
+    tier: Tier,
+}
+
+/// The simulated two-tier memory system.
+///
+/// Holds the global page table and enforces tier capacities. See the
+/// [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct TieredMemory {
+    spec: MemorySpec,
+    pages: Vec<PageMeta>,
+    regions: Vec<PageRegion>,
+    residency: Vec<Residency>,
+    fmem_used: u64,
+    smem_used: u64,
+}
+
+impl TieredMemory {
+    /// Creates an empty tiered memory system with the given specification.
+    pub fn new(spec: MemorySpec) -> Self {
+        Self {
+            spec,
+            pages: Vec::new(),
+            regions: Vec::new(),
+            residency: Vec::new(),
+            fmem_used: 0,
+            smem_used: 0,
+        }
+    }
+
+    /// The static specification this system was created with.
+    #[inline]
+    pub fn spec(&self) -> &MemorySpec {
+        &self.spec
+    }
+
+    /// Number of registered workloads.
+    #[inline]
+    pub fn workload_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total number of registered pages.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages currently used in a tier.
+    #[inline]
+    pub fn used_pages(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::FMem => self.fmem_used,
+            Tier::SMem => self.smem_used,
+        }
+    }
+
+    /// Free pages remaining in a tier.
+    #[inline]
+    pub fn free_pages(&self, tier: Tier) -> u64 {
+        self.spec.tier_pages(tier) - self.used_pages(tier)
+    }
+
+    /// Registers a workload with a resident set of `rss_bytes`, placing
+    /// its pages per `placement`. Returns the new workload's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::OutOfMemory`] if the combined free space of
+    /// both tiers cannot hold the resident set, or
+    /// [`TierMemError::InvalidConfig`] if `rss_bytes` is zero.
+    pub fn register_workload(
+        &mut self,
+        rss_bytes: u64,
+        placement: InitialPlacement,
+    ) -> Result<WorkloadId, TierMemError> {
+        if rss_bytes == 0 {
+            return Err(TierMemError::InvalidConfig {
+                what: "rss_bytes",
+                detail: "workload resident set must be nonzero".to_string(),
+            });
+        }
+        let n_pages = self.spec.bytes_to_pages(rss_bytes);
+        let available = self.free_pages(Tier::FMem) + self.free_pages(Tier::SMem);
+        if n_pages > available {
+            return Err(TierMemError::OutOfMemory {
+                requested_pages: n_pages,
+                available_pages: available,
+            });
+        }
+        let id = WorkloadId(self.regions.len() as u16);
+        let base = self.pages.len() as u32;
+        let region = PageRegion {
+            base,
+            n_pages: n_pages as u32,
+        };
+
+        let fmem_take = match placement {
+            InitialPlacement::AllSmem => {
+                // Even with AllSmem, a resident set larger than free SMem
+                // must spill its *tail* into FMem to fit.
+                let smem_free = self.free_pages(Tier::SMem);
+                n_pages.saturating_sub(smem_free)
+            }
+            InitialPlacement::FmemFirst => n_pages.min(self.free_pages(Tier::FMem)),
+        };
+        let mut res = Residency::default();
+        for rank in 0..n_pages {
+            // FmemFirst places the lowest ranks (hottest, by convention)
+            // in FMem; AllSmem spills the highest ranks into FMem only if
+            // SMem alone cannot hold the set.
+            let tier = match placement {
+                InitialPlacement::FmemFirst if rank < fmem_take => Tier::FMem,
+                InitialPlacement::AllSmem if rank >= n_pages - fmem_take => Tier::FMem,
+                _ => Tier::SMem,
+            };
+            self.pages.push(PageMeta { owner: id, tier });
+            match tier {
+                Tier::FMem => {
+                    self.fmem_used += 1;
+                    res.fmem_pages += 1;
+                }
+                Tier::SMem => {
+                    self.smem_used += 1;
+                    res.smem_pages += 1;
+                }
+            }
+        }
+        self.regions.push(region);
+        self.residency.push(res);
+        Ok(id)
+    }
+
+    /// Returns the page region of a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` was not returned by [`Self::register_workload`].
+    #[inline]
+    pub fn region(&self, w: WorkloadId) -> PageRegion {
+        self.regions[w.index()]
+    }
+
+    /// Returns residency counters for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` was not returned by [`Self::register_workload`].
+    #[inline]
+    pub fn residency(&self, w: WorkloadId) -> Residency {
+        self.residency[w.index()]
+    }
+
+    /// Returns the tier a page currently resides in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::UnknownPage`] for an unregistered page id.
+    #[inline]
+    pub fn tier_of(&self, page: PageId) -> Result<Tier, TierMemError> {
+        self.pages
+            .get(page.index())
+            .map(|m| m.tier)
+            .ok_or(TierMemError::UnknownPage(page))
+    }
+
+    /// Returns the workload that owns a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::UnknownPage`] for an unregistered page id.
+    #[inline]
+    pub fn owner_of(&self, page: PageId) -> Result<WorkloadId, TierMemError> {
+        self.pages
+            .get(page.index())
+            .map(|m| m.owner)
+            .ok_or(TierMemError::UnknownPage(page))
+    }
+
+    /// Infallible tier lookup for pages known to be registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page id is unregistered. Intended for hot paths that
+    /// iterate over a [`PageRegion`] obtained from this same system.
+    #[inline]
+    pub fn tier_of_unchecked(&self, page: PageId) -> Tier {
+        self.pages[page.index()].tier
+    }
+
+    /// Moves a page to `to` tier.
+    ///
+    /// # Errors
+    ///
+    /// * [`TierMemError::UnknownPage`] — unregistered page.
+    /// * [`TierMemError::AlreadyResident`] — the page is already in `to`.
+    /// * [`TierMemError::TierFull`] — no free page frames in `to`.
+    pub fn migrate(&mut self, page: PageId, to: Tier) -> Result<(), TierMemError> {
+        let meta = self
+            .pages
+            .get(page.index())
+            .copied()
+            .ok_or(TierMemError::UnknownPage(page))?;
+        if meta.tier == to {
+            return Err(TierMemError::AlreadyResident { page, tier: to });
+        }
+        if self.free_pages(to) == 0 {
+            return Err(TierMemError::TierFull {
+                tier: to,
+                capacity_pages: self.spec.tier_pages(to),
+            });
+        }
+        self.pages[page.index()].tier = to;
+        let res = &mut self.residency[meta.owner.index()];
+        match to {
+            Tier::FMem => {
+                self.fmem_used += 1;
+                self.smem_used -= 1;
+                res.fmem_pages += 1;
+                res.smem_pages -= 1;
+            }
+            Tier::SMem => {
+                self.smem_used += 1;
+                self.fmem_used -= 1;
+                res.smem_pages += 1;
+                res.fmem_pages -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs a simultaneous bidirectional exchange: `demote` pages move
+    /// FMem→SMem and `promote` pages move SMem→FMem, as in the paper's
+    /// "memory tier exchange" (§3.1).
+    ///
+    /// Demotions are applied first so that an exchange that is balanced
+    /// overall succeeds even when FMem is completely full beforehand.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically-in-intent (the struct may have applied a prefix of
+    /// demotions) only on programming errors: unknown pages, pages not in
+    /// the expected source tier, or a promotion that exceeds FMem capacity
+    /// after all demotions. Callers construct exchanges from placement
+    /// queries, so an error indicates a policy bug.
+    pub fn exchange(&mut self, promote: &[PageId], demote: &[PageId]) -> Result<(), TierMemError> {
+        for &p in demote {
+            self.migrate(p, Tier::SMem)?;
+        }
+        for &p in promote {
+            self.migrate(p, Tier::FMem)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the pages of workload `w` resident in `tier`.
+    pub fn pages_in_tier(
+        &self,
+        w: WorkloadId,
+        tier: Tier,
+    ) -> impl Iterator<Item = PageId> + '_ {
+        let region = self.regions[w.index()];
+        region
+            .iter()
+            .filter(move |&p| self.pages[p.index()].tier == tier)
+    }
+
+    /// Bytes of workload `w` resident in FMem.
+    #[inline]
+    pub fn fmem_bytes_of(&self, w: WorkloadId) -> u64 {
+        self.residency[w.index()].fmem_pages * self.spec.page_size()
+    }
+
+    /// Checks internal counter consistency; used by tests and property
+    /// tests as the system invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut fmem = 0u64;
+        let mut smem = 0u64;
+        let mut per_w: Vec<Residency> = vec![Residency::default(); self.regions.len()];
+        for (i, m) in self.pages.iter().enumerate() {
+            let r = &mut per_w[m.owner.index()];
+            match m.tier {
+                Tier::FMem => {
+                    fmem += 1;
+                    r.fmem_pages += 1;
+                }
+                Tier::SMem => {
+                    smem += 1;
+                    r.smem_pages += 1;
+                }
+            }
+            let region = self.regions[m.owner.index()];
+            if (i as u32) < region.base || (i as u32) >= region.base + region.n_pages {
+                return Err(format!("page {i} outside its owner's region"));
+            }
+        }
+        if fmem != self.fmem_used {
+            return Err(format!("fmem_used {} != recount {fmem}", self.fmem_used));
+        }
+        if smem != self.smem_used {
+            return Err(format!("smem_used {} != recount {smem}", self.smem_used));
+        }
+        if fmem > self.spec.fmem_pages() {
+            return Err(format!(
+                "fmem overcommitted: {fmem} > {}",
+                self.spec.fmem_pages()
+            ));
+        }
+        if smem > self.spec.smem_pages() {
+            return Err(format!(
+                "smem overcommitted: {smem} > {}",
+                self.spec.smem_pages()
+            ));
+        }
+        for (i, (got, want)) in per_w.iter().zip(self.residency.iter()).enumerate() {
+            if got != want {
+                return Err(format!("workload {i} residency mismatch: {got:?} vs {want:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GIB, MIB};
+
+    fn small_spec() -> MemorySpec {
+        // 8 pages of FMem, 64 pages of SMem, 1 MiB pages.
+        MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(MemorySpec::new(0, GIB, MIB).is_err());
+        assert!(MemorySpec::new(GIB, 0, MIB).is_err());
+        assert!(MemorySpec::new(GIB, GIB, 0).is_err());
+        assert!(MemorySpec::new(GIB, GIB, 3 * MIB).is_err()); // not a power of two
+        let s = MemorySpec::paper_scale();
+        assert_eq!(s.fmem_pages(), 32 * 512); // 32 GiB / 2 MiB
+        assert_eq!(s.smem_pages(), 256 * 512);
+    }
+
+    #[test]
+    fn bytes_to_pages_rounds_up() {
+        let s = small_spec();
+        assert_eq!(s.bytes_to_pages(1), 1);
+        assert_eq!(s.bytes_to_pages(MIB), 1);
+        assert_eq!(s.bytes_to_pages(MIB + 1), 2);
+        assert_eq!(s.pages_to_bytes(3), 3 * MIB);
+    }
+
+    #[test]
+    fn register_all_smem() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem.register_workload(10 * MIB, InitialPlacement::AllSmem).unwrap();
+        let r = mem.residency(w);
+        assert_eq!(r.fmem_pages, 0);
+        assert_eq!(r.smem_pages, 10);
+        assert_eq!(r.fmem_usage_ratio(), 0.0);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn register_fmem_first_spills() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem.register_workload(10 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let r = mem.residency(w);
+        assert_eq!(r.fmem_pages, 8); // FMem holds only 8 pages
+        assert_eq!(r.smem_pages, 2);
+        // Lowest ranks are the ones in FMem.
+        let region = mem.region(w);
+        assert_eq!(mem.tier_of(region.page(0)).unwrap(), Tier::FMem);
+        assert_eq!(mem.tier_of(region.page(9)).unwrap(), Tier::SMem);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn register_rejects_oversized() {
+        let mut mem = TieredMemory::new(small_spec());
+        // 8 + 64 = 72 pages total.
+        let err = mem.register_workload(73 * MIB, InitialPlacement::AllSmem).unwrap_err();
+        assert!(matches!(err, TierMemError::OutOfMemory { .. }));
+        assert!(mem.register_workload(0, InitialPlacement::AllSmem).is_err());
+    }
+
+    #[test]
+    fn all_smem_spills_tail_into_fmem_when_needed() {
+        let mut mem = TieredMemory::new(small_spec());
+        // 70 pages: 64 fit in SMem, 6 must land in FMem despite AllSmem.
+        let w = mem.register_workload(70 * MIB, InitialPlacement::AllSmem).unwrap();
+        let r = mem.residency(w);
+        assert_eq!(r.smem_pages, 64);
+        assert_eq!(r.fmem_pages, 6);
+        // The *tail* ranks are the spilled ones.
+        let region = mem.region(w);
+        assert_eq!(mem.tier_of(region.page(0)).unwrap(), Tier::SMem);
+        assert_eq!(mem.tier_of(region.page(69)).unwrap(), Tier::FMem);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_moves_and_updates_counters() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let p = mem.region(w).page(0);
+        mem.migrate(p, Tier::FMem).unwrap();
+        assert_eq!(mem.tier_of(p).unwrap(), Tier::FMem);
+        assert_eq!(mem.residency(w).fmem_pages, 1);
+        assert_eq!(mem.used_pages(Tier::FMem), 1);
+        // Migrating again to the same tier fails.
+        assert!(matches!(
+            mem.migrate(p, Tier::FMem),
+            Err(TierMemError::AlreadyResident { .. })
+        ));
+        mem.migrate(p, Tier::SMem).unwrap();
+        assert_eq!(mem.residency(w).fmem_pages, 0);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_respects_capacity() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem.register_workload(20 * MIB, InitialPlacement::AllSmem).unwrap();
+        let region = mem.region(w);
+        for rank in 0..8 {
+            mem.migrate(region.page(rank), Tier::FMem).unwrap();
+        }
+        let err = mem.migrate(region.page(8), Tier::FMem).unwrap_err();
+        assert!(matches!(err, TierMemError::TierFull { tier: Tier::FMem, .. }));
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exchange_is_bidirectional_under_full_fmem() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem.register_workload(20 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let region = mem.region(w);
+        assert_eq!(mem.free_pages(Tier::FMem), 0);
+        // Swap rank 0 (FMem) with rank 10 (SMem): demote first makes room.
+        mem.exchange(&[region.page(10)], &[region.page(0)]).unwrap();
+        assert_eq!(mem.tier_of(region.page(0)).unwrap(), Tier::SMem);
+        assert_eq!(mem.tier_of(region.page(10)).unwrap(), Tier::FMem);
+        assert_eq!(mem.free_pages(Tier::FMem), 0);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pages_in_tier_iterates_correctly() {
+        let mut mem = TieredMemory::new(small_spec());
+        let a = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        assert_eq!(mem.pages_in_tier(a, Tier::FMem).count(), 4);
+        assert_eq!(mem.pages_in_tier(a, Tier::SMem).count(), 0);
+        assert_eq!(mem.pages_in_tier(b, Tier::FMem).count(), 0);
+        assert_eq!(mem.pages_in_tier(b, Tier::SMem).count(), 4);
+        assert_eq!(mem.fmem_bytes_of(a), 4 * MIB);
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let mut mem = TieredMemory::new(small_spec());
+        let a = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
+        let b = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
+        assert_eq!(mem.owner_of(mem.region(a).page(1)).unwrap(), a);
+        assert_eq!(mem.owner_of(mem.region(b).page(0)).unwrap(), b);
+        assert!(mem.owner_of(PageId(999)).is_err());
+        assert!(mem.tier_of(PageId(999)).is_err());
+    }
+}

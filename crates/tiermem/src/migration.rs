@@ -1,0 +1,269 @@
+//! Bandwidth-limited page migration budget.
+//!
+//! Tiered-memory reconfiguration is constrained by memory bandwidth: the
+//! paper bounds the per-interval change in any partition by Eq. (1),
+//! `α ∈ [−M/2t, +M/2t]`, where `M` is the data-movement capacity in
+//! bytes/second and `t` the policy interval — the factor 2 reflecting that
+//! an *exchange* moves data in both directions simultaneously. Within an
+//! interval, PP-E further divides work into time slices of at most
+//! `p_max` pages each (Algorithm 3).
+//!
+//! [`MigrationEngine`] owns those numbers and meters actual page moves so
+//! that the §5.5 overhead experiment can report consumed bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TierMemError;
+
+/// Bandwidth model and accounting for page migrations.
+///
+/// ```
+/// use mtat_tiermem::migration::MigrationEngine;
+/// use mtat_tiermem::{GIB, MIB};
+///
+/// # fn main() -> Result<(), mtat_tiermem::TierMemError> {
+/// // 4 GB/s of migration bandwidth, 2 MiB pages, 60 s policy intervals.
+/// let mut eng = MigrationEngine::new(4.0 * GIB as f64, 2 * MIB, 60.0)?;
+///
+/// // Eq. (1): at most M·t/2 bytes may shift between partitions per interval.
+/// assert_eq!(eng.max_exchange_bytes_per_interval(), 120 * GIB);
+///
+/// // Meter a tick's worth of movement.
+/// eng.begin_tick(1.0);
+/// let moved = eng.try_consume_pages(100);
+/// assert_eq!(moved, 100);
+/// assert!(eng.bytes_moved_this_tick() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MigrationEngine {
+    bandwidth_bytes_per_sec: f64,
+    page_size: u64,
+    interval_secs: f64,
+    tick_budget_pages: u64,
+    tick_used_pages: u64,
+    total_pages_moved: u64,
+    total_busy_secs: f64,
+    current_tick_secs: f64,
+}
+
+impl MigrationEngine {
+    /// Creates a migration engine.
+    ///
+    /// * `bandwidth_bytes_per_sec` — the maximum data-movement capacity
+    ///   `M` of the tiered memory subsystem (the paper measures ~4 GB/s
+    ///   consumed out of a 25.6 GB/s single-channel module).
+    /// * `page_size` — bytes per page.
+    /// * `interval_secs` — the partitioning policy interval `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if the bandwidth or interval
+    /// is not strictly positive and finite, or the page size is zero.
+    pub fn new(
+        bandwidth_bytes_per_sec: f64,
+        page_size: u64,
+        interval_secs: f64,
+    ) -> Result<Self, TierMemError> {
+        if !(bandwidth_bytes_per_sec.is_finite() && bandwidth_bytes_per_sec > 0.0) {
+            return Err(TierMemError::InvalidConfig {
+                what: "bandwidth_bytes_per_sec",
+                detail: format!("must be positive and finite, got {bandwidth_bytes_per_sec}"),
+            });
+        }
+        if page_size == 0 {
+            return Err(TierMemError::InvalidConfig {
+                what: "page_size",
+                detail: "must be nonzero".to_string(),
+            });
+        }
+        if !(interval_secs.is_finite() && interval_secs > 0.0) {
+            return Err(TierMemError::InvalidConfig {
+                what: "interval_secs",
+                detail: format!("must be positive and finite, got {interval_secs}"),
+            });
+        }
+        Ok(Self {
+            bandwidth_bytes_per_sec,
+            page_size,
+            interval_secs,
+            tick_budget_pages: 0,
+            tick_used_pages: 0,
+            total_pages_moved: 0,
+            total_busy_secs: 0.0,
+            current_tick_secs: 0.0,
+        })
+    }
+
+    /// The data-movement capacity `M` in bytes/second.
+    #[inline]
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// The policy interval `t` in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> f64 {
+        self.interval_secs
+    }
+
+    /// Eq. (1) bound: the maximum net partition change per interval,
+    /// `M·t/2` bytes (data moves both ways during an exchange).
+    #[inline]
+    pub fn max_exchange_bytes_per_interval(&self) -> u64 {
+        (self.bandwidth_bytes_per_sec * self.interval_secs / 2.0) as u64
+    }
+
+    /// Eq. (1) bound in pages.
+    #[inline]
+    pub fn max_exchange_pages_per_interval(&self) -> u64 {
+        self.max_exchange_bytes_per_interval() / self.page_size
+    }
+
+    /// The per-time-slice cap `p_max` of Algorithm 3, for a slice of
+    /// `slice_secs`: how many pages can physically move in one slice.
+    #[inline]
+    pub fn p_max(&self, slice_secs: f64) -> u64 {
+        ((self.bandwidth_bytes_per_sec * slice_secs) / self.page_size as f64).floor() as u64
+    }
+
+    /// Clamps a desired net FMem change (in bytes, either sign) to the
+    /// Eq. (1) action range `[−M·t/2, +M·t/2]`.
+    #[inline]
+    pub fn clamp_action_bytes(&self, desired_bytes: f64) -> f64 {
+        let bound = self.max_exchange_bytes_per_interval() as f64;
+        desired_bytes.clamp(-bound, bound)
+    }
+
+    /// Starts a new simulation tick of `tick_secs`; resets the per-tick
+    /// page budget to what the bandwidth allows in that time.
+    pub fn begin_tick(&mut self, tick_secs: f64) {
+        self.current_tick_secs = tick_secs.max(0.0);
+        self.tick_budget_pages = self.p_max(self.current_tick_secs);
+        self.tick_used_pages = 0;
+    }
+
+    /// Pages still movable in the current tick.
+    #[inline]
+    pub fn remaining_tick_pages(&self) -> u64 {
+        self.tick_budget_pages - self.tick_used_pages
+    }
+
+    /// Attempts to consume budget for `pages` page moves; returns how many
+    /// were actually granted (possibly fewer, never more).
+    pub fn try_consume_pages(&mut self, pages: u64) -> u64 {
+        let granted = pages.min(self.remaining_tick_pages());
+        self.tick_used_pages += granted;
+        self.total_pages_moved += granted;
+        self.total_busy_secs +=
+            granted as f64 * self.page_size as f64 / self.bandwidth_bytes_per_sec;
+        granted
+    }
+
+    /// Bytes moved during the current tick so far.
+    #[inline]
+    pub fn bytes_moved_this_tick(&self) -> u64 {
+        self.tick_used_pages * self.page_size
+    }
+
+    /// Average migration bandwidth consumed during the current tick
+    /// (bytes/second); 0 for a zero-length tick.
+    pub fn tick_bandwidth_bytes_per_sec(&self) -> f64 {
+        if self.current_tick_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_moved_this_tick() as f64 / self.current_tick_secs
+        }
+    }
+
+    /// Total pages moved since construction (for §5.5 overhead reporting).
+    #[inline]
+    pub fn total_pages_moved(&self) -> u64 {
+        self.total_pages_moved
+    }
+
+    /// Total bytes moved since construction.
+    #[inline]
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.total_pages_moved * self.page_size
+    }
+
+    /// Total seconds the migration path was busy since construction.
+    #[inline]
+    pub fn total_busy_secs(&self) -> f64 {
+        self.total_busy_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GIB, MIB};
+
+    fn engine() -> MigrationEngine {
+        MigrationEngine::new(4.0 * GIB as f64, 2 * MIB, 60.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MigrationEngine::new(0.0, MIB, 1.0).is_err());
+        assert!(MigrationEngine::new(-1.0, MIB, 1.0).is_err());
+        assert!(MigrationEngine::new(f64::NAN, MIB, 1.0).is_err());
+        assert!(MigrationEngine::new(1.0, 0, 1.0).is_err());
+        assert!(MigrationEngine::new(1.0, MIB, 0.0).is_err());
+        assert!(MigrationEngine::new(1.0, MIB, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn eq1_bound() {
+        let e = engine();
+        // 4 GiB/s * 60 s / 2 = 120 GiB.
+        assert_eq!(e.max_exchange_bytes_per_interval(), 120 * GIB);
+        assert_eq!(e.max_exchange_pages_per_interval(), 120 * GIB / (2 * MIB));
+    }
+
+    #[test]
+    fn clamp_action() {
+        let e = engine();
+        let bound = 120.0 * GIB as f64;
+        assert_eq!(e.clamp_action_bytes(bound * 2.0), bound);
+        assert_eq!(e.clamp_action_bytes(-bound * 2.0), -bound);
+        assert_eq!(e.clamp_action_bytes(1.0), 1.0);
+    }
+
+    #[test]
+    fn p_max_scales_with_slice() {
+        let e = engine();
+        // 4 GiB/s over 1 s = 2048 pages of 2 MiB.
+        assert_eq!(e.p_max(1.0), 2048);
+        assert_eq!(e.p_max(0.5), 1024);
+        assert_eq!(e.p_max(0.0), 0);
+    }
+
+    #[test]
+    fn tick_budget_is_enforced() {
+        let mut e = engine();
+        e.begin_tick(1.0);
+        assert_eq!(e.remaining_tick_pages(), 2048);
+        assert_eq!(e.try_consume_pages(2000), 2000);
+        assert_eq!(e.try_consume_pages(100), 48); // only 48 left
+        assert_eq!(e.try_consume_pages(1), 0);
+        assert_eq!(e.bytes_moved_this_tick(), 2048 * 2 * MIB);
+        // Next tick resets.
+        e.begin_tick(1.0);
+        assert_eq!(e.remaining_tick_pages(), 2048);
+        assert_eq!(e.total_pages_moved(), 2048);
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut e = engine();
+        e.begin_tick(1.0);
+        e.try_consume_pages(1024); // 2 GiB in 1 s
+        let bw = e.tick_bandwidth_bytes_per_sec();
+        assert!((bw - 2.0 * GIB as f64).abs() < 1.0);
+        assert!((e.total_busy_secs() - 0.5).abs() < 1e-9);
+        assert_eq!(e.total_bytes_moved(), 2 * GIB);
+    }
+}

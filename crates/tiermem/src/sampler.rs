@@ -1,0 +1,193 @@
+//! PEBS-like probabilistic access sampling.
+//!
+//! MTAT's PP-E does not see every memory access: it samples
+//! `MEM_LOAD_L3_MISS_RETIRED.{LOCAL,REMOTE}_DRAM` and
+//! `MEM_INST_RETIRED.ALL_STORES` events through Intel PEBS with a
+//! configurable period (§4). The simulator reproduces the same
+//! information loss: given the *true* number of accesses a page received
+//! in a tick, [`AccessSampler`] returns the number of sampled events, a
+//! Poisson draw with mean `true_count / period`.
+//!
+//! Policies therefore operate on noisy, thinned counts exactly as the
+//! real daemon does — undersampling cold pages to zero and occasionally
+//! over-ranking lukewarm ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::TierMemError;
+
+/// Thins true access counts down to sampled-event counts.
+///
+/// ```
+/// use mtat_tiermem::sampler::AccessSampler;
+///
+/// # fn main() -> Result<(), mtat_tiermem::TierMemError> {
+/// let mut sampler = AccessSampler::new(64.0, 42)?;
+/// let sampled = sampler.sample_count(6400.0);
+/// // ~100 events expected; Poisson noise keeps it near that.
+/// assert!(sampled > 50 && sampled < 150);
+/// // Scale back up to estimate the true count.
+/// let estimate = sampler.estimate_from_samples(sampled);
+/// assert!((estimate as f64 - 6400.0).abs() < 6400.0 * 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessSampler {
+    period: f64,
+    rng: StdRng,
+}
+
+impl AccessSampler {
+    /// Creates a sampler that records, on average, one event per `period`
+    /// true accesses. A period of 1.0 observes everything (no thinning,
+    /// but still Poisson-noisy); larger periods observe less.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if `period < 1.0` or is
+    /// not finite.
+    pub fn new(period: f64, seed: u64) -> Result<Self, TierMemError> {
+        if !(period.is_finite() && period >= 1.0) {
+            return Err(TierMemError::InvalidConfig {
+                what: "sampling period",
+                detail: format!("must be finite and >= 1, got {period}"),
+            });
+        }
+        Ok(Self {
+            period,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The sampling period (true accesses per expected sampled event).
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Samples the number of observed events for a page that truly
+    /// received `true_count` accesses: `Poisson(true_count / period)`.
+    pub fn sample_count(&mut self, true_count: f64) -> u64 {
+        let mean = (true_count.max(0.0)) / self.period;
+        poisson(&mut self.rng, mean)
+    }
+
+    /// Multiplies a sampled event count back up by the period to estimate
+    /// the true access count, as the kernel daemon does when populating
+    /// per-page counters from PEBS records.
+    #[inline]
+    pub fn estimate_from_samples(&self, sampled: u64) -> u64 {
+        (sampled as f64 * self.period).round() as u64
+    }
+
+    /// Convenience: samples a whole per-page count vector in place,
+    /// returning estimated true counts (sampled × period).
+    pub fn sample_estimates(&mut self, true_counts: &[f64]) -> Vec<u64> {
+        true_counts
+            .iter()
+            .map(|&c| {
+                let s = self.sample_count(c);
+                self.estimate_from_samples(s)
+            })
+            .collect()
+    }
+}
+
+/// Draws from Poisson(mean) — Knuth's method for small means, a normal
+/// approximation (clamped at zero) for large means.
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Numerical guard: for very small `l`, avoid unbounded loops.
+            if k > 1_000 {
+                return k;
+            }
+        }
+    } else {
+        // Box–Muller normal approximation N(mean, mean).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = mean + mean.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(AccessSampler::new(0.5, 0).is_err());
+        assert!(AccessSampler::new(f64::NAN, 0).is_err());
+        assert!(AccessSampler::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn zero_accesses_sample_zero() {
+        let mut s = AccessSampler::new(16.0, 1).unwrap();
+        assert_eq!(s.sample_count(0.0), 0);
+        assert_eq!(s.sample_count(-5.0), 0);
+    }
+
+    #[test]
+    fn sampling_is_unbiased_on_average() {
+        let mut s = AccessSampler::new(64.0, 7).unwrap();
+        let true_count = 640.0; // mean 10 events
+        let n = 2000;
+        let total: u64 = (0..n).map(|_| s.sample_count(true_count)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn large_mean_uses_normal_approx_sanely() {
+        let mut s = AccessSampler::new(2.0, 3).unwrap();
+        let true_count = 100_000.0; // mean 50_000
+        let v = s.sample_count(true_count);
+        assert!(v > 45_000 && v < 55_000, "{v}");
+    }
+
+    #[test]
+    fn estimate_scales_by_period() {
+        let s = AccessSampler::new(64.0, 0).unwrap();
+        assert_eq!(s.estimate_from_samples(10), 640);
+        assert_eq!(s.period(), 64.0);
+    }
+
+    #[test]
+    fn sample_estimates_vector() {
+        let mut s = AccessSampler::new(1.0, 11).unwrap();
+        let ests = s.sample_estimates(&[0.0, 1000.0, 50.0]);
+        assert_eq!(ests.len(), 3);
+        assert_eq!(ests[0], 0);
+        assert!(ests[1] > 800 && ests[1] < 1200);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut a = AccessSampler::new(8.0, 99).unwrap();
+        let mut b = AccessSampler::new(8.0, 99).unwrap();
+        for i in 0..100 {
+            assert_eq!(a.sample_count(i as f64 * 13.0), b.sample_count(i as f64 * 13.0));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the tiered-memory substrate.
+
+use proptest::prelude::*;
+
+use mtat_tiermem::histogram::{bin_for_count, AccessHistogram, NUM_BINS};
+use mtat_tiermem::latency::{achieved_throughput, erlang_c, max_load_for_p99, p99_response};
+use mtat_tiermem::memory::{InitialPlacement, MemorySpec, TieredMemory};
+use mtat_tiermem::migration::MigrationEngine;
+use mtat_tiermem::page::{PageId, PageRegion, Tier};
+use mtat_tiermem::sampler::AccessSampler;
+use mtat_tiermem::MIB;
+
+proptest! {
+    /// Registration never exceeds capacities and the spill rules hold:
+    /// FmemFirst fills FMem from the lowest ranks, AllSmem spills only
+    /// the highest ranks.
+    #[test]
+    fn registration_respects_capacities(
+        fmem_pages in 1u64..32,
+        smem_pages in 1u64..256,
+        sizes in prop::collection::vec(1u64..64, 1..6),
+        fmem_first in prop::bool::ANY,
+    ) {
+        let spec = MemorySpec::new(fmem_pages * MIB, smem_pages * MIB, MIB).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let placement = if fmem_first {
+            InitialPlacement::FmemFirst
+        } else {
+            InitialPlacement::AllSmem
+        };
+        for &pages in &sizes {
+            let free = mem.free_pages(Tier::FMem) + mem.free_pages(Tier::SMem);
+            let res = mem.register_workload(pages * MIB, placement);
+            if pages <= free {
+                prop_assert!(res.is_ok());
+            } else {
+                prop_assert!(res.is_err());
+            }
+            prop_assert!(mem.check_invariants().is_ok());
+            prop_assert!(mem.used_pages(Tier::FMem) <= fmem_pages);
+            prop_assert!(mem.used_pages(Tier::SMem) <= smem_pages);
+        }
+    }
+
+    /// An exchange of equal-sized page sets preserves per-tier usage.
+    #[test]
+    fn exchange_preserves_tier_usage(k in 1u32..8) {
+        let spec = MemorySpec::new(16 * MIB, 64 * MIB, MIB).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let a = mem.register_workload(16 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(16 * MIB, InitialPlacement::AllSmem).unwrap();
+        let before_f = mem.used_pages(Tier::FMem);
+        let before_s = mem.used_pages(Tier::SMem);
+        let demote: Vec<PageId> = (0..k).map(|r| mem.region(a).page(r)).collect();
+        let promote: Vec<PageId> = (0..k).map(|r| mem.region(b).page(r)).collect();
+        mem.exchange(&promote, &demote).unwrap();
+        prop_assert_eq!(mem.used_pages(Tier::FMem), before_f);
+        prop_assert_eq!(mem.used_pages(Tier::SMem), before_s);
+        prop_assert!(mem.check_invariants().is_ok());
+    }
+
+    /// Bin boundaries double: bin(2c) == bin(c) + 1 for c in a power-of-
+    /// two position, and bins are monotone in the count.
+    #[test]
+    fn histogram_bins_are_monotone(c1 in 0u64..1_000_000, c2 in 0u64..1_000_000) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(bin_for_count(lo) <= bin_for_count(hi));
+        prop_assert!(bin_for_count(hi) < NUM_BINS);
+        // Doubling a nonzero count advances the bin by exactly one
+        // (until the cap).
+        if lo > 0 && bin_for_count(lo) + 1 < NUM_BINS {
+            prop_assert_eq!(bin_for_count(lo * 2), bin_for_count(lo) + 1);
+        }
+    }
+
+    /// Aging halves totals (integer division per page).
+    #[test]
+    fn aging_halves_total_within_rounding(
+        counts in prop::collection::vec(0u64..10_000, 1..64),
+    ) {
+        let region = PageRegion { base: 0, n_pages: counts.len() as u32 };
+        let mut h = AccessHistogram::new(region);
+        for (rank, &c) in counts.iter().enumerate() {
+            h.add(PageId(rank as u32), c);
+        }
+        let before = h.total();
+        h.age();
+        let after = h.total();
+        prop_assert!(after <= before / 2);
+        // Rounding loses at most one count per page.
+        prop_assert!(after + counts.len() as u64 > before / 2);
+    }
+
+    /// The migration engine never grants more than its budget, and the
+    /// Eq. (1) bound scales linearly in bandwidth and interval.
+    #[test]
+    fn migration_budget_is_a_hard_cap(
+        bw_mb in 1u32..10_000,
+        tick_ms in 1u32..5_000,
+        requests in prop::collection::vec(0u64..5_000, 1..20),
+    ) {
+        let bw = bw_mb as f64 * MIB as f64;
+        let mut e = MigrationEngine::new(bw, MIB, 10.0).unwrap();
+        let tick = tick_ms as f64 / 1e3;
+        e.begin_tick(tick);
+        let budget = e.remaining_tick_pages();
+        let mut granted_total = 0;
+        for &r in &requests {
+            granted_total += e.try_consume_pages(r);
+        }
+        prop_assert!(granted_total <= budget);
+        prop_assert_eq!(e.remaining_tick_pages(), budget - granted_total);
+        // Eq. (1): bound in bytes = bw * t / 2.
+        let bound = e.max_exchange_bytes_per_interval();
+        prop_assert_eq!(bound, (bw * 10.0 / 2.0) as u64);
+    }
+
+    /// Queueing sanity: P99 is finite below capacity, infinite at or
+    /// above it; achieved throughput equals offered below capacity.
+    #[test]
+    fn queueing_capacity_edge(
+        s_us in 1.0f64..1_000.0,
+        c in 1usize..32,
+        frac in 0.01f64..0.99,
+    ) {
+        let s = s_us * 1e-6;
+        let cap = c as f64 / s;
+        prop_assert!(p99_response(frac * cap, s, c).is_finite());
+        prop_assert!(!p99_response(cap * 1.01, s, c).is_finite());
+        prop_assert!((achieved_throughput(frac * cap, s, c) - frac * cap).abs() < 1e-6);
+        prop_assert!((achieved_throughput(cap * 2.0, s, c) - cap).abs() < 1e-6);
+    }
+
+    /// The max-load solver is consistent with the P99 model: its result
+    /// satisfies the SLO and 1 % more violates it.
+    #[test]
+    fn max_load_is_the_knee(
+        s_us in 1.0f64..200.0,
+        c in 1usize..16,
+        slo_ms in 1.0f64..100.0,
+    ) {
+        let s = s_us * 1e-6;
+        let slo = slo_ms * 1e-3;
+        let max = max_load_for_p99(s, c, slo);
+        if max > 0.0 {
+            prop_assert!(p99_response(max * 0.999, s, c) <= slo * (1.0 + 1e-6));
+            prop_assert!(p99_response(max * 1.02, s, c) > slo);
+        }
+    }
+
+    /// Erlang-C is a probability and increases with offered load.
+    #[test]
+    fn erlang_c_is_probability(c in 1usize..64, a1 in 0.0f64..32.0, a2 in 0.0f64..32.0) {
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let p_lo = erlang_c(c, lo);
+        let p_hi = erlang_c(c, hi);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    /// Sampling is conservative in expectation: over many pages the
+    /// estimated totals track the true totals within sampling error.
+    #[test]
+    fn sampler_estimates_are_unbiased(period in 1.0f64..256.0, seed in 0u64..100) {
+        let mut s = AccessSampler::new(period, seed).unwrap();
+        let true_per_page = 50.0 * period; // mean 50 events per page
+        let n = 400;
+        let mut est_total = 0u64;
+        for _ in 0..n {
+            let ev = s.sample_count(true_per_page);
+            est_total += s.estimate_from_samples(ev);
+        }
+        let true_total = true_per_page * n as f64;
+        let rel_err = (est_total as f64 - true_total).abs() / true_total;
+        // 400 pages × mean 50 -> σ/μ ≈ 1/√20000 ≈ 0.7 %; allow 5σ.
+        prop_assert!(rel_err < 0.05, "rel_err {rel_err}");
+    }
+}

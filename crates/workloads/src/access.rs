@@ -1,0 +1,230 @@
+//! Page-popularity distributions.
+//!
+//! A workload's memory behaviour is characterized by how its accesses
+//! spread over its pages. LC servers in the paper receive *uniform*
+//! request traffic (§5) — every page is equally likely, so no page is
+//! individually hot. BE batch jobs have skewed popularity: graph kernels
+//! hammer high-degree vertices; XSBench's table lookups are flatter.
+//!
+//! [`Popularity`] materializes a distribution over `n` pages sorted from
+//! hottest (rank 0) to coldest, with prefix sums so that *"what hit ratio
+//! would k resident pages buy"* is an O(1) query.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a workload's page-popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Every page equally popular (LC request traffic per §5).
+    Uniform,
+    /// Zipf-like popularity: rank-`r` page has weight `(r+1)^-exponent`.
+    /// Exponent 0 degenerates to uniform; larger exponents are more
+    /// skewed.
+    Zipfian {
+        /// The Zipf exponent `s > 0`.
+        exponent: f64,
+    },
+}
+
+impl AccessPattern {
+    /// Unnormalized weight of the page at `rank` (0 = hottest).
+    #[inline]
+    pub fn raw_weight(&self, rank: usize) -> f64 {
+        match *self {
+            AccessPattern::Uniform => 1.0,
+            AccessPattern::Zipfian { exponent } => ((rank + 1) as f64).powf(-exponent),
+        }
+    }
+}
+
+/// A normalized popularity distribution over a workload's pages, hottest
+/// first, with prefix sums.
+///
+/// ```
+/// use mtat_workloads::access::{AccessPattern, Popularity};
+///
+/// let pop = Popularity::new(AccessPattern::Zipfian { exponent: 0.9 }, 1000);
+/// // The hottest 10 % of pages draw far more than 10 % of accesses.
+/// assert!(pop.fraction_top(100) > 0.3);
+/// // A uniform distribution draws exactly its share.
+/// let uni = Popularity::new(AccessPattern::Uniform, 1000);
+/// assert!((uni.fraction_top(100) - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Popularity {
+    pattern: AccessPattern,
+    weights: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl Popularity {
+    /// Builds the distribution for `n_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pages == 0` or a Zipf exponent is negative/non-finite.
+    pub fn new(pattern: AccessPattern, n_pages: usize) -> Self {
+        assert!(n_pages > 0, "popularity needs at least one page");
+        if let AccessPattern::Zipfian { exponent } = pattern {
+            assert!(
+                exponent.is_finite() && exponent >= 0.0,
+                "zipf exponent must be finite and non-negative, got {exponent}"
+            );
+        }
+        let mut weights: Vec<f64> = (0..n_pages).map(|r| pattern.raw_weight(r)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let mut prefix = Vec::with_capacity(n_pages + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        Self {
+            pattern,
+            weights,
+            prefix,
+        }
+    }
+
+    /// The pattern this distribution was built from.
+    #[inline]
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Number of pages covered.
+    #[inline]
+    pub fn n_pages(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Normalized access probability of the page at `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n_pages`.
+    #[inline]
+    pub fn weight(&self, rank: usize) -> f64 {
+        self.weights[rank]
+    }
+
+    /// All normalized weights, hottest first.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fraction of accesses absorbed by the hottest `k` pages (the *ideal*
+    /// FMem hit ratio if a policy keeps exactly those pages resident).
+    /// Saturates at 1.0 for `k >= n_pages`.
+    #[inline]
+    pub fn fraction_top(&self, k: usize) -> f64 {
+        let k = k.min(self.weights.len());
+        self.prefix[k]
+    }
+
+    /// Fraction of accesses landing on an arbitrary resident *set*,
+    /// given as an iterator of page ranks.
+    pub fn fraction_of<I: IntoIterator<Item = usize>>(&self, ranks: I) -> f64 {
+        ranks.into_iter().map(|r| self.weights[r]).sum()
+    }
+
+    /// The smallest number of hottest pages whose combined popularity
+    /// reaches `target` (clamped to [0, 1]). Inverse of
+    /// [`Self::fraction_top`]; used by profiling to ask "how much FMem
+    /// buys hit ratio h".
+    pub fn pages_for_fraction(&self, target: f64) -> usize {
+        let t = target.clamp(0.0, 1.0);
+        // prefix is sorted ascending; binary search for first >= t.
+        match self
+            .prefix
+            .binary_search_by(|p| p.partial_cmp(&t).expect("prefix sums are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.weights.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_are_equal() {
+        let p = Popularity::new(AccessPattern::Uniform, 10);
+        for r in 0..10 {
+            assert!((p.weight(r) - 0.1).abs() < 1e-12);
+        }
+        assert_eq!(p.n_pages(), 10);
+        assert!((p.fraction_top(5) - 0.5).abs() < 1e-12);
+        assert!((p.fraction_top(10) - 1.0).abs() < 1e-12);
+        assert!((p.fraction_top(999) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_sorted_and_normalized() {
+        let p = Popularity::new(AccessPattern::Zipfian { exponent: 1.0 }, 100);
+        let total: f64 = p.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(p.weight(r) <= p.weight(r - 1));
+        }
+        // Head heaviness: rank 0 has weight 1/H_100 ≈ 0.193.
+        assert!(p.weight(0) > 0.15);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Popularity::new(AccessPattern::Zipfian { exponent: 0.0 }, 50);
+        let u = Popularity::new(AccessPattern::Uniform, 50);
+        for r in 0..50 {
+            assert!((z.weight(r) - u.weight(r)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let lo = Popularity::new(AccessPattern::Zipfian { exponent: 0.3 }, 1000);
+        let hi = Popularity::new(AccessPattern::Zipfian { exponent: 1.2 }, 1000);
+        assert!(hi.fraction_top(100) > lo.fraction_top(100));
+    }
+
+    #[test]
+    fn fraction_of_arbitrary_set() {
+        let p = Popularity::new(AccessPattern::Uniform, 4);
+        assert!((p.fraction_of([0, 2]) - 0.5).abs() < 1e-12);
+        assert!((p.fraction_of(std::iter::empty()) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pages_for_fraction_inverts_fraction_top() {
+        let p = Popularity::new(AccessPattern::Zipfian { exponent: 0.8 }, 500);
+        for target in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let k = p.pages_for_fraction(target);
+            assert!(p.fraction_top(k) >= target - 1e-12);
+            if k > 0 {
+                assert!(p.fraction_top(k - 1) < target + 1e-9);
+            }
+        }
+        // Out-of-range targets clamp.
+        assert_eq!(p.pages_for_fraction(2.0), 500);
+        assert_eq!(p.pages_for_fraction(-1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pages_panics() {
+        let _ = Popularity::new(AccessPattern::Uniform, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn negative_exponent_panics() {
+        let _ = Popularity::new(AccessPattern::Zipfian { exponent: -1.0 }, 10);
+    }
+}

@@ -1,0 +1,278 @@
+//! Best-effort workload models (Table 2).
+//!
+//! BE batch jobs run flat out: their throughput is bounded by how fast
+//! operations complete, and each operation's cost is dominated by its
+//! memory accesses. With FMem hit ratio `h`,
+//!
+//! ```text
+//! throughput(h) = cores / (cpu_per_op + n·(h·73 ns + (1−h)·202 ns))
+//! ```
+//!
+//! Unlike LC servers, BE jobs have *skewed* page popularity — graph
+//! kernels concentrate on high-degree vertices, XSBench's unionized
+//! cross-section lookups are much flatter — so the throughput gained per
+//! extra gigabyte of FMem is concave and differs per workload. That
+//! concavity is what makes the fairness-oriented simulated-annealing
+//! allocation of Algorithm 2 non-trivial.
+
+use serde::{Deserialize, Serialize};
+
+use mtat_tiermem::latency::ServiceModel;
+use mtat_tiermem::GIB;
+
+use crate::access::{AccessPattern, Popularity};
+
+/// Specification of a best-effort batch workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeSpec {
+    /// Benchmark name (e.g. `"sssp"`).
+    pub name: String,
+    /// Resident set size in bytes (Table 2).
+    pub rss_bytes: u64,
+    /// Worker cores (the paper assigns four per BE job in the main
+    /// setup; Table 3 varies this).
+    pub cores: usize,
+    /// Pure CPU time per operation, seconds.
+    pub cpu_secs_per_op: f64,
+    /// DRAM accesses per operation.
+    pub accesses_per_op: f64,
+    /// Page-popularity shape.
+    pub pattern: AccessPattern,
+}
+
+impl BeSpec {
+    /// GAPBS single-source shortest paths: 35.5 GiB RSS, moderately
+    /// skewed vertex popularity.
+    pub fn sssp() -> Self {
+        Self {
+            name: "sssp".to_string(),
+            rss_bytes: gb(35.5),
+            cores: 4,
+            cpu_secs_per_op: 0.02e-6,
+            accesses_per_op: 1.0,
+            pattern: AccessPattern::Zipfian { exponent: 0.8 },
+        }
+    }
+
+    /// GAPBS breadth-first search: 35.2 GiB RSS, mildly skewed.
+    pub fn bfs() -> Self {
+        Self {
+            name: "bfs".to_string(),
+            rss_bytes: gb(35.2),
+            cores: 4,
+            cpu_secs_per_op: 0.025e-6,
+            accesses_per_op: 1.0,
+            pattern: AccessPattern::Zipfian { exponent: 0.5 },
+        }
+    }
+
+    /// GAPBS PageRank: 36.0 GiB RSS, strongly skewed (power-law ranks).
+    pub fn pagerank() -> Self {
+        Self {
+            name: "pr".to_string(),
+            rss_bytes: gb(36.0),
+            cores: 4,
+            cpu_secs_per_op: 0.015e-6,
+            accesses_per_op: 1.0,
+            pattern: AccessPattern::Zipfian { exponent: 1.15 },
+        }
+    }
+
+    /// XSBench Monte-Carlo neutron-transport lookup kernel: 31.7 GiB RSS,
+    /// nearly flat popularity over its cross-section tables.
+    pub fn xsbench() -> Self {
+        Self {
+            name: "xsbench".to_string(),
+            rss_bytes: gb(31.7),
+            cores: 4,
+            cpu_secs_per_op: 0.03e-6,
+            accesses_per_op: 2.0,
+            pattern: AccessPattern::Zipfian { exponent: 0.25 },
+        }
+    }
+
+    /// The paper's four-BE co-location set {SSSP, BFS, PR, XSBench}.
+    pub fn all_paper_workloads() -> Vec<BeSpec> {
+        vec![Self::sssp(), Self::bfs(), Self::pagerank(), Self::xsbench()]
+    }
+
+    /// The paper's two-BE set used in Table 3: {SSSP, PR}.
+    pub fn two_workload_set() -> Vec<BeSpec> {
+        vec![Self::sssp(), Self::pagerank()]
+    }
+
+    /// Returns a copy running on `cores` worker cores.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// The per-operation service model.
+    pub fn service_model(&self) -> ServiceModel {
+        ServiceModel::with_paper_latencies(self.cpu_secs_per_op, self.accesses_per_op)
+    }
+
+    /// Throughput (operations/second) at FMem hit ratio `h`.
+    pub fn throughput(&self, hit_ratio: f64) -> f64 {
+        self.cores as f64 / self.service_model().service_time(hit_ratio)
+    }
+
+    /// Memory accesses per second at hit ratio `h` (throughput × accesses
+    /// per op).
+    pub fn accesses_per_sec(&self, hit_ratio: f64) -> f64 {
+        self.throughput(hit_ratio) * self.accesses_per_op
+    }
+
+    /// Builds this workload's popularity distribution over `n_pages`.
+    pub fn popularity(&self, n_pages: usize) -> Popularity {
+        Popularity::new(self.pattern, n_pages)
+    }
+
+    /// The *ideal* hit ratio when the hottest pages filling `fmem_bytes`
+    /// are resident, at `page_size`-byte granularity. This is what a
+    /// perfect hotness-based placer converges to, and what offline
+    /// profiling (§4: "throughput under varying FMem allocations,
+    /// ranging from 0 GB in 1 GB increments") measures.
+    pub fn ideal_hit_ratio(&self, fmem_bytes: u64, page_size: u64) -> f64 {
+        let n_pages = self.rss_bytes.div_ceil(page_size) as usize;
+        let resident = (fmem_bytes / page_size) as usize;
+        self.popularity(n_pages).fraction_top(resident)
+    }
+
+    /// Throughput with `fmem_bytes` of fast memory under ideal placement —
+    /// one row of the offline profile used by PP-M's BE partitioning.
+    pub fn throughput_at_alloc(&self, fmem_bytes: u64, page_size: u64) -> f64 {
+        self.throughput(self.ideal_hit_ratio(fmem_bytes, page_size))
+    }
+
+    /// `Perf_full` of Eq. (3): throughput with exclusive access to 100 %
+    /// of the FMem.
+    pub fn perf_full(&self, total_fmem_bytes: u64, page_size: u64) -> f64 {
+        self.throughput_at_alloc(total_fmem_bytes, page_size)
+    }
+}
+
+fn gb(v: f64) -> u64 {
+    (v * GIB as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtat_tiermem::MIB;
+
+    fn all() -> Vec<BeSpec> {
+        BeSpec::all_paper_workloads()
+    }
+
+    #[test]
+    fn table2_rss_values() {
+        let want = [35.5, 35.2, 36.0, 31.7];
+        for (spec, rss) in all().iter().zip(want) {
+            assert!(
+                (spec.rss_bytes as f64 / GIB as f64 - rss).abs() < 0.01,
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_hit_ratio() {
+        for spec in all() {
+            let mut prev = 0.0;
+            for i in 0..=10 {
+                let t = spec.throughput(i as f64 / 10.0);
+                assert!(t > prev, "{}", spec.name);
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_gain_is_concave_for_skewed_workloads() {
+        // Marginal benefit of the next GiB shrinks (diminishing returns)
+        // for the skewed graph kernels, which is what gives the SA
+        // fairness search its landscape. XSBench's nearly-flat popularity
+        // yields an almost linear profile instead (checked separately).
+        let page = 2 * MIB;
+        for spec in [BeSpec::sssp(), BeSpec::bfs(), BeSpec::pagerank()] {
+            let t0 = spec.throughput_at_alloc(0, page);
+            let t8 = spec.throughput_at_alloc(8 * GIB, page);
+            let t16 = spec.throughput_at_alloc(16 * GIB, page);
+            let first_half = t8 - t0;
+            let second_half = t16 - t8;
+            assert!(
+                first_half > second_half,
+                "{}: {first_half} vs {second_half}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn xsbench_profile_is_nearly_linear() {
+        let page = 2 * MIB;
+        let spec = BeSpec::xsbench();
+        let t0 = spec.throughput_at_alloc(0, page);
+        let t8 = spec.throughput_at_alloc(8 * GIB, page);
+        let t16 = spec.throughput_at_alloc(16 * GIB, page);
+        let first_half = t8 - t0;
+        let second_half = t16 - t8;
+        let ratio = first_half / second_half;
+        assert!((0.6..=1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn skew_ordering_matches_design() {
+        // PR (most skewed) extracts more from a small FMem slice than
+        // XSBench (flattest).
+        let page = 2 * MIB;
+        let pr = BeSpec::pagerank();
+        let xs = BeSpec::xsbench();
+        let pr_gain = pr.ideal_hit_ratio(4 * GIB, page);
+        let xs_gain = xs.ideal_hit_ratio(4 * GIB, page);
+        assert!(pr_gain > 2.0 * xs_gain, "pr {pr_gain} xs {xs_gain}");
+    }
+
+    #[test]
+    fn perf_full_caps_at_rss() {
+        let page = 2 * MIB;
+        let spec = BeSpec::xsbench(); // 31.7 GiB < 32 GiB FMem
+        let full = spec.perf_full(32 * GIB, page);
+        // With the whole RSS resident the hit ratio is 1.
+        assert!((full - spec.throughput(1.0)).abs() < full * 1e-9);
+    }
+
+    #[test]
+    fn ideal_hit_ratio_bounds() {
+        let page = 2 * MIB;
+        for spec in all() {
+            assert_eq!(spec.ideal_hit_ratio(0, page), 0.0);
+            let h_all = spec.ideal_hit_ratio(spec.rss_bytes + GIB, page);
+            assert!((h_all - 1.0).abs() < 1e-9, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn with_cores_scales_throughput() {
+        let a = BeSpec::sssp();
+        let b = BeSpec::sssp().with_cores(8);
+        assert!((b.throughput(0.5) / a.throughput(0.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_workload_set_is_sssp_pr() {
+        let v = BeSpec::two_workload_set();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].name, "sssp");
+        assert_eq!(v[1].name, "pr");
+    }
+
+    #[test]
+    fn accesses_per_sec_consistent() {
+        let s = BeSpec::xsbench();
+        let h = 0.5;
+        assert!((s.accesses_per_sec(h) - s.throughput(h) * 2.0).abs() < 1e-6);
+    }
+}

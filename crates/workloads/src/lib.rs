@@ -1,0 +1,50 @@
+//! # mtat-workloads — workload models for tiered-memory experiments
+//!
+//! The MTAT paper evaluates with four latency-critical (LC) servers —
+//! Redis, Memcached, MongoDB, Silo (Table 1) — co-located with four
+//! best-effort (BE) batch jobs — GAPBS SSSP/BFS/PR and XSBench
+//! (Table 2). This crate models all eight:
+//!
+//! * [`lc::LcSpec`] — an LC server as an M/M/c queue whose service time
+//!   depends on its FMem hit ratio; calibrated so that each workload's
+//!   latency knee at full FMem lands on Table 1's max load and SLO.
+//!   Per §5, LC request traffic is *uniformly distributed* over the
+//!   resident set, which is precisely why frequency-based tiering starves
+//!   it: no individual page ever looks hot.
+//! * [`be::BeSpec`] — a BE job as a throughput process bounded by average
+//!   memory latency, with a skewed (Zipf-like) page popularity so that
+//!   FMem has concave marginal utility — the landscape the simulated-
+//!   annealing fairness search of Algorithm 2 navigates.
+//! * [`access::Popularity`] — page-popularity distributions (uniform and
+//!   Zipfian) with prefix-sum queries for ideal hit ratios.
+//! * [`load::LoadPattern`] — offered-load schedules, including the Fig. 7
+//!   trapezoid (20 % → 100 % → 20 % in 20 % steps every 20 s).
+//!
+//! ## Example
+//!
+//! ```
+//! use mtat_workloads::lc::LcSpec;
+//! use mtat_workloads::load::LoadPattern;
+//!
+//! let redis = LcSpec::redis();
+//! // At full FMem residency Redis sustains ~its Table-1 max load.
+//! let max = redis.max_load(redis.full_fmem_hit_ratio(32 << 30));
+//! assert!((max / 1e3 - 80.0).abs() < 8.0, "max {max}");
+//!
+//! // The Fig. 7 pattern starts and ends at 20 % of max load.
+//! let pat = LoadPattern::fig7();
+//! assert_eq!(pat.level_at(0.0), 0.2);
+//! assert_eq!(pat.level_at(120.0), 1.0);
+//! ```
+
+pub mod access;
+pub mod be;
+pub mod lc;
+pub mod load;
+pub mod trace;
+
+pub use access::{AccessPattern, Popularity};
+pub use be::BeSpec;
+pub use lc::LcSpec;
+pub use load::LoadPattern;
+pub use trace::LoadTrace;

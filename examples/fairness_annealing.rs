@@ -1,0 +1,59 @@
+//! Fairness-driven BE partitioning (Algorithm 2) in isolation.
+//!
+//! Profiles the four BE workloads offline (throughput vs FMem in 1 GiB
+//! steps, §4), then runs the simulated-annealing search for several
+//! residual-FMem budgets and compares the achieved fairness (min NP,
+//! Eq. 3) against a naive even split.
+//!
+//! ```sh
+//! cargo run --release --example fairness_annealing
+//! ```
+
+use mtat::core::ppm::annealing::{even_split, AnnealingConfig};
+use mtat::core::ppm::be::{min_np, BePartitioner};
+use mtat::core::ppm::profiler::profile_all;
+use mtat::tiermem::GIB;
+use mtat::workloads::be::BeSpec;
+
+fn main() {
+    let specs = BeSpec::all_paper_workloads();
+    let page_size = 2 << 20;
+    let fmem_total = 32 * GIB;
+
+    println!("offline profiles (normalized performance NP at 0/8/16/32 GiB):");
+    let profiles = profile_all(&specs, fmem_total, page_size);
+    for p in &profiles {
+        println!(
+            "  {:8} NP(0)={:.2} NP(8)={:.2} NP(16)={:.2} NP(32)={:.2}",
+            p.name,
+            p.np_at_gb(0),
+            p.np_at_gb(8),
+            p.np_at_gb(16),
+            p.np_at_gb(32)
+        );
+    }
+
+    let mut partitioner =
+        BePartitioner::new(profiles.clone(), AnnealingConfig::default(), 1234);
+
+    println!("\n{:>10} {:>28} {:>10} {:>10}", "residual", "SA allocation (GiB)", "SA minNP", "even minNP");
+    for gb in [8u64, 16, 24, 28] {
+        let alloc = partitioner.partition(gb * GIB);
+        let alloc_gb: Vec<u64> = alloc.iter().map(|b| b / GIB).collect();
+        let sa_fair = partitioner.expected_fairness(&alloc);
+        let even = even_split(gb, profiles.len());
+        let even_fair = min_np(&profiles, &even);
+        println!(
+            "{:>8}Gi {:>28} {:>10.3} {:>10.3}",
+            gb,
+            format!("{alloc_gb:?}"),
+            sa_fair,
+            even_fair
+        );
+    }
+    println!(
+        "\nthe search shifts FMem away from the heavily skewed PageRank\n\
+         (whose hot head needs little) toward the flat XSBench, lifting\n\
+         the worst-off workload — Algorithm 2's objective."
+    );
+}

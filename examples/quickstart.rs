@@ -1,0 +1,69 @@
+//! Quickstart: co-locate a latency-critical server with a batch job on
+//! tiered memory and compare MTAT against frequency-based placement.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mtat::core::config::SimConfig;
+use mtat::core::policy::memtis::MemtisPolicy;
+use mtat::core::policy::mtat::{MtatConfig, MtatPolicy};
+use mtat::core::runner::Experiment;
+use mtat::workloads::be::BeSpec;
+use mtat::workloads::lc::LcSpec;
+use mtat::workloads::load::LoadPattern;
+
+fn main() {
+    // The paper's testbed: 32 GiB FMem (73 ns), 256 GiB SMem (202 ns),
+    // ~4 GB/s of migration bandwidth.
+    let cfg = SimConfig::paper();
+
+    // Redis (Table 1) under the Fig.-7 trapezoid load, co-located with
+    // the four BE workloads of Table 2.
+    let exp = Experiment::new(
+        cfg.clone(),
+        LcSpec::redis(),
+        LoadPattern::fig7(),
+        BeSpec::all_paper_workloads(),
+    );
+    println!(
+        "co-locating {} (SLO {:.0} ms, max ~{:.0} KRPS) with {} BE workloads\n",
+        exp.lc.name,
+        exp.lc.slo_secs * 1e3,
+        exp.lc_max_ref / 1e3,
+        exp.bes.len()
+    );
+
+    // Frequency-based placement (MEMTIS-like): BE pages look hot, the
+    // LC workload is displaced to SMem, and its SLO collapses.
+    let mut memtis = MemtisPolicy::new();
+    let baseline = exp.run(&mut memtis);
+
+    // MTAT: the RL partitioner reserves just enough FMem for the SLO;
+    // simulated annealing splits the rest fairly among the BE jobs.
+    // (Constructing the policy pretrains the agent — a few seconds.)
+    println!("pretraining the MTAT partitioning agent...");
+    let mut mtat = MtatPolicy::new(MtatConfig::full(), &cfg, &exp.lc, &exp.bes);
+    let ours = exp.run(&mut mtat);
+
+    println!("\n{:12} {:>12} {:>12} {:>12} {:>14}", "policy", "SLO-viol", "fairness", "BE Mops/s", "LC FMem avg");
+    for r in [&baseline, &ours] {
+        println!(
+            "{:12} {:>11.1}% {:>12.3} {:>12.1} {:>13.1}%",
+            r.policy,
+            r.violation_rate() * 100.0,
+            r.fairness(),
+            r.be_total_throughput() / 1e6,
+            r.mean_lc_fmem_ratio() * 100.0
+        );
+    }
+    println!(
+        "\nMTAT cut SLO violations from {:.1}% to {:.1}% while giving the\n\
+         LC workload only {:.0}% of FMem on average.",
+        baseline.violation_rate() * 100.0,
+        ours.violation_rate() * 100.0,
+        ours.mean_lc_fmem_ratio() * 100.0
+    );
+}

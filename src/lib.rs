@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the MTAT reproduction workspace.
+pub use mtat_core as core;
+pub use mtat_nn as nn;
+pub use mtat_rl as rl;
+pub use mtat_tiermem as tiermem;
+pub use mtat_workloads as workloads;

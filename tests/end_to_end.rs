@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: full co-location experiments on a
+//! small tiered-memory system, exercising the complete stack (workload
+//! models → substrate → policies → driver → metrics).
+
+use mtat::core::config::SimConfig;
+use mtat::core::policy::memtis::MemtisPolicy;
+use mtat::core::policy::mtat::{MtatConfig, MtatPolicy};
+use mtat::core::policy::statics::StaticPolicy;
+use mtat::core::policy::tpp::TppPolicy;
+use mtat::core::runner::Experiment;
+use mtat::tiermem::GIB;
+use mtat::workloads::be::BeSpec;
+use mtat::workloads::lc::LcSpec;
+use mtat::workloads::load::LoadPattern;
+
+/// LC workload scaled to the small test memory (1 GiB FMem, 8 GiB SMem).
+fn small_lc() -> LcSpec {
+    let mut s = LcSpec::redis();
+    s.rss_bytes = (1.3 * GIB as f64) as u64;
+    s
+}
+
+fn small_bes() -> Vec<BeSpec> {
+    let mut sssp = BeSpec::sssp();
+    sssp.rss_bytes = (1.5 * GIB as f64) as u64;
+    let mut xs = BeSpec::xsbench();
+    xs.rss_bytes = (1.2 * GIB as f64) as u64;
+    vec![sssp, xs]
+}
+
+fn experiment(load: LoadPattern, duration: f64) -> Experiment {
+    Experiment::new(SimConfig::small_test(), small_lc(), load, small_bes())
+        .with_duration(duration)
+}
+
+fn mtat_policy(exp: &Experiment) -> MtatPolicy {
+    // Heuristic sizer keeps the test fast and deterministic; the RL
+    // sizer is covered by its own unit tests and the bench harness.
+    let mut cfg = MtatConfig::full().with_heuristic_sizer();
+    cfg.online_learning = false;
+    MtatPolicy::new(cfg, &exp.cfg, &exp.lc, &exp.bes)
+}
+
+#[test]
+fn memtis_displaces_lc_and_violates_at_high_load() {
+    let exp = experiment(LoadPattern::Constant(0.9), 60.0);
+    let mut policy = MemtisPolicy::new();
+    let r = exp.run(&mut policy);
+    // Displacement: the LC workload loses nearly all its FMem residency.
+    assert!(
+        r.ticks.last().unwrap().lc_fmem_ratio < 0.2,
+        "lc residency {}",
+        r.ticks.last().unwrap().lc_fmem_ratio
+    );
+    // And at 90 % of the FMEM_ALL max it cannot meet the SLO from SMem.
+    assert!(r.violation_rate_after(20.0) > 0.5, "rate {}", r.violation_rate_after(20.0));
+}
+
+#[test]
+fn mtat_meets_slo_where_memtis_fails() {
+    let exp = experiment(LoadPattern::Constant(0.9), 90.0);
+    let mut mtat = mtat_policy(&exp);
+    let r = exp.run(&mut mtat);
+    assert_eq!(
+        r.violation_rate_after(40.0),
+        0.0,
+        "MTAT should hold the SLO at steady high load (worst p99 {:.1} ms)",
+        r.worst_p99_after(40.0) * 1e3
+    );
+    // It does so by actually allocating FMem to the LC workload.
+    assert!(r.ticks.last().unwrap().lc_fmem_ratio > 0.3);
+}
+
+#[test]
+fn mtat_returns_fmem_to_be_at_low_load() {
+    let exp = experiment(LoadPattern::Constant(0.2), 90.0);
+    let mut mtat = mtat_policy(&exp);
+    let r = exp.run(&mut mtat);
+    assert_eq!(r.violation_rate_after(40.0), 0.0);
+    // At 20 % load the SMem knee is far away: the LC partition shrinks
+    // and the BE workloads hold most of FMem.
+    let last = r.ticks.last().unwrap();
+    let be_fmem: u64 = last.fmem_bytes[1..].iter().sum();
+    assert!(
+        be_fmem > last.fmem_bytes[0],
+        "BE should hold more FMem than LC at low load: {:?}",
+        last.fmem_bytes
+    );
+}
+
+#[test]
+fn trapezoid_run_tracks_load_with_mtat() {
+    let exp = experiment(LoadPattern::fig7(), 240.0);
+    let mut mtat = mtat_policy(&exp);
+    let r = exp.run(&mut mtat);
+    // Allocation at the plateau (t in 100..140) must exceed allocation
+    // in the low-load head (t < 40) and tail (t > 220).
+    let avg = |lo: f64, hi: f64| {
+        let sel: Vec<f64> = r
+            .ticks
+            .iter()
+            .filter(|t| t.t >= lo && t.t < hi)
+            .map(|t| t.lc_fmem_ratio)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    let head = avg(20.0, 40.0);
+    let plateau = avg(100.0, 140.0);
+    assert!(
+        plateau > head + 0.2,
+        "plateau {plateau} should clearly exceed head {head}"
+    );
+}
+
+#[test]
+fn policy_ordering_on_max_load() {
+    use mtat::core::runner::MaxLoadSearch;
+    let exp = experiment(LoadPattern::Constant(1.0), 60.0);
+    let opts = MaxLoadSearch {
+        probe_secs: 60.0,
+        grace_secs: 30.0,
+        scan_step: 0.1,
+        iterations: 3,
+        ..MaxLoadSearch::default()
+    };
+    let max_fmem = exp.find_max_load(&mut || Box::new(StaticPolicy::fmem_all()), &opts);
+    let max_smem = exp.find_max_load(&mut || Box::new(StaticPolicy::smem_all()), &opts);
+    let max_tpp = exp.find_max_load(&mut || Box::new(TppPolicy::new()), &opts);
+    // The Fig. 8 ordering: FMEM_ALL > SMEM_ALL > TPP.
+    assert!(max_fmem > max_smem, "{max_fmem} vs {max_smem}");
+    assert!(max_smem > max_tpp, "{max_smem} vs {max_tpp}");
+}
+
+#[test]
+fn tpp_is_slower_than_smem_all_for_lc() {
+    // The paper's observation: fault-driven promotion makes TPP's LC
+    // latency *worse* than simply running from SMem.
+    let exp = experiment(LoadPattern::Constant(0.6), 60.0);
+    let r_tpp = exp.run(&mut TppPolicy::new());
+    let r_smem = exp.run(&mut StaticPolicy::smem_all());
+    assert!(
+        r_tpp.worst_p99_after(30.0) >= r_smem.worst_p99_after(30.0),
+        "tpp {} vs smem {}",
+        r_tpp.worst_p99_after(30.0),
+        r_smem.worst_p99_after(30.0)
+    );
+}
+
+#[test]
+fn fairness_accounting_is_consistent() {
+    let exp = experiment(LoadPattern::Constant(0.5), 60.0);
+    let r = exp.run(&mut MemtisPolicy::new());
+    let np = r.np();
+    assert_eq!(np.len(), 2);
+    for v in &np {
+        assert!((0.0..=1.05).contains(v), "np {v}");
+    }
+    let min = np.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!((r.fairness() - min).abs() < 1e-12);
+}
+
+#[test]
+fn migration_stays_within_engine_bandwidth() {
+    let exp = experiment(LoadPattern::fig7(), 120.0);
+    let mut mtat = mtat_policy(&exp);
+    let r = exp.run(&mut mtat);
+    for tick in &r.ticks {
+        assert!(
+            tick.migration_bw <= exp.cfg.migration_bw * 1.0001,
+            "tick at {} used {} B/s",
+            tick.t,
+            tick.migration_bw
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_under_a_seed() {
+    let exp = experiment(LoadPattern::Constant(0.7), 40.0);
+    let a = exp.run(&mut MemtisPolicy::new());
+    let b = exp.run(&mut MemtisPolicy::new());
+    assert_eq!(a.lc_requests, b.lc_requests);
+    assert_eq!(a.lc_violated_requests, b.lc_violated_requests);
+    for (x, y) in a.ticks.iter().zip(&b.ticks) {
+        assert_eq!(x.lc_p99, y.lc_p99);
+        assert_eq!(x.fmem_bytes, y.fmem_bytes);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests (proptest): invariants of the core
+//! data structures under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use mtat::core::ppm::annealing::{anneal, even_split, AnnealingConfig};
+use mtat::core::ppe::adjust::AdjustmentSchedule;
+use mtat::tiermem::histogram::AccessHistogram;
+use mtat::tiermem::memory::{InitialPlacement, MemorySpec, TieredMemory};
+use mtat::tiermem::page::{PageId, PageRegion, Tier};
+use mtat::workloads::access::{AccessPattern, Popularity};
+
+proptest! {
+    /// The tiered page table never loses or double-counts pages, never
+    /// overcommits a tier, and residency counters always match a full
+    /// recount — under arbitrary interleavings of migrations.
+    #[test]
+    fn memory_invariants_hold_under_random_migrations(
+        ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..200),
+    ) {
+        let spec = MemorySpec::new(16 << 20, 128 << 20, 1 << 20).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let a = mem.register_workload(32 << 20, InitialPlacement::AllSmem).unwrap();
+        let b = mem.register_workload(32 << 20, InitialPlacement::FmemFirst).unwrap();
+        for (raw, to_fast) in ops {
+            let (w, rank) = if raw % 2 == 0 { (a, raw / 2) } else { (b, raw / 2) };
+            let page = mem.region(w).page(rank % 32);
+            let tier = if to_fast { Tier::FMem } else { Tier::SMem };
+            // Capacity or same-tier failures are legal; corruption is not.
+            let _ = mem.migrate(page, tier);
+            prop_assert!(mem.check_invariants().is_ok());
+        }
+    }
+
+    /// Histogram bins always agree with counts, the total is exact, and
+    /// hottest/coldest queries return pages in count order — under
+    /// arbitrary add/age sequences.
+    #[test]
+    fn histogram_invariants_hold_under_random_updates(
+        ops in prop::collection::vec((0u32..48, 0u64..5000, prop::bool::ANY), 1..300),
+    ) {
+        let region = PageRegion { base: 1000, n_pages: 48 };
+        let mut h = AccessHistogram::new(region);
+        for (rank, delta, do_age) in ops {
+            h.add(PageId(1000 + rank), delta);
+            if do_age {
+                h.age();
+            }
+            prop_assert!(h.check_invariants().is_ok());
+        }
+        // Hottest/coldest queries are bin-ordered (Fig. 4 selects by
+        // histogram bin; ordering within a bin is unspecified).
+        use mtat::tiermem::histogram::bin_for_count;
+        let hottest = h.hottest_matching(5, |_| true);
+        for w in hottest.windows(2) {
+            prop_assert!(bin_for_count(h.count(w[0])) >= bin_for_count(h.count(w[1])));
+        }
+        let coldest = h.coldest_matching(5, |_| true);
+        for w in coldest.windows(2) {
+            prop_assert!(bin_for_count(h.count(w[0])) <= bin_for_count(h.count(w[1])));
+        }
+    }
+
+    /// Algorithm 3 schedules conserve the requested deltas exactly, no
+    /// matter the mix of promotions and demotions or the slice cap.
+    #[test]
+    fn adjustment_schedule_conserves_deltas(
+        lc_delta in -200i64..200,
+        be in prop::collection::vec(-200i64..200, 1..6),
+        p_max in 1u64..64,
+    ) {
+        let mut deltas = vec![lc_delta];
+        deltas.extend(be);
+        let mut schedule = AdjustmentSchedule::new(deltas.clone(), 0, p_max);
+        let mut applied = vec![0i64; deltas.len()];
+        let mut guard = 0;
+        while !schedule.is_complete() {
+            let slice = schedule.next_slice(u64::MAX);
+            prop_assert!(!slice.is_empty(), "schedule stalled");
+            for (i, m) in slice.moves {
+                applied[i] += m;
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000);
+        }
+        prop_assert_eq!(applied, deltas);
+    }
+
+    /// Simulated annealing conserves the allocation total and never
+    /// returns a worse allocation than its starting point.
+    #[test]
+    fn annealing_conserves_and_never_regresses(
+        total in 1u64..64,
+        n in 1usize..6,
+        seed in 0u64..1000,
+        weights in prop::collection::vec(0.1f64..10.0, 6),
+    ) {
+        let init = even_split(total, n);
+        let score = |alloc: &[u64]| -> f64 {
+            alloc
+                .iter()
+                .zip(&weights)
+                .map(|(&u, w)| (u as f64 * w).sqrt())
+                .sum()
+        };
+        let initial_score = score(&init);
+        let result = anneal(&init, score, &AnnealingConfig::default(), seed);
+        prop_assert_eq!(result.best.iter().sum::<u64>(), total);
+        prop_assert!(result.best_score >= initial_score - 1e-12);
+    }
+
+    /// Popularity distributions are normalized, sorted hottest-first,
+    /// and their prefix queries are consistent with the weights.
+    #[test]
+    fn popularity_invariants(
+        n in 1usize..500,
+        exponent in 0.0f64..1.5,
+        k in 0usize..600,
+    ) {
+        let p = Popularity::new(AccessPattern::Zipfian { exponent }, n);
+        let total: f64 = p.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for w in p.weights().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-15);
+        }
+        let frac = p.fraction_top(k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&frac));
+        let manual: f64 = p.weights().iter().take(k).sum();
+        prop_assert!((frac - manual).abs() < 1e-9);
+    }
+
+    /// The M/M/c latency model is monotone: more load or a worse hit
+    /// ratio never reduces the P99.
+    #[test]
+    fn p99_is_monotone_in_load_and_hit_ratio(
+        cpu_us in 1.0f64..100.0,
+        accesses in 1.0f64..500.0,
+        cores in 1usize..16,
+        load_frac in 0.05f64..0.95,
+        h1 in 0.0f64..1.0,
+        h2 in 0.0f64..1.0,
+    ) {
+        use mtat::tiermem::latency::{p99_response, ServiceModel};
+        let m = ServiceModel::with_paper_latencies(cpu_us * 1e-6, accesses);
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let cap = cores as f64 / m.service_time(lo);
+        let load = load_frac * cap;
+        // Lower hit ratio -> slower service -> higher P99.
+        prop_assert!(
+            p99_response(load, m.service_time(lo), cores)
+                >= p99_response(load, m.service_time(hi), cores) - 1e-15
+        );
+        // More load -> higher P99 (same hit ratio).
+        prop_assert!(
+            p99_response(load, m.service_time(lo), cores)
+                >= p99_response(load * 0.5, m.service_time(lo), cores) - 1e-15
+        );
+    }
+}
