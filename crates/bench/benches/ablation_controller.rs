@@ -54,7 +54,10 @@ fn evaluate(mut decide: impl FnMut(&LcObservation) -> u64) -> (f64, f64) {
         };
         alloc = decide(&obs).min(FMEM);
     }
-    (violations as f64 / trace.len() as f64, usage_sum / trace.len() as f64)
+    (
+        violations as f64 / trace.len() as f64,
+        usage_sum / trace.len() as f64,
+    )
 }
 
 fn bench_controller(c: &mut Criterion) {

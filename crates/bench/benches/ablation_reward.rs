@@ -71,9 +71,7 @@ fn train_and_eval(penalty: f64, steps: usize) -> (f64, f64) {
 fn bench_reward(c: &mut Criterion) {
     for (label, penalty) in [("paper_minus1", -1.0), ("soft_minus0.2", -0.2)] {
         let (viol, usage) = train_and_eval(penalty, 6000);
-        eprintln!(
-            "[ablation_reward] {label}: violation_freq={viol:.3} mean_usage={usage:.3}"
-        );
+        eprintln!("[ablation_reward] {label}: violation_freq={viol:.3} mean_usage={usage:.3}");
     }
 
     // Criterion measures the marginal training-step cost (identical for

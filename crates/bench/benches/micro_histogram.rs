@@ -11,7 +11,10 @@ use mtat_tiermem::page::{PageId, PageRegion};
 const PAGES: u32 = 17_200; // a 33.6 GiB workload at 2 MiB pages
 
 fn populated() -> AccessHistogram {
-    let region = PageRegion { base: 0, n_pages: PAGES };
+    let region = PageRegion {
+        base: 0,
+        n_pages: PAGES,
+    };
     let mut h = AccessHistogram::new(region);
     let mut x = 0x9e3779b97f4a7c15u64;
     for rank in 0..PAGES {

@@ -11,8 +11,10 @@ use mtat_tiermem::{GIB, MIB};
 fn paper_memory() -> TieredMemory {
     let spec = MemorySpec::paper_scale();
     let mut mem = TieredMemory::new(spec);
-    mem.register_workload(33 * GIB, InitialPlacement::FmemFirst).unwrap();
-    mem.register_workload(35 * GIB, InitialPlacement::AllSmem).unwrap();
+    mem.register_workload(33 * GIB, InitialPlacement::FmemFirst)
+        .unwrap();
+    mem.register_workload(35 * GIB, InitialPlacement::AllSmem)
+        .unwrap();
     mem
 }
 

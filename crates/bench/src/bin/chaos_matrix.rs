@@ -1,0 +1,269 @@
+//! Chaos matrix — robustness of the MTAT control loop under injected
+//! substrate faults.
+//!
+//! Runs a policy × fault-scenario matrix (sampler blackout, migration
+//! stall, telemetry staleness, flaky migrations, bandwidth contention)
+//! and reports, per cell:
+//!
+//! * SLO-violation rates overall, inside the fault window, and during
+//!   the post-fault recovery phase;
+//! * BE throughput retained relative to the same policy's fault-free
+//!   run;
+//! * the engine's `failed_moves` / `retried_moves` counters (PP-E
+//!   deferred-retry activity);
+//! * for supervised policies, the degraded-tick fraction, the
+//!   supervisor's transition log, and the time from fault clearance to
+//!   re-promotion of the RL sizer.
+//!
+//! Every run is deterministic: the simulation seed and the fault plan's
+//! seed fix the entire trajectory. Output is a JSON document on stdout.
+
+use mtat_bench::make_policy;
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_core::stats::RunResult;
+use mtat_tiermem::faults::{FaultKind, FaultPlan};
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+/// Simulation-time shape shared by every scenario: the fault arrives
+/// during a calm phase (where a blinded sizer can silently mis-size the
+/// partition) and persists through the onset of a load surge — the
+/// moment the control loop matters most.
+const FAULT_START: f64 = 40.0;
+const FAULT_SECS: f64 = 95.0;
+const DURATION: f64 = 240.0;
+
+const POLICIES: [&str; 2] = ["mtat_full", "mtat_full_supervised"];
+
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "sampler_blackout",
+            FaultPlan::new(0xB1ACC).with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
+        ),
+        (
+            // A cascading memory-subsystem brown-out: the PEBS sampler
+            // goes dark first, and 50 s later the migration path wedges
+            // too (stalled until the whole fault clears). Whatever
+            // provisioning the control loop managed in between is frozen
+            // in place for the surge.
+            "migration_stall",
+            FaultPlan::new(0x57A11)
+                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS)
+                .with(
+                    FaultKind::MigrationStall,
+                    FAULT_START + 50.0,
+                    FAULT_SECS - 50.0,
+                ),
+        ),
+        (
+            "telemetry_stale",
+            FaultPlan::new(0x57A1E)
+                .with(
+                    FaultKind::TelemetryStale { ticks: 5 },
+                    FAULT_START,
+                    FAULT_SECS,
+                )
+                .with(
+                    FaultKind::TelemetryNoise { amplitude: 0.35 },
+                    FAULT_START,
+                    FAULT_SECS,
+                ),
+        ),
+        (
+            "flaky_migration",
+            FaultPlan::new(0xF1A2)
+                .with(
+                    FaultKind::MigrationFlaky { prob: 0.6 },
+                    FAULT_START,
+                    FAULT_SECS,
+                )
+                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
+        ),
+        (
+            "bandwidth_spike",
+            FaultPlan::new(0xB0057)
+                .with(
+                    FaultKind::BandwidthSpike { extra: 0.4 },
+                    FAULT_START,
+                    FAULT_SECS,
+                )
+                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
+        ),
+    ]
+}
+
+/// Fraction of ticks inside `[from, to)` that violated the SLO.
+fn violation_rate_between(r: &RunResult, from: f64, to: f64) -> f64 {
+    let (mut total, mut bad) = (0u64, 0u64);
+    for t in &r.ticks {
+        if t.t >= from && t.t < to {
+            total += 1;
+            bad += u64::from(t.lc_violated);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        bad as f64 / total as f64
+    }
+}
+
+/// Seconds from fault clearance until the supervised policy is back on
+/// the RL sizer (`None` when it never re-promotes, or was never
+/// demoted — distinguished by `degraded_tick_fraction`).
+fn repromote_secs(r: &RunResult, fault_end: f64) -> Option<f64> {
+    r.first_rl_at_or_after(fault_end).map(|t| t - fault_end)
+}
+
+/// First instant at or after fault clearance from which the following
+/// `window_ticks` ticks are violation-free — the SLO-level recovery
+/// point.
+fn slo_recover_secs(r: &RunResult, fault_end: f64, window_ticks: usize) -> Option<f64> {
+    let start = r.ticks.iter().position(|t| t.t >= fault_end)?;
+    let v: Vec<bool> = r.ticks[start..].iter().map(|t| t.lc_violated).collect();
+    for i in 0..v.len() {
+        if v[i..].iter().take(window_ticks).all(|&b| !b) {
+            return Some(r.ticks[start + i].t - fault_end);
+        }
+    }
+    None
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.1}"))
+}
+
+fn main() {
+    // `chaos_matrix --trace <scenario>` dumps the per-tick TSV time
+    // series of both policies for one scenario instead of the matrix.
+    let args: Vec<String> = std::env::args().collect();
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cfg = SimConfig::paper();
+    let lc = LcSpec::redis();
+    let bes = BeSpec::all_paper_workloads();
+    // Moderate load through the first 100 s (the fault begins at 40 s,
+    // during calm, so a blinded sizer has time to mis-provision), then a
+    // surge at 100–160 s while the fault is still active, then back down
+    // for the recovery phase.
+    let load = LoadPattern::Steps(vec![(100.0, 0.45), (60.0, 0.9), (80.0, 0.45)]);
+    let fault_end = FAULT_START + FAULT_SECS;
+
+    let base = Experiment::new(cfg.clone(), lc.clone(), load, bes.clone()).with_duration(DURATION);
+
+    if let Some(scenario) = trace {
+        let plan = scenarios()
+            .into_iter()
+            .find(|(n, _)| *n == scenario)
+            .unwrap_or_else(|| panic!("unknown scenario {scenario}"))
+            .1;
+        let exp = base.with_fault_plan(plan);
+        for name in POLICIES {
+            let mut p = make_policy(name, &cfg, &lc, &bes);
+            let r = exp.run(p.as_mut());
+            println!("## {name}");
+            print!("{}", r.to_tsv_string());
+        }
+        return;
+    }
+
+    // Fault-free reference runs (BE-throughput denominators).
+    let mut clean: Vec<(String, RunResult)> = Vec::new();
+    for name in POLICIES {
+        let mut p = make_policy(name, &cfg, &lc, &bes);
+        clean.push((name.to_string(), base.run(p.as_mut())));
+    }
+
+    println!("{{");
+    println!("  \"lc\": \"{}\",", lc.name);
+    println!(
+        "  \"fault_window_secs\": [{FAULT_START:.0}, {fault_end:.0}], \"duration_secs\": {DURATION:.0},"
+    );
+    println!("  \"policies\": [\"{}\"],", POLICIES.join("\", \""));
+    println!("  \"scenarios\": [");
+
+    let scs = scenarios();
+    let mut verdicts = Vec::new();
+    for (si, (scenario, plan)) in scs.iter().enumerate() {
+        let exp = base.clone().with_fault_plan(plan.clone());
+        println!("    {{");
+        println!("      \"name\": \"{scenario}\",");
+        println!("      \"runs\": [");
+        let mut rates = Vec::new();
+        for (pi, name) in POLICIES.iter().enumerate() {
+            let mut p = make_policy(name, &cfg, &lc, &bes);
+            let r = exp.run(p.as_mut());
+            let clean_be = clean
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.be_total_throughput())
+                .unwrap_or(f64::NAN);
+            let retained = if clean_be > 0.0 {
+                r.be_total_throughput() / clean_be
+            } else {
+                f64::NAN
+            };
+            let overall = r.violation_rate_after(20.0);
+            rates.push(overall);
+            println!("        {{");
+            println!("          \"policy\": \"{name}\",");
+            println!("          \"violation_rate\": {},", json_f(overall));
+            println!(
+                "          \"violation_rate_in_fault\": {},",
+                json_f(violation_rate_between(&r, FAULT_START, fault_end))
+            );
+            println!(
+                "          \"violation_rate_post_fault\": {},",
+                json_f(violation_rate_between(&r, fault_end, DURATION))
+            );
+            println!(
+                "          \"be_throughput_retained\": {},",
+                json_f(retained)
+            );
+            println!("          \"failed_moves\": {},", r.failed_moves);
+            println!("          \"retried_moves\": {},", r.retried_moves);
+            println!(
+                "          \"degraded_tick_fraction\": {},",
+                json_f(r.degraded_tick_fraction(0.0))
+            );
+            println!(
+                "          \"repromote_secs_after_clearance\": {},",
+                json_opt(repromote_secs(&r, fault_end))
+            );
+            println!(
+                "          \"slo_recover_secs_after_clearance\": {}",
+                json_opt(slo_recover_secs(&r, fault_end, 10))
+            );
+            let comma = if pi + 1 < POLICIES.len() { "," } else { "" };
+            println!("        }}{comma}");
+        }
+        println!("      ],");
+        let improved = rates[1] < rates[0];
+        verdicts.push((*scenario, rates[0], rates[1], improved));
+        println!("      \"supervised_improves\": {improved}");
+        let comma = if si + 1 < scs.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+
+    eprintln!("# scenario\tunsupervised\tsupervised\timproved");
+    for (s, u, v, ok) in verdicts {
+        eprintln!("# {s}\t{u:.4}\t{v:.4}\t{ok}");
+    }
+}

@@ -14,16 +14,21 @@
 
 use mtat_bench::header;
 use mtat_core::config::SimConfig;
-use mtat_tiermem::bandwidth::BandwidthModel;
 use mtat_core::policy::mtat::{MtatConfig, MtatPolicy};
 use mtat_core::runner::Experiment;
+use mtat_tiermem::bandwidth::BandwidthModel;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
 
 fn main() {
     header(&[
-        "memory", "policy", "violation_pct", "be_mops", "avg_fmem_util", "peak_fmem_util",
+        "memory",
+        "policy",
+        "violation_pct",
+        "be_mops",
+        "avg_fmem_util",
+        "peak_fmem_util",
     ]);
     let mut starved = SimConfig::paper();
     // A severely bandwidth-starved fast tier: placement churn (up to
@@ -31,7 +36,10 @@ fn main() {
     starved.bandwidth = BandwidthModel::new(8e9, 12e9, 10.0).expect("valid");
     for (label, cfg) in [
         ("uncontended", SimConfig::paper()),
-        ("constrained", SimConfig::paper().with_constrained_bandwidth()),
+        (
+            "constrained",
+            SimConfig::paper().with_constrained_bandwidth(),
+        ),
         ("starved", starved),
     ] {
         let exp = Experiment::new(
@@ -42,7 +50,10 @@ fn main() {
         );
         for (name, mtat_cfg) in [
             ("mtat_full", MtatConfig::full()),
-            ("mtat_bw_aware", MtatConfig::full().with_bandwidth_awareness(0.5)),
+            (
+                "mtat_bw_aware",
+                MtatConfig::full().with_bandwidth_awareness(0.5),
+            ),
         ] {
             let mut policy = MtatPolicy::new(mtat_cfg, &cfg, &exp.lc, &exp.bes);
             let r = exp.run(&mut policy);

@@ -46,11 +46,8 @@ fn main() {
         let r = exp.run(policy.as_mut());
 
         let surge_end = SURGE_START + SURGE_SECS;
-        let window =
-            |lo: f64, hi: f64| r.ticks.iter().filter(move |t| t.t >= lo && t.t < hi);
-        let surge_requests: f64 = window(SURGE_START, surge_end)
-            .map(|t| t.lc_load_rps)
-            .sum();
+        let window = |lo: f64, hi: f64| r.ticks.iter().filter(move |t| t.t >= lo && t.t < hi);
+        let surge_requests: f64 = window(SURGE_START, surge_end).map(|t| t.lc_load_rps).sum();
         let surge_violated: f64 = window(SURGE_START, surge_end)
             .filter(|t| t.lc_violated)
             .map(|t| t.lc_load_rps)
@@ -79,8 +76,17 @@ fn main() {
     println!("# timeline: policy  t  p99_ms  fmem_pct");
     for (name, r) in &timelines {
         for tick in r.ticks.iter().step_by(10) {
-            let p99_ms = if tick.lc_p99.is_finite() { tick.lc_p99 * 1e3 } else { 1e3 };
-            println!("# {name}\t{:.0}\t{:.2}\t{:.0}", tick.t, p99_ms, tick.lc_fmem_ratio * 100.0);
+            let p99_ms = if tick.lc_p99.is_finite() {
+                tick.lc_p99 * 1e3
+            } else {
+                1e3
+            };
+            println!(
+                "# {name}\t{:.0}\t{:.2}\t{:.0}",
+                tick.t,
+                p99_ms,
+                tick.lc_fmem_ratio * 100.0
+            );
         }
     }
 }

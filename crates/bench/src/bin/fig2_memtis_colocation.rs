@@ -44,9 +44,19 @@ fn main() {
     println!("# Fig. 2: Redis + SSSP under MEMTIS; staircase of Fig.-1 knees");
     println!(
         "# levels (fraction of FMEM_ALL max): {:?}",
-        levels.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+        levels
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
-    header(&["t", "load_krps", "p99_ms", "slo_ms", "violated", "redis_fmem_ratio"]);
+    header(&[
+        "t",
+        "load_krps",
+        "p99_ms",
+        "slo_ms",
+        "violated",
+        "redis_fmem_ratio",
+    ]);
     for tick in result.ticks.iter().step_by(2) {
         let p99_ms = if tick.lc_p99.is_finite() {
             tick.lc_p99 * 1e3

@@ -17,7 +17,15 @@ use mtat_workloads::load::LoadPattern;
 
 fn main() {
     let cfg = SimConfig::paper();
-    header(&["lc", "policy", "t", "load_frac", "p99_ms", "violated", "lc_fmem_ratio"]);
+    header(&[
+        "lc",
+        "policy",
+        "t",
+        "load_frac",
+        "p99_ms",
+        "violated",
+        "lc_fmem_ratio",
+    ]);
     let mut summaries = Vec::new();
     for lc in LcSpec::all_paper_workloads() {
         let exp = Experiment::new(

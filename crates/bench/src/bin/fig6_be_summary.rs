@@ -24,7 +24,13 @@ const POLICIES: [&str; 4] = ["mtat_full", "mtat_lc_only", "memtis", "tpp"];
 fn main() {
     let cfg = SimConfig::paper();
     header(&[
-        "lc", "policy", "fairness", "be_throughput_mops", "np_sssp", "np_bfs", "np_pr",
+        "lc",
+        "policy",
+        "fairness",
+        "be_throughput_mops",
+        "np_sssp",
+        "np_bfs",
+        "np_pr",
         "np_xsbench",
     ]);
     let mut fairness: HashMap<&str, Vec<f64>> = HashMap::new();

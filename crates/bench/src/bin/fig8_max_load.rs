@@ -54,7 +54,11 @@ fn main() {
             .expect("fmem_all present")
             .1;
         for (policy_name, max) in maxes {
-            let norm = if fmem_all_max > 0.0 { max / fmem_all_max } else { 0.0 };
+            let norm = if fmem_all_max > 0.0 {
+                max / fmem_all_max
+            } else {
+                0.0
+            };
             println!(
                 "{}\t{}\t{:.1}\t{:.3}",
                 lc.name,
@@ -66,7 +70,9 @@ fn main() {
         }
     }
     println!("#");
-    println!("# geomean normalized max load (paper: MTAT ~0.99, MEMTIS ~0.85, TPP ~0.70 of FMEM_ALL)");
+    println!(
+        "# geomean normalized max load (paper: MTAT ~0.99, MEMTIS ~0.85, TPP ~0.70 of FMEM_ALL)"
+    );
     for policy_name in POLICIES {
         println!("# {policy_name}\t{:.3}", geomean(&normalized[policy_name]));
     }

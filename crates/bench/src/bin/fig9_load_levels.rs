@@ -28,8 +28,16 @@ const RUN_SECS: f64 = 120.0;
 fn main() {
     let cfg = SimConfig::paper();
     header(&[
-        "load_pct", "policy", "fairness", "be_mops", "violation_pct", "fmem_lc_gb",
-        "fmem_sssp_gb", "fmem_bfs_gb", "fmem_pr_gb", "fmem_xs_gb",
+        "load_pct",
+        "policy",
+        "fairness",
+        "be_mops",
+        "violation_pct",
+        "fmem_lc_gb",
+        "fmem_sssp_gb",
+        "fmem_bfs_gb",
+        "fmem_pr_gb",
+        "fmem_xs_gb",
     ]);
     for load_pct in [20u32, 50, 80] {
         let exp = Experiment::new(
@@ -45,7 +53,7 @@ fn main() {
             // Average FMem distribution over the steady-state window.
             let steady: Vec<_> = r.ticks.iter().filter(|t| t.t >= GRACE_SECS).collect();
             let n = steady.len().max(1) as f64;
-            let mut fmem_gb = vec![0.0; 5];
+            let mut fmem_gb = [0.0; 5];
             for tick in &steady {
                 for (i, &b) in tick.fmem_bytes.iter().enumerate() {
                     fmem_gb[i] += b as f64 / GIB as f64 / n;

@@ -62,9 +62,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--lc" => args.lc = value("--lc")?,
             "--policy" => args.policy = value("--policy")?,
@@ -155,7 +153,11 @@ fn run() -> Result<(), String> {
 
     eprintln!(
         "running {} under {} for {:.0}s (ref max {:.1} KRPS, seed {:#x})",
-        exp.lc.name, args.policy, exp.duration_secs, exp.lc_max_ref / 1e3, args.seed
+        exp.lc.name,
+        args.policy,
+        exp.duration_secs,
+        exp.lc_max_ref / 1e3,
+        args.seed
     );
     let mut policy = make_policy(&args.policy, &cfg, &exp.lc, &exp.bes);
     let result = exp.run(policy.as_mut());
@@ -170,7 +172,10 @@ fn run() -> Result<(), String> {
         result.violation_rate() * 100.0,
         result.violation_rate_after(30.0) * 100.0
     );
-    eprintln!("mean LC FMem ratio:   {:.1}%", result.mean_lc_fmem_ratio() * 100.0);
+    eprintln!(
+        "mean LC FMem ratio:   {:.1}%",
+        result.mean_lc_fmem_ratio() * 100.0
+    );
     eprintln!("BE fairness (min NP): {:.3}", result.fairness());
     eprintln!(
         "BE throughput:        {:.2} Mops/s  (NP {:?})",

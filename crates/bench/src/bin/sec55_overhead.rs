@@ -71,8 +71,5 @@ fn main() {
         "ppe_total_migrated_gb\t{:.1}\t-",
         r.total_migration_bytes as f64 / GIB as f64
     );
-    println!(
-        "lc_violation_rate\t{:.4}\t0 for MTAT",
-        r.violation_rate()
-    );
+    println!("lc_violation_rate\t{:.4}\t0 for MTAT", r.violation_rate());
 }

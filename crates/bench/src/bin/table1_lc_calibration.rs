@@ -13,7 +13,14 @@ use mtat_workloads::lc::LcSpec;
 
 fn main() {
     let paper_max = [80.0, 1220.0, 125.0, 11.0];
-    header(&["workload", "rss_gb", "slo_ms", "max_krps", "paper_max_krps", "smem_only_ratio"]);
+    header(&[
+        "workload",
+        "rss_gb",
+        "slo_ms",
+        "max_krps",
+        "paper_max_krps",
+        "smem_only_ratio",
+    ]);
     for (spec, paper) in LcSpec::all_paper_workloads().into_iter().zip(paper_max) {
         let max = spec.nominal_max_load();
         println!(

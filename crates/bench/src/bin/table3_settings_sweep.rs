@@ -41,8 +41,15 @@ fn be_set(z: usize, cores_each: usize) -> Vec<BeSpec> {
 
 fn main() {
     header(&[
-        "setting", "config", "lc_max_norm", "be_fair_20", "be_thr_20", "be_fair_50",
-        "be_thr_50", "be_fair_80", "be_thr_80",
+        "setting",
+        "config",
+        "lc_max_norm",
+        "be_fair_20",
+        "be_thr_20",
+        "be_fair_50",
+        "be_thr_50",
+        "be_fair_80",
+        "be_thr_80",
     ]);
     let opts = MaxLoadSearch::default();
     for (x, y, z) in SETTINGS {
@@ -51,23 +58,25 @@ fn main() {
         let bes = be_set(z, y / z);
         let exp = Experiment::new(cfg.clone(), lc, LoadPattern::Constant(1.0), bes);
 
-        let fmem_all_max =
-            exp.find_max_load(&mut || make_policy("fmem_all", &cfg, &exp.lc, &exp.bes), &opts);
+        let fmem_all_max = exp.find_max_load(
+            &mut || make_policy("fmem_all", &cfg, &exp.lc, &exp.bes),
+            &opts,
+        );
 
         for variant in ["mtat_full", "mtat_lc_only"] {
-            let max = exp.find_max_load(
-                &mut || make_policy(variant, &cfg, &exp.lc, &exp.bes),
-                &opts,
-            );
-            let lc_max_norm = if fmem_all_max > 0.0 { max / fmem_all_max } else { 0.0 };
+            let max =
+                exp.find_max_load(&mut || make_policy(variant, &cfg, &exp.lc, &exp.bes), &opts);
+            let lc_max_norm = if fmem_all_max > 0.0 {
+                max / fmem_all_max
+            } else {
+                0.0
+            };
 
             let mut cells = Vec::new();
             for load_pct in [0.2, 0.5, 0.8] {
                 // Load levels are fractions of *this setting's* MTAT max.
                 let frac = load_pct * max / exp.lc_max_ref;
-                let level_exp = exp
-                    .clone()
-                    .with_duration(RUN_SECS);
+                let level_exp = exp.clone().with_duration(RUN_SECS);
                 let run_at = |policy_name: &str| {
                     let mut e = level_exp.clone();
                     e.load = LoadPattern::Constant(frac);
@@ -77,8 +86,7 @@ fn main() {
                 let r_mtat = run_at(variant);
                 let r_memtis = run_at("memtis");
                 let fair = r_mtat.fairness() / r_memtis.fairness().max(1e-12);
-                let thr =
-                    r_mtat.be_total_throughput() / r_memtis.be_total_throughput().max(1e-12);
+                let thr = r_mtat.be_total_throughput() / r_memtis.be_total_throughput().max(1e-12);
                 let _ = GRACE_SECS; // steady-state handled by fairness averaging
                 cells.push((fair, thr));
             }

@@ -16,6 +16,7 @@
 //! | `table1_lc_calibration` | Table 1 — LC benchmark characteristics |
 //! | `table3_settings_sweep` | Table 3 — core/BE-count settings sweep |
 //! | `sec55_overhead` | §5.5 — PP-M/PP-E overhead accounting |
+//! | `chaos_matrix` | robustness: policy × fault-scenario matrix (not in the paper) |
 //!
 //! The Criterion benches in `benches/` cover data-structure micro-costs
 //! and the DESIGN.md ablations.
@@ -45,15 +46,22 @@ pub const MAIN_POLICIES: [&str; 6] = [
 /// # Panics
 ///
 /// Panics on an unknown policy name.
-pub fn make_policy(
-    name: &str,
-    cfg: &SimConfig,
-    lc: &LcSpec,
-    bes: &[BeSpec],
-) -> Box<dyn Policy> {
+pub fn make_policy(name: &str, cfg: &SimConfig, lc: &LcSpec, bes: &[BeSpec]) -> Box<dyn Policy> {
     match name {
         "mtat_full" => Box::new(MtatPolicy::new(MtatConfig::full(), cfg, lc, bes)),
         "mtat_lc_only" => Box::new(MtatPolicy::new(MtatConfig::lc_only(), cfg, lc, bes)),
+        "mtat_full_supervised" => Box::new(MtatPolicy::new(
+            MtatConfig::full().supervised(),
+            cfg,
+            lc,
+            bes,
+        )),
+        "mtat_lc_only_supervised" => Box::new(MtatPolicy::new(
+            MtatConfig::lc_only().supervised(),
+            cfg,
+            lc,
+            bes,
+        )),
         "mtat_full_heuristic" => Box::new(MtatPolicy::new(
             MtatConfig::full().with_heuristic_sizer(),
             cfg,

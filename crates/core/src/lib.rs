@@ -47,6 +47,7 @@ pub mod ppe;
 pub mod ppm;
 pub mod runner;
 pub mod stats;
+pub mod supervisor;
 pub mod tracker;
 
 pub use config::SimConfig;
@@ -58,3 +59,4 @@ pub use policy::tpp::TppPolicy;
 pub use policy::Policy;
 pub use runner::{Experiment, MaxLoadSearch};
 pub use stats::RunResult;
+pub use supervisor::{DegradationState, Supervisor, SupervisorConfig};

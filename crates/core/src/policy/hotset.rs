@@ -205,6 +205,7 @@ mod tests {
                 tick_secs: 1.0,
                 now_secs: t as f64,
                 interval_boundary: t > 0 && t % interval_every == 0,
+                obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
             };
@@ -216,8 +217,12 @@ mod tests {
     fn fmem_split_follows_hot_set_sizes() {
         let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
-        let b = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        let b = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut p = HotsetPolicy::new();
         p.init(&mem, &[obs(&mem, a, vec![0; 8]), obs(&mem, b, vec![0; 8])]);
@@ -249,19 +254,26 @@ mod tests {
         // regardless of its latency needs.
         let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let lc = mem.register_workload(8 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let be = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let lc = mem
+            .register_workload(8 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let be = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut p = HotsetPolicy::new();
-        p.init(&mem, &[obs(&mem, lc, vec![0; 8]), obs(&mem, be, vec![0; 8])]);
+        p.init(
+            &mem,
+            &[obs(&mem, lc, vec![0; 8]), obs(&mem, be, vec![0; 8])],
+        );
         run_ticks(
             &mut p,
             &mut mem,
             &mut engine,
             |m| {
                 vec![
-                    obs(m, lc, vec![1; 8]),    // uniform, sub-threshold
-                    obs(m, be, vec![100; 8]),  // every page hot
+                    obs(m, lc, vec![1; 8]),   // uniform, sub-threshold
+                    obs(m, be, vec![100; 8]), // every page hot
                 ]
             },
             10,
@@ -275,8 +287,12 @@ mod tests {
     fn empty_hot_sets_split_evenly() {
         let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
-        let b = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        let b = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut p = HotsetPolicy::new();
         p.init(&mem, &[obs(&mem, a, vec![0; 8]), obs(&mem, b, vec![0; 8])]);
         p.recompute_targets(&mem);

@@ -87,7 +87,12 @@ mod tests {
     use mtat_tiermem::migration::MigrationEngine;
     use mtat_tiermem::MIB;
 
-    fn obs(mem: &TieredMemory, w: WorkloadId, class: WorkloadClass, sampled: Vec<u64>) -> WorkloadObs {
+    fn obs(
+        mem: &TieredMemory,
+        w: WorkloadId,
+        class: WorkloadClass,
+        sampled: Vec<u64>,
+    ) -> WorkloadObs {
         WorkloadObs {
             id: w,
             class,
@@ -112,8 +117,12 @@ mod tests {
     fn be_displaces_lc_under_memtis() {
         let spec = MemorySpec::new(4 * MIB, 32 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let lc = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let be = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let lc = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let be = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
 
         let mut policy = MemtisPolicy::new();
@@ -128,7 +137,12 @@ mod tests {
             // its first four pages.
             let w = [
                 obs(&mem, lc, WorkloadClass::Lc, vec![1; 4]),
-                obs(&mem, be, WorkloadClass::Be, vec![200, 180, 160, 140, 0, 0, 0, 0]),
+                obs(
+                    &mem,
+                    be,
+                    WorkloadClass::Be,
+                    vec![200, 180, 160, 140, 0, 0, 0, 0],
+                ),
             ];
             engine.begin_tick(1.0);
             let mut sim = SimState {
@@ -138,6 +152,7 @@ mod tests {
                 tick_secs: 1.0,
                 now_secs: tick as f64,
                 interval_boundary: false,
+                obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
             };
@@ -152,7 +167,9 @@ mod tests {
     fn aging_happens_on_interval_boundary() {
         let spec = MemorySpec::new(2 * MIB, 16 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut policy = MemtisPolicy::new();
         let w = [obs(&mem, a, WorkloadClass::Be, vec![8, 0])];
@@ -165,15 +182,13 @@ mod tests {
             tick_secs: 1.0,
             now_secs: 0.0,
             interval_boundary: true,
-                fmem_bw_util: 0.0,
-                smem_bw_util: 0.0,
+            obs_age_ticks: 0,
+            fmem_bw_util: 0.0,
+            smem_bw_util: 0.0,
         };
         policy.on_tick(&mut sim);
         // Recorded 8, then aged to 4.
-        assert_eq!(
-            policy.tracker.as_ref().unwrap().histogram(a).total(),
-            4
-        );
+        assert_eq!(policy.tracker.as_ref().unwrap().histogram(a).total(), 4);
     }
 
     #[test]

@@ -18,6 +18,8 @@ use mtat_tiermem::memory::{InitialPlacement, TieredMemory};
 use mtat_tiermem::migration::MigrationEngine;
 use mtat_tiermem::page::WorkloadId;
 
+use crate::supervisor::DegradationState;
+
 /// Whether a workload is latency-critical or best-effort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadClass {
@@ -89,6 +91,11 @@ pub struct SimState<'a> {
     /// True when a partitioning interval boundary has just been reached
     /// (PP-M runs, histograms age).
     pub interval_boundary: bool,
+    /// Age of `workloads` in ticks: 0 when observations are current,
+    /// larger under injected telemetry staleness
+    /// ([`mtat_tiermem::faults::FaultKind::TelemetryStale`]). Policies
+    /// with a supervisor use this to detect a lagging telemetry path.
+    pub obs_age_ticks: u64,
     /// Fast-tier bandwidth utilization (0..1) observed last tick — the
     /// signal the §7 bandwidth-aware extension reacts to.
     pub fmem_bw_util: f64,
@@ -132,6 +139,14 @@ pub trait Policy {
     fn fmem_target(&self, _w: WorkloadId) -> Option<u64> {
         None
     }
+
+    /// The policy's current degradation state, if it runs under a
+    /// [`crate::supervisor::Supervisor`]; `None` for unsupervised
+    /// policies. The driver records this in every
+    /// [`crate::stats::TickRecord`].
+    fn degradation(&self) -> Option<DegradationState> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +167,7 @@ mod tests {
         assert_eq!(p.name(), "noop");
         assert_eq!(p.smem_access_penalty(WorkloadId(0)), 0.0);
         assert_eq!(p.fmem_target(WorkloadId(0)), None);
+        assert_eq!(p.degradation(), None);
         assert_eq!(
             p.initial_placement(WorkloadClass::Lc),
             InitialPlacement::FmemFirst

@@ -36,6 +36,7 @@ use crate::ppm::controller::{ControllerConfig, ProportionalController};
 use crate::ppm::lc::{LcObservation, LcPartitioner, LcPartitionerConfig};
 use crate::ppm::profiler::profile_all;
 use crate::ppm::{LcSizer, PartitionPlan, PartitionPolicyMaker};
+use crate::supervisor::{DegradationState, Supervisor, SupervisorConfig};
 
 /// Which MTAT variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,12 @@ pub struct MtatConfig {
     /// §7 extension: pause placement churn when FMem bandwidth
     /// utilization exceeds this threshold (`None` disables).
     pub bandwidth_freeze_util: Option<f64>,
+    /// Run the policy under a graceful-degradation [`Supervisor`] that
+    /// demotes the RL sizer to the proportional controller (and, as a
+    /// last resort, a static LC-priority split) on divergence, stale
+    /// telemetry, dead sensors, or sustained SLO violation (`None`
+    /// disables — the paper's unsupervised behavior).
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl MtatConfig {
@@ -81,6 +88,7 @@ impl MtatConfig {
             refine_pairs: 256,
             seed: 0x517A7,
             bandwidth_freeze_util: None,
+            supervisor: None,
         }
     }
 
@@ -104,6 +112,18 @@ impl MtatConfig {
         self.bandwidth_freeze_util = Some(threshold);
         self
     }
+
+    /// Runs the policy under a graceful-degradation supervisor with the
+    /// given thresholds.
+    pub fn with_supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervisor = Some(cfg);
+        self
+    }
+
+    /// Runs the policy under a supervisor with default thresholds.
+    pub fn supervised(self) -> Self {
+        self.with_supervisor(SupervisorConfig::default())
+    }
 }
 
 /// The MTAT policy.
@@ -123,8 +143,11 @@ pub struct MtatPolicy {
     acc_worst_p99: f64,
     acc_access_rate: f64,
     acc_hit_ratio: f64,
+    acc_load_rps: f64,
     acc_ticks: u32,
     latest_plan: Option<PartitionPlan>,
+    /// Graceful-degradation supervisor (None = unsupervised).
+    supervisor: Option<Supervisor>,
 }
 
 fn agent_cache() -> &'static Mutex<HashMap<String, Sac>> {
@@ -188,22 +211,33 @@ impl MtatPolicy {
             MtatVariant::LcOnly => None,
         };
 
-        let ppm = PartitionPolicyMaker::new(
-            sizer,
-            be,
-            fmem_total,
-            max_step_bytes,
-            cfg.slo_guard_step,
-        );
-        let name = match (cfg.variant, cfg.use_rl) {
+        let mut ppm =
+            PartitionPolicyMaker::new(sizer, be, fmem_total, max_step_bytes, cfg.slo_guard_step);
+        if cfg.supervisor.is_some() {
+            // Degradation ladder: proportional latency-headroom control,
+            // then the static LC-priority split (all the FMem the LC
+            // resident set can use).
+            let fallback = ProportionalController::new(ControllerConfig::new(
+                fmem_total,
+                lc_spec.rss_bytes,
+                max_step_bytes,
+                lc_spec.slo_secs,
+            ));
+            ppm = ppm.with_fallback(fallback, fmem_total.min(lc_spec.rss_bytes));
+        }
+        let mut name = match (cfg.variant, cfg.use_rl) {
             (MtatVariant::Full, true) => "mtat_full",
             (MtatVariant::LcOnly, true) => "mtat_lc_only",
             (MtatVariant::Full, false) => "mtat_full_heuristic",
             (MtatVariant::LcOnly, false) => "mtat_lc_only_heuristic",
         }
         .to_string();
+        if cfg.supervisor.is_some() {
+            name.push_str("_supervised");
+        }
         let ref_access_rate =
             lc_spec.max_load(lc_spec.full_fmem_hit_ratio(fmem_total)) * lc_spec.accesses_per_req;
+        let supervisor = cfg.supervisor.clone().map(Supervisor::new);
         Self {
             cfg,
             name,
@@ -216,8 +250,10 @@ impl MtatPolicy {
             acc_worst_p99: 0.0,
             acc_access_rate: 0.0,
             acc_hit_ratio: 0.0,
+            acc_load_rps: 0.0,
             acc_ticks: 0,
             latest_plan: None,
+            supervisor,
         }
     }
 
@@ -231,7 +267,13 @@ impl MtatPolicy {
         self.acc_worst_p99 = 0.0;
         self.acc_access_rate = 0.0;
         self.acc_hit_ratio = 0.0;
+        self.acc_load_rps = 0.0;
         self.acc_ticks = 0;
+    }
+
+    /// The supervisor's transition log (empty when unsupervised).
+    pub fn supervisor_transitions(&self) -> &[crate::supervisor::Transition] {
+        self.supervisor.as_ref().map_or(&[], |s| s.transitions())
     }
 }
 
@@ -254,14 +296,17 @@ impl Policy for MtatPolicy {
             self.cfg.refine_pairs,
         ));
         // Align the sizer's starting target with the initial placement.
-        self.ppm
-            .set_lc_target_bytes(mem.fmem_bytes_of(lc.id));
+        self.ppm.set_lc_target_bytes(mem.fmem_bytes_of(lc.id));
         self.reset_accumulators();
     }
 
     fn fmem_target(&self, w: WorkloadId) -> Option<u64> {
         let ppe = self.ppe.as_ref()?;
         ppe.target_pages(w).map(|pages| pages * self.page_size)
+    }
+
+    fn degradation(&self) -> Option<DegradationState> {
+        self.supervisor.as_ref().map(|s| s.state())
     }
 
     fn on_tick(&mut self, sim: &mut SimState<'_>) {
@@ -275,7 +320,11 @@ impl Policy for MtatPolicy {
         self.acc_worst_p99 = self.acc_worst_p99.max(lc.p99_secs);
         self.acc_access_rate += lc.access_rate;
         self.acc_hit_ratio += lc.hit_ratio;
+        self.acc_load_rps += lc.load_rps;
         self.acc_ticks += 1;
+        if let Some(sup) = &mut self.supervisor {
+            sup.note_tick(sim.obs_age_ticks);
+        }
 
         if sim.interval_boundary && self.acc_ticks > 0 {
             let n = self.acc_ticks as f64;
@@ -287,7 +336,27 @@ impl Policy for MtatPolicy {
                 p99_secs: self.acc_worst_p99,
                 violated: self.acc_violated,
             };
+            if let Some(sup) = &mut self.supervisor {
+                // Dead-sensor signature: requests are being served (the
+                // LC server knows its own offered load) yet the sampled
+                // access rate is zero — a PEBS blackout, not idleness.
+                let sensor_dead = obs.access_count_norm <= 1e-6 && self.acc_load_rps / n > 0.0;
+                let mode = sup.on_interval(sim.now_secs, obs.violated, sensor_dead);
+                self.ppm.set_mode(mode);
+            }
             let plan = self.ppm.decide(&obs);
+            if self.supervisor.is_some() && self.ppm.mode() == DegradationState::Rl {
+                if let Some(raw) = self.ppm.rl_raw_action() {
+                    if !raw.is_finite() {
+                        // Diverged network: the partitioner held its
+                        // target this interval; demote at the next
+                        // boundary.
+                        if let Some(sup) = &mut self.supervisor {
+                            sup.note_nonfinite();
+                        }
+                    }
+                }
+            }
 
             // Convert the byte plan into PP-E page targets.
             let mut targets = vec![None; sim.workloads.len()];
@@ -372,7 +441,7 @@ mod tests {
             MtatConfig::full().with_heuristic_sizer(),
             &sim_cfg,
             &lc_spec,
-            &[be_spec.clone()],
+            std::slice::from_ref(&be_spec),
         );
 
         let mut mem = TieredMemory::new(sim_cfg.mem);
@@ -412,6 +481,7 @@ mod tests {
                 tick_secs: 1.0,
                 now_secs: t as f64,
                 interval_boundary: t > 0 && t % 5 == 0,
+                obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
             };
@@ -437,6 +507,7 @@ mod tests {
                 tick_secs: 1.0,
                 now_secs: t as f64,
                 interval_boundary: t % 5 == 0,
+                obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
             };
@@ -450,6 +521,143 @@ mod tests {
         mem.check_invariants().unwrap();
     }
 
+    /// The supervised policy demotes to the proportional controller
+    /// after a sustained SLO-violation streak and re-promotes to the RL
+    /// sizer once the configured healthy window passes.
+    #[test]
+    fn supervisor_demotes_on_violation_streak_and_repromotes() {
+        let sim_cfg = SimConfig::small_test();
+        let lc_spec = small_lc();
+        let be_spec = small_be();
+        let mut policy = MtatPolicy::new(
+            MtatConfig::full().with_heuristic_sizer().supervised(),
+            &sim_cfg,
+            &lc_spec,
+            std::slice::from_ref(&be_spec),
+        );
+        assert_eq!(policy.name(), "mtat_full_heuristic_supervised");
+        assert_eq!(policy.degradation(), Some(DegradationState::Rl));
+
+        let mut mem = TieredMemory::new(sim_cfg.mem);
+        let lc = mem
+            .register_workload(lc_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let be = mem
+            .register_workload(be_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let mut engine = mtat_tiermem::migration::MigrationEngine::new(
+            sim_cfg.migration_bw,
+            sim_cfg.mem.page_size(),
+            sim_cfg.interval_secs,
+        )
+        .unwrap();
+        let n_lc = mem.region(lc).n_pages as usize;
+        let n_be = mem.region(be).n_pages as usize;
+        let init = [
+            obs(&mem, lc, WorkloadClass::Lc, vec![0; n_lc], false, 0.0),
+            obs(&mem, be, WorkloadClass::Be, vec![0; n_be], false, 0.0),
+        ];
+        policy.init(&mem, &init);
+
+        let drive = |policy: &mut MtatPolicy,
+                     mem: &mut TieredMemory,
+                     engine: &mut mtat_tiermem::migration::MigrationEngine,
+                     t0: usize,
+                     ticks: usize,
+                     violated: bool| {
+            for t in t0..t0 + ticks {
+                let w = [
+                    obs(mem, lc, WorkloadClass::Lc, vec![1; n_lc], violated, 800.0),
+                    obs(mem, be, WorkloadClass::Be, vec![3; n_be], false, 0.0),
+                ];
+                engine.begin_tick(1.0);
+                let mut sim = SimState {
+                    mem,
+                    migration: engine,
+                    workloads: &w,
+                    tick_secs: 1.0,
+                    now_secs: t as f64,
+                    interval_boundary: t > 0 && t % 5 == 0,
+                    obs_age_ticks: 0,
+                    fmem_bw_util: 0.0,
+                    smem_bw_util: 0.0,
+                };
+                policy.on_tick(&mut sim);
+            }
+        };
+
+        // Default thresholds demote after 3 consecutive violating
+        // intervals: 4 intervals of violations are plenty.
+        drive(&mut policy, &mut mem, &mut engine, 0, 21, true);
+        assert_eq!(
+            policy.degradation(),
+            Some(DegradationState::Proportional),
+            "sustained violations should demote the RL sizer"
+        );
+        assert!(!policy.supervisor_transitions().is_empty());
+
+        // A healthy window re-promotes.
+        drive(&mut policy, &mut mem, &mut engine, 21, 25, false);
+        assert_eq!(
+            policy.degradation(),
+            Some(DegradationState::Rl),
+            "healthy intervals should re-promote to the RL sizer"
+        );
+    }
+
+    /// A PEBS blackout (zero sampled access rate while requests are
+    /// being served) demotes immediately — and keeps the policy demoted
+    /// for as long as the sensor stays dead.
+    #[test]
+    fn supervisor_demotes_on_dead_sensor() {
+        let sim_cfg = SimConfig::small_test();
+        let lc_spec = small_lc();
+        let mut policy = MtatPolicy::new(
+            MtatConfig::lc_only().with_heuristic_sizer().supervised(),
+            &sim_cfg,
+            &lc_spec,
+            &[],
+        );
+        let mut mem = TieredMemory::new(sim_cfg.mem);
+        let lc = mem
+            .register_workload(lc_spec.rss_bytes, InitialPlacement::AllSmem)
+            .unwrap();
+        let mut engine = mtat_tiermem::migration::MigrationEngine::new(
+            sim_cfg.migration_bw,
+            sim_cfg.mem.page_size(),
+            sim_cfg.interval_secs,
+        )
+        .unwrap();
+        let n_lc = mem.region(lc).n_pages as usize;
+        let init = [obs(&mem, lc, WorkloadClass::Lc, vec![0; n_lc], false, 0.0)];
+        policy.init(&mem, &init);
+
+        for t in 0..11 {
+            // Requests flow (load 800) but the sampler reports nothing.
+            let mut lc_obs = obs(&mem, lc, WorkloadClass::Lc, vec![0; n_lc], false, 800.0);
+            lc_obs.access_rate = 0.0;
+            let w = [lc_obs];
+            engine.begin_tick(1.0);
+            let mut sim = SimState {
+                mem: &mut mem,
+                migration: &mut engine,
+                workloads: &w,
+                tick_secs: 1.0,
+                now_secs: t as f64,
+                interval_boundary: t > 0 && t % 5 == 0,
+                obs_age_ticks: 0,
+                fmem_bw_util: 0.0,
+                smem_bw_util: 0.0,
+            };
+            policy.on_tick(&mut sim);
+        }
+        assert_eq!(
+            policy.degradation(),
+            Some(DegradationState::Proportional),
+            "a dead sensor should demote even without SLO violations"
+        );
+    }
+
     #[test]
     fn lc_only_variant_has_no_be_targets() {
         let sim_cfg = SimConfig::small_test();
@@ -459,7 +667,7 @@ mod tests {
             MtatConfig::lc_only().with_heuristic_sizer(),
             &sim_cfg,
             &lc_spec,
-            &[be_spec.clone()],
+            std::slice::from_ref(&be_spec),
         );
         let mut mem = TieredMemory::new(sim_cfg.mem);
         let lc = mem
@@ -496,6 +704,7 @@ mod tests {
                 tick_secs: 1.0,
                 now_secs: t as f64,
                 interval_boundary: t > 0 && t % 5 == 0,
+                obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
             };

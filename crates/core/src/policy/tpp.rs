@@ -116,7 +116,7 @@ impl Policy for TppPolicy {
                 }
             }
         }
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_unstable_by_key(|&(est, _)| std::cmp::Reverse(est));
         candidates.truncate(self.cfg.promotions_per_tick as usize);
 
         if candidates.is_empty() {
@@ -143,7 +143,10 @@ impl Policy for TppPolicy {
             let take = (need as usize).min(lru.len());
             let granted = sim.migration.try_consume_pages(take as u64) as usize;
             for &(_, p) in lru.iter().take(granted) {
-                sim.mem.migrate(p, Tier::SMem).expect("demotion has room");
+                // Skip pages that cannot move right now (e.g. a full
+                // slow tier) instead of panicking; the watermark check
+                // simply runs again next tick.
+                let _ = sim.mem.migrate(p, Tier::SMem);
             }
         }
 
@@ -155,7 +158,7 @@ impl Policy for TppPolicy {
             .min(candidates.len() as u64);
         let granted = sim.migration.try_consume_pages(room) as usize;
         for &(_, p) in candidates.iter().take(granted) {
-            sim.mem.migrate(p, Tier::FMem).expect("frame available");
+            let _ = sim.mem.migrate(p, Tier::FMem);
         }
     }
 }
@@ -201,8 +204,9 @@ mod tests {
             tick_secs: 1.0,
             now_secs: t,
             interval_boundary: false,
-                fmem_bw_util: 0.0,
-                smem_bw_util: 0.0,
+            obs_age_ticks: 0,
+            fmem_bw_util: 0.0,
+            smem_bw_util: 0.0,
         };
         policy.on_tick(&mut sim);
     }
@@ -211,7 +215,9 @@ mod tests {
     fn promotes_touched_smem_pages() {
         let spec = MemorySpec::new(8 * MIB, 32 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut p = TppPolicy::new();
         let w = [obs(&mem, a, vec![5, 0, 3, 0, 0, 0, 0, 0])];
@@ -227,7 +233,9 @@ mod tests {
     fn lru_demotion_under_pressure() {
         let spec = MemorySpec::new(4 * MIB, 32 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut p = TppPolicy::new();
         p.init(&mem, &[obs(&mem, a, vec![0; 8])]);
@@ -260,8 +268,12 @@ mod tests {
         // the two FMem frames from each other — TPP's pathology.
         let spec = MemorySpec::new(2 * MIB, 16 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
-        let b = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        let b = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         let mut p = TppPolicy::with_config(TppConfig {
             free_watermark: 0.0,
@@ -287,7 +299,9 @@ mod tests {
     fn budget_limits_promotions() {
         let spec = MemorySpec::new(8 * MIB, 32 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         // Engine that can move only 2 pages per tick.
         let mut engine = MigrationEngine::new(2.0 * MIB as f64, MIB, 10.0).unwrap();
         let mut p = TppPolicy::new();

@@ -239,8 +239,7 @@ mod tests {
         let mut s = AdjustmentSchedule::new(vec![100, -60, -40], 0, 30);
         let slice = s.next_slice(u64::MAX);
         // LC gets the full slice (30), BE demotions proportional 60:40.
-        let map: std::collections::HashMap<usize, i64> =
-            slice.moves.iter().copied().collect();
+        let map: std::collections::HashMap<usize, i64> = slice.moves.iter().copied().collect();
         assert_eq!(map[&0], 30);
         assert_eq!(map[&1], -18);
         assert_eq!(map[&2], -12);
@@ -251,8 +250,7 @@ mod tests {
     fn lc_demotion_paired_with_be_promotions() {
         let mut s = AdjustmentSchedule::new(vec![-50, 30, 20], 0, 25);
         let slice = s.next_slice(u64::MAX);
-        let map: std::collections::HashMap<usize, i64> =
-            slice.moves.iter().copied().collect();
+        let map: std::collections::HashMap<usize, i64> = slice.moves.iter().copied().collect();
         assert_eq!(map[&0], -25);
         assert_eq!(map[&1], 15);
         assert_eq!(map[&2], 10);
@@ -282,8 +280,7 @@ mod tests {
         let slices = drain(s, u64::MAX);
         // Every slice promotes BE1 and demotes BE2 in equal measure.
         for slice in &slices {
-            let map: std::collections::HashMap<usize, i64> =
-                slice.moves.iter().copied().collect();
+            let map: std::collections::HashMap<usize, i64> = slice.moves.iter().copied().collect();
             assert!(!map.contains_key(&0));
             assert_eq!(map[&1], -map[&2]);
         }
@@ -302,8 +299,7 @@ mod tests {
         // uses remaining capacity (15) for BE exchange.
         let mut s = AdjustmentSchedule::new(vec![10, 20, -30], 0, 25);
         let slice = s.next_slice(u64::MAX);
-        let map: std::collections::HashMap<usize, i64> =
-            slice.moves.iter().copied().collect();
+        let map: std::collections::HashMap<usize, i64> = slice.moves.iter().copied().collect();
         assert_eq!(map[&0], 10);
         // BE demotions pair LC promotions (10) plus exchange (15): -25.
         assert_eq!(map[&2], -25);
@@ -329,8 +325,7 @@ mod tests {
     fn budget_limits_slice() {
         let mut s = AdjustmentSchedule::new(vec![100, -100], 0, 50);
         let slice = s.next_slice(5); // engine only granted 5 pairs
-        let map: std::collections::HashMap<usize, i64> =
-            slice.moves.iter().copied().collect();
+        let map: std::collections::HashMap<usize, i64> = slice.moves.iter().copied().collect();
         assert_eq!(map[&0], 5);
         assert_eq!(map[&1], -5);
         // Zero budget produces an empty slice without consuming demand.

@@ -17,6 +17,8 @@
 pub mod adjust;
 pub mod placement;
 
+use std::collections::VecDeque;
+
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::migration::MigrationEngine;
 use mtat_tiermem::page::{Tier, WorkloadId};
@@ -34,6 +36,32 @@ pub type PartitionTarget = Option<u64>;
 /// near-equal hotness.
 pub const HOTNESS_HYSTERESIS: f64 = 2.0;
 
+/// Upper bound on outstanding deferred moves — keeps the retry queue
+/// from growing without bound under a persistent fault.
+const MAX_DEFERRED: usize = 64;
+/// A deferred move is dropped after this many failed retry attempts;
+/// the next partitioning interval recomputes the deficit from actual
+/// residency anyway.
+const MAX_RETRY_ATTEMPTS: u32 = 5;
+/// Exponential backoff cap: retry delays run 1, 2, 4, 8, 8, ... ticks.
+const RETRY_BACKOFF_CAP_LOG2: u32 = 3;
+
+/// An adjustment move that failed mid-interval (transient migration
+/// fault) and is queued for retry in a later time slice.
+#[derive(Debug, Clone, Copy)]
+struct DeferredMove {
+    /// Workload index whose pages failed to move.
+    workload: usize,
+    /// How many pages are still owed.
+    pages: u64,
+    /// Promotion (SMem → FMem) or demotion.
+    promote: bool,
+    /// Ticks to wait before the next attempt.
+    delay_ticks: u32,
+    /// Retry attempts made so far (drives the backoff).
+    attempt: u32,
+}
+
 /// The Partition Policy Enforcer.
 #[derive(Debug)]
 pub struct PartitionPolicyEnforcer {
@@ -44,6 +72,10 @@ pub struct PartitionPolicyEnforcer {
     p_max_pairs: u64,
     refine_pairs_per_workload: u64,
     placement_frozen: bool,
+    /// Moves that failed under transient migration faults, awaiting
+    /// retry with capped exponential backoff. Empty whenever no fault
+    /// injection is active (the engine never fails moves then).
+    retry_queue: VecDeque<DeferredMove>,
 }
 
 impl PartitionPolicyEnforcer {
@@ -66,6 +98,7 @@ impl PartitionPolicyEnforcer {
             p_max_pairs: p_max_pairs.max(1),
             refine_pairs_per_workload,
             placement_frozen: false,
+            retry_queue: VecDeque::new(),
         }
     }
 
@@ -130,7 +163,20 @@ impl PartitionPolicyEnforcer {
                 None => 0,
             })
             .collect();
-        self.schedule = Some(AdjustmentSchedule::new(deltas, self.lc_index, self.p_max_pairs));
+        self.schedule = Some(AdjustmentSchedule::new(
+            deltas,
+            self.lc_index,
+            self.p_max_pairs,
+        ));
+        // The new schedule is computed from *actual* residency, so it
+        // already covers any moves still owed: outstanding retries would
+        // double-move. Deferred moves only live within an interval.
+        self.retry_queue.clear();
+    }
+
+    /// Pages currently owed by the deferred-move retry queue.
+    pub fn deferred_pages(&self) -> u64 {
+        self.retry_queue.iter().map(|d| d.pages).sum()
     }
 
     /// One PP-E tick: execute the next adjustment slice if one is
@@ -162,8 +208,13 @@ impl PartitionPolicyEnforcer {
                     let w = WorkloadId(i as u16);
                     let pages = self.tracker.coldest_fmem(mem, w, (-m) as usize);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
+                    self.note_fault_failures(i, false, engine);
                     for &p in pages.iter().take(granted) {
-                        mem.migrate(p, Tier::SMem).expect("demotion has room");
+                        // A full slow tier makes this demotion
+                        // unsatisfiable right now; skip rather than
+                        // panic — the next plan recomputes from actual
+                        // residency.
+                        let _ = mem.migrate(p, Tier::SMem);
                     }
                 }
             }
@@ -180,16 +231,17 @@ impl PartitionPolicyEnforcer {
                     let want = need.min(mem.free_pages(Tier::FMem)) as usize;
                     let pages = self.tracker.hottest_smem(mem, w, want);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
+                    self.note_fault_failures(i, true, engine);
                     for &p in pages.iter().take(granted) {
-                        mem.migrate(p, Tier::FMem).expect("frame freed above");
+                        let _ = mem.migrate(p, Tier::FMem);
                     }
                 }
             }
         }
-        let schedule_done = self
-            .schedule
-            .as_ref()
-            .is_none_or(|s| s.is_complete());
+        // Re-drive moves that failed under transient faults in earlier
+        // slices, using whatever budget this tick has left.
+        self.retry_deferred(mem, engine);
+        let schedule_done = self.schedule.as_ref().is_none_or(|s| s.is_complete());
 
         // --- Fig. 4b refinement within enforced partitions ---
         if schedule_done && !self.placement_frozen {
@@ -254,7 +306,88 @@ impl PartitionPolicyEnforcer {
         let take = (need as usize).min(candidates.len());
         let granted = engine.try_consume_pages(take as u64) as usize;
         for &(_, p) in candidates.iter().take(granted) {
-            mem.migrate(p, Tier::SMem).expect("demotion has room");
+            let _ = mem.migrate(p, Tier::SMem);
+        }
+    }
+
+    /// Queues a deferred move when the engine reports fault-failed pages
+    /// from the immediately preceding `try_consume_pages` call. Budget
+    /// shortfalls (granted < requested with zero failures) are *not*
+    /// deferred — they are ordinary backpressure the schedule already
+    /// handles — so with fault injection disabled this never fires and
+    /// enforcement behavior is bit-identical.
+    fn note_fault_failures(&mut self, workload: usize, promote: bool, engine: &MigrationEngine) {
+        let failed = engine.failed_in_last_call();
+        if failed > 0 && self.retry_queue.len() < MAX_DEFERRED {
+            self.retry_queue.push_back(DeferredMove {
+                workload,
+                pages: failed,
+                promote,
+                delay_ticks: 1,
+                attempt: 0,
+            });
+        }
+    }
+
+    /// Drains due entries of the deferred-move queue: demotions first
+    /// (they free frames), then promotions. Each successful re-driven
+    /// page is credited to the engine's `retried_moves` counter; moves
+    /// that fail again back off exponentially (capped) and are dropped
+    /// after [`MAX_RETRY_ATTEMPTS`].
+    fn retry_deferred(&mut self, mem: &mut TieredMemory, engine: &mut MigrationEngine) {
+        if self.retry_queue.is_empty() {
+            return;
+        }
+        let mut pending: Vec<DeferredMove> = self.retry_queue.drain(..).collect();
+        // Demotions before promotions so freed frames are visible to
+        // promotion retries within the same tick.
+        pending.sort_by_key(|d| d.promote);
+        for mut d in pending {
+            if d.delay_ticks > 0 {
+                d.delay_ticks -= 1;
+                self.retry_queue.push_back(d);
+                continue;
+            }
+            let w = WorkloadId(d.workload as u16);
+            let candidates = if d.promote {
+                let want = (d.pages).min(mem.free_pages(Tier::FMem)) as usize;
+                self.tracker.hottest_smem(mem, w, want)
+            } else {
+                self.tracker.coldest_fmem(mem, w, d.pages as usize)
+            };
+            let blocked = candidates.is_empty();
+            let completed = if blocked {
+                0
+            } else {
+                engine.try_consume_pages(candidates.len() as u64) as usize
+            };
+            let faulted_again = !blocked && engine.failed_in_last_call() > 0;
+            if completed > 0 {
+                engine.note_retried(completed as u64);
+                let tier = if d.promote { Tier::FMem } else { Tier::SMem };
+                for &p in candidates.iter().take(completed) {
+                    let _ = mem.migrate(p, tier);
+                }
+            }
+            let reachable = if blocked {
+                d.pages
+            } else {
+                candidates.len() as u64
+            };
+            let owed = reachable.saturating_sub(completed as u64);
+            if owed > 0 && d.attempt < MAX_RETRY_ATTEMPTS {
+                // Escalate the backoff only when the move actually
+                // failed or was blocked — a pure budget shortfall just
+                // waits for the next tick.
+                let attempt = d.attempt + u32::from(faulted_again || blocked);
+                self.retry_queue.push_back(DeferredMove {
+                    workload: d.workload,
+                    pages: owed,
+                    promote: d.promote,
+                    delay_ticks: 1 << attempt.min(RETRY_BACKOFF_CAP_LOG2),
+                    attempt,
+                });
+            }
         }
     }
 }
@@ -288,9 +421,12 @@ mod tests {
     fn setup() -> (TieredMemory, MigrationEngine) {
         let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        mem.register_workload(6 * MIB, InitialPlacement::AllSmem).unwrap(); // LC
-        mem.register_workload(8 * MIB, InitialPlacement::FmemFirst).unwrap(); // BE0: 8 in FMem
-        mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap(); // BE1
+        mem.register_workload(6 * MIB, InitialPlacement::AllSmem)
+            .unwrap(); // LC
+        mem.register_workload(8 * MIB, InitialPlacement::FmemFirst)
+            .unwrap(); // BE0: 8 in FMem
+        mem.register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap(); // BE1
         let engine = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
         (mem, engine)
     }
@@ -337,7 +473,10 @@ mod tests {
         // The tick budget (4 page moves) is a hard cap even though the
         // adjustment drains multiple p_max slices per tick.
         assert!(engine.bytes_moved_this_tick() <= 4 * MIB);
-        assert!(ppe.adjusting(), "a 12-page adjustment outlives one 4-page tick");
+        assert!(
+            ppe.adjusting(),
+            "a 12-page adjustment outlives one 4-page tick"
+        );
         // With ample budget the same adjustment completes in one tick.
         let (mut mem2, mut engine2) = setup();
         let mut ppe2 = PartitionPolicyEnforcer::new(&mem2, 0, 2, 0);
@@ -405,9 +544,7 @@ mod tests {
         }
         // Now BE0's *SMem* ranks 4..8 become the hot set.
         let mut sampled = vec![0u64; 8];
-        for r in 4..8 {
-            sampled[r] = 100;
-        }
+        sampled[4..8].fill(100);
         let all = [
             obs(&mem, WorkloadId(0), vec![0; 6]),
             obs(&mem, WorkloadId(1), sampled),
@@ -437,6 +574,105 @@ mod tests {
         assert_eq!(ppe.tracker().histogram(WorkloadId(0)).total(), 48);
         ppe.age();
         assert_eq!(ppe.tracker().histogram(WorkloadId(0)).total(), 24);
+    }
+
+    /// Transient migration faults defer the failed moves; once the fault
+    /// clears, the queue re-drives them and credits `retried_moves`.
+    #[test]
+    fn fault_failed_moves_are_deferred_and_retried() {
+        let (mut mem, mut engine) = setup();
+        engine.set_fault_seed(9);
+        let mut ppe = PartitionPolicyEnforcer::new(&mem, 0, 8, 0);
+        // Freeze placement so drift correction cannot mask the retry
+        // path — only slice execution and the queue act.
+        ppe.set_placement_frozen(true);
+        let all = [
+            obs(&mem, WorkloadId(0), vec![2; 6]),
+            obs(&mem, WorkloadId(1), vec![3; 8]),
+            obs(&mem, WorkloadId(2), vec![4; 8]),
+        ];
+        ppe.record_tick(&all);
+        ppe.set_plan(&mem, vec![Some(4), Some(2), Some(2)]);
+
+        // Every granted move fails this tick.
+        engine.set_tick_faults(1.0, 1.0);
+        engine.begin_tick(1.0);
+        ppe.tick(&mut mem, &mut engine);
+        assert_eq!(
+            mem.residency(WorkloadId(1)).fmem_pages,
+            8,
+            "all demotions failed under the fault"
+        );
+        assert!(engine.failed_moves() > 0);
+        assert!(ppe.deferred_pages() > 0, "failed moves must be deferred");
+
+        // Fault clears: deferred demotions are re-driven.
+        engine.set_tick_faults(1.0, 0.0);
+        for _ in 0..4 {
+            engine.begin_tick(1.0);
+            ppe.tick(&mut mem, &mut engine);
+        }
+        assert!(
+            engine.retried_moves() >= 6,
+            "retried {}",
+            engine.retried_moves()
+        );
+        assert_eq!(
+            mem.residency(WorkloadId(1)).fmem_pages,
+            2,
+            "deferred demotions eventually land"
+        );
+        mem.check_invariants().unwrap();
+    }
+
+    /// Under a persistent fault the retry queue backs off and drops
+    /// entries after the attempt cap — it stays bounded and drains.
+    #[test]
+    fn retry_queue_is_bounded_under_persistent_fault() {
+        let (mut mem, mut engine) = setup();
+        engine.set_fault_seed(11);
+        let mut ppe = PartitionPolicyEnforcer::new(&mem, 0, 8, 0);
+        ppe.set_placement_frozen(true);
+        let all = [
+            obs(&mem, WorkloadId(0), vec![2; 6]),
+            obs(&mem, WorkloadId(1), vec![3; 8]),
+            obs(&mem, WorkloadId(2), vec![4; 8]),
+        ];
+        ppe.record_tick(&all);
+        ppe.set_plan(&mem, vec![Some(4), Some(2), Some(2)]);
+        engine.set_tick_faults(1.0, 1.0);
+        for _ in 0..64 {
+            engine.begin_tick(1.0);
+            ppe.tick(&mut mem, &mut engine);
+        }
+        assert_eq!(
+            ppe.deferred_pages(),
+            0,
+            "attempt cap must drain the queue under a persistent fault"
+        );
+    }
+
+    /// Installing a new plan clears outstanding deferred moves — the new
+    /// schedule is computed from actual residency and subsumes them.
+    #[test]
+    fn new_plan_clears_deferred_moves() {
+        let (mut mem, mut engine) = setup();
+        engine.set_fault_seed(5);
+        let mut ppe = PartitionPolicyEnforcer::new(&mem, 0, 8, 0);
+        ppe.set_placement_frozen(true);
+        let all = [
+            obs(&mem, WorkloadId(0), vec![2; 6]),
+            obs(&mem, WorkloadId(1), vec![3; 8]),
+            obs(&mem, WorkloadId(2), vec![4; 8]),
+        ];
+        ppe.record_tick(&all);
+        ppe.set_plan(&mem, vec![Some(4), Some(2), Some(2)]);
+        engine.set_tick_faults(1.0, 1.0);
+        engine.begin_tick(1.0);
+        ppe.tick(&mut mem, &mut engine);
+        assert!(ppe.deferred_pages() > 0);
+        ppe.set_plan(&mem, vec![Some(4), Some(2), Some(2)]);
+        assert_eq!(ppe.deferred_pages(), 0);
     }
 
     #[test]

@@ -42,8 +42,11 @@ pub fn enforce_target(
         let granted = engine.try_consume_pages(pages.len() as u64);
         let mut promoted = 0;
         for &p in pages.iter().take(granted as usize) {
-            mem.migrate(p, Tier::FMem).expect("promotion within capacity");
-            promoted += 1;
+            // Count only moves that actually land; a lost race for the
+            // last free frame is skipped, not fatal.
+            if mem.migrate(p, Tier::FMem).is_ok() {
+                promoted += 1;
+            }
         }
         (promoted, 0)
     } else if current > target_pages {
@@ -55,8 +58,9 @@ pub fn enforce_target(
         let granted = engine.try_consume_pages(pages.len() as u64);
         let mut demoted = 0;
         for &p in pages.iter().take(granted as usize) {
-            mem.migrate(p, Tier::SMem).expect("demotion always has room");
-            demoted += 1;
+            if mem.migrate(p, Tier::SMem).is_ok() {
+                demoted += 1;
+            }
         }
         (0, demoted)
     } else {
@@ -93,8 +97,9 @@ pub fn refine_swaps(
         if engine.try_consume_pages(2) < 2 {
             break;
         }
-        mem.exchange(&[h], &[c]).expect("paired swap within partition");
-        swaps += 1;
+        if mem.exchange(&[h], &[c]).is_ok() {
+            swaps += 1;
+        }
     }
     swaps
 }
@@ -118,7 +123,7 @@ pub fn compete(
     max_pairs: u64,
     hysteresis: f64,
 ) -> u64 {
-    let k = max_pairs.min(engine.remaining_tick_pages()).max(0) as usize;
+    let k = max_pairs.min(engine.remaining_tick_pages()) as usize;
     if k == 0 {
         return 0;
     }
@@ -134,8 +139,8 @@ pub fn compete(
             cold.push((hist.count(p), p));
         }
     }
-    hot.sort_unstable_by(|a, b| b.0.cmp(&a.0));
-    cold.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    hot.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
+    cold.sort_unstable_by_key(|&(count, _)| count);
 
     let mut pool_used: u64 = ws.iter().map(|&w| mem.residency(w).fmem_pages).sum();
     let mut moved = 0;
@@ -149,9 +154,10 @@ pub fn compete(
             if engine.try_consume_pages(1) < 1 {
                 break;
             }
-            mem.migrate(hpage, Tier::FMem).expect("free frame available");
-            pool_used += 1;
-            moved += 1;
+            if mem.migrate(hpage, Tier::FMem).is_ok() {
+                pool_used += 1;
+                moved += 1;
+            }
         } else if ci < cold.len() {
             let (ccount, cpage) = cold[ci];
             if (hcount as f64) <= ccount as f64 * hysteresis {
@@ -160,9 +166,10 @@ pub fn compete(
             if engine.try_consume_pages(2) < 2 {
                 break;
             }
-            mem.exchange(&[hpage], &[cpage]).expect("paired exchange");
+            if mem.exchange(&[hpage], &[cpage]).is_ok() {
+                moved += 2;
+            }
             ci += 1;
-            moved += 2;
         } else {
             break;
         }
@@ -206,7 +213,9 @@ mod tests {
     #[test]
     fn enforce_target_promotes_hottest() {
         let (mut mem, mut engine) = setup(8);
-        let w = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let w = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[obs_for(&mem, w, vec![1, 9, 3, 7, 0, 0, 0, 0])]);
         engine.begin_tick(1.0);
@@ -221,7 +230,9 @@ mod tests {
     #[test]
     fn enforce_target_demotes_coldest() {
         let (mut mem, mut engine) = setup(8);
-        let w = mem.register_workload(8 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let w = mem
+            .register_workload(8 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[obs_for(&mem, w, vec![10, 1, 8, 9, 7, 6, 5, 4])]);
         engine.begin_tick(1.0);
@@ -235,8 +246,12 @@ mod tests {
     fn enforce_target_respects_budget_and_free_space() {
         let (mut mem, mut engine) = setup(4);
         // Fill FMem with another workload first.
-        let filler = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let w = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let filler = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let w = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[
             obs_for(&mem, filler, vec![0; 4]),
@@ -257,7 +272,9 @@ mod tests {
     #[test]
     fn refine_swaps_fixes_misplacement() {
         let (mut mem, mut engine) = setup(2);
-        let w = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let w = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
         // Ranks 0,1 in FMem; but ranks 2,3 are the hot ones.
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[obs_for(&mem, w, vec![1, 2, 100, 50])]);
@@ -276,8 +293,12 @@ mod tests {
     #[test]
     fn compete_prefers_hotter_workload() {
         let (mut mem, mut engine) = setup(2);
-        let a = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
-        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        let b = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[
             obs_for(&mem, a, vec![100, 90, 1, 1]),
@@ -294,8 +315,12 @@ mod tests {
     #[test]
     fn compete_displaces_colder_pages() {
         let (mut mem, mut engine) = setup(2);
-        let a = mem.register_workload(2 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(2 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let b = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         // a's resident pages are cold; b has hot SMem pages.
         tracker.record_tick(&[
@@ -312,7 +337,9 @@ mod tests {
     #[test]
     fn compete_respects_pool_cap() {
         let (mut mem, mut engine) = setup(8);
-        let a = mem.register_workload(8 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(8 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[obs_for(&mem, a, vec![9; 8])]);
         engine.begin_tick(1.0);
@@ -324,8 +351,12 @@ mod tests {
     #[test]
     fn compete_ignores_outside_workloads() {
         let (mut mem, mut engine) = setup(4);
-        let lc = mem.register_workload(2 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let be = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let lc = mem
+            .register_workload(2 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let be = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mut tracker = HotnessTracker::new(&mem);
         tracker.record_tick(&[
             obs_for(&mem, lc, vec![0, 0]),
@@ -341,7 +372,9 @@ mod tests {
     #[test]
     fn cold_pages_never_promoted_by_compete() {
         let (mut mem, mut engine) = setup(4);
-        let a = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let tracker = HotnessTracker::new(&mem); // all counts zero
         engine.begin_tick(1.0);
         let moved = compete(&mut mem, &mut engine, &tracker, &[a], 4, 64, 1.0);

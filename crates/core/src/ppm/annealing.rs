@@ -124,9 +124,7 @@ pub fn even_split(total_units: u64, n: usize) -> Vec<u64> {
     assert!(n > 0, "need at least one workload");
     let base = total_units / n as u64;
     let rem = (total_units % n as u64) as usize;
-    (0..n)
-        .map(|i| base + if i < rem { 1 } else { 0 })
-        .collect()
+    (0..n).map(|i| base + if i < rem { 1 } else { 0 }).collect()
 }
 
 #[cfg(test)]

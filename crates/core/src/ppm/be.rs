@@ -128,7 +128,10 @@ mod tests {
         let total = 20 * GIB;
         let alloc = p.partition(total);
         let sa_fair = p.expected_fairness(&alloc);
-        let even: Vec<u64> = even_split(total / GIB, 4).iter().map(|&g| g * GIB).collect();
+        let even: Vec<u64> = even_split(total / GIB, 4)
+            .iter()
+            .map(|&g| g * GIB)
+            .collect();
         let even_fair = p.expected_fairness(&even);
         assert!(
             sa_fair >= even_fair - 1e-9,

@@ -88,8 +88,7 @@ impl ProportionalController {
             self.cfg.max_step_bytes
         } else if p99 > self.cfg.grow_threshold * slo {
             // Proportional response to the headroom deficit.
-            let overshoot =
-                (p99 / slo - self.cfg.grow_threshold) / (1.0 - self.cfg.grow_threshold);
+            let overshoot = (p99 / slo - self.cfg.grow_threshold) / (1.0 - self.cfg.grow_threshold);
             overshoot.clamp(0.0, 1.0) * self.cfg.max_step_bytes
         } else if p99 < self.cfg.shrink_threshold * slo {
             -self.cfg.shrink_step * self.cfg.max_step_bytes

@@ -76,6 +76,9 @@ pub struct LcPartitioner {
     agent: Sac,
     target_bytes: u64,
     pending: Option<(Vec<f64>, Vec<f64>)>,
+    /// Raw (unclamped) action component from the most recent decision —
+    /// the supervisor inspects this for divergence (NaN/inf).
+    last_raw_action: Option<f64>,
 }
 
 impl LcPartitioner {
@@ -88,6 +91,7 @@ impl LcPartitioner {
             agent,
             target_bytes: 0,
             pending: None,
+            last_raw_action: None,
         }
     }
 
@@ -95,12 +99,7 @@ impl LcPartitioner {
     /// ([`LcPartitionEnv`]) for `steps` intervals and wraps it. This is
     /// the reproduction's stand-in for the paper's long-lived daemon
     /// whose model has already converged when an experiment starts.
-    pub fn pretrained(
-        spec: &LcSpec,
-        cfg: LcPartitionerConfig,
-        steps: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn pretrained(spec: &LcSpec, cfg: LcPartitionerConfig, steps: usize, seed: u64) -> Self {
         let mut env_cfg = LcEnvConfig::paper_scale(spec);
         env_cfg.fmem_total = cfg.fmem_total;
         env_cfg.max_step_bytes = cfg.max_step_bytes;
@@ -126,6 +125,13 @@ impl LcPartitioner {
     /// Access to the underlying agent (diagnostics, persistence).
     pub fn agent(&self) -> &Sac {
         &self.agent
+    }
+
+    /// The raw action component of the most recent decision, before
+    /// clamping — `None` until the first decision. A non-finite value
+    /// here means the network has diverged.
+    pub fn last_raw_action(&self) -> Option<f64> {
+        self.last_raw_action
     }
 
     fn ceiling(&self) -> u64 {
@@ -159,7 +165,17 @@ impl LcPartitioner {
         } else {
             self.agent.act_deterministic(&state)
         };
-        let delta = action[0].clamp(-1.0, 1.0) * self.cfg.max_step_bytes;
+        let raw = action[0];
+        self.last_raw_action = Some(raw);
+        // A diverged network (NaN/inf action) must not corrupt the
+        // target: NaN.clamp is NaN and `as u64` would zero the
+        // partition. Hold the current target and let the supervisor
+        // (which watches `last_raw_action`) demote the sizer.
+        let delta = if raw.is_finite() {
+            raw.clamp(-1.0, 1.0) * self.cfg.max_step_bytes
+        } else {
+            0.0
+        };
         let new_target = (self.target_bytes as f64 + delta).clamp(0.0, self.ceiling() as f64);
         self.target_bytes = new_target as u64;
         self.pending = Some((state, action));

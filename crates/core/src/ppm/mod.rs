@@ -18,6 +18,7 @@ pub mod profiler;
 use crate::ppm::be::BePartitioner;
 use crate::ppm::controller::ProportionalController;
 use crate::ppm::lc::{LcObservation, LcPartitioner};
+use crate::supervisor::DegradationState;
 
 /// A per-interval FMem partitioning decision (bytes).
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +37,12 @@ impl PartitionPlan {
 }
 
 /// How PP-M sizes the LC partition.
+///
+/// One sizer exists per policy instance, so the size skew between the
+/// RL variant (which embeds the SAC agent) and the heuristic one does
+/// not matter.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum LcSizer {
     /// The paper's approach: SAC reinforcement learning (§3.2.1).
     Rl(LcPartitioner),
@@ -65,6 +71,13 @@ impl LcSizer {
             LcSizer::Heuristic(c) => c.set_target_bytes(bytes),
         }
     }
+
+    fn rl_raw_action(&self) -> Option<f64> {
+        match self {
+            LcSizer::Rl(p) => p.last_raw_action(),
+            LcSizer::Heuristic(_) => None,
+        }
+    }
 }
 
 /// The Partition Policy Maker: LC sizing + BE fairness allocation, plus
@@ -87,6 +100,14 @@ pub struct PartitionPolicyMaker {
     guard_floor_bytes: u64,
     /// Normalized access-count level at which the floor was installed.
     guard_level: f64,
+    /// Degraded-mode LC sizer, used while a
+    /// [`crate::supervisor::Supervisor`] has demoted the primary sizer.
+    fallback: Option<ProportionalController>,
+    /// Last-resort LC allocation (LC-priority static split) used in
+    /// [`DegradationState::Static`].
+    static_lc_bytes: u64,
+    /// Which sizer currently governs the LC partition.
+    mode: DegradationState,
 }
 
 impl PartitionPolicyMaker {
@@ -108,30 +129,91 @@ impl PartitionPolicyMaker {
             max_step_bytes,
             guard_floor_bytes: 0,
             guard_level: 0.0,
+            fallback: None,
+            static_lc_bytes: fmem_total,
+            mode: DegradationState::Rl,
         }
     }
 
-    /// The LC target currently in force.
-    pub fn lc_target_bytes(&self) -> u64 {
-        self.lc.target_bytes()
+    /// Installs the graceful-degradation ladder: a proportional
+    /// controller to govern while the primary sizer is demoted, and the
+    /// static LC-priority allocation used as the last resort.
+    pub fn with_fallback(mut self, fallback: ProportionalController, static_lc_bytes: u64) -> Self {
+        self.fallback = Some(fallback);
+        self.static_lc_bytes = static_lc_bytes.min(self.fmem_total);
+        self
     }
 
-    /// Aligns the internal target with the actual initial placement.
+    /// The LC target currently in force (under the governing sizer).
+    pub fn lc_target_bytes(&self) -> u64 {
+        match self.mode {
+            DegradationState::Rl => self.lc.target_bytes(),
+            DegradationState::Proportional => self
+                .fallback
+                .as_ref()
+                .map_or_else(|| self.lc.target_bytes(), |c| c.target_bytes()),
+            DegradationState::Static => self.static_lc_bytes,
+        }
+    }
+
+    /// Aligns the internal targets with the actual initial placement.
     pub fn set_lc_target_bytes(&mut self, bytes: u64) {
         self.lc.set_target_bytes(bytes);
+        if let Some(c) = &mut self.fallback {
+            c.set_target_bytes(bytes);
+        }
+    }
+
+    /// The governing sizer.
+    pub fn mode(&self) -> DegradationState {
+        self.mode
+    }
+
+    /// Switches the governing sizer, carrying the current target over so
+    /// the incoming sizer continues from where the outgoing one left off
+    /// (no allocation jump at the transition itself).
+    pub fn set_mode(&mut self, mode: DegradationState) {
+        if mode == self.mode {
+            return;
+        }
+        let carry = self.lc_target_bytes();
+        self.mode = mode;
+        match mode {
+            DegradationState::Rl => self.lc.set_target_bytes(carry),
+            DegradationState::Proportional => {
+                if let Some(c) = &mut self.fallback {
+                    c.set_target_bytes(carry);
+                }
+            }
+            DegradationState::Static => {}
+        }
+    }
+
+    /// The raw (unclamped) action of the primary sizer's most recent
+    /// decision; `None` when the primary sizer is not RL-based or has not
+    /// decided yet.
+    pub fn rl_raw_action(&self) -> Option<f64> {
+        self.lc.rl_raw_action()
     }
 
     /// One PP-M decision from the interval's LC observation.
     pub fn decide(&mut self, obs: &LcObservation) -> PartitionPlan {
-        let before = self.lc.target_bytes();
-        let mut lc_bytes = self.lc.decide(obs);
+        let before = self.lc_target_bytes();
+        let mut lc_bytes = match self.mode {
+            DegradationState::Rl => self.lc.decide(obs),
+            DegradationState::Proportional => match &mut self.fallback {
+                Some(c) => c.decide(obs),
+                None => self.lc.decide(obs),
+            },
+            DegradationState::Static => self.static_lc_bytes,
+        };
 
         if let Some(step) = self.slo_guard_step {
             if obs.violated {
                 // Install (or raise) the floor: grow from the previous
                 // target by the guard step and remember the demand level.
-                let forced = (before as f64 + step * self.max_step_bytes)
-                    .min(self.fmem_total as f64) as u64;
+                let forced =
+                    (before as f64 + step * self.max_step_bytes).min(self.fmem_total as f64) as u64;
                 self.guard_floor_bytes = self.guard_floor_bytes.max(forced);
                 self.guard_level = obs.access_count_norm;
             } else if obs.access_count_norm < 0.75 * self.guard_level {
@@ -142,7 +224,13 @@ impl PartitionPolicyMaker {
             }
             if self.guard_floor_bytes > lc_bytes {
                 lc_bytes = self.guard_floor_bytes;
+                // Keep every sizer aligned with the forced allocation so
+                // neither the primary nor the fallback re-shrinks from a
+                // stale target after a mode change.
                 self.lc.set_target_bytes(lc_bytes);
+                if let Some(c) = &mut self.fallback {
+                    c.set_target_bytes(lc_bytes);
+                }
             }
         }
         lc_bytes = lc_bytes.min(self.fmem_total);
@@ -180,13 +268,7 @@ mod tests {
                 5,
             )
         });
-        PartitionPolicyMaker::new(
-            LcSizer::Heuristic(ctl),
-            be,
-            fmem,
-            20.0 * GIB as f64,
-            guard,
-        )
+        PartitionPolicyMaker::new(LcSizer::Heuristic(ctl), be, fmem, 20.0 * GIB as f64, guard)
     }
 
     fn obs(p99: f64, violated: bool, usage: f64) -> LcObservation {
@@ -205,7 +287,11 @@ mod tests {
         ppm.set_lc_target_bytes(8 * GIB);
         let plan = ppm.decide(&obs(1e-3, false, 0.25));
         assert_eq!(plan.be_bytes.len(), 4);
-        assert_eq!(plan.total(), 32 * GIB, "BE partitioning uses all residual FMem");
+        assert_eq!(
+            plan.total(),
+            32 * GIB,
+            "BE partitioning uses all residual FMem"
+        );
     }
 
     #[test]
@@ -224,6 +310,52 @@ mod tests {
         // specifically by violating with a *finite small* p99, which the
         // controller would treat mildly if not flagged. With violated =
         // true both paths grow; guard guarantees >= 2 + 10 GiB.
+        let plan = ppm.decide(&obs(25e-3, true, 0.1));
+        assert!(plan.lc_bytes >= 12 * GIB, "{}", plan.lc_bytes);
+    }
+
+    #[test]
+    fn degraded_modes_dispatch_to_fallback_and_static() {
+        let fmem = 32 * GIB;
+        let fallback = ProportionalController::new(ControllerConfig::new(
+            fmem,
+            34 * GIB,
+            20.0 * GIB as f64,
+            20e-3,
+        ));
+        let mut ppm = heuristic_ppm(false, None).with_fallback(fallback, 30 * GIB);
+        ppm.set_lc_target_bytes(8 * GIB);
+        assert_eq!(ppm.mode(), DegradationState::Rl);
+
+        // Demote: the fallback controller inherits the 8 GiB target and
+        // governs from there (dead-band observation holds the target).
+        ppm.set_mode(DegradationState::Proportional);
+        let plan = ppm.decide(&obs(8e-3, false, 0.25));
+        assert_eq!(plan.lc_bytes, 8 * GIB);
+
+        // Last resort: the static LC-priority split, regardless of obs.
+        ppm.set_mode(DegradationState::Static);
+        let plan = ppm.decide(&obs(1e-3, false, 0.25));
+        assert_eq!(plan.lc_bytes, 30 * GIB);
+
+        // Re-promote: the primary sizer continues from the static split,
+        // no allocation jump at the transition.
+        ppm.set_mode(DegradationState::Rl);
+        assert_eq!(ppm.lc_target_bytes(), 30 * GIB);
+    }
+
+    #[test]
+    fn guard_floor_applies_in_degraded_mode() {
+        let fmem = 32 * GIB;
+        let fallback = ProportionalController::new(ControllerConfig::new(
+            fmem,
+            34 * GIB,
+            20.0 * GIB as f64,
+            20e-3,
+        ));
+        let mut ppm = heuristic_ppm(false, Some(0.5)).with_fallback(fallback, 30 * GIB);
+        ppm.set_lc_target_bytes(2 * GIB);
+        ppm.set_mode(DegradationState::Proportional);
         let plan = ppm.decide(&obs(25e-3, true, 0.1));
         assert!(plan.lc_bytes >= 12 * GIB, "{}", plan.lc_bytes);
     }

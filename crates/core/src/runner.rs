@@ -20,7 +20,10 @@
 //! ([`Experiment::find_max_load`]): the largest constant load a policy
 //! can carry without SLO violations (Fig. 8, Table 3).
 
+use std::collections::VecDeque;
+
 use mtat_tiermem::bandwidth::BandwidthModel;
+use mtat_tiermem::faults::{FaultInjector, FaultKind, FaultPlan, TickFaults};
 use mtat_tiermem::latency;
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::migration::MigrationEngine;
@@ -54,6 +57,10 @@ pub struct Experiment {
     /// fractions of this. Defaults to the LC workload's sustainable load
     /// under FMEM_ALL.
     pub lc_max_ref: f64,
+    /// Fault-injection schedule. Defaults to [`FaultPlan::none`], which
+    /// leaves every substrate hook untouched — the run is bit-identical
+    /// to one without the fault layer.
+    pub fault_plan: FaultPlan,
 }
 
 impl Experiment {
@@ -79,12 +86,19 @@ impl Experiment {
             bes,
             duration_secs: duration,
             lc_max_ref,
+            fault_plan: FaultPlan::none(),
         }
     }
 
     /// Overrides the run length.
     pub fn with_duration(mut self, secs: f64) -> Self {
         self.duration_secs = secs;
+        self
+    }
+
+    /// Installs a fault-injection schedule (see [`mtat_tiermem::faults`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -128,8 +142,29 @@ impl Experiment {
         let mut sampler = AccessSampler::new(self.cfg.sampler_period, self.cfg.seed ^ 0x5A)
             .expect("valid sampler period");
         let mut burst_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xB0);
-        let mut engine = MigrationEngine::new(self.cfg.migration_bw, page_size, self.cfg.interval_secs)
-            .expect("valid migration configuration");
+        let mut engine =
+            MigrationEngine::new(self.cfg.migration_bw, page_size, self.cfg.interval_secs)
+                .expect("valid migration configuration");
+
+        // Fault layer. When the plan is empty no hook is ever touched,
+        // no observation is cloned, and the run is bit-identical to one
+        // without fault support.
+        let mut injector = FaultInjector::new(self.fault_plan.clone());
+        let faults_enabled = !injector.is_disabled();
+        if faults_enabled {
+            engine.set_fault_seed(self.fault_plan.seed);
+        }
+        let max_history = 1 + self
+            .fault_plan
+            .windows
+            .iter()
+            .map(|w| match w.kind {
+                FaultKind::TelemetryStale { ticks } => ticks as usize,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut obs_history: VecDeque<Vec<WorkloadObs>> = VecDeque::new();
 
         // Initial observations.
         let mut obs: Vec<WorkloadObs> = Vec::with_capacity(1 + self.bes.len());
@@ -186,6 +221,24 @@ impl Experiment {
         for tick_index in 0..n_ticks {
             let now = tick_index as f64 * tick_secs;
 
+            // ---- Fault effects for this tick ----
+            let tf = if faults_enabled {
+                let tf = injector.begin_tick(now);
+                sampler.set_fault_state(tf.sampler_blackout, tf.sampler_keep);
+                tf
+            } else {
+                TickFaults::nominal()
+            };
+            // A contention spike inflates both tiers' real latencies.
+            let (cont_fmem_util, cont_smem_util) = if faults_enabled {
+                (
+                    (fmem_util + tf.bandwidth_extra_util).min(1.0),
+                    (smem_util + tf.bandwidth_extra_util).min(1.0),
+                )
+            } else {
+                (fmem_util, smem_util)
+            };
+
             // ---- LC performance from current placement ----
             let level = self.load.level_at(now);
             let offered = level * self.lc_max_ref;
@@ -200,8 +253,10 @@ impl Experiment {
             };
             let load_rps = offered * burst;
             // Effective tier latencies under last tick's contention.
-            let lat_f = mtat_tiermem::FMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(fmem_util);
-            let lat_s = mtat_tiermem::SMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(smem_util);
+            let lat_f =
+                mtat_tiermem::FMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(cont_fmem_util);
+            let lat_s =
+                mtat_tiermem::SMEM_LATENCY_NS * 1e-9 * bw.latency_multiplier(cont_smem_util);
             let lc_hit = mem.residency(lc_id).fmem_usage_ratio();
             let lc_pen = policy.smem_access_penalty(lc_id);
             let lc_service = service_time(
@@ -276,17 +331,54 @@ impl Experiment {
                 }
             }
 
+            // ---- Policy-visible observations ----
+            // Under telemetry faults the policy sees a degraded copy:
+            // delayed (staleness), blinded (blackout hides the access
+            // stream while P99/throughput stay live), and noisy. The
+            // physics above always use the true values.
+            let (obs_age_ticks, faulted_view) = if faults_enabled {
+                obs_history.push_back(obs.clone());
+                if obs_history.len() > max_history {
+                    obs_history.pop_front();
+                }
+                let delay = (tf.telemetry_delay_ticks as usize).min(obs_history.len() - 1);
+                let mut view = obs_history[obs_history.len() - 1 - delay].clone();
+                if tf.sampler_blackout {
+                    for o in &mut view {
+                        o.access_rate = 0.0;
+                        for s in &mut o.sampled {
+                            *s = 0;
+                        }
+                    }
+                }
+                if tf.telemetry_noise_amp > 0.0 {
+                    for o in &mut view {
+                        o.p99_secs *= injector.noise_factor(tf.telemetry_noise_amp);
+                        o.throughput *= injector.noise_factor(tf.telemetry_noise_amp);
+                        o.slo_violated = o.p99_secs > o.slo_secs;
+                    }
+                }
+                (delay as u64, Some(view))
+            } else {
+                (0, None)
+            };
+            let policy_obs: &[WorkloadObs] = faulted_view.as_deref().unwrap_or(&obs);
+
             // ---- Policy tick ----
             let interval_boundary = tick_index > 0 && tick_index % ticks_per_interval == 0;
+            if faults_enabled {
+                engine.set_tick_faults(tf.migration_bw_factor, tf.migration_fail_prob);
+            }
             engine.begin_tick(tick_secs);
             {
                 let mut sim = SimState {
                     mem: &mut mem,
                     migration: &mut engine,
-                    workloads: &obs,
+                    workloads: policy_obs,
                     tick_secs,
                     now_secs: now,
                     interval_boundary,
+                    obs_age_ticks,
                     fmem_bw_util: fmem_util,
                     smem_bw_util: smem_util,
                 };
@@ -325,6 +417,7 @@ impl Experiment {
                 migration_bw: engine.tick_bandwidth_bytes_per_sec(),
                 fmem_bw_util: fmem_util,
                 smem_bw_util: smem_util,
+                degradation: policy.degradation(),
             });
         }
 
@@ -348,6 +441,8 @@ impl Experiment {
                 .map(|b| b.perf_full(self.cfg.mem.fmem_bytes(), page_size))
                 .collect(),
             total_migration_bytes: engine.total_bytes_moved(),
+            failed_moves: engine.failed_moves(),
+            retried_moves: engine.retried_moves(),
             duration_secs: duration,
             tick_secs,
         }
@@ -506,7 +601,12 @@ mod tests {
         let r = exp.run(&mut p);
         assert_eq!(r.policy, "fmem_all");
         assert_eq!(r.ticks.len(), 30);
-        assert_eq!(r.violation_rate(), 0.0, "worst p99 {}", r.worst_p99_after(0.0));
+        assert_eq!(
+            r.violation_rate(),
+            0.0,
+            "worst p99 {}",
+            r.worst_p99_after(0.0)
+        );
         // LC holds the whole FMem (1 GiB of its 1.2 GiB set).
         assert!(r.mean_lc_fmem_ratio() > 0.8);
     }
@@ -604,9 +704,69 @@ mod tests {
             service_time(1e-6, 10.0, 1.0, lat_f, lat_s, 0.0)
         );
         // Inflated latencies raise the service time.
-        assert!(
-            service_time(1e-6, 10.0, 0.5, lat_f * 2.0, lat_s * 2.0, 0.0) > base
+        assert!(service_time(1e-6, 10.0, 0.5, lat_f * 2.0, lat_s * 2.0, 0.0) > base);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let plan = FaultPlan::new(77)
+            .with(FaultKind::SamplerBlackout, 5.0, 10.0)
+            .with(FaultKind::MigrationFlaky { prob: 0.4 }, 0.0, 30.0)
+            .with(FaultKind::TelemetryNoise { amplitude: 0.2 }, 0.0, 30.0)
+            .with(FaultKind::TelemetryStale { ticks: 2 }, 10.0, 10.0);
+        let exp = experiment(LoadPattern::Constant(0.5)).with_fault_plan(plan);
+        let a = exp.run(&mut StaticPolicy::smem_all());
+        let b = exp.run(&mut StaticPolicy::smem_all());
+        assert_eq!(a.ticks.len(), b.ticks.len());
+        for (x, y) in a.ticks.iter().zip(&b.ticks) {
+            assert_eq!(x.lc_p99.to_bits(), y.lc_p99.to_bits());
+            assert_eq!(x.fmem_bytes, y.fmem_bytes);
+        }
+        assert_eq!(a.failed_moves, b.failed_moves);
+    }
+
+    #[test]
+    fn bandwidth_spike_inflates_latency() {
+        let plan = FaultPlan::new(1).with(FaultKind::BandwidthSpike { extra: 0.9 }, 10.0, 10.0);
+        let calm = experiment(LoadPattern::Constant(0.6));
+        let spiky = calm.clone().with_fault_plan(plan);
+        let r_calm = calm.run(&mut StaticPolicy::fmem_all());
+        let r_spiky = spiky.run(&mut StaticPolicy::fmem_all());
+        // Outside the window the runs agree; inside, latency is worse.
+        assert_eq!(
+            r_calm.ticks[5].lc_p99.to_bits(),
+            r_spiky.ticks[5].lc_p99.to_bits()
         );
+        assert!(
+            r_spiky.ticks[15].lc_p99 > r_calm.ticks[15].lc_p99,
+            "{} !> {}",
+            r_spiky.ticks[15].lc_p99,
+            r_calm.ticks[15].lc_p99
+        );
+    }
+
+    #[test]
+    fn migration_stall_blocks_all_moves() {
+        let plan = FaultPlan::new(2).with(FaultKind::MigrationStall, 0.0, 1e9);
+        let exp = experiment(LoadPattern::Constant(0.3)).with_fault_plan(plan);
+        // smem_all evicts the LC set, which normally costs bandwidth
+        // (see migration_accounting_is_reported); a full stall stops it.
+        let r = exp.run(&mut StaticPolicy::smem_all());
+        assert_eq!(r.total_migration_bytes, 0);
+        assert_eq!(
+            r.failed_moves, 0,
+            "stall starves budget, it does not fail moves"
+        );
+    }
+
+    #[test]
+    fn flaky_migration_surfaces_failed_moves() {
+        let plan = FaultPlan::new(3).with(FaultKind::MigrationFlaky { prob: 0.5 }, 0.0, 1e9);
+        let exp = experiment(LoadPattern::Constant(0.3)).with_fault_plan(plan);
+        let r = exp.run(&mut StaticPolicy::smem_all());
+        assert!(r.failed_moves > 0, "half the granted moves should fail");
+        let r_clean = experiment(LoadPattern::Constant(0.3)).run(&mut StaticPolicy::smem_all());
+        assert_eq!(r_clean.failed_moves, 0);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::supervisor::DegradationState;
+
 /// One simulation tick's observations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TickRecord {
@@ -25,6 +27,9 @@ pub struct TickRecord {
     pub fmem_bw_util: f64,
     /// Slow-tier bandwidth utilization seen this tick (0..1).
     pub smem_bw_util: f64,
+    /// Degradation state reported by the policy this tick (`None` for
+    /// unsupervised policies).
+    pub degradation: Option<DegradationState>,
 }
 
 /// The result of one co-location run.
@@ -49,6 +54,11 @@ pub struct RunResult {
     pub be_perf_full: Vec<f64>,
     /// Total bytes migrated during the run (§5.5 overhead).
     pub total_migration_bytes: u64,
+    /// Page moves that consumed bandwidth but failed under injected
+    /// faults (0 in fault-free runs).
+    pub failed_moves: u64,
+    /// Previously failed page moves that enforcement retried.
+    pub retried_moves: u64,
     /// Run length in seconds.
     pub duration_secs: f64,
     /// Tick length in seconds.
@@ -133,6 +143,41 @@ impl RunResult {
         }
     }
 
+    /// Fraction of ticks at or after `grace_secs` spent in a degraded
+    /// (non-RL) state. 0.0 for unsupervised policies, whose ticks carry
+    /// no degradation state at all.
+    pub fn degraded_tick_fraction(&self, grace_secs: f64) -> f64 {
+        let mut total = 0u64;
+        let mut degraded = 0u64;
+        for tick in &self.ticks {
+            if tick.t >= grace_secs {
+                total += 1;
+                if matches!(
+                    tick.degradation,
+                    Some(DegradationState::Proportional) | Some(DegradationState::Static)
+                ) {
+                    degraded += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            degraded as f64 / total as f64
+        }
+    }
+
+    /// The first time at or after `after_secs` at which the policy
+    /// reports the nominal RL state, or `None` if it never recovers (or
+    /// never reports a state). Subtracting the fault-clearance time
+    /// gives the time-to-recover metric.
+    pub fn first_rl_at_or_after(&self, after_secs: f64) -> Option<f64> {
+        self.ticks
+            .iter()
+            .find(|t| t.t >= after_secs && t.degradation == Some(DegradationState::Rl))
+            .map(|t| t.t)
+    }
+
     /// Writes the per-tick time series as TSV (header + one row per
     /// tick), the format the plotting scripts and committed `results/`
     /// files use.
@@ -148,7 +193,7 @@ impl RunResult {
         for name in &self.be_names {
             write!(w, "\tthr_{name}")?;
         }
-        writeln!(w, "\tmigration_bw\tfmem_bw_util\tsmem_bw_util")?;
+        writeln!(w, "\tmigration_bw\tfmem_bw_util\tsmem_bw_util\tdegradation")?;
         for tick in &self.ticks {
             let p99_ms = if tick.lc_p99.is_finite() {
                 tick.lc_p99 * 1e3
@@ -158,11 +203,7 @@ impl RunResult {
             write!(
                 w,
                 "{:.3}\t{:.3}\t{:.4}\t{}\t{:.4}",
-                tick.t,
-                tick.lc_load_rps,
-                p99_ms,
-                tick.lc_violated as u8,
-                tick.lc_fmem_ratio
+                tick.t, tick.lc_load_rps, p99_ms, tick.lc_violated as u8, tick.lc_fmem_ratio
             )?;
             for &b in &tick.fmem_bytes {
                 write!(w, "\t{b}")?;
@@ -172,8 +213,11 @@ impl RunResult {
             }
             writeln!(
                 w,
-                "\t{:.1}\t{:.4}\t{:.4}",
-                tick.migration_bw, tick.fmem_bw_util, tick.smem_bw_util
+                "\t{:.1}\t{:.4}\t{:.4}\t{}",
+                tick.migration_bw,
+                tick.fmem_bw_util,
+                tick.smem_bw_util,
+                tick.degradation.map_or("-", |d| d.label())
             )?;
         }
         Ok(())
@@ -182,7 +226,8 @@ impl RunResult {
     /// The TSV time series as a `String` (see [`Self::write_tsv`]).
     pub fn to_tsv_string(&self) -> String {
         let mut buf = Vec::new();
-        self.write_tsv(&mut buf).expect("writing to a Vec cannot fail");
+        self.write_tsv(&mut buf)
+            .expect("writing to a Vec cannot fail");
         String::from_utf8(buf).expect("TSV output is UTF-8")
     }
 }
@@ -203,6 +248,7 @@ mod tests {
             migration_bw: 0.0,
             fmem_bw_util: 0.0,
             smem_bw_util: 0.0,
+            degradation: None,
         };
         RunResult {
             policy: "test".into(),
@@ -219,6 +265,8 @@ mod tests {
             be_avg_throughput: vec![50.0, 100.0],
             be_perf_full: vec![100.0, 400.0],
             total_migration_bytes: 8_000_000_000,
+            failed_moves: 0,
+            retried_moves: 0,
             duration_secs: 4.0,
             tick_secs: 1.0,
         }
@@ -266,6 +314,29 @@ mod tests {
         assert!(lines[0].contains("thr_a"));
         // Violated ticks flagged.
         assert!(lines[1].split('\t').nth(3) == Some("1"));
+    }
+
+    #[test]
+    fn degradation_helpers() {
+        let mut r = result();
+        // Unsupervised: no state anywhere.
+        assert_eq!(r.degraded_tick_fraction(0.0), 0.0);
+        assert_eq!(r.first_rl_at_or_after(0.0), None);
+        // Demoted at t=1..2, recovered at t=3.
+        r.ticks[0].degradation = Some(DegradationState::Rl);
+        r.ticks[1].degradation = Some(DegradationState::Proportional);
+        r.ticks[2].degradation = Some(DegradationState::Static);
+        r.ticks[3].degradation = Some(DegradationState::Rl);
+        assert!((r.degraded_tick_fraction(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(r.first_rl_at_or_after(1.0), Some(3.0));
+        assert_eq!(r.first_rl_at_or_after(4.0), None);
+        // The TSV column renders the labels.
+        let tsv = r.to_tsv_string();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert!(lines[0].ends_with("\tdegradation"));
+        assert!(lines[1].ends_with("\trl"));
+        assert!(lines[2].ends_with("\tproportional"));
+        assert!(lines[3].ends_with("\tstatic"));
     }
 
     #[test]

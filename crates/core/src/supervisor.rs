@@ -1,0 +1,393 @@
+//! Graceful-degradation supervisor for the MTAT control loop.
+//!
+//! The RL-based PP-M is the paper's headline mechanism, but a learned
+//! controller fed by a real telemetry pipeline can be driven off a
+//! cliff by its inputs: PEBS sampling can go dark (the agent then sees
+//! zero demand and cheerfully evicts the LC working set), observations
+//! can arrive stale, and a diverged network can emit NaN actions that
+//! clamp to a zero-byte partition. The [`Supervisor`] watches for these
+//! conditions and demotes the partitioner down a fixed ladder of
+//! simpler, more trustworthy mechanisms:
+//!
+//! 1. [`DegradationState::Rl`] — the SAC agent sizes the LC partition
+//!    (nominal operation).
+//! 2. [`DegradationState::Proportional`] — the
+//!    [`crate::ppm::controller::ProportionalController`], which needs
+//!    only the observed P99 (application-side telemetry that survives a
+//!    sampler blackout).
+//! 3. [`DegradationState::Static`] — a fixed LC-priority split: the LC
+//!    workload keeps its full resident set in FMem and BE workloads
+//!    take what is left. Safe for the SLO, terrible for BE throughput —
+//!    strictly a last resort.
+//!
+//! Demotion triggers (any one suffices):
+//! * a non-finite raw SAC action (diverged network),
+//! * policy-visible observations older than `stale_limit_ticks`,
+//! * a dead sensor: zero sampled memory-access demand while the
+//!   application visibly serves traffic (the PEBS-blackout signature),
+//! * `demote_after_violations` consecutive SLO-violating intervals.
+//!
+//! A demoted supervisor escalates Proportional → Static when either the
+//! violations continue (`static_after_violations`) or the hard fault
+//! itself persists (`static_after_hard_faults`): prolonged blind
+//! operation at whatever thin partition the sizer last chose is exactly
+//! the state in which a demand surge is catastrophic, so a sustained
+//! telemetry outage buys the LC workload its full resident set until
+//! the sensors return.
+//!
+//! Re-promotion is conservative: only after `healthy_intervals`
+//! consecutive clean intervals — no violation, fresh observations, live
+//! sensors — does the supervisor hand control back to the RL agent.
+//! While a fault persists the intervals are not clean, so the ladder
+//! holds its position instead of oscillating.
+
+use serde::{Deserialize, Serialize};
+
+/// Which partitioning mechanism is currently in control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationState {
+    /// Nominal: the SAC RL agent sizes the LC partition.
+    Rl,
+    /// Degraded: the proportional latency-headroom controller.
+    Proportional,
+    /// Last resort: fixed LC-priority split.
+    Static,
+}
+
+impl DegradationState {
+    /// Compact label for logs and TSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationState::Rl => "rl",
+            DegradationState::Proportional => "proportional",
+            DegradationState::Static => "static",
+        }
+    }
+}
+
+/// Supervisor thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Demote after this many consecutive SLO-violating intervals.
+    pub demote_after_violations: u32,
+    /// Escalate Proportional → Static after this many consecutive
+    /// SLO-violating intervals *while already demoted*.
+    pub static_after_violations: u32,
+    /// Escalate Proportional → Static after this many consecutive
+    /// hard-faulted intervals (stale observations, dead sensor,
+    /// non-finite actions) *while already demoted*. A persistent
+    /// telemetry fault means the control loop is flying blind; holding a
+    /// thin partition in that state is exactly when a demand surge is
+    /// catastrophic, so the supervisor provisions conservatively.
+    pub static_after_hard_faults: u32,
+    /// Hand control back to the RL agent after this many consecutive
+    /// healthy intervals.
+    pub healthy_intervals: u32,
+    /// Observations older than this many ticks count as stale.
+    pub stale_limit_ticks: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            demote_after_violations: 3,
+            static_after_violations: 4,
+            static_after_hard_faults: 2,
+            healthy_intervals: 3,
+            stale_limit_ticks: 3,
+        }
+    }
+}
+
+/// A recorded mode change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Simulation time of the change (seconds).
+    pub at_secs: f64,
+    /// The state entered.
+    pub to: DegradationState,
+}
+
+/// The degradation state machine. Owned by the MTAT policy; fed by it
+/// once per tick ([`Supervisor::note_tick`], [`Supervisor::note_nonfinite`])
+/// and consulted at every partitioning interval
+/// ([`Supervisor::on_interval`]).
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    state: DegradationState,
+    /// Consecutive SLO-violating intervals (any state).
+    slo_streak: u32,
+    /// Consecutive hard-faulted intervals (any state).
+    hard_streak: u32,
+    /// Consecutive fully healthy intervals.
+    healthy_streak: u32,
+    /// Latched within the current interval: stale observation seen.
+    stale_seen: bool,
+    /// Latched within the current interval: non-finite SAC action seen.
+    nonfinite_seen: bool,
+    transitions: Vec<Transition>,
+}
+
+impl Supervisor {
+    /// A supervisor starting in the nominal RL state.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        Self {
+            cfg,
+            state: DegradationState::Rl,
+            slo_streak: 0,
+            hard_streak: 0,
+            healthy_streak: 0,
+            stale_seen: false,
+            nonfinite_seen: false,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The mechanism currently in control.
+    pub fn state(&self) -> DegradationState {
+        self.state
+    }
+
+    /// Every recorded mode change, oldest first.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Per-tick telemetry-freshness check.
+    pub fn note_tick(&mut self, obs_age_ticks: u64) {
+        if obs_age_ticks > self.cfg.stale_limit_ticks {
+            self.stale_seen = true;
+        }
+    }
+
+    /// Reports a non-finite raw action from the SAC agent.
+    pub fn note_nonfinite(&mut self) {
+        self.nonfinite_seen = true;
+    }
+
+    /// One interval-boundary evaluation. `violated` is the interval's
+    /// SLO outcome; `sensor_dead` flags the blackout signature (zero
+    /// observed memory-access demand while requests are being served).
+    /// Returns the state the *next* decision should run under.
+    pub fn on_interval(
+        &mut self,
+        now_secs: f64,
+        violated: bool,
+        sensor_dead: bool,
+    ) -> DegradationState {
+        let stale = std::mem::take(&mut self.stale_seen);
+        let nonfinite = std::mem::take(&mut self.nonfinite_seen);
+        let hard_fault = stale || nonfinite || sensor_dead;
+
+        if violated {
+            self.slo_streak += 1;
+        } else {
+            self.slo_streak = 0;
+        }
+        if hard_fault {
+            self.hard_streak += 1;
+        } else {
+            self.hard_streak = 0;
+        }
+        if violated || hard_fault {
+            self.healthy_streak = 0;
+        } else {
+            self.healthy_streak += 1;
+        }
+
+        let next = match self.state {
+            DegradationState::Rl => {
+                if hard_fault || self.slo_streak >= self.cfg.demote_after_violations {
+                    DegradationState::Proportional
+                } else {
+                    DegradationState::Rl
+                }
+            }
+            DegradationState::Proportional => {
+                if self.slo_streak >= self.cfg.static_after_violations
+                    || self.hard_streak >= self.cfg.static_after_hard_faults
+                {
+                    DegradationState::Static
+                } else if self.healthy_streak >= self.cfg.healthy_intervals {
+                    DegradationState::Rl
+                } else {
+                    DegradationState::Proportional
+                }
+            }
+            DegradationState::Static => {
+                if self.healthy_streak >= self.cfg.healthy_intervals {
+                    DegradationState::Rl
+                } else {
+                    DegradationState::Static
+                }
+            }
+        };
+        if next != self.state {
+            self.state = next;
+            self.slo_streak = 0;
+            self.hard_streak = 0;
+            self.healthy_streak = 0;
+            self.transitions.push(Transition {
+                at_secs: now_secs,
+                to: next,
+            });
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sup() -> Supervisor {
+        Supervisor::new(SupervisorConfig::default())
+    }
+
+    #[test]
+    fn starts_in_rl_and_stays_there_when_healthy() {
+        let mut s = sup();
+        for i in 0..20 {
+            assert_eq!(s.on_interval(i as f64, false, false), DegradationState::Rl);
+        }
+        assert!(s.transitions().is_empty());
+    }
+
+    #[test]
+    fn nonfinite_action_demotes_immediately() {
+        let mut s = sup();
+        s.note_nonfinite();
+        assert_eq!(
+            s.on_interval(5.0, false, false),
+            DegradationState::Proportional
+        );
+        assert_eq!(s.transitions().len(), 1);
+        assert_eq!(s.transitions()[0].to, DegradationState::Proportional);
+    }
+
+    #[test]
+    fn stale_observations_demote() {
+        let mut s = sup();
+        s.note_tick(2); // within the limit: fine
+        assert_eq!(s.on_interval(5.0, false, false), DegradationState::Rl);
+        s.note_tick(10); // beyond stale_limit_ticks = 3
+        assert_eq!(
+            s.on_interval(10.0, false, false),
+            DegradationState::Proportional
+        );
+    }
+
+    #[test]
+    fn violation_streak_demotes_after_k() {
+        let mut s = sup();
+        assert_eq!(s.on_interval(0.0, true, false), DegradationState::Rl);
+        assert_eq!(s.on_interval(5.0, true, false), DegradationState::Rl);
+        // Third consecutive violation reaches K = 3.
+        assert_eq!(
+            s.on_interval(10.0, true, false),
+            DegradationState::Proportional
+        );
+    }
+
+    #[test]
+    fn broken_streaks_do_not_demote() {
+        let mut s = sup();
+        for i in 0..10 {
+            // Alternate violated / healthy: never 3 in a row.
+            let violated = i % 2 == 0;
+            assert_eq!(
+                s.on_interval(i as f64, violated, false),
+                DegradationState::Rl
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_death_demotes_and_blocks_repromotion() {
+        let mut s = sup();
+        assert_eq!(
+            s.on_interval(0.0, false, true),
+            DegradationState::Proportional
+        );
+        // Sensor still dead: no re-promotion no matter how calm the SLO
+        // is — and after `static_after_hard_faults` more blind intervals
+        // the supervisor escalates to the static LC-priority split.
+        assert_eq!(
+            s.on_interval(5.0, false, true),
+            DegradationState::Proportional
+        );
+        assert_eq!(s.on_interval(10.0, false, true), DegradationState::Static);
+        for i in 3..10 {
+            assert_eq!(
+                s.on_interval(i as f64 * 5.0, false, true),
+                DegradationState::Static
+            );
+        }
+        // Sensor back: re-promotes after the healthy window (3 intervals).
+        assert_eq!(s.on_interval(50.0, false, false), DegradationState::Static);
+        assert_eq!(s.on_interval(55.0, false, false), DegradationState::Static);
+        assert_eq!(s.on_interval(60.0, false, false), DegradationState::Rl);
+        let tos: Vec<_> = s.transitions().iter().map(|t| t.to).collect();
+        assert_eq!(
+            tos,
+            vec![
+                DegradationState::Proportional,
+                DegradationState::Static,
+                DegradationState::Rl
+            ]
+        );
+    }
+
+    #[test]
+    fn persistent_stale_telemetry_escalates_to_static() {
+        let mut s = sup();
+        s.note_tick(10);
+        assert_eq!(
+            s.on_interval(0.0, false, false),
+            DegradationState::Proportional
+        );
+        s.note_tick(10);
+        assert_eq!(
+            s.on_interval(5.0, false, false),
+            DegradationState::Proportional
+        );
+        s.note_tick(10);
+        assert_eq!(s.on_interval(10.0, false, false), DegradationState::Static);
+        // A single fresh interval resets the hard streak but is not yet a
+        // full healthy window: the ladder holds at Static.
+        assert_eq!(s.on_interval(15.0, false, false), DegradationState::Static);
+    }
+
+    #[test]
+    fn escalates_to_static_when_proportional_keeps_violating() {
+        let mut s = sup();
+        for i in 0..3 {
+            s.on_interval(i as f64, true, false);
+        }
+        assert_eq!(s.state(), DegradationState::Proportional);
+        // Four more consecutive violations while demoted.
+        for i in 3..6 {
+            assert_eq!(
+                s.on_interval(i as f64, true, false),
+                DegradationState::Proportional
+            );
+        }
+        assert_eq!(s.on_interval(6.0, true, false), DegradationState::Static);
+        // Healthy window brings it all the way back to RL.
+        for i in 7..9 {
+            assert_eq!(
+                s.on_interval(i as f64, false, false),
+                DegradationState::Static
+            );
+        }
+        assert_eq!(s.on_interval(9.0, false, false), DegradationState::Rl);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DegradationState::Rl.label(), "rl");
+        assert_eq!(DegradationState::Proportional.label(), "proportional");
+        assert_eq!(DegradationState::Static.label(), "static");
+    }
+}

@@ -89,8 +89,12 @@ mod tests {
     fn setup() -> (TieredMemory, Vec<WorkloadObs>) {
         let spec = MemorySpec::new(4 * MIB, 32 * MIB, MIB).unwrap();
         let mut mem = TieredMemory::new(spec);
-        let a = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let b = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let mk = |id, sampled: Vec<u64>| WorkloadObs {
             id,
             class: WorkloadClass::Be,

@@ -105,7 +105,11 @@ fn constrained_bandwidth_degrades_be_throughput() {
         r_base.be_total_throughput()
     );
     // And the recorded utilization reflects it.
-    let max_util = r_con.ticks.iter().map(|t| t.fmem_bw_util.max(t.smem_bw_util)).fold(0.0, f64::max);
+    let max_util = r_con
+        .ticks
+        .iter()
+        .map(|t| t.fmem_bw_util.max(t.smem_bw_util))
+        .fold(0.0, f64::max);
     assert!(max_util > 0.2, "util {max_util}");
 }
 
@@ -113,7 +117,9 @@ fn constrained_bandwidth_degrades_be_throughput() {
 fn bandwidth_aware_mtat_freezes_under_saturation() {
     let mut exp = small_exp(LoadPattern::Constant(0.3));
     exp.cfg.bandwidth = mtat_tiermem::bandwidth::BandwidthModel::new(3e9, 3e9, 10.0).unwrap();
-    let mut cfg = MtatConfig::full().with_heuristic_sizer().with_bandwidth_awareness(0.5);
+    let mut cfg = MtatConfig::full()
+        .with_heuristic_sizer()
+        .with_bandwidth_awareness(0.5);
     cfg.online_learning = false;
     let mut aware = MtatPolicy::new(cfg, &exp.cfg, &exp.lc, &exp.bes);
     let r = exp.run(&mut aware);

@@ -38,7 +38,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be nonzero");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be nonzero"
+        );
         let bound = (6.0 / in_dim as f64).sqrt();
         let w = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-bound..bound))
@@ -229,8 +232,8 @@ mod tests {
         let b = Linear::with_seed(2, 2, 2);
         let before = a.w.clone();
         a.soft_update_from(&b, 0.5);
-        for i in 0..4 {
-            let want = 0.5 * b.w[i] + 0.5 * before[i];
+        for (i, &prev) in before.iter().enumerate() {
+            let want = 0.5 * b.w[i] + 0.5 * prev;
             assert!((a.w[i] - want).abs() < 1e-12);
         }
         // tau = 1 copies the source exactly.

@@ -113,7 +113,11 @@ impl Mlp {
     ///
     /// Panics if the cache does not match this network's shape.
     pub fn backward(&mut self, cache: &ForwardCache, grad_out: &[f64]) -> Vec<f64> {
-        assert_eq!(cache.inputs.len(), self.layers.len(), "cache depth mismatch");
+        assert_eq!(
+            cache.inputs.len(),
+            self.layers.len(),
+            "cache depth mismatch"
+        );
         let last = self.layers.len() - 1;
         let mut grad = grad_out.to_vec();
         for i in (0..self.layers.len()).rev() {

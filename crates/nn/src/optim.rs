@@ -109,8 +109,8 @@ mod tests {
         let (mut m1, mut v1) = (vec![0.0], vec![0.0]);
         let (mut m2, mut v2) = (vec![0.0], vec![0.0]);
         // A gradient of 4 at scale 0.25 equals a gradient of 1 at scale 1.
-        adam.update(&mut x1, &mut vec![4.0], &mut m1, &mut v1, 0.25);
-        adam.update(&mut x2, &mut vec![1.0], &mut m2, &mut v2, 1.0);
+        adam.update(&mut x1, &mut [4.0], &mut m1, &mut v1, 0.25);
+        adam.update(&mut x2, &mut [1.0], &mut m2, &mut v2, 1.0);
         assert!((x1[0] - x2[0]).abs() < 1e-15);
     }
 

@@ -81,7 +81,7 @@ impl GaussianPolicy {
         let mut clamped = Vec::with_capacity(self.action_dim);
         for &v in &raw[self.action_dim..] {
             let c = v.clamp(LOG_STD_MIN, LOG_STD_MAX);
-            clamped.push(v < LOG_STD_MIN || v > LOG_STD_MAX);
+            clamped.push(!(LOG_STD_MIN..=LOG_STD_MAX).contains(&v));
             log_std.push(c);
         }
         (mu, log_std, clamped)
@@ -221,8 +221,7 @@ mod tests {
         let sigma = s.log_std[0].exp();
         let e = s.eps[0];
         let a = s.action[0];
-        let manual =
-            -0.5 * e * e - sigma.ln() - LOG_SQRT_2PI - (1.0 - a * a + SQUASH_EPS).ln();
+        let manual = -0.5 * e * e - sigma.ln() - LOG_SQRT_2PI - (1.0 - a * a + SQUASH_EPS).ln();
         assert!((manual - s.log_prob).abs() < 1e-12);
         // u is consistent with mu + sigma * eps.
         assert!((s.u[0] - (s.mu[0] + sigma * e)).abs() < 1e-12);
@@ -299,10 +298,8 @@ mod tests {
             let f = |mu0: f64| {
                 let u = mu0 + sigma * eps;
                 let a = u.tanh();
-                let logp = -0.5 * eps * eps
-                    - sigma.ln()
-                    - LOG_SQRT_2PI
-                    - (1.0 - a * a + SQUASH_EPS).ln();
+                let logp =
+                    -0.5 * eps * eps - sigma.ln() - LOG_SQRT_2PI - (1.0 - a * a + SQUASH_EPS).ln();
                 alpha * logp
             };
             (f(sample.mu[0] + h) - f(sample.mu[0] - h)) / (2.0 * h)
@@ -318,8 +315,7 @@ mod tests {
                 let sg = ls.exp();
                 let u = sample.mu[0] + sg * eps;
                 let a = u.tanh();
-                let logp =
-                    -0.5 * eps * eps - ls - LOG_SQRT_2PI - (1.0 - a * a + SQUASH_EPS).ln();
+                let logp = -0.5 * eps * eps - ls - LOG_SQRT_2PI - (1.0 - a * a + SQUASH_EPS).ln();
                 alpha * logp
             };
             (f(sample.log_std[0] + h) - f(sample.log_std[0] - h)) / (2.0 * h)

@@ -263,10 +263,10 @@ impl Sac {
             // L = α·logπ − Qmin; see policy.rs for the chain rule.
             let mut dl_du = Vec::with_capacity(self.cfg.action_dim);
             let mut dl_dlogstd = Vec::with_capacity(self.cfg.action_dim);
-            for k in 0..self.cfg.action_dim {
+            for (k, &dq) in dq_da.iter().enumerate().take(self.cfg.action_dim) {
                 let a = sample.action[k];
                 let dlogp_du = squash_correction_grad(a);
-                let dq_du = dq_da[k] * (1.0 - a * a);
+                let dq_du = dq * (1.0 - a * a);
                 dl_du.push(alpha * dlogp_du - dq_du);
                 dl_dlogstd.push(-alpha);
             }

@@ -41,7 +41,11 @@ fn learns_sign_bandit() {
     let mut agent = Sac::new(cfg, 13);
     agent.train(&mut env, 1500);
     let a = agent.act_deterministic(&[0.5]);
-    assert!(a[0] > 0.0, "policy should choose the paying arm, got {}", a[0]);
+    assert!(
+        a[0] > 0.0,
+        "policy should choose the paying arm, got {}",
+        a[0]
+    );
     // And the critic should value positive actions above negative ones.
     assert!(
         agent.q_value(&[0.5], &[0.8]) > agent.q_value(&[0.5], &[-0.8]),

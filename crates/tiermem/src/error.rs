@@ -11,6 +11,7 @@ use crate::page::{PageId, Tier, WorkloadId};
 /// `Result<_, TierMemError>`. The variants carry enough context to
 /// diagnose a failed experiment configuration without a debugger.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TierMemError {
     /// A capacity, page size, or rate parameter was zero, negative,
     /// non-finite, or otherwise outside its documented domain.
@@ -45,6 +46,16 @@ pub enum TierMemError {
         /// The tier it already occupies.
         tier: Tier,
     },
+    /// A migration could not be carried out — the engine granted no
+    /// budget, an injected fault failed the move, or the target tier
+    /// unexpectedly rejected it. Carries how many pages were left
+    /// unmoved so enforcement can defer and retry them.
+    MigrationFailed {
+        /// The workload whose pages were being moved.
+        workload: WorkloadId,
+        /// Pages that did not move.
+        pages: u64,
+    },
 }
 
 impl fmt::Display for TierMemError {
@@ -68,6 +79,12 @@ impl fmt::Display for TierMemError {
             TierMemError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
             TierMemError::AlreadyResident { page, tier } => {
                 write!(f, "page {page:?} is already resident in {tier}")
+            }
+            TierMemError::MigrationFailed { workload, pages } => {
+                write!(
+                    f,
+                    "migration failed for workload {workload:?}: {pages} pages unmoved"
+                )
             }
         }
     }
@@ -99,6 +116,10 @@ mod tests {
             TierMemError::AlreadyResident {
                 page: PageId(1),
                 tier: Tier::SMem,
+            },
+            TierMemError::MigrationFailed {
+                workload: WorkloadId(1),
+                pages: 12,
             },
         ];
         for e in errs {

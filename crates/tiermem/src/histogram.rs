@@ -290,7 +290,10 @@ impl AccessHistogram {
                     ));
                 }
                 if self.slots[r] != (bin as u8, pos as u32) {
-                    return Err(format!("rank {rank} slot {:?} != ({bin},{pos})", self.slots[r]));
+                    return Err(format!(
+                        "rank {rank} slot {:?} != ({bin},{pos})",
+                        self.slots[r]
+                    ));
                 }
                 total += self.counts[r];
             }
@@ -310,7 +313,10 @@ mod tests {
     use super::*;
 
     fn region(n: u32) -> PageRegion {
-        PageRegion { base: 100, n_pages: n }
+        PageRegion {
+            base: 100,
+            n_pages: n,
+        }
     }
 
     #[test]

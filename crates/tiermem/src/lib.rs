@@ -51,6 +51,7 @@
 
 pub mod bandwidth;
 pub mod error;
+pub mod faults;
 pub mod histogram;
 pub mod latency;
 pub mod memory;
@@ -60,6 +61,7 @@ pub mod sampler;
 
 pub use bandwidth::BandwidthModel;
 pub use error::TierMemError;
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow, TickFaults};
 pub use histogram::AccessHistogram;
 pub use memory::{InitialPlacement, MemorySpec, TieredMemory};
 pub use migration::MigrationEngine;

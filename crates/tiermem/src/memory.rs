@@ -36,13 +36,17 @@ impl MemorySpec {
         if fmem_bytes < page_size {
             return Err(TierMemError::InvalidConfig {
                 what: "fmem_bytes",
-                detail: format!("must hold at least one page of {page_size} bytes, got {fmem_bytes}"),
+                detail: format!(
+                    "must hold at least one page of {page_size} bytes, got {fmem_bytes}"
+                ),
             });
         }
         if smem_bytes < page_size {
             return Err(TierMemError::InvalidConfig {
                 what: "smem_bytes",
-                detail: format!("must hold at least one page of {page_size} bytes, got {smem_bytes}"),
+                detail: format!(
+                    "must hold at least one page of {page_size} bytes, got {smem_bytes}"
+                ),
             });
         }
         Ok(Self {
@@ -415,11 +419,7 @@ impl TieredMemory {
     }
 
     /// Iterates over the pages of workload `w` resident in `tier`.
-    pub fn pages_in_tier(
-        &self,
-        w: WorkloadId,
-        tier: Tier,
-    ) -> impl Iterator<Item = PageId> + '_ {
+    pub fn pages_in_tier(&self, w: WorkloadId, tier: Tier) -> impl Iterator<Item = PageId> + '_ {
         let region = self.regions[w.index()];
         region
             .iter()
@@ -475,7 +475,9 @@ impl TieredMemory {
         }
         for (i, (got, want)) in per_w.iter().zip(self.residency.iter()).enumerate() {
             if got != want {
-                return Err(format!("workload {i} residency mismatch: {got:?} vs {want:?}"));
+                return Err(format!(
+                    "workload {i} residency mismatch: {got:?} vs {want:?}"
+                ));
             }
         }
         Ok(())
@@ -515,7 +517,9 @@ mod tests {
     #[test]
     fn register_all_smem() {
         let mut mem = TieredMemory::new(small_spec());
-        let w = mem.register_workload(10 * MIB, InitialPlacement::AllSmem).unwrap();
+        let w = mem
+            .register_workload(10 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let r = mem.residency(w);
         assert_eq!(r.fmem_pages, 0);
         assert_eq!(r.smem_pages, 10);
@@ -526,7 +530,9 @@ mod tests {
     #[test]
     fn register_fmem_first_spills() {
         let mut mem = TieredMemory::new(small_spec());
-        let w = mem.register_workload(10 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let w = mem
+            .register_workload(10 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
         let r = mem.residency(w);
         assert_eq!(r.fmem_pages, 8); // FMem holds only 8 pages
         assert_eq!(r.smem_pages, 2);
@@ -541,7 +547,9 @@ mod tests {
     fn register_rejects_oversized() {
         let mut mem = TieredMemory::new(small_spec());
         // 8 + 64 = 72 pages total.
-        let err = mem.register_workload(73 * MIB, InitialPlacement::AllSmem).unwrap_err();
+        let err = mem
+            .register_workload(73 * MIB, InitialPlacement::AllSmem)
+            .unwrap_err();
         assert!(matches!(err, TierMemError::OutOfMemory { .. }));
         assert!(mem.register_workload(0, InitialPlacement::AllSmem).is_err());
     }
@@ -550,7 +558,9 @@ mod tests {
     fn all_smem_spills_tail_into_fmem_when_needed() {
         let mut mem = TieredMemory::new(small_spec());
         // 70 pages: 64 fit in SMem, 6 must land in FMem despite AllSmem.
-        let w = mem.register_workload(70 * MIB, InitialPlacement::AllSmem).unwrap();
+        let w = mem
+            .register_workload(70 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let r = mem.residency(w);
         assert_eq!(r.smem_pages, 64);
         assert_eq!(r.fmem_pages, 6);
@@ -564,7 +574,9 @@ mod tests {
     #[test]
     fn migrate_moves_and_updates_counters() {
         let mut mem = TieredMemory::new(small_spec());
-        let w = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let w = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let p = mem.region(w).page(0);
         mem.migrate(p, Tier::FMem).unwrap();
         assert_eq!(mem.tier_of(p).unwrap(), Tier::FMem);
@@ -583,20 +595,30 @@ mod tests {
     #[test]
     fn migrate_respects_capacity() {
         let mut mem = TieredMemory::new(small_spec());
-        let w = mem.register_workload(20 * MIB, InitialPlacement::AllSmem).unwrap();
+        let w = mem
+            .register_workload(20 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         let region = mem.region(w);
         for rank in 0..8 {
             mem.migrate(region.page(rank), Tier::FMem).unwrap();
         }
         let err = mem.migrate(region.page(8), Tier::FMem).unwrap_err();
-        assert!(matches!(err, TierMemError::TierFull { tier: Tier::FMem, .. }));
+        assert!(matches!(
+            err,
+            TierMemError::TierFull {
+                tier: Tier::FMem,
+                ..
+            }
+        ));
         mem.check_invariants().unwrap();
     }
 
     #[test]
     fn exchange_is_bidirectional_under_full_fmem() {
         let mut mem = TieredMemory::new(small_spec());
-        let w = mem.register_workload(20 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let w = mem
+            .register_workload(20 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
         let region = mem.region(w);
         assert_eq!(mem.free_pages(Tier::FMem), 0);
         // Swap rank 0 (FMem) with rank 10 (SMem): demote first makes room.
@@ -610,8 +632,12 @@ mod tests {
     #[test]
     fn pages_in_tier_iterates_correctly() {
         let mut mem = TieredMemory::new(small_spec());
-        let a = mem.register_workload(4 * MIB, InitialPlacement::FmemFirst).unwrap();
-        let b = mem.register_workload(4 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        let b = mem
+            .register_workload(4 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         assert_eq!(mem.pages_in_tier(a, Tier::FMem).count(), 4);
         assert_eq!(mem.pages_in_tier(a, Tier::SMem).count(), 0);
         assert_eq!(mem.pages_in_tier(b, Tier::FMem).count(), 0);
@@ -622,8 +648,12 @@ mod tests {
     #[test]
     fn owner_lookup() {
         let mut mem = TieredMemory::new(small_spec());
-        let a = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
-        let b = mem.register_workload(2 * MIB, InitialPlacement::AllSmem).unwrap();
+        let a = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        let b = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
         assert_eq!(mem.owner_of(mem.region(a).page(1)).unwrap(), a);
         assert_eq!(mem.owner_of(mem.region(b).page(0)).unwrap(), b);
         assert!(mem.owner_of(PageId(999)).is_err());

@@ -11,6 +11,8 @@
 //! [`MigrationEngine`] owns those numbers and meters actual page moves so
 //! that the §5.5 overhead experiment can report consumed bandwidth.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::TierMemError;
@@ -46,6 +48,25 @@ pub struct MigrationEngine {
     total_pages_moved: u64,
     total_busy_secs: f64,
     current_tick_secs: f64,
+    /// Fault hook: bandwidth multiplier for the current tick
+    /// (1.0 nominal, 0.0 stalled). Applied when the tick begins.
+    fault_bw_factor: f64,
+    /// Fault hook: per-page transient failure probability. A failed
+    /// move consumes budget and busy time (the copy was attempted) but
+    /// the page does not change tier.
+    fault_fail_prob: f64,
+    /// Seeded stream for per-move failure draws; `None` until
+    /// [`MigrationEngine::set_fault_seed`] is called, so fault-free
+    /// engines carry no generator at all.
+    fault_rng: Option<StdRng>,
+    /// Page moves that transiently failed (injected faults), total.
+    failed_moves: u64,
+    /// Page moves re-driven by enforcement after a failure or
+    /// throttle, total (credited by [`MigrationEngine::note_retried`]).
+    retried_moves: u64,
+    /// Failures in the most recent `try_consume_pages` call, so the
+    /// caller can tell fault losses apart from budget exhaustion.
+    failed_last_call: u64,
 }
 
 impl MigrationEngine {
@@ -93,7 +114,30 @@ impl MigrationEngine {
             total_pages_moved: 0,
             total_busy_secs: 0.0,
             current_tick_secs: 0.0,
+            fault_bw_factor: 1.0,
+            fault_fail_prob: 0.0,
+            fault_rng: None,
+            failed_moves: 0,
+            retried_moves: 0,
+            failed_last_call: 0,
         })
+    }
+
+    /// Seeds the per-move failure stream (fault injection only). Without
+    /// this call the engine never fails a granted move, whatever
+    /// `fail_prob` says — fault-free runs carry no generator.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = Some(StdRng::seed_from_u64(seed ^ 0x4D16));
+    }
+
+    /// Fault-injection hook (see [`crate::faults`]): scales the next
+    /// tick's bandwidth by `bw_factor` (0 = stalled) and fails each
+    /// granted page move with probability `fail_prob`. Call with
+    /// `(1.0, 0.0)` to restore nominal behavior. Takes effect at the
+    /// next [`MigrationEngine::begin_tick`].
+    pub fn set_tick_faults(&mut self, bw_factor: f64, fail_prob: f64) {
+        self.fault_bw_factor = bw_factor.clamp(0.0, 1.0);
+        self.fault_fail_prob = fail_prob.clamp(0.0, 1.0);
     }
 
     /// The data-movement capacity `M` in bytes/second.
@@ -140,8 +184,14 @@ impl MigrationEngine {
     /// page budget to what the bandwidth allows in that time.
     pub fn begin_tick(&mut self, tick_secs: f64) {
         self.current_tick_secs = tick_secs.max(0.0);
-        self.tick_budget_pages = self.p_max(self.current_tick_secs);
+        let nominal = self.p_max(self.current_tick_secs);
+        self.tick_budget_pages = if self.fault_bw_factor >= 1.0 {
+            nominal
+        } else {
+            (nominal as f64 * self.fault_bw_factor).floor() as u64
+        };
         self.tick_used_pages = 0;
+        self.failed_last_call = 0;
     }
 
     /// Pages still movable in the current tick.
@@ -150,15 +200,61 @@ impl MigrationEngine {
         self.tick_budget_pages - self.tick_used_pages
     }
 
-    /// Attempts to consume budget for `pages` page moves; returns how many
-    /// were actually granted (possibly fewer, never more).
+    /// Attempts to consume budget for `pages` page moves; returns how
+    /// many *completed* (possibly fewer, never more). A shortfall can
+    /// mean budget exhaustion or, under fault injection, transient
+    /// per-move failures — [`MigrationEngine::failed_in_last_call`]
+    /// reports the fault share so callers can defer and retry exactly
+    /// those.
     pub fn try_consume_pages(&mut self, pages: u64) -> u64 {
         let granted = pages.min(self.remaining_tick_pages());
         self.tick_used_pages += granted;
-        self.total_pages_moved += granted;
         self.total_busy_secs +=
             granted as f64 * self.page_size as f64 / self.bandwidth_bytes_per_sec;
-        granted
+        let failed = self.draw_failures(granted);
+        self.failed_last_call = failed;
+        self.failed_moves += failed;
+        let completed = granted - failed;
+        self.total_pages_moved += completed;
+        completed
+    }
+
+    /// Draws how many of `granted` moves transiently fail this call.
+    fn draw_failures(&mut self, granted: u64) -> u64 {
+        if self.fault_fail_prob <= 0.0 || granted == 0 {
+            return 0;
+        }
+        match &mut self.fault_rng {
+            None => 0,
+            Some(rng) => (0..granted)
+                .filter(|_| rng.gen::<f64>() < self.fault_fail_prob)
+                .count() as u64,
+        }
+    }
+
+    /// Page-move failures in the most recent
+    /// [`MigrationEngine::try_consume_pages`] call (0 without faults).
+    #[inline]
+    pub fn failed_in_last_call(&self) -> u64 {
+        self.failed_last_call
+    }
+
+    /// Total page moves that transiently failed since construction.
+    #[inline]
+    pub fn failed_moves(&self) -> u64 {
+        self.failed_moves
+    }
+
+    /// Total page moves re-driven after failure/throttle deferral.
+    #[inline]
+    pub fn retried_moves(&self) -> u64 {
+        self.retried_moves
+    }
+
+    /// Credits `pages` retried moves (called by enforcement when it
+    /// re-drives deferred work).
+    pub fn note_retried(&mut self, pages: u64) {
+        self.retried_moves += pages;
     }
 
     /// Bytes moved during the current tick so far.
@@ -254,6 +350,67 @@ mod tests {
         e.begin_tick(1.0);
         assert_eq!(e.remaining_tick_pages(), 2048);
         assert_eq!(e.total_pages_moved(), 2048);
+    }
+
+    #[test]
+    fn throttle_shrinks_budget_and_stall_zeroes_it() {
+        let mut e = engine();
+        e.set_tick_faults(0.25, 0.0);
+        e.begin_tick(1.0);
+        assert_eq!(e.remaining_tick_pages(), 512); // 2048 * 0.25
+        e.set_tick_faults(0.0, 0.0);
+        e.begin_tick(1.0);
+        assert_eq!(e.remaining_tick_pages(), 0);
+        assert_eq!(e.try_consume_pages(10), 0);
+        // Clearing the fault restores the nominal budget.
+        e.set_tick_faults(1.0, 0.0);
+        e.begin_tick(1.0);
+        assert_eq!(e.remaining_tick_pages(), 2048);
+    }
+
+    #[test]
+    fn flaky_moves_fail_some_and_are_counted() {
+        let mut e = engine();
+        e.set_fault_seed(42);
+        e.set_tick_faults(1.0, 0.5);
+        e.begin_tick(1.0);
+        let completed = e.try_consume_pages(2000);
+        let failed = e.failed_in_last_call();
+        assert_eq!(completed + failed, 2000);
+        assert!(failed > 800 && failed < 1200, "failed {failed}");
+        assert_eq!(e.failed_moves(), failed);
+        // Failures consumed budget (the copy was attempted)...
+        assert_eq!(e.bytes_moved_this_tick(), 2000 * 2 * MIB);
+        // ...but only completed moves count as moved pages.
+        assert_eq!(e.total_pages_moved(), completed);
+        e.note_retried(failed);
+        assert_eq!(e.retried_moves(), failed);
+    }
+
+    #[test]
+    fn fail_prob_without_seed_is_inert() {
+        let mut e = engine();
+        e.set_tick_faults(1.0, 0.9);
+        e.begin_tick(1.0);
+        assert_eq!(e.try_consume_pages(100), 100);
+        assert_eq!(e.failed_in_last_call(), 0);
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut e = engine();
+            e.set_fault_seed(seed);
+            e.set_tick_faults(1.0, 0.3);
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                e.begin_tick(1.0);
+                out.push(e.try_consume_pages(500));
+            }
+            out
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]

@@ -118,7 +118,11 @@ impl PageRegion {
     /// Panics if `rank >= self.n_pages`.
     #[inline]
     pub fn page(&self, rank: u32) -> PageId {
-        assert!(rank < self.n_pages, "rank {rank} out of region ({})", self.n_pages);
+        assert!(
+            rank < self.n_pages,
+            "rank {rank} out of region ({})",
+            self.n_pages
+        );
         PageId(self.base + rank)
     }
 
@@ -165,7 +169,10 @@ mod tests {
 
     #[test]
     fn region_rank_mapping() {
-        let r = PageRegion { base: 10, n_pages: 4 };
+        let r = PageRegion {
+            base: 10,
+            n_pages: 4,
+        };
         assert_eq!(r.page(0), PageId(10));
         assert_eq!(r.page(3), PageId(13));
         assert_eq!(r.rank_of(PageId(12)), Some(2));
@@ -179,7 +186,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of region")]
     fn region_page_out_of_bounds_panics() {
-        let r = PageRegion { base: 0, n_pages: 2 };
+        let r = PageRegion {
+            base: 0,
+            n_pages: 2,
+        };
         let _ = r.page(2);
     }
 

@@ -37,6 +37,14 @@ use crate::error::TierMemError;
 pub struct AccessSampler {
     period: f64,
     rng: StdRng,
+    /// Fault hook: when set, every sample reads zero (PEBS blackout).
+    fault_blackout: bool,
+    /// Fault hook: extra event survival fraction in (0, 1]; 1.0 is
+    /// nominal. Dropped events thin the Poisson stream exactly as a
+    /// longer period would, but the estimator still scales by the
+    /// configured period — so estimates read low, as a real daemon's
+    /// would when the PMU silently drops records.
+    fault_keep: f64,
 }
 
 impl AccessSampler {
@@ -58,7 +66,20 @@ impl AccessSampler {
         Ok(Self {
             period,
             rng: StdRng::seed_from_u64(seed),
+            fault_blackout: false,
+            fault_keep: 1.0,
         })
+    }
+
+    /// Fault-injection hook (see [`crate::faults`]): a blackout makes
+    /// every sample read zero; `keep < 1.0` drops that fraction of
+    /// events on top of the configured period. Call with
+    /// `(false, 1.0)` to restore nominal behavior; in that state the
+    /// sampler's output and RNG stream are identical to a sampler that
+    /// never had faults set.
+    pub fn set_fault_state(&mut self, blackout: bool, keep: f64) {
+        self.fault_blackout = blackout;
+        self.fault_keep = keep.clamp(0.0, 1.0);
     }
 
     /// The sampling period (true accesses per expected sampled event).
@@ -70,7 +91,10 @@ impl AccessSampler {
     /// Samples the number of observed events for a page that truly
     /// received `true_count` accesses: `Poisson(true_count / period)`.
     pub fn sample_count(&mut self, true_count: f64) -> u64 {
-        let mean = (true_count.max(0.0)) / self.period;
+        if self.fault_blackout {
+            return 0;
+        }
+        let mean = (true_count.max(0.0)) / self.period * self.fault_keep;
         poisson(&mut self.rng, mean)
     }
 
@@ -183,11 +207,48 @@ mod tests {
     }
 
     #[test]
+    fn blackout_reads_zero_and_clears() {
+        let mut s = AccessSampler::new(2.0, 5).unwrap();
+        s.set_fault_state(true, 1.0);
+        for _ in 0..20 {
+            assert_eq!(s.sample_count(10_000.0), 0);
+        }
+        s.set_fault_state(false, 1.0);
+        assert!(s.sample_count(10_000.0) > 0);
+    }
+
+    #[test]
+    fn dropout_thins_the_stream() {
+        let mut nominal = AccessSampler::new(4.0, 17).unwrap();
+        let mut dropped = AccessSampler::new(4.0, 17).unwrap();
+        dropped.set_fault_state(false, 0.25);
+        let n = 2000;
+        let a: u64 = (0..n).map(|_| nominal.sample_count(400.0)).sum();
+        let b: u64 = (0..n).map(|_| dropped.sample_count(400.0)).sum();
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 0.25).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn nominal_fault_state_changes_nothing() {
+        let mut plain = AccessSampler::new(8.0, 23).unwrap();
+        let mut hooked = AccessSampler::new(8.0, 23).unwrap();
+        hooked.set_fault_state(false, 1.0);
+        for i in 0..200 {
+            let c = i as f64 * 31.0;
+            assert_eq!(plain.sample_count(c), hooked.sample_count(c));
+        }
+    }
+
+    #[test]
     fn determinism_under_same_seed() {
         let mut a = AccessSampler::new(8.0, 99).unwrap();
         let mut b = AccessSampler::new(8.0, 99).unwrap();
         for i in 0..100 {
-            assert_eq!(a.sample_count(i as f64 * 13.0), b.sample_count(i as f64 * 13.0));
+            assert_eq!(
+                a.sample_count(i as f64 * 13.0),
+                b.sample_count(i as f64 * 13.0)
+            );
         }
     }
 }

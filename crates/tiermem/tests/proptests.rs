@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use mtat_tiermem::faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
 use mtat_tiermem::histogram::{bin_for_count, AccessHistogram, NUM_BINS};
 use mtat_tiermem::latency::{achieved_throughput, erlang_c, max_load_for_p99, p99_response};
 use mtat_tiermem::memory::{InitialPlacement, MemorySpec, TieredMemory};
@@ -157,6 +158,65 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&p_lo));
         prop_assert!((0.0..=1.0).contains(&p_hi));
         prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    /// Two injectors built from an identical fault plan produce the
+    /// identical per-tick fault trace and identical noise draws — fault
+    /// injection is fully deterministic from the plan's seed.
+    #[test]
+    fn identical_fault_plans_replay_identically(
+        seed in 0u64..1_000,
+        starts in prop::collection::vec(0.0f64..100.0, 1..5),
+        kinds in prop::collection::vec(0usize..7, 1..5),
+    ) {
+        let mut plan = FaultPlan::new(seed);
+        for (&start, &k) in starts.iter().zip(kinds.iter()) {
+            let kind = match k {
+                0 => FaultKind::SamplerBlackout,
+                1 => FaultKind::SamplerDropout { keep: 0.3 },
+                2 => FaultKind::MigrationThrottle { factor: 0.25 },
+                3 => FaultKind::MigrationStall,
+                4 => FaultKind::MigrationFlaky { prob: 0.5 },
+                5 => FaultKind::TelemetryStale { ticks: 3 },
+                _ => FaultKind::TelemetryNoise { amplitude: 0.2 },
+            };
+            plan.windows.push(FaultWindow { kind, start_secs: start, duration_secs: 10.0 });
+        }
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for t in 0..120 {
+            let now = t as f64;
+            let fa = a.begin_tick(now);
+            let fb = b.begin_tick(now);
+            prop_assert_eq!(fa, fb);
+            let na = a.noise_factor(fa.telemetry_noise_amp);
+            let nb = b.noise_factor(fb.telemetry_noise_amp);
+            prop_assert_eq!(na.to_bits(), nb.to_bits());
+        }
+        prop_assert_eq!(a.trace(), b.trace());
+    }
+
+    /// The seeded per-move failure stream of the migration engine is
+    /// reproducible: same seed and same call pattern, same failures.
+    #[test]
+    fn engine_fault_stream_is_deterministic(
+        seed in 0u64..1_000,
+        requests in prop::collection::vec(1u64..64, 1..16),
+        prob in 0.05f64..0.95,
+    ) {
+        let run = |s: u64| {
+            let mut e = MigrationEngine::new(1e9, MIB, 10.0).unwrap();
+            e.set_fault_seed(s);
+            e.set_tick_faults(1.0, prob);
+            e.begin_tick(1.0);
+            let mut log = Vec::new();
+            for &r in &requests {
+                let done = e.try_consume_pages(r);
+                log.push((done, e.failed_in_last_call()));
+            }
+            (log, e.failed_moves())
+        };
+        prop_assert_eq!(run(seed), run(seed));
     }
 
     /// Sampling is conservative in expectation: over many pages the

@@ -103,7 +103,12 @@ impl LcSpec {
 
     /// All four Table-1 workloads, in the paper's order.
     pub fn all_paper_workloads() -> Vec<LcSpec> {
-        vec![Self::redis(), Self::memcached(), Self::mongodb(), Self::silo()]
+        vec![
+            Self::redis(),
+            Self::memcached(),
+            Self::mongodb(),
+            Self::silo(),
+        ]
     }
 
     /// Returns a copy serving with `cores` threads, as swept in Table 3
@@ -188,10 +193,18 @@ mod tests {
                 "{} rss",
                 spec.name
             );
-            assert!((spec.slo_secs * 1e3 - slo_ms).abs() < 1e-9, "{} slo", spec.name);
+            assert!(
+                (spec.slo_secs * 1e3 - slo_ms).abs() < 1e-9,
+                "{} slo",
+                spec.name
+            );
             let max = spec.nominal_max_load() / 1e3;
             let err = (max - max_krps).abs() / max_krps;
-            assert!(err < 0.10, "{}: calibrated max {max} KRPS vs paper {max_krps}", spec.name);
+            assert!(
+                err < 0.10,
+                "{}: calibrated max {max} KRPS vs paper {max_krps}",
+                spec.name
+            );
         }
     }
 
@@ -213,7 +226,7 @@ mod tests {
             );
             product *= ratio;
         }
-        let geomean = (product as f64).powf(0.25);
+        let geomean = product.powf(0.25);
         assert!((0.65..0.76).contains(&geomean), "geomean {geomean}");
     }
 

@@ -149,7 +149,12 @@ mod tests {
         assert_eq!(p.duration_secs(), 120.0);
         for probe in [10.0, 30.0, 60.0, 90.0] {
             let diff = (p.level_at(probe) - t.level_at(probe)).abs();
-            assert!(diff < 0.15, "t={probe}: pattern {} vs trace {}", p.level_at(probe), t.level_at(probe));
+            assert!(
+                diff < 0.15,
+                "t={probe}: pattern {} vs trace {}",
+                p.level_at(probe),
+                t.level_at(probe)
+            );
         }
     }
 

@@ -33,10 +33,12 @@ fn main() {
         );
     }
 
-    let mut partitioner =
-        BePartitioner::new(profiles.clone(), AnnealingConfig::default(), 1234);
+    let mut partitioner = BePartitioner::new(profiles.clone(), AnnealingConfig::default(), 1234);
 
-    println!("\n{:>10} {:>28} {:>10} {:>10}", "residual", "SA allocation (GiB)", "SA minNP", "even minNP");
+    println!(
+        "\n{:>10} {:>28} {:>10} {:>10}",
+        "residual", "SA allocation (GiB)", "SA minNP", "even minNP"
+    );
     for gb in [8u64, 16, 24, 28] {
         let alloc = partitioner.partition(gb * GIB);
         let alloc_gb: Vec<u64> = alloc.iter().map(|b| b / GIB).collect();

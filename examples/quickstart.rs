@@ -48,7 +48,10 @@ fn main() {
     let mut mtat = MtatPolicy::new(MtatConfig::full(), &cfg, &exp.lc, &exp.bes);
     let ours = exp.run(&mut mtat);
 
-    println!("\n{:12} {:>12} {:>12} {:>12} {:>14}", "policy", "SLO-viol", "fairness", "BE Mops/s", "LC FMem avg");
+    println!(
+        "\n{:12} {:>12} {:>12} {:>12} {:>14}",
+        "policy", "SLO-viol", "fairness", "BE Mops/s", "LC FMem avg"
+    );
     for r in [&baseline, &ours] {
         println!(
             "{:12} {:>11.1}% {:>12.3} {:>12.1} {:>13.1}%",

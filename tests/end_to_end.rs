@@ -29,8 +29,7 @@ fn small_bes() -> Vec<BeSpec> {
 }
 
 fn experiment(load: LoadPattern, duration: f64) -> Experiment {
-    Experiment::new(SimConfig::small_test(), small_lc(), load, small_bes())
-        .with_duration(duration)
+    Experiment::new(SimConfig::small_test(), small_lc(), load, small_bes()).with_duration(duration)
 }
 
 fn mtat_policy(exp: &Experiment) -> MtatPolicy {
@@ -53,7 +52,11 @@ fn memtis_displaces_lc_and_violates_at_high_load() {
         r.ticks.last().unwrap().lc_fmem_ratio
     );
     // And at 90 % of the FMEM_ALL max it cannot meet the SLO from SMem.
-    assert!(r.violation_rate_after(20.0) > 0.5, "rate {}", r.violation_rate_after(20.0));
+    assert!(
+        r.violation_rate_after(20.0) > 0.5,
+        "rate {}",
+        r.violation_rate_after(20.0)
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use mtat::core::ppm::annealing::{anneal, even_split, AnnealingConfig};
 use mtat::core::ppe::adjust::AdjustmentSchedule;
+use mtat::core::ppm::annealing::{anneal, even_split, AnnealingConfig};
 use mtat::tiermem::histogram::AccessHistogram;
 use mtat::tiermem::memory::{InitialPlacement, MemorySpec, TieredMemory};
 use mtat::tiermem::page::{PageId, PageRegion, Tier};

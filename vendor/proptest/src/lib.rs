@@ -1,0 +1,318 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`,
+//! range strategies over primitive numbers, `prop::bool::ANY`,
+//! `prop::collection::vec`, tuple strategies, and `Strategy::prop_map`.
+//!
+//! Semantics differ from upstream in one way that matters: there is no
+//! shrinking. A failing case panics with the generated inputs' case
+//! number instead of a minimized counterexample. Generation is
+//! deterministic per test function (fixed seed), so failures reproduce.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Case runner + config + the error type `prop_assert!` produces.
+
+    use std::fmt;
+
+    /// Subset of upstream's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property this many times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the optimized test
+            // profile fast while still exploring the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError { msg }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic generation stream (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in [0, bound).
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "empty size range");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+    }
+
+    /// Runs the generated cases and panics on the first failure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Builds a runner with a fixed generation seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::new(0x5052_4F50_5445_5354),
+            }
+        }
+
+        /// Runs `case` once per configured case, panicking on `Err`.
+        pub fn run_cases<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for i in 0..self.config.cases {
+                if let Err(e) = case(&mut self.rng) {
+                    panic!("property failed at case {i}: {e}");
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec` — vectors of a given strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification: an exact `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! `prop::bool::ANY` — a fair coin strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`: the strategy trait, config, macros,
+    //! and the `prop` module namespace.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace used inside `proptest!` bodies.
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` running the
+/// body once per generated case. Supports an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner.run_cases(|prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with a
+/// message instead of unwinding through generated values.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(&left == &right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = usize> {
+        (0usize..10).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 1u64..32,
+            b in -200i64..200,
+            f in 0.01f64..0.99,
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((1..32).contains(&a));
+            prop_assert!((-200..200).contains(&b));
+            prop_assert!((0.01..0.99).contains(&f), "f = {f}");
+            let _ = flag;
+        }
+
+        #[test]
+        fn vecs_and_tuples_compose(
+            v in prop::collection::vec((0u32..64, prop::bool::ANY), 1..20),
+            w in prop::collection::vec(0.1f64..10.0, 6),
+            d in doubled(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert_eq!(w.len(), 6);
+            prop_assert_eq!(d % 2, 0);
+            if d == 0 {
+                return Ok(());
+            }
+            prop_assert!(d >= 2);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde_derive`: emits empty marker impls.
+//!
+//! Written without `syn`/`quote` (unavailable offline): the input item
+//! is scanned token-by-token for the `struct`/`enum` keyword and the
+//! type name that follows. Generic types get no impl (none of the
+//! workspace's serde-annotated types are generic, and the traits are
+//! pure markers, so omitting an impl cannot break a bound).
+//!
+//! `attributes(serde)` keeps field-level `#[serde(...)]` annotations
+//! (e.g. `#[serde(skip)]`) accepted and inert.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Scans the top-level tokens of the derive input for `struct X` or
+/// `enum X` and returns `X` when the type is non-generic.
+fn non_generic_type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.next(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    if generic {
+                        return None;
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
