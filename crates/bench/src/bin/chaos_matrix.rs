@@ -18,7 +18,7 @@
 //! Every run is deterministic: the simulation seed and the fault plan's
 //! seed fix the entire trajectory. Output is a JSON document on stdout.
 
-use mtat_bench::make_policy;
+use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
 use mtat_core::stats::RunResult;
@@ -173,21 +173,48 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown scenario {scenario}"))
             .1;
         let exp = base.with_fault_plan(plan);
-        for name in POLICIES {
-            let mut p = make_policy(name, &cfg, &lc, &bes);
-            let r = exp.run(p.as_mut());
+        let runs = harness::run_matrix(
+            &POLICIES,
+            harness::worker_count(POLICIES.len()),
+            |_, name| {
+                let mut p = make_policy(name, &cfg, &lc, &bes);
+                exp.run(p.as_mut())
+            },
+        );
+        for (name, r) in POLICIES.iter().zip(&runs) {
             println!("## {name}");
             print!("{}", r.to_tsv_string());
         }
         return;
     }
 
-    // Fault-free reference runs (BE-throughput denominators).
-    let mut clean: Vec<(String, RunResult)> = Vec::new();
-    for name in POLICIES {
-        let mut p = make_policy(name, &cfg, &lc, &bes);
-        clean.push((name.to_string(), base.run(p.as_mut())));
+    // The full policy × (fault-free + scenario) matrix runs in parallel:
+    // every cell is seeded identically to the serial version, so the
+    // JSON below is byte-for-byte what a serial sweep prints.
+    let scs = scenarios();
+    let mut cells: Vec<(Option<usize>, &str)> = Vec::new();
+    for name in &POLICIES {
+        cells.push((None, name)); // fault-free reference (BE denominator)
     }
+    for si in 0..scs.len() {
+        for name in &POLICIES {
+            cells.push((Some(si), name));
+        }
+    }
+    let runs = harness::run_matrix(&cells, harness::worker_count(cells.len()), |_, cell| {
+        let (scenario, name) = *cell;
+        let exp = match scenario {
+            None => base.clone(),
+            Some(si) => base.clone().with_fault_plan(scs[si].1.clone()),
+        };
+        let mut p = make_policy(name, &cfg, &lc, &bes);
+        exp.run(p.as_mut())
+    });
+    let clean: Vec<(String, RunResult)> = POLICIES
+        .iter()
+        .zip(&runs)
+        .map(|(n, r)| (n.to_string(), r.clone()))
+        .collect();
 
     println!("{{");
     println!("  \"lc\": \"{}\",", lc.name);
@@ -197,17 +224,14 @@ fn main() {
     println!("  \"policies\": [\"{}\"],", POLICIES.join("\", \""));
     println!("  \"scenarios\": [");
 
-    let scs = scenarios();
     let mut verdicts = Vec::new();
-    for (si, (scenario, plan)) in scs.iter().enumerate() {
-        let exp = base.clone().with_fault_plan(plan.clone());
+    for (si, (scenario, _plan)) in scs.iter().enumerate() {
         println!("    {{");
         println!("      \"name\": \"{scenario}\",");
         println!("      \"runs\": [");
         let mut rates = Vec::new();
         for (pi, name) in POLICIES.iter().enumerate() {
-            let mut p = make_policy(name, &cfg, &lc, &bes);
-            let r = exp.run(p.as_mut());
+            let r = &runs[POLICIES.len() + si * POLICIES.len() + pi];
             let clean_be = clean
                 .iter()
                 .find(|(n, _)| n == name)
@@ -225,11 +249,11 @@ fn main() {
             println!("          \"violation_rate\": {},", json_f(overall));
             println!(
                 "          \"violation_rate_in_fault\": {},",
-                json_f(violation_rate_between(&r, FAULT_START, fault_end))
+                json_f(violation_rate_between(r, FAULT_START, fault_end))
             );
             println!(
                 "          \"violation_rate_post_fault\": {},",
-                json_f(violation_rate_between(&r, fault_end, DURATION))
+                json_f(violation_rate_between(r, fault_end, DURATION))
             );
             println!(
                 "          \"be_throughput_retained\": {},",
@@ -243,11 +267,11 @@ fn main() {
             );
             println!(
                 "          \"repromote_secs_after_clearance\": {},",
-                json_opt(repromote_secs(&r, fault_end))
+                json_opt(repromote_secs(r, fault_end))
             );
             println!(
                 "          \"slo_recover_secs_after_clearance\": {}",
-                json_opt(slo_recover_secs(&r, fault_end, 10))
+                json_opt(slo_recover_secs(r, fault_end, 10))
             );
             let comma = if pi + 1 < POLICIES.len() { "," } else { "" };
             println!("        }}{comma}");

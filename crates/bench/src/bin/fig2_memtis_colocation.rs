@@ -11,7 +11,7 @@
 //!
 //! Output: TSV rows `t  load_krps  p99_ms  slo_ms  violated  redis_fmem_ratio`.
 
-use mtat_bench::{header, make_policy};
+use mtat_bench::{harness, header, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{burst_headroom, Experiment};
 use mtat_workloads::be::BeSpec;
@@ -38,8 +38,16 @@ fn main() {
     let pattern = LoadPattern::staircase(&levels, dwell);
 
     let exp = Experiment::new(cfg.clone(), redis, pattern, vec![BeSpec::sssp()]);
-    let mut policy = make_policy("memtis", &cfg, &exp.lc, &exp.bes);
-    let result = exp.run(policy.as_mut());
+    // A single time-series run, but routed through the matrix harness so
+    // every figure binary shares one execution path (a one-cell matrix
+    // degenerates to a serial run on the calling thread).
+    let cells = ["memtis"];
+    let result = harness::run_matrix(&cells, harness::worker_count(cells.len()), |_, name| {
+        let mut policy = make_policy(name, &cfg, &exp.lc, &exp.bes);
+        exp.run(policy.as_mut())
+    })
+    .pop()
+    .expect("one cell in, one result out");
 
     println!("# Fig. 2: Redis + SSSP under MEMTIS; staircase of Fig.-1 knees");
     println!(

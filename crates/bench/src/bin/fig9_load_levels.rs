@@ -8,10 +8,15 @@
 //! (the stacked colors of Fig. 9's bars), and the LC SLO violation rate
 //! (Table 4).
 //!
+//! The 3 × 4 (load × policy) matrix runs on the parallel harness: every
+//! cell is an independent deterministic simulation, results are
+//! collected in cell order, and rows print exactly as the serial
+//! version did.
+//!
 //! Output: TSV rows
 //! `load_pct  policy  fairness  be_mops  violation_pct  fmem_lc  fmem_sssp  fmem_bfs  fmem_pr  fmem_xs`.
 
-use mtat_bench::{header, make_policy};
+use mtat_bench::{harness, header, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
 use mtat_tiermem::GIB;
@@ -39,7 +44,14 @@ fn main() {
         "fmem_pr_gb",
         "fmem_xs_gb",
     ]);
-    for load_pct in [20u32, 50, 80] {
+
+    let cells: Vec<(u32, &str)> = [20u32, 50, 80]
+        .iter()
+        .flat_map(|&load| POLICIES.iter().map(move |&p| (load, p)))
+        .collect();
+
+    let rows = harness::run_matrix(&cells, harness::worker_count(cells.len()), |_, cell| {
+        let (load_pct, policy_name) = *cell;
         let exp = Experiment::new(
             cfg.clone(),
             LcSpec::redis(),
@@ -47,32 +59,33 @@ fn main() {
             BeSpec::all_paper_workloads(),
         )
         .with_duration(RUN_SECS);
-        for policy_name in POLICIES {
-            let mut policy = make_policy(policy_name, &cfg, &exp.lc, &exp.bes);
-            let r = exp.run(policy.as_mut());
-            // Average FMem distribution over the steady-state window.
-            let steady: Vec<_> = r.ticks.iter().filter(|t| t.t >= GRACE_SECS).collect();
-            let n = steady.len().max(1) as f64;
-            let mut fmem_gb = [0.0; 5];
-            for tick in &steady {
-                for (i, &b) in tick.fmem_bytes.iter().enumerate() {
-                    fmem_gb[i] += b as f64 / GIB as f64 / n;
-                }
+        let mut policy = make_policy(policy_name, &cfg, &exp.lc, &exp.bes);
+        let r = exp.run(policy.as_mut());
+        // Average FMem distribution over the steady-state window.
+        let steady: Vec<_> = r.ticks.iter().filter(|t| t.t >= GRACE_SECS).collect();
+        let n = steady.len().max(1) as f64;
+        let mut fmem_gb = [0.0; 5];
+        for tick in &steady {
+            for (i, &b) in tick.fmem_bytes.iter().enumerate() {
+                fmem_gb[i] += b as f64 / GIB as f64 / n;
             }
-            println!(
-                "{}\t{}\t{:.3}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
-                load_pct,
-                policy_name,
-                r.fairness(),
-                r.be_total_throughput() / 1e6,
-                r.violation_rate_after(GRACE_SECS) * 100.0,
-                fmem_gb[0],
-                fmem_gb[1],
-                fmem_gb[2],
-                fmem_gb[3],
-                fmem_gb[4]
-            );
         }
+        format!(
+            "{}\t{}\t{:.3}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            load_pct,
+            policy_name,
+            r.fairness(),
+            r.be_total_throughput() / 1e6,
+            r.violation_rate_after(GRACE_SECS) * 100.0,
+            fmem_gb[0],
+            fmem_gb[1],
+            fmem_gb[2],
+            fmem_gb[3],
+            fmem_gb[4]
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("#");
     println!("# Table 4 is the violation_pct column (paper: MTAT 0/0/0,");

@@ -1,0 +1,227 @@
+//! Simulator hot-path performance baseline.
+//!
+//! Times the paper-scale co-location run (Redis + the four BE
+//! workloads, ~10⁵ 2-MiB pages), legacy accounting vs. the incremental
+//! path, for two canonical policies:
+//!
+//! * **reference** — FMEM_ALL, the static placement every paper figure
+//!   normalizes against. The incremental path turns its tick into pure
+//!   O(1) work: hit ratios are resident-popularity counter reads, and
+//!   the PEBS pass is skipped outright because the policy declares no
+//!   sampled-count consumer (`Policy::wants_page_samples`). This is the
+//!   headline `speedup` figure.
+//! * **adaptive** — MEMTIS, which consumes full per-page telemetry every
+//!   tick; its speedup isolates the batched sampler + incremental
+//!   hit-ratio gains when sampling cannot be skipped.
+//!
+//! **legacy** means the pre-optimization per-tick accounting: a full
+//! FMem rescan per BE hit-ratio and one Poisson draw per page
+//! (`Experiment::with_legacy_accounting`). A third section times a
+//! 4-policy matrix on the `bench::harness` worker pool, serial vs.
+//! `MTAT_BENCH_THREADS`/all-core, to measure harness scaling on this
+//! machine (with a bit-identical per-cell cross-check).
+//!
+//! The measurements are written as `BENCH_perf.json` (schema below) so
+//! CI can smoke-test against the committed baseline:
+//!
+//! ```text
+//! perf_baseline                # full paper-scale measurement, writes BENCH_perf.json
+//! perf_baseline --quick        # shorter run (CI), same ticks/sec scale
+//! perf_baseline --quick --check  # additionally fail (exit 1) on a >30 %
+//!                                # ticks/sec regression vs the committed file
+//! perf_baseline --out PATH     # write elsewhere (--check reads PATH too)
+//! ```
+//!
+//! ticks/sec is duration-invariant (per-tick cost does not depend on
+//! run length), so `--quick` results are comparable with a full-run
+//! baseline. The check uses the *legacy→incremental speedup ratio* as a
+//! secondary, machine-independent guard: absolute ticks/sec varies with
+//! hardware, the ratio only with the code.
+
+use std::time::Instant;
+
+use mtat_bench::{harness, make_policy};
+use mtat_core::config::SimConfig;
+use mtat_core::runner::Experiment;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+/// Fraction of the baseline's incremental ticks/sec below which
+/// `--check` fails the build.
+const REGRESSION_FLOOR: f64 = 0.70;
+
+struct Timed {
+    wall_secs: f64,
+    ticks: usize,
+}
+
+impl Timed {
+    fn ticks_per_sec(&self) -> f64 {
+        self.ticks as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+fn paper_exp(duration: f64) -> Experiment {
+    Experiment::new(
+        SimConfig::paper(),
+        LcSpec::redis(),
+        LoadPattern::Constant(0.5),
+        BeSpec::all_paper_workloads(),
+    )
+    .with_duration(duration)
+}
+
+/// Runs `exp` under a fresh policy (no pretraining, so the timing
+/// isolates the runner's per-tick accounting) and times it.
+fn time_run(exp: &Experiment, policy_name: &str) -> Timed {
+    let cfg = &exp.cfg;
+    let mut policy = make_policy(policy_name, cfg, &exp.lc, &exp.bes);
+    let start = Instant::now();
+    let r = exp.run(policy.as_mut());
+    Timed {
+        wall_secs: start.elapsed().as_secs_f64(),
+        ticks: r.ticks.len(),
+    }
+}
+
+/// Times one policy legacy vs. incremental and returns
+/// (legacy, incremental, speedup).
+fn time_pair(exp: &Experiment, policy_name: &str) -> (Timed, Timed, f64) {
+    eprintln!("# timing {policy_name}: legacy accounting...");
+    let legacy = time_run(&exp.clone().with_legacy_accounting(), policy_name);
+    eprintln!(
+        "#   {:.2} s wall, {:.0} ticks/s",
+        legacy.wall_secs,
+        legacy.ticks_per_sec()
+    );
+    eprintln!("# timing {policy_name}: incremental accounting...");
+    let incr = time_run(exp, policy_name);
+    eprintln!(
+        "#   {:.2} s wall, {:.0} ticks/s",
+        incr.wall_secs,
+        incr.ticks_per_sec()
+    );
+    let speedup = incr.ticks_per_sec() / legacy.ticks_per_sec().max(1e-9);
+    (legacy, incr, speedup)
+}
+
+/// Times the 4-cell cheap-policy matrix at the given worker count and
+/// returns (wall seconds, per-cell SLO-violation counts for the
+/// bit-identical cross-check).
+fn time_matrix(exp: &Experiment, workers: usize) -> (f64, Vec<u64>) {
+    let cells: [&str; 4] = ["memtis", "tpp", "fmem_all", "smem_all"];
+    let cfg = &exp.cfg;
+    let start = Instant::now();
+    let counts = harness::run_matrix(&cells, workers, |_, name| {
+        let mut p = make_policy(name, cfg, &exp.lc, &exp.bes);
+        let r = exp.run(p.as_mut());
+        r.ticks.iter().map(|t| u64::from(t.lc_violated)).sum()
+    });
+    (start.elapsed().as_secs_f64(), counts)
+}
+
+/// Extracts the number following the last key of `path`, where each
+/// path element is located in sequence (a poor man's nested-object
+/// lookup over our own fixed output shape). Hand-rolled because
+/// serde_json is not vendored.
+fn json_number(doc: &str, path: &[&str]) -> Option<f64> {
+    let mut scoped = doc;
+    for key in path {
+        let k = scoped.find(&format!("\"{key}\""))?;
+        scoped = &scoped[k + key.len() + 2..];
+    }
+    let colon = scoped.find(':')?;
+    let rest = scoped[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    let duration = if quick { 30.0 } else { 120.0 };
+    let exp = paper_exp(duration);
+
+    eprintln!("# paper-scale co-location run, {duration:.0} s sim");
+    let (ref_legacy, ref_incr, ref_speedup) = time_pair(&exp, "fmem_all");
+    let (ad_legacy, ad_incr, ad_speedup) = time_pair(&exp, "memtis");
+
+    let matrix_exp = paper_exp(if quick { 15.0 } else { 60.0 });
+    let pool = harness::worker_count(4);
+    eprintln!("# timing 4-cell matrix serial vs {pool} worker(s)...");
+    let (serial_secs, serial_counts) = time_matrix(&matrix_exp, 1);
+    let (parallel_secs, parallel_counts) = time_matrix(&matrix_exp, pool);
+    assert_eq!(
+        serial_counts, parallel_counts,
+        "parallel harness changed per-cell results"
+    );
+    let scaling = serial_secs / parallel_secs.max(1e-9);
+
+    let mode = if quick { "quick" } else { "full" };
+    let section = |name: &str, policy: &str, legacy: &Timed, incr: &Timed, speedup: f64| {
+        format!(
+            "  \"{name}\": {{\n    \"policy\": \"{policy}\",\n    \
+             \"legacy\": {{ \"wall_secs\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1} }},\n    \
+             \"incremental\": {{ \"wall_secs\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1} }},\n    \
+             \"speedup\": {speedup:.2}\n  }}",
+            legacy.wall_secs,
+            legacy.ticks,
+            legacy.ticks_per_sec(),
+            incr.wall_secs,
+            incr.ticks,
+            incr.ticks_per_sec(),
+        )
+    };
+    let json = format!(
+        "{{\n  \"schema\": 2,\n  \"mode\": \"{mode}\",\n  \"sim_secs\": {duration:.0},\n\
+         {},\n{},\n  \"speedup\": {ref_speedup:.2},\n  \
+         \"parallel\": {{ \"cells\": 4, \"workers\": {pool}, \"serial_secs\": {serial_secs:.3}, \
+         \"parallel_secs\": {parallel_secs:.3}, \"scaling\": {scaling:.2} }}\n}}\n",
+        section("reference", "fmem_all", &ref_legacy, &ref_incr, ref_speedup),
+        section("adaptive", "memtis", &ad_legacy, &ad_incr, ad_speedup),
+    );
+    print!("{json}");
+
+    if check {
+        let baseline = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check: cannot read baseline {out_path}: {e}"));
+        let base_tps = json_number(&baseline, &["adaptive", "incremental", "ticks_per_sec"])
+            .expect("--check: baseline lacks adaptive.incremental.ticks_per_sec");
+        let base_speedup = json_number(&baseline, &["adaptive", "speedup"]).unwrap_or(1.0);
+        // The guard watches the *adaptive* section: it exercises the
+        // whole hot path (batched sampler, tracker, hotness competition)
+        // every tick, whereas the reference run is O(1)/tick and its
+        // quick-mode timing is noise-dominated.
+        let tps = ad_incr.ticks_per_sec();
+        let speedup = ad_speedup;
+        eprintln!(
+            "# check: {tps:.0} ticks/s vs baseline {base_tps:.0} (floor {:.0})",
+            base_tps * REGRESSION_FLOOR
+        );
+        eprintln!("# check: speedup {speedup:.2}x vs baseline {base_speedup:.2}x");
+        // The absolute ticks/sec guard catches same-machine regressions;
+        // the ratio guard catches "the optimization got reverted" even on
+        // different hardware.
+        let tps_ok = tps >= base_tps * REGRESSION_FLOOR;
+        let ratio_ok = speedup >= base_speedup * REGRESSION_FLOOR;
+        if !(tps_ok && ratio_ok) {
+            eprintln!("# PERF REGRESSION: ticks/sec ok={tps_ok} speedup ok={ratio_ok}");
+            std::process::exit(1);
+        }
+        eprintln!("# perf smoke passed");
+    } else {
+        std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        eprintln!("# wrote {out_path}");
+    }
+}

@@ -9,10 +9,17 @@
 //! * BE fairness and throughput at 20/50/80 % of that max, normalized to
 //!   MEMTIS at the same load level.
 //!
+//! The sweep runs in two parallel phases on the matrix harness: first
+//! every (setting × policy) max-load search — these are independent
+//! bisection loops — then every (setting × variant × load-level ×
+//! {variant, memtis}) measurement run, whose load fractions depend on
+//! the phase-1 maxima. Cell results come back in submission order, so
+//! the TSV is identical to a serial sweep's.
+//!
 //! Output: TSV rows
 //! `setting  config  lc_max_norm  f20  t20  f50  t50  f80  t80`.
 
-use mtat_bench::{header, make_policy};
+use mtat_bench::{harness, header, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{Experiment, MaxLoadSearch};
 use mtat_workloads::be::BeSpec;
@@ -27,6 +34,8 @@ const SETTINGS: [(usize, usize, usize); 6] = [
     (16, 8, 2),
     (16, 8, 4),
 ];
+const VARIANTS: [&str; 2] = ["mtat_full", "mtat_lc_only"];
+const LOAD_PCTS: [f64; 3] = [0.2, 0.5, 0.8];
 const RUN_SECS: f64 = 120.0;
 const GRACE_SECS: f64 = 30.0;
 
@@ -52,41 +61,80 @@ fn main() {
         "be_thr_80",
     ]);
     let opts = MaxLoadSearch::default();
-    for (x, y, z) in SETTINGS {
-        let cfg = SimConfig::paper();
-        let lc = LcSpec::memcached().with_cores(x);
-        let bes = be_set(z, y / z);
-        let exp = Experiment::new(cfg.clone(), lc, LoadPattern::Constant(1.0), bes);
+    let cfg = SimConfig::paper();
+    let exps: Vec<Experiment> = SETTINGS
+        .iter()
+        .map(|&(x, y, z)| {
+            Experiment::new(
+                cfg.clone(),
+                LcSpec::memcached().with_cores(x),
+                LoadPattern::Constant(1.0),
+                be_set(z, y / z),
+            )
+        })
+        .collect();
 
-        let fmem_all_max = exp.find_max_load(
-            &mut || make_policy("fmem_all", &cfg, &exp.lc, &exp.bes),
-            &opts,
-        );
+    // Phase 1: every max-load bisection, in parallel. Cell order is
+    // (setting-major, policy ∈ [fmem_all, mtat_full, mtat_lc_only]).
+    let search_names: [&str; 3] = ["fmem_all", VARIANTS[0], VARIANTS[1]];
+    let search_cells: Vec<(usize, &str)> = (0..SETTINGS.len())
+        .flat_map(|si| search_names.iter().map(move |&n| (si, n)))
+        .collect();
+    let maxima = harness::run_matrix(
+        &search_cells,
+        harness::worker_count(search_cells.len()),
+        |_, &(si, name)| {
+            let exp = &exps[si];
+            exp.find_max_load(&mut || make_policy(name, &cfg, &exp.lc, &exp.bes), &opts)
+        },
+    );
+    let max_of = |si: usize, name: &str| {
+        let pi = search_names.iter().position(|&n| n == name).unwrap();
+        maxima[si * search_names.len() + pi]
+    };
 
-        for variant in ["mtat_full", "mtat_lc_only"] {
-            let max =
-                exp.find_max_load(&mut || make_policy(variant, &cfg, &exp.lc, &exp.bes), &opts);
+    // Phase 2: every load-level measurement run, in parallel. Cell order
+    // is (setting, variant, load-level, {variant, memtis}).
+    let level_cells: Vec<(usize, &str, f64, &str)> = (0..SETTINGS.len())
+        .flat_map(|si| {
+            VARIANTS.iter().flat_map(move |&variant| {
+                LOAD_PCTS.iter().flat_map(move |&pct| {
+                    [variant, "memtis"].map(|policy| (si, variant, pct, policy))
+                })
+            })
+        })
+        .collect();
+    let level_runs = harness::run_matrix(
+        &level_cells,
+        harness::worker_count(level_cells.len()),
+        |_, &(si, variant, load_pct, policy_name)| {
+            let exp = &exps[si];
+            // Load levels are fractions of *this setting's* MTAT max.
+            let frac = load_pct * max_of(si, variant) / exp.lc_max_ref;
+            let mut e = exp.clone().with_duration(RUN_SECS);
+            e.load = LoadPattern::Constant(frac);
+            let mut p = make_policy(policy_name, &cfg, &e.lc, &e.bes);
+            let r = e.run(p.as_mut());
+            (r.fairness(), r.be_total_throughput())
+        },
+    );
+
+    let mut level_iter = level_runs.into_iter();
+    for (si, &(x, y, z)) in SETTINGS.iter().enumerate() {
+        let fmem_all_max = max_of(si, "fmem_all");
+        for variant in VARIANTS {
+            let max = max_of(si, variant);
             let lc_max_norm = if fmem_all_max > 0.0 {
                 max / fmem_all_max
             } else {
                 0.0
             };
-
             let mut cells = Vec::new();
-            for load_pct in [0.2, 0.5, 0.8] {
-                // Load levels are fractions of *this setting's* MTAT max.
-                let frac = load_pct * max / exp.lc_max_ref;
-                let level_exp = exp.clone().with_duration(RUN_SECS);
-                let run_at = |policy_name: &str| {
-                    let mut e = level_exp.clone();
-                    e.load = LoadPattern::Constant(frac);
-                    let mut p = make_policy(policy_name, &cfg, &e.lc, &e.bes);
-                    e.run(p.as_mut())
-                };
-                let r_mtat = run_at(variant);
-                let r_memtis = run_at("memtis");
-                let fair = r_mtat.fairness() / r_memtis.fairness().max(1e-12);
-                let thr = r_mtat.be_total_throughput() / r_memtis.be_total_throughput().max(1e-12);
+            for _load_pct in LOAD_PCTS {
+                let (fair_mtat, thr_mtat) = level_iter.next().expect("cell count mismatch");
+                let (fair_memtis, thr_memtis) = level_iter.next().expect("cell count mismatch");
+                let fair = fair_mtat / fair_memtis.max(1e-12);
+                let thr = thr_mtat / thr_memtis.max(1e-12);
                 let _ = GRACE_SECS; // steady-state handled by fairness averaging
                 cells.push((fair, thr));
             }

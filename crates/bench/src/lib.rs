@@ -21,6 +21,8 @@
 //! The Criterion benches in `benches/` cover data-structure micro-costs
 //! and the DESIGN.md ablations.
 
+pub mod harness;
+
 use mtat_core::config::SimConfig;
 use mtat_core::policy::memtis::MemtisPolicy;
 use mtat_core::policy::mtat::{MtatConfig, MtatPolicy};

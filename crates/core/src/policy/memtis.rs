@@ -26,6 +26,10 @@ pub struct MemtisPolicy {
     tracker: Option<HotnessTracker>,
     /// Migration appetite per tick, in page pairs.
     pairs_per_tick: u64,
+    /// Candidate buffers reused across ticks.
+    scratch: placement::PlacementScratch,
+    /// Workload-id buffer reused across ticks.
+    all_ids: Vec<WorkloadId>,
 }
 
 impl MemtisPolicy {
@@ -34,6 +38,8 @@ impl MemtisPolicy {
         Self {
             tracker: None,
             pairs_per_tick: 1024,
+            scratch: placement::PlacementScratch::default(),
+            all_ids: Vec::new(),
         }
     }
 
@@ -65,13 +71,15 @@ impl Policy for MemtisPolicy {
         if sim.interval_boundary {
             tracker.age_all();
         }
-        let all: Vec<WorkloadId> = sim.workloads.iter().map(|w| w.id).collect();
+        self.all_ids.clear();
+        self.all_ids.extend(sim.workloads.iter().map(|w| w.id));
         let pool_cap = sim.mem.spec().fmem_pages();
-        placement::compete(
+        placement::compete_with(
+            &mut self.scratch,
             sim.mem,
             sim.migration,
             tracker,
-            &all,
+            &self.all_ids,
             pool_cap,
             self.pairs_per_tick,
             crate::ppe::HOTNESS_HYSTERESIS,

@@ -147,6 +147,17 @@ pub trait Policy {
     fn degradation(&self) -> Option<DegradationState> {
         None
     }
+
+    /// Whether this policy consumes the per-page sampled access counts
+    /// in [`WorkloadObs::sampled`]. The driver skips the PEBS sampling
+    /// pass entirely for policies that return `false` — a real daemon
+    /// would not program the PMU with no consumer attached — leaving
+    /// `sampled` all-zero. The simulation physics (hit ratios, latency,
+    /// throughput) never read the sampled counts, so skipping them
+    /// changes no run output for such a policy.
+    fn wants_page_samples(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! repeated runs (e.g. the Fig. 8 binary search) reuse it.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mtat_rl::sac::Sac;
 use mtat_tiermem::memory::TieredMemory;
@@ -150,9 +150,31 @@ pub struct MtatPolicy {
     supervisor: Option<Supervisor>,
 }
 
-fn agent_cache() -> &'static Mutex<HashMap<String, Sac>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Sac>>> = OnceLock::new();
+/// Pretrained-agent cache keyed by (workload, cores, FMem, step,
+/// pretrain-steps). Each key maps to its own slot mutex so concurrent
+/// builders of the *same* configuration (e.g. parallel bench-matrix
+/// cells) block on one pretraining run instead of duplicating it, while
+/// distinct configurations still pretrain concurrently.
+type AgentSlot = Arc<Mutex<Option<Sac>>>;
+
+fn agent_cache() -> &'static Mutex<HashMap<String, AgentSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, AgentSlot>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the cached agent for `key`, pretraining it via `train` if
+/// absent. Pretraining is deterministic, so whichever thread wins the
+/// per-key slot produces the same agent any other would have.
+fn cached_agent(key: &str, train: impl FnOnce() -> Sac) -> Sac {
+    let slot = Arc::clone(
+        agent_cache()
+            .lock()
+            .expect("cache lock")
+            .entry(key.to_string())
+            .or_default(),
+    );
+    let mut guard = slot.lock().expect("cache slot lock");
+    guard.get_or_insert_with(train).clone()
 }
 
 impl MtatPolicy {
@@ -179,20 +201,12 @@ impl MtatPolicy {
                 max_step_bytes as u64 / GIB,
                 cfg.pretrain_steps
             );
-            let cached = agent_cache().lock().expect("cache lock").get(&key).cloned();
-            let partitioner = match cached {
-                Some(agent) => LcPartitioner::new(lc_spec.clone(), lc_cfg, agent),
-                None => {
-                    let p =
-                        LcPartitioner::pretrained(lc_spec, lc_cfg, cfg.pretrain_steps, cfg.seed);
-                    agent_cache()
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, p.agent().clone());
-                    p
-                }
-            };
-            LcSizer::Rl(partitioner)
+            let agent = cached_agent(&key, || {
+                LcPartitioner::pretrained(lc_spec, lc_cfg.clone(), cfg.pretrain_steps, cfg.seed)
+                    .agent()
+                    .clone()
+            });
+            LcSizer::Rl(LcPartitioner::new(lc_spec.clone(), lc_cfg, agent))
         } else {
             LcSizer::Heuristic(ProportionalController::new(ControllerConfig::new(
                 fmem_total,

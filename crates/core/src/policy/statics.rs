@@ -92,11 +92,22 @@ impl Policy for StaticPolicy {
         })
     }
 
+    fn wants_page_samples(&self) -> bool {
+        // FMEM_ALL pins by residency targets alone and never consults
+        // page hotness: the LC set is placed FmemFirst at registration
+        // (so the pin holds from tick 0) and BE workloads are never
+        // promoted, so the eviction path below cannot trigger. SMEM_ALL
+        // runs hotness competition among the BEs and needs the samples.
+        self.kind == StaticKind::SmemAll
+    }
+
     fn on_tick(&mut self, sim: &mut SimState<'_>) {
         let tracker = self.tracker.as_mut().expect("init() must run first");
-        tracker.record_tick(sim.workloads);
-        if sim.interval_boundary {
-            tracker.age_all();
+        if self.kind == StaticKind::SmemAll {
+            tracker.record_tick(sim.workloads);
+            if sim.interval_boundary {
+                tracker.age_all();
+            }
         }
         let Some(lc) = self.lc else { return };
         let bes: Vec<WorkloadId> = sim

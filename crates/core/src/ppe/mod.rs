@@ -76,6 +76,12 @@ pub struct PartitionPolicyEnforcer {
     /// retry with capped exponential backoff. Empty whenever no fault
     /// injection is active (the engine never fails moves then).
     retry_queue: VecDeque<DeferredMove>,
+    /// Candidate-list buffers reused across ticks.
+    scratch: placement::PlacementScratch,
+    /// Slice-execution candidate buffer reused across ticks.
+    slice_pages: Vec<mtat_tiermem::page::PageId>,
+    /// Ranked eviction-candidate buffer reused across ticks.
+    ranked_buf: Vec<(u64, mtat_tiermem::page::PageId)>,
 }
 
 impl PartitionPolicyEnforcer {
@@ -99,6 +105,9 @@ impl PartitionPolicyEnforcer {
             refine_pairs_per_workload,
             placement_frozen: false,
             retry_queue: VecDeque::new(),
+            scratch: placement::PlacementScratch::default(),
+            slice_pages: Vec::new(),
+            ranked_buf: Vec::new(),
         }
     }
 
@@ -206,7 +215,9 @@ impl PartitionPolicyEnforcer {
             for &(i, m) in &slice.moves {
                 if m < 0 {
                     let w = WorkloadId(i as u16);
-                    let pages = self.tracker.coldest_fmem(mem, w, (-m) as usize);
+                    let mut pages = std::mem::take(&mut self.slice_pages);
+                    self.tracker
+                        .coldest_fmem_into(&mut pages, mem, w, (-m) as usize);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
                     self.note_fault_failures(i, false, engine);
                     for &p in pages.iter().take(granted) {
@@ -216,6 +227,7 @@ impl PartitionPolicyEnforcer {
                         // residency.
                         let _ = mem.migrate(p, Tier::SMem);
                     }
+                    self.slice_pages = pages;
                 }
             }
             for &(i, m) in &slice.moves {
@@ -229,12 +241,14 @@ impl PartitionPolicyEnforcer {
                         self.make_room(mem, engine, need - free);
                     }
                     let want = need.min(mem.free_pages(Tier::FMem)) as usize;
-                    let pages = self.tracker.hottest_smem(mem, w, want);
+                    let mut pages = std::mem::take(&mut self.slice_pages);
+                    self.tracker.hottest_smem_into(&mut pages, mem, w, want);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
                     self.note_fault_failures(i, true, engine);
                     for &p in pages.iter().take(granted) {
                         let _ = mem.migrate(p, Tier::FMem);
                     }
+                    self.slice_pages = pages;
                 }
             }
         }
@@ -250,8 +264,16 @@ impl PartitionPolicyEnforcer {
                     let w = WorkloadId(i as u16);
                     // Drift correction (e.g. promotions that found no
                     // candidates during adjustment).
-                    placement::enforce_target(mem, engine, &self.tracker, w, target);
-                    placement::refine_swaps(
+                    placement::enforce_target_with(
+                        &mut self.scratch,
+                        mem,
+                        engine,
+                        &self.tracker,
+                        w,
+                        target,
+                    );
+                    placement::refine_swaps_with(
+                        &mut self.scratch,
                         mem,
                         engine,
                         &self.tracker,
@@ -277,7 +299,8 @@ impl PartitionPolicyEnforcer {
         if !unenforced.is_empty() {
             let reserved: u64 = self.targets_pages.iter().flatten().sum();
             let pool_cap = mem.spec().fmem_pages().saturating_sub(reserved);
-            placement::compete(
+            placement::compete_with(
+                &mut self.scratch,
                 mem,
                 engine,
                 &self.tracker,
@@ -291,13 +314,17 @@ impl PartitionPolicyEnforcer {
 
     /// Demotes the coldest pages of unenforced workloads to free `need`
     /// FMem frames for an enforced promotion.
-    fn make_room(&self, mem: &mut TieredMemory, engine: &mut MigrationEngine, need: u64) {
-        let mut candidates: Vec<(u64, mtat_tiermem::page::PageId)> = Vec::new();
+    fn make_room(&mut self, mem: &mut TieredMemory, engine: &mut MigrationEngine, need: u64) {
+        let mut candidates = std::mem::take(&mut self.ranked_buf);
+        let mut pages = std::mem::take(&mut self.slice_pages);
+        candidates.clear();
         for (i, t) in self.targets_pages.iter().enumerate() {
             if t.is_none() {
                 let w = WorkloadId(i as u16);
                 let hist = self.tracker.histogram(w);
-                for p in self.tracker.coldest_fmem(mem, w, need as usize) {
+                self.tracker
+                    .coldest_fmem_into(&mut pages, mem, w, need as usize);
+                for &p in &pages {
                     candidates.push((hist.count(p), p));
                 }
             }
@@ -308,6 +335,8 @@ impl PartitionPolicyEnforcer {
         for &(_, p) in candidates.iter().take(granted) {
             let _ = mem.migrate(p, Tier::SMem);
         }
+        self.ranked_buf = candidates;
+        self.slice_pages = pages;
     }
 
     /// Queues a deferred move when the engine reports fault-failed pages
@@ -349,12 +378,15 @@ impl PartitionPolicyEnforcer {
                 continue;
             }
             let w = WorkloadId(d.workload as u16);
-            let candidates = if d.promote {
+            let mut candidates = std::mem::take(&mut self.slice_pages);
+            if d.promote {
                 let want = (d.pages).min(mem.free_pages(Tier::FMem)) as usize;
-                self.tracker.hottest_smem(mem, w, want)
+                self.tracker
+                    .hottest_smem_into(&mut candidates, mem, w, want);
             } else {
-                self.tracker.coldest_fmem(mem, w, d.pages as usize)
-            };
+                self.tracker
+                    .coldest_fmem_into(&mut candidates, mem, w, d.pages as usize);
+            }
             let blocked = candidates.is_empty();
             let completed = if blocked {
                 0
@@ -388,6 +420,7 @@ impl PartitionPolicyEnforcer {
                     attempt,
                 });
             }
+            self.slice_pages = candidates;
         }
     }
 }

@@ -15,15 +15,45 @@
 
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::migration::MigrationEngine;
-use mtat_tiermem::page::{Tier, WorkloadId};
+use mtat_tiermem::page::{PageId, Tier, WorkloadId};
 
 use crate::tracker::HotnessTracker;
+
+/// Reusable candidate buffers for the placement primitives. Policies
+/// hold one instance across ticks so the per-tick candidate queries
+/// reuse their allocations instead of building fresh vectors.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementScratch {
+    hot_pages: Vec<PageId>,
+    cold_pages: Vec<PageId>,
+    hot_ranked: Vec<(u64, PageId)>,
+    cold_ranked: Vec<(u64, PageId)>,
+}
 
 /// Moves workload `w` toward `target_pages` of FMem residency, spending
 /// at most the engine's remaining tick budget. Promotions require free
 /// FMem frames (the caller demotes first to make room). Returns
 /// `(promoted, demoted)` page counts.
 pub fn enforce_target(
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    w: WorkloadId,
+    target_pages: u64,
+) -> (u64, u64) {
+    enforce_target_with(
+        &mut PlacementScratch::default(),
+        mem,
+        engine,
+        tracker,
+        w,
+        target_pages,
+    )
+}
+
+/// [`enforce_target`] with caller-owned scratch buffers.
+pub fn enforce_target_with(
+    scratch: &mut PlacementScratch,
     mem: &mut TieredMemory,
     engine: &mut MigrationEngine,
     tracker: &HotnessTracker,
@@ -38,7 +68,8 @@ pub fn enforce_target(
         if want == 0 {
             return (0, 0);
         }
-        let pages = tracker.hottest_smem(mem, w, want as usize);
+        let pages = &mut scratch.hot_pages;
+        tracker.hottest_smem_into(pages, mem, w, want as usize);
         let granted = engine.try_consume_pages(pages.len() as u64);
         let mut promoted = 0;
         for &p in pages.iter().take(granted as usize) {
@@ -54,7 +85,8 @@ pub fn enforce_target(
         if want == 0 {
             return (0, 0);
         }
-        let pages = tracker.coldest_fmem(mem, w, want as usize);
+        let pages = &mut scratch.cold_pages;
+        tracker.coldest_fmem_into(pages, mem, w, want as usize);
         let granted = engine.try_consume_pages(pages.len() as u64);
         let mut demoted = 0;
         for &p in pages.iter().take(granted as usize) {
@@ -82,12 +114,34 @@ pub fn refine_swaps(
     max_pairs: u64,
     hysteresis: f64,
 ) -> u64 {
+    refine_swaps_with(
+        &mut PlacementScratch::default(),
+        mem,
+        engine,
+        tracker,
+        w,
+        max_pairs,
+        hysteresis,
+    )
+}
+
+/// [`refine_swaps`] with caller-owned scratch buffers.
+pub fn refine_swaps_with(
+    scratch: &mut PlacementScratch,
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    w: WorkloadId,
+    max_pairs: u64,
+    hysteresis: f64,
+) -> u64 {
     let budget_pairs = max_pairs.min(engine.remaining_tick_pages() / 2);
     if budget_pairs == 0 {
         return 0;
     }
-    let hot = tracker.hottest_smem(mem, w, budget_pairs as usize);
-    let cold = tracker.coldest_fmem(mem, w, budget_pairs as usize);
+    let (hot, cold) = (&mut scratch.hot_pages, &mut scratch.cold_pages);
+    tracker.hottest_smem_into(hot, mem, w, budget_pairs as usize);
+    tracker.coldest_fmem_into(cold, mem, w, budget_pairs as usize);
     let hist = tracker.histogram(w);
     let mut swaps = 0;
     for (&h, &c) in hot.iter().zip(cold.iter()) {
@@ -123,19 +177,47 @@ pub fn compete(
     max_pairs: u64,
     hysteresis: f64,
 ) -> u64 {
+    compete_with(
+        &mut PlacementScratch::default(),
+        mem,
+        engine,
+        tracker,
+        ws,
+        pool_cap_pages,
+        max_pairs,
+        hysteresis,
+    )
+}
+
+/// [`compete`] with caller-owned scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn compete_with(
+    scratch: &mut PlacementScratch,
+    mem: &mut TieredMemory,
+    engine: &mut MigrationEngine,
+    tracker: &HotnessTracker,
+    ws: &[WorkloadId],
+    pool_cap_pages: u64,
+    max_pairs: u64,
+    hysteresis: f64,
+) -> u64 {
     let k = max_pairs.min(engine.remaining_tick_pages()) as usize;
     if k == 0 {
         return 0;
     }
     // Gather candidates: (count, page) sorted hottest-first / coldest-first.
-    let mut hot: Vec<(u64, mtat_tiermem::page::PageId)> = Vec::new();
-    let mut cold: Vec<(u64, mtat_tiermem::page::PageId)> = Vec::new();
+    let hot = &mut scratch.hot_ranked;
+    let cold = &mut scratch.cold_ranked;
+    hot.clear();
+    cold.clear();
     for &w in ws {
         let hist = tracker.histogram(w);
-        for p in tracker.hottest_smem(mem, w, k) {
+        tracker.hottest_smem_into(&mut scratch.hot_pages, mem, w, k);
+        for &p in &scratch.hot_pages {
             hot.push((hist.count(p), p));
         }
-        for p in tracker.coldest_fmem(mem, w, k) {
+        tracker.coldest_fmem_into(&mut scratch.cold_pages, mem, w, k);
+        for &p in &scratch.cold_pages {
             cold.push((hist.count(p), p));
         }
     }
@@ -145,7 +227,7 @@ pub fn compete(
     let mut pool_used: u64 = ws.iter().map(|&w| mem.residency(w).fmem_pages).sum();
     let mut moved = 0;
     let mut ci = 0;
-    for &(hcount, hpage) in &hot {
+    for &(hcount, hpage) in hot.iter() {
         if hcount == 0 {
             break; // nothing hot left to justify a move
         }

@@ -61,6 +61,14 @@ pub struct Experiment {
     /// leaves every substrate hook untouched — the run is bit-identical
     /// to one without the fault layer.
     pub fault_plan: FaultPlan,
+    /// Use the pre-optimization O(total pages) per-tick accounting (full
+    /// FMem rescan per BE hit ratio, one Poisson draw per page) instead
+    /// of the incremental resident-popularity counters and batched
+    /// sampler. The two modes are statistically equivalent — the batched
+    /// sampler draws from the same distribution by Poisson splitting —
+    /// but consume the RNG stream differently. Retained for equivalence
+    /// tests and the `perf_baseline` speedup measurement.
+    pub legacy_accounting: bool,
 }
 
 impl Experiment {
@@ -87,12 +95,20 @@ impl Experiment {
             duration_secs: duration,
             lc_max_ref,
             fault_plan: FaultPlan::none(),
+            legacy_accounting: false,
         }
     }
 
     /// Overrides the run length.
     pub fn with_duration(mut self, secs: f64) -> Self {
         self.duration_secs = secs;
+        self
+    }
+
+    /// Switches the run to the legacy O(total pages) accounting paths
+    /// (see [`Self::legacy_accounting`]).
+    pub fn with_legacy_accounting(mut self) -> Self {
+        self.legacy_accounting = true;
         self
     }
 
@@ -138,6 +154,19 @@ impl Experiment {
             .zip(&be_ids)
             .map(|(spec, &id)| spec.popularity(mem.region(id).len()))
             .collect();
+        // Fast path: register the weights with the page table so each
+        // BE's FMem hit ratio is an incrementally maintained counter
+        // (O(1) per migration) instead of an O(pages) rescan per tick,
+        // and precompute the sampler's weight tables for batched draws.
+        let be_tables: Vec<mtat_tiermem::sampler::WeightTable> = if self.legacy_accounting {
+            Vec::new()
+        } else {
+            for (pop, &id) in be_pops.iter().zip(&be_ids) {
+                mem.register_popularity(id, pop.weights())
+                    .expect("popularity covers exactly the registered region");
+            }
+            be_pops.iter().map(|p| p.to_weight_table()).collect()
+        };
 
         let mut sampler = AccessSampler::new(self.cfg.sampler_period, self.cfg.seed ^ 0x5A)
             .expect("valid sampler period");
@@ -164,7 +193,14 @@ impl Experiment {
             })
             .max()
             .unwrap_or(0);
-        let mut obs_history: VecDeque<Vec<WorkloadObs>> = VecDeque::new();
+        // Observation snapshots are kept only when some fault window can
+        // actually delay telemetry; the snapshot ring and the degraded
+        // policy view below reuse their buffers across ticks instead of
+        // cloning the observation vector (and every per-page `sampled`
+        // vector inside it) each tick.
+        let keep_history = faults_enabled && max_history > 1;
+        let mut obs_history: VecDeque<Vec<WorkloadObs>> = VecDeque::with_capacity(max_history);
+        let mut view_buf: Vec<WorkloadObs> = Vec::new();
 
         // Initial observations.
         let mut obs: Vec<WorkloadObs> = Vec::with_capacity(1 + self.bes.len());
@@ -201,6 +237,12 @@ impl Experiment {
             });
         }
         policy.init(&mem, &obs);
+        // Demand-driven telemetry: policies that never read per-page
+        // sampled counts (e.g. FMEM_ALL) get the whole PEBS pass skipped
+        // — the physics never read `sampled`, so outputs are identical.
+        // The legacy mode always samples, as the pre-optimization runner
+        // did.
+        let sample_pages = self.legacy_accounting || policy.wants_page_samples();
 
         let tick_secs = self.cfg.tick_secs;
         let n_ticks = (self.duration_secs / tick_secs).round() as u64;
@@ -288,11 +330,17 @@ impl Experiment {
                 o.throughput = achieved;
                 o.slo_violated = violated;
                 // Uniform LC traffic: every page gets rate/n accesses.
-                let n = o.sampled.len();
-                let per_page = lc_access_rate * tick_secs / n as f64;
-                for s in o.sampled.iter_mut() {
-                    let ev = sampler.sample_count(per_page);
-                    *s = sampler.estimate_from_samples(ev);
+                if sample_pages {
+                    let n = o.sampled.len();
+                    let per_page = lc_access_rate * tick_secs / n as f64;
+                    if self.legacy_accounting {
+                        for s in o.sampled.iter_mut() {
+                            let ev = sampler.sample_count(per_page);
+                            *s = sampler.estimate_from_samples(ev);
+                        }
+                    } else {
+                        sampler.sample_uniform_estimates(&mut o.sampled, per_page);
+                    }
                 }
             }
 
@@ -300,13 +348,15 @@ impl Experiment {
             let mut be_thr_tick = Vec::with_capacity(self.bes.len());
             for (bi, (spec, &id)) in self.bes.iter().zip(&be_ids).enumerate() {
                 let pop = &be_pops[bi];
-                let hit: f64 = mem
-                    .pages_in_tier(id, Tier::FMem)
-                    .map(|p| {
-                        let rank = (p.0 - mem.region(id).base) as usize;
-                        pop.weight(rank)
-                    })
-                    .sum();
+                let hit: f64 = if self.legacy_accounting {
+                    let base = mem.region(id).base;
+                    mem.pages_in_tier(id, Tier::FMem)
+                        .map(|p| pop.weight((p.0 - base) as usize))
+                        .sum()
+                } else {
+                    mem.resident_popularity(id)
+                        .expect("weights registered before the loop")
+                };
                 let pen = policy.smem_access_penalty(id);
                 let s_op = service_time(
                     spec.cpu_secs_per_op,
@@ -324,10 +374,18 @@ impl Experiment {
                 o.hit_ratio = hit;
                 o.access_rate = access_rate;
                 o.throughput = thr;
-                for (rank, s) in o.sampled.iter_mut().enumerate() {
-                    let true_count = access_rate * tick_secs * pop.weight(rank);
-                    let ev = sampler.sample_count(true_count);
-                    *s = sampler.estimate_from_samples(ev);
+                if self.legacy_accounting {
+                    for (rank, s) in o.sampled.iter_mut().enumerate() {
+                        let true_count = access_rate * tick_secs * pop.weight(rank);
+                        let ev = sampler.sample_count(true_count);
+                        *s = sampler.estimate_from_samples(ev);
+                    }
+                } else if sample_pages {
+                    sampler.sample_weighted_estimates(
+                        &mut o.sampled,
+                        access_rate * tick_secs,
+                        &be_tables[bi],
+                    );
                 }
             }
 
@@ -335,34 +393,55 @@ impl Experiment {
             // Under telemetry faults the policy sees a degraded copy:
             // delayed (staleness), blinded (blackout hides the access
             // stream while P99/throughput stay live), and noisy. The
-            // physics above always use the true values.
-            let (obs_age_ticks, faulted_view) = if faults_enabled {
-                obs_history.push_back(obs.clone());
-                if obs_history.len() > max_history {
-                    obs_history.pop_front();
+            // physics above always use the true values. The copy is
+            // materialized — into a buffer reused across ticks — only on
+            // ticks where some fault actually distorts it; otherwise the
+            // policy reads the live observations directly.
+            let (obs_age_ticks, use_view) = if faults_enabled {
+                if keep_history {
+                    let mut snap = if obs_history.len() == max_history {
+                        obs_history.pop_front().expect("ring is full")
+                    } else {
+                        Vec::new()
+                    };
+                    copy_obs_into(&mut snap, &obs);
+                    obs_history.push_back(snap);
                 }
-                let delay = (tf.telemetry_delay_ticks as usize).min(obs_history.len() - 1);
-                let mut view = obs_history[obs_history.len() - 1 - delay].clone();
-                if tf.sampler_blackout {
-                    for o in &mut view {
-                        o.access_rate = 0.0;
-                        for s in &mut o.sampled {
-                            *s = 0;
+                let delay = if keep_history {
+                    (tf.telemetry_delay_ticks as usize).min(obs_history.len() - 1)
+                } else {
+                    0
+                };
+                if delay > 0 || tf.sampler_blackout || tf.telemetry_noise_amp > 0.0 {
+                    let src: &[WorkloadObs] = if delay > 0 {
+                        &obs_history[obs_history.len() - 1 - delay]
+                    } else {
+                        &obs
+                    };
+                    copy_obs_into(&mut view_buf, src);
+                    if tf.sampler_blackout {
+                        for o in &mut view_buf {
+                            o.access_rate = 0.0;
+                            for s in &mut o.sampled {
+                                *s = 0;
+                            }
                         }
                     }
-                }
-                if tf.telemetry_noise_amp > 0.0 {
-                    for o in &mut view {
-                        o.p99_secs *= injector.noise_factor(tf.telemetry_noise_amp);
-                        o.throughput *= injector.noise_factor(tf.telemetry_noise_amp);
-                        o.slo_violated = o.p99_secs > o.slo_secs;
+                    if tf.telemetry_noise_amp > 0.0 {
+                        for o in &mut view_buf {
+                            o.p99_secs *= injector.noise_factor(tf.telemetry_noise_amp);
+                            o.throughput *= injector.noise_factor(tf.telemetry_noise_amp);
+                            o.slo_violated = o.p99_secs > o.slo_secs;
+                        }
                     }
+                    (delay as u64, true)
+                } else {
+                    (0, false)
                 }
-                (delay as u64, Some(view))
             } else {
-                (0, None)
+                (0, false)
             };
-            let policy_obs: &[WorkloadObs] = faulted_view.as_deref().unwrap_or(&obs);
+            let policy_obs: &[WorkloadObs] = if use_view { &view_buf } else { &obs };
 
             // ---- Policy tick ----
             let interval_boundary = tick_index > 0 && tick_index % ticks_per_interval == 0;
@@ -561,6 +640,30 @@ fn service_time(
 ) -> f64 {
     let h = hit_ratio.clamp(0.0, 1.0);
     cpu + accesses * (h * lat_f + (1.0 - h) * (lat_s + smem_penalty))
+}
+
+/// Copies observations into a reusable buffer, reusing each entry's
+/// existing `name` and `sampled` allocations instead of cloning fresh
+/// ones (the per-page `sampled` vectors dominate the cost).
+fn copy_obs_into(dst: &mut Vec<WorkloadObs>, src: &[WorkloadObs]) {
+    dst.truncate(src.len());
+    let filled = dst.len();
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.id = s.id;
+        d.class = s.class;
+        d.name.clone_from(&s.name);
+        d.rss_bytes = s.rss_bytes;
+        d.cores = s.cores;
+        d.load_rps = s.load_rps;
+        d.p99_secs = s.p99_secs;
+        d.slo_secs = s.slo_secs;
+        d.hit_ratio = s.hit_ratio;
+        d.access_rate = s.access_rate;
+        d.throughput = s.throughput;
+        d.sampled.clone_from(&s.sampled);
+        d.slo_violated = s.slo_violated;
+    }
+    dst.extend(src[filled..].iter().cloned());
 }
 
 fn standard_normal(rng: &mut StdRng) -> f64 {

@@ -72,10 +72,44 @@ impl HotnessTracker {
         self.hists[w.index()].hottest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::SMem)
     }
 
+    /// [`Self::hottest_smem`] into a caller-owned buffer (cleared first),
+    /// avoiding a fresh candidate-list allocation per tick. `n` is
+    /// clamped to the workload's SMem residency so the bin scan stops as
+    /// soon as the last match is found (a workload fully resident in
+    /// FMem costs nothing); the returned list is identical either way.
+    pub fn hottest_smem_into(
+        &self,
+        out: &mut Vec<PageId>,
+        mem: &TieredMemory,
+        w: WorkloadId,
+        n: usize,
+    ) {
+        let n = n.min(mem.residency(w).smem_pages as usize);
+        self.hists[w.index()]
+            .hottest_matching_into(out, n, |p| mem.tier_of_unchecked(p) == Tier::SMem);
+    }
+
     /// The coldest FMem-resident pages of workload `w` (demotion
     /// candidates per Fig. 4a).
     pub fn coldest_fmem(&self, mem: &TieredMemory, w: WorkloadId, n: usize) -> Vec<PageId> {
         self.hists[w.index()].coldest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::FMem)
+    }
+
+    /// [`Self::coldest_fmem`] into a caller-owned buffer (cleared first),
+    /// avoiding a fresh candidate-list allocation per tick. `n` is
+    /// clamped to the workload's FMem residency so the bin scan stops as
+    /// soon as the last match is found (a workload with no FMem pages
+    /// costs nothing); the returned list is identical either way.
+    pub fn coldest_fmem_into(
+        &self,
+        out: &mut Vec<PageId>,
+        mem: &TieredMemory,
+        w: WorkloadId,
+        n: usize,
+    ) {
+        let n = n.min(mem.residency(w).fmem_pages as usize);
+        self.hists[w.index()]
+            .coldest_matching_into(out, n, |p| mem.tier_of_unchecked(p) == Tier::FMem);
     }
 }
 

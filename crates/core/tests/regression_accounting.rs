@@ -1,0 +1,110 @@
+//! Seeded regression tests: legacy O(total pages) per-tick accounting
+//! vs. the incremental/batched path (`Experiment::with_legacy_accounting`).
+//!
+//! Two levels of equivalence, matching what each path changes:
+//!
+//! * For a policy that never reads the per-page sampled counts
+//!   (FMEM_ALL), the two modes must be **bit-identical**: hit ratios are
+//!   exact counters either way, the burst RNG is a separate stream from
+//!   the sampler RNG, and the physics never read `sampled`.
+//! * For a telemetry-driven policy (MEMTIS), the batched sampler draws
+//!   from the same distribution — Poisson splitting — but consumes the
+//!   RNG stream differently, so individual placements diverge while the
+//!   run statistics must stay **equivalent**.
+
+use mtat_core::config::SimConfig;
+use mtat_core::policy::memtis::MemtisPolicy;
+use mtat_core::policy::statics::StaticPolicy;
+use mtat_core::runner::Experiment;
+use mtat_core::stats::RunResult;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+/// Fig. 5-style dynamic-load co-location run at paper scale: Redis plus
+/// the four paper BE workloads, staircase load with log-normal bursts so
+/// SLO violations actually occur.
+fn paper_exp(seed: u64, secs: f64) -> Experiment {
+    Experiment::new(
+        SimConfig::paper().with_seed(seed),
+        LcSpec::redis(),
+        LoadPattern::staircase(&[0.5, 1.0, 0.3, 0.9], secs / 4.0),
+        BeSpec::all_paper_workloads(),
+    )
+    .with_duration(secs)
+}
+
+#[test]
+fn fmem_all_is_bit_identical_across_accounting_modes() {
+    for seed in [0xC0FFEE, 7, 424242] {
+        let exp = paper_exp(seed, 60.0);
+        let legacy = exp
+            .clone()
+            .with_legacy_accounting()
+            .run(&mut StaticPolicy::fmem_all());
+        let incr = exp.run(&mut StaticPolicy::fmem_all());
+
+        assert_eq!(legacy.ticks.len(), incr.ticks.len());
+        assert_eq!(
+            legacy.lc_violated_requests.to_bits(),
+            incr.lc_violated_requests.to_bits(),
+            "seed {seed}: violated-request totals diverged"
+        );
+        for (a, b) in legacy.ticks.iter().zip(&incr.ticks) {
+            assert_eq!(a.lc_violated, b.lc_violated, "seed {seed} t={}", a.t);
+            assert_eq!(a.lc_p99.to_bits(), b.lc_p99.to_bits(), "seed {seed}");
+            assert_eq!(a.lc_fmem_ratio.to_bits(), b.lc_fmem_ratio.to_bits());
+            assert_eq!(a.fmem_bytes, b.fmem_bytes, "seed {seed}: placement");
+            for (x, y) in a.be_throughput.iter().zip(&b.be_throughput) {
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed}: BE throughput");
+            }
+        }
+    }
+}
+
+fn memtis_run(seed: u64, legacy: bool) -> RunResult {
+    let exp = paper_exp(seed, 90.0);
+    let exp = if legacy {
+        exp.with_legacy_accounting()
+    } else {
+        exp
+    };
+    exp.run(&mut MemtisPolicy::new())
+}
+
+#[test]
+fn memtis_is_statistically_equivalent_across_accounting_modes() {
+    // Average over seeds: individual runs diverge tick-by-tick (the
+    // batched sampler consumes the RNG differently), but the seed-mean
+    // statistics must agree — same access distribution, same physics.
+    let seeds = [1u64, 2, 3];
+    let mean = |legacy: bool, f: &dyn Fn(&RunResult) -> f64| -> f64 {
+        seeds
+            .iter()
+            .map(|&s| f(&memtis_run(s, legacy)))
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+
+    let thr_l = mean(true, &|r| r.be_total_throughput());
+    let thr_i = mean(false, &|r| r.be_total_throughput());
+    let rel = (thr_l - thr_i).abs() / thr_l.max(1e-9);
+    assert!(
+        rel < 0.05,
+        "BE throughput diverged: legacy {thr_l:.3e} vs incremental {thr_i:.3e} ({rel:.3})"
+    );
+
+    let fr_l = mean(true, &|r| r.mean_lc_fmem_ratio());
+    let fr_i = mean(false, &|r| r.mean_lc_fmem_ratio());
+    assert!(
+        (fr_l - fr_i).abs() < 0.05,
+        "LC FMem ratio diverged: legacy {fr_l:.4} vs incremental {fr_i:.4}"
+    );
+
+    let vr_l = mean(true, &|r| r.violation_rate());
+    let vr_i = mean(false, &|r| r.violation_rate());
+    assert!(
+        (vr_l - vr_i).abs() < 0.10,
+        "violation rate diverged: legacy {vr_l:.4} vs incremental {vr_i:.4}"
+    );
+}

@@ -159,13 +159,24 @@ impl AccessHistogram {
     /// "promotes pages from SMem to FMem by selecting those in the
     /// highest frequency bin"). Pages in the zero bin are returned last,
     /// only if the hotter bins could not satisfy `n`.
-    pub fn hottest_matching<F>(&self, n: usize, mut pred: F) -> Vec<PageId>
+    pub fn hottest_matching<F>(&self, n: usize, pred: F) -> Vec<PageId>
     where
         F: FnMut(PageId) -> bool,
     {
         let mut out = Vec::with_capacity(n);
+        self.hottest_matching_into(&mut out, n, pred);
+        out
+    }
+
+    /// [`Self::hottest_matching`] into a caller-owned buffer (cleared
+    /// first), so per-tick candidate queries can reuse one allocation.
+    pub fn hottest_matching_into<F>(&self, out: &mut Vec<PageId>, n: usize, mut pred: F)
+    where
+        F: FnMut(PageId) -> bool,
+    {
+        out.clear();
         if n == 0 {
-            return out;
+            return;
         }
         for bin in (0..NUM_BINS).rev() {
             for &rank in &self.bins[bin] {
@@ -173,24 +184,34 @@ impl AccessHistogram {
                 if pred(page) {
                     out.push(page);
                     if out.len() == n {
-                        return out;
+                        return;
                     }
                 }
             }
         }
-        out
     }
 
     /// Returns up to `n` of the *coldest* pages satisfying `pred`,
     /// scanning bins from the zero bin upward (Fig. 4a: "pages are
     /// demoted from FMem to SMem following the lowest-frequency bin").
-    pub fn coldest_matching<F>(&self, n: usize, mut pred: F) -> Vec<PageId>
+    pub fn coldest_matching<F>(&self, n: usize, pred: F) -> Vec<PageId>
     where
         F: FnMut(PageId) -> bool,
     {
         let mut out = Vec::with_capacity(n);
+        self.coldest_matching_into(&mut out, n, pred);
+        out
+    }
+
+    /// [`Self::coldest_matching`] into a caller-owned buffer (cleared
+    /// first), so per-tick candidate queries can reuse one allocation.
+    pub fn coldest_matching_into<F>(&self, out: &mut Vec<PageId>, n: usize, mut pred: F)
+    where
+        F: FnMut(PageId) -> bool,
+    {
+        out.clear();
         if n == 0 {
-            return out;
+            return;
         }
         for bin in 0..NUM_BINS {
             for &rank in &self.bins[bin] {
@@ -198,12 +219,11 @@ impl AccessHistogram {
                 if pred(page) {
                     out.push(page);
                     if out.len() == n {
-                        return out;
+                        return;
                     }
                 }
             }
         }
-        out
     }
 
     /// Returns the access count a page must strictly exceed to be among

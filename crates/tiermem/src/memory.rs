@@ -166,6 +166,31 @@ struct PageMeta {
     tier: Tier,
 }
 
+/// Incrementally maintained FMem-resident popularity mass of one
+/// workload: the sum of the registered per-rank access weights over the
+/// pages currently in FMem. Updated in O(1) per migration with Kahan
+/// compensation so the running sum stays within 1e-9 of a from-scratch
+/// recompute over arbitrarily long migrate/exchange histories.
+#[derive(Debug, Clone)]
+struct PopularityMass {
+    /// Per-rank access weight; index = page rank within the region.
+    weights: Vec<f64>,
+    /// Running sum of `weights[rank]` over FMem-resident pages.
+    fmem_mass: f64,
+    /// Kahan compensation term for `fmem_mass`.
+    comp: f64,
+}
+
+impl PopularityMass {
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let y = x - self.comp;
+        let t = self.fmem_mass + y;
+        self.comp = (t - self.fmem_mass) - y;
+        self.fmem_mass = t;
+    }
+}
+
 /// The simulated two-tier memory system.
 ///
 /// Holds the global page table and enforces tier capacities. See the
@@ -176,6 +201,7 @@ pub struct TieredMemory {
     pages: Vec<PageMeta>,
     regions: Vec<PageRegion>,
     residency: Vec<Residency>,
+    popularity: Vec<Option<PopularityMass>>,
     fmem_used: u64,
     smem_used: u64,
 }
@@ -188,6 +214,7 @@ impl TieredMemory {
             pages: Vec::new(),
             regions: Vec::new(),
             residency: Vec::new(),
+            popularity: Vec::new(),
             fmem_used: 0,
             smem_used: 0,
         }
@@ -293,7 +320,69 @@ impl TieredMemory {
         }
         self.regions.push(region);
         self.residency.push(res);
+        self.popularity.push(None);
         Ok(id)
+    }
+
+    /// Registers the per-rank access weights of workload `w` so that the
+    /// FMem-resident popularity mass (the workload's ideal hit ratio under
+    /// the current placement) is maintained incrementally: after this
+    /// call, [`Self::resident_popularity`] is an O(1) counter read and
+    /// every [`Self::migrate`] / [`Self::exchange`] keeps it exact.
+    ///
+    /// Re-registering replaces the previous weights and recomputes the
+    /// mass from the current placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if the weight vector's
+    /// length differs from the workload's page count or any weight is
+    /// non-finite or negative.
+    pub fn register_popularity(
+        &mut self,
+        w: WorkloadId,
+        weights: &[f64],
+    ) -> Result<(), TierMemError> {
+        let region = self.regions[w.index()];
+        if weights.len() != region.n_pages as usize {
+            return Err(TierMemError::InvalidConfig {
+                what: "popularity weights",
+                detail: format!(
+                    "length {} != workload page count {}",
+                    weights.len(),
+                    region.n_pages
+                ),
+            });
+        }
+        if let Some(&bad) = weights.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(TierMemError::InvalidConfig {
+                what: "popularity weights",
+                detail: format!("weights must be finite and non-negative, got {bad}"),
+            });
+        }
+        let mut mass = PopularityMass {
+            weights: weights.to_vec(),
+            fmem_mass: 0.0,
+            comp: 0.0,
+        };
+        for (rank, page) in region.iter().enumerate() {
+            if self.pages[page.index()].tier == Tier::FMem {
+                mass.add(mass.weights[rank]);
+            }
+        }
+        self.popularity[w.index()] = Some(mass);
+        Ok(())
+    }
+
+    /// The incrementally maintained FMem-resident popularity mass of
+    /// workload `w` (sum of registered weights over FMem-resident pages,
+    /// clamped to `[0, 1]` for normalized weights), or `None` if no
+    /// weights were registered via [`Self::register_popularity`].
+    #[inline]
+    pub fn resident_popularity(&self, w: WorkloadId) -> Option<f64> {
+        self.popularity[w.index()]
+            .as_ref()
+            .map(|m| m.fmem_mass.clamp(0.0, 1.0))
     }
 
     /// Returns the page region of a workload.
@@ -391,6 +480,11 @@ impl TieredMemory {
                 res.fmem_pages -= 1;
             }
         }
+        if let Some(mass) = self.popularity[meta.owner.index()].as_mut() {
+            let rank = (page.0 - self.regions[meta.owner.index()].base) as usize;
+            let w = mass.weights[rank];
+            mass.add(if to == Tier::FMem { w } else { -w });
+        }
         Ok(())
     }
 
@@ -477,6 +571,22 @@ impl TieredMemory {
             if got != want {
                 return Err(format!(
                     "workload {i} residency mismatch: {got:?} vs {want:?}"
+                ));
+            }
+        }
+        for (i, mass) in self.popularity.iter().enumerate() {
+            let Some(mass) = mass else { continue };
+            let region = self.regions[i];
+            let scratch: f64 = region
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| self.pages[p.index()].tier == Tier::FMem)
+                .map(|(rank, _)| mass.weights[rank])
+                .sum();
+            if (scratch - mass.fmem_mass).abs() > 1e-9 {
+                return Err(format!(
+                    "workload {i} popularity mass drifted: incremental {} vs recompute {scratch}",
+                    mass.fmem_mass
                 ));
             }
         }
@@ -643,6 +753,48 @@ mod tests {
         assert_eq!(mem.pages_in_tier(b, Tier::FMem).count(), 0);
         assert_eq!(mem.pages_in_tier(b, Tier::SMem).count(), 4);
         assert_eq!(mem.fmem_bytes_of(a), 4 * MIB);
+    }
+
+    #[test]
+    fn popularity_mass_tracks_migrations() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem
+            .register_workload(4 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        // Rejects a wrong-length vector and bad weights.
+        assert!(mem.register_popularity(w, &[0.5, 0.5]).is_err());
+        assert!(mem.register_popularity(w, &[0.5, 0.5, -0.1, 0.1]).is_err());
+        assert!(mem
+            .register_popularity(w, &[0.5, f64::NAN, 0.25, 0.25])
+            .is_err());
+        assert_eq!(mem.resident_popularity(w), None);
+
+        let weights = [0.4, 0.3, 0.2, 0.1];
+        mem.register_popularity(w, &weights).unwrap();
+        // All four pages start in FMem.
+        assert!((mem.resident_popularity(w).unwrap() - 1.0).abs() < 1e-12);
+        let region = mem.region(w);
+        mem.migrate(region.page(0), Tier::SMem).unwrap();
+        assert!((mem.resident_popularity(w).unwrap() - 0.6).abs() < 1e-12);
+        mem.exchange(&[region.page(0)], &[region.page(3)]).unwrap();
+        assert!((mem.resident_popularity(w).unwrap() - 0.9).abs() < 1e-12);
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn popularity_reregistration_recomputes_from_placement() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem
+            .register_workload(2 * MIB, InitialPlacement::AllSmem)
+            .unwrap();
+        mem.register_popularity(w, &[0.75, 0.25]).unwrap();
+        assert_eq!(mem.resident_popularity(w).unwrap(), 0.0);
+        mem.migrate(mem.region(w).page(1), Tier::FMem).unwrap();
+        assert!((mem.resident_popularity(w).unwrap() - 0.25).abs() < 1e-12);
+        // New weights pick up the *current* placement, not the initial one.
+        mem.register_popularity(w, &[0.1, 0.9]).unwrap();
+        assert!((mem.resident_popularity(w).unwrap() - 0.9).abs() < 1e-12);
+        mem.check_invariants().unwrap();
     }
 
     #[test]

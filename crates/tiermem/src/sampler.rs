@@ -17,6 +17,161 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::TierMemError;
 
+/// One slot of the Walker alias decomposition: a fixed-point threshold
+/// and the alias rank events above the threshold are redirected to.
+/// Interleaved so each event draw touches exactly one 8-byte entry.
+#[derive(Debug, Clone, Copy)]
+struct AliasSlot {
+    thresh: u32,
+    alias: u32,
+}
+
+/// Precomputed weight table for the batched weighted sampling path:
+/// per-rank access weights in non-increasing (hottest-first) order,
+/// prefix sums, and a Walker alias table so scattering an aggregated
+/// batch draw over the ranks costs O(1) per event — one RNG draw whose
+/// high bits pick the slot and whose low bits decide slot vs. alias.
+///
+/// Build one per workload (e.g. from a `Popularity`) and reuse it across
+/// ticks; construction is O(n), event lookups are O(1).
+#[derive(Debug, Clone)]
+pub struct WeightTable {
+    weights: Vec<f64>,
+    /// `prefix[k]` = sum of `weights[..k]`; length `n + 1`.
+    prefix: Vec<f64>,
+    /// Walker/Vose alias decomposition of the normalized weights.
+    alias: Vec<AliasSlot>,
+}
+
+impl WeightTable {
+    /// Builds a table from non-increasing, non-negative, finite weights
+    /// (rank 0 = hottest, matching `Popularity` ordering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if any weight is negative
+    /// or non-finite, or the sequence increases anywhere — rank order is
+    /// hotness order everywhere a table is consumed.
+    pub fn new(weights: &[f64]) -> Result<Self, TierMemError> {
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0f64;
+        let mut prev = f64::INFINITY;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(TierMemError::InvalidConfig {
+                    what: "weight table",
+                    detail: format!("weights must be finite and non-negative, got {w}"),
+                });
+            }
+            if w > prev {
+                return Err(TierMemError::InvalidConfig {
+                    what: "weight table",
+                    detail: "weights must be non-increasing (hottest first)".to_string(),
+                });
+            }
+            prev = w;
+            acc += w;
+            prefix.push(acc);
+        }
+        let alias = build_alias(weights, acc);
+        Ok(Self {
+            weights: weights.to_vec(),
+            prefix,
+            alias,
+        })
+    }
+
+    /// Number of pages covered by the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the table covers zero pages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total weight mass (1.0 for normalized distributions).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        *self.prefix.last().expect("prefix is never empty")
+    }
+
+    /// Per-rank weights, hottest first.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Maps one 64-bit uniform draw to a rank, distributed proportionally
+    /// to the table weights. The high 32 bits pick an alias slot by
+    /// multiply-shift; the low 32 bits are the fixed-point coin deciding
+    /// slot vs. alias. O(1), one 8-byte table access per event.
+    #[inline]
+    fn event_rank(&self, r: u64) -> usize {
+        let n = self.alias.len() as u64;
+        let j = (((r >> 32) * n) >> 32) as usize;
+        let slot = self.alias[j];
+        if (r as u32) < slot.thresh {
+            j
+        } else {
+            slot.alias as usize
+        }
+    }
+}
+
+/// Builds the Walker/Vose alias decomposition of `weights` (total mass
+/// `total`). Quantizing thresholds to 32 fixed-point bits perturbs each
+/// rank's probability by at most 2⁻³², far below every statistical
+/// tolerance in this crate. Ranks left over by floating-point residue
+/// carry probability ≈ 1/n and keep themselves as alias.
+fn build_alias(weights: &[f64], total: f64) -> Vec<AliasSlot> {
+    let n = weights.len();
+    if n == 0 || total <= 0.0 {
+        return Vec::new();
+    }
+    let mut scaled: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    let mut slots = vec![
+        AliasSlot {
+            thresh: u32::MAX,
+            alias: 0,
+        };
+        n
+    ];
+    while let (Some(s), Some(l)) = (small.pop(), large.last().copied()) {
+        large.pop();
+        slots[s as usize] = AliasSlot {
+            thresh: ((scaled[s as usize] * 4_294_967_296.0) as u64).min(u32::MAX as u64) as u32,
+            alias: l,
+        };
+        scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+        if scaled[l as usize] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    for &i in large.iter().chain(small.iter()) {
+        slots[i as usize] = AliasSlot {
+            thresh: u32::MAX,
+            alias: i,
+        };
+    }
+    slots
+}
+
 /// Thins true access counts down to sampled-event counts.
 ///
 /// ```
@@ -116,6 +271,92 @@ impl AccessSampler {
                 self.estimate_from_samples(s)
             })
             .collect()
+    }
+
+    /// Batched uniform path: fills `out` with sampled event counts for
+    /// `out.len()` pages that each truly received `per_page_true`
+    /// accesses. Distributionally identical to one [`Self::sample_count`]
+    /// per page — n iid Poisson draws equal one aggregate
+    /// `Poisson(n · mean)` draw scattered uniformly (Poisson splitting) —
+    /// but costs O(events) RNG work instead of O(pages) Poisson draws.
+    pub fn sample_uniform_events(&mut self, out: &mut [u64], per_page_true: f64) {
+        out.fill(0);
+        let n = out.len();
+        if self.fault_blackout || n == 0 {
+            return;
+        }
+        let mean_total = per_page_true.max(0.0) * n as f64 / self.period * self.fault_keep;
+        let events = poisson(&mut self.rng, mean_total);
+        for _ in 0..events {
+            out[self.rng.gen_range(0..n)] += 1;
+        }
+    }
+
+    /// [`Self::sample_uniform_events`] followed by the period scale-up of
+    /// [`Self::estimate_from_samples`], in place.
+    pub fn sample_uniform_estimates(&mut self, out: &mut [u64], per_page_true: f64) {
+        self.sample_uniform_events(out, per_page_true);
+        self.scale_events_to_estimates(out);
+    }
+
+    /// Batched weighted path: fills `out` with sampled event counts for a
+    /// workload whose page at rank `r` truly received
+    /// `total_true · table.weights()[r]` accesses. One aggregate
+    /// `Poisson(total mass)` draw is scattered over the ranks through the
+    /// table's Walker alias decomposition — equivalent in distribution to
+    /// an independent Poisson draw per page (Poisson splitting: a
+    /// Poisson-distributed number of categorical trials yields
+    /// independent Poisson counts per category), at O(1) RNG work per
+    /// *event* instead of per *page*. Pages whose expected sample count
+    /// is negligible are never touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != table.len()`.
+    pub fn sample_weighted_events(
+        &mut self,
+        out: &mut [u64],
+        total_true: f64,
+        table: &WeightTable,
+    ) {
+        assert_eq!(
+            out.len(),
+            table.len(),
+            "output slice must cover every table rank"
+        );
+        out.fill(0);
+        if self.fault_blackout || out.is_empty() {
+            return;
+        }
+        // Expected events per unit weight.
+        let c = total_true.max(0.0) / self.period * self.fault_keep;
+        if c <= 0.0 || table.total() <= 0.0 {
+            return;
+        }
+        let events = poisson(&mut self.rng, table.total() * c);
+        for _ in 0..events {
+            let r = self.rng.next_u64();
+            out[table.event_rank(r)] += 1;
+        }
+    }
+
+    /// [`Self::sample_weighted_events`] followed by the period scale-up
+    /// of [`Self::estimate_from_samples`], in place.
+    pub fn sample_weighted_estimates(
+        &mut self,
+        out: &mut [u64],
+        total_true: f64,
+        table: &WeightTable,
+    ) {
+        self.sample_weighted_events(out, total_true, table);
+        self.scale_events_to_estimates(out);
+    }
+
+    /// Converts sampled event counts to estimated true counts in place.
+    fn scale_events_to_estimates(&self, out: &mut [u64]) {
+        for v in out.iter_mut() {
+            *v = (*v as f64 * self.period).round() as u64;
+        }
     }
 }
 
@@ -250,5 +491,174 @@ mod tests {
                 b.sample_count(i as f64 * 13.0)
             );
         }
+    }
+
+    #[test]
+    fn weight_table_validation() {
+        assert!(WeightTable::new(&[0.5, 0.3, 0.2]).is_ok());
+        assert!(WeightTable::new(&[0.3, 0.5]).is_err()); // increasing
+        assert!(WeightTable::new(&[0.5, -0.1]).is_err());
+        assert!(WeightTable::new(&[f64::INFINITY]).is_err());
+        let t = WeightTable::new(&[0.5, 0.3, 0.2]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert!(WeightTable::new(&[]).unwrap().is_empty());
+    }
+
+    /// Empirical mean/variance of first and second moments over many
+    /// pages, for pinning the batched paths against the scalar path.
+    fn moments(xs: &[u64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<u64>() as f64 / n;
+        let var = xs
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    /// Seeded equivalence: the batched uniform path matches the per-page
+    /// scalar loop in mean and variance. Both are Poisson(m) per page
+    /// (the batched draw is the same distribution by Poisson splitting),
+    /// so mean ≈ var ≈ m for each.
+    #[test]
+    fn uniform_batch_matches_scalar_distribution() {
+        let n = 20_000;
+        let period = 64.0;
+        let true_per_page = 640.0; // mean 10 events/page
+        let mut scalar = AccessSampler::new(period, 42).unwrap();
+        let per_page: Vec<u64> = (0..n).map(|_| scalar.sample_count(true_per_page)).collect();
+        let (m_s, v_s) = moments(&per_page);
+
+        let mut batched = AccessSampler::new(period, 43).unwrap();
+        let mut out = vec![0u64; n];
+        batched.sample_uniform_events(&mut out, true_per_page);
+        let (m_b, v_b) = moments(&out);
+
+        // σ of the sample mean is √(10/20000) ≈ 0.022; allow 5σ.
+        assert!((m_s - 10.0).abs() < 0.12, "scalar mean {m_s}");
+        assert!((m_b - 10.0).abs() < 0.12, "batched mean {m_b}");
+        assert!((m_s - m_b).abs() < 0.2, "means {m_s} vs {m_b}");
+        // Poisson: variance == mean. Sampling error on var is larger.
+        assert!((v_s - 10.0).abs() < 1.0, "scalar var {v_s}");
+        assert!((v_b - 10.0).abs() < 1.0, "batched var {v_b}");
+    }
+
+    /// Seeded equivalence for the weighted (Zipf-tail) path: per-rank
+    /// means from the batched head/tail split track the scalar per-page
+    /// loop, and aggregate mean/variance match.
+    #[test]
+    fn weighted_batch_matches_scalar_distribution() {
+        let n = 4096usize;
+        let period = 101.0;
+        // Zipf-like descending weights, normalized.
+        let raw: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-1.1)).collect();
+        let total_w: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total_w).collect();
+        let table = WeightTable::new(&weights).unwrap();
+        let total_true = 2.0e6; // hottest page ≈ 2770 events, deep tail ≪ 1
+
+        let rounds = 200;
+        let mut scalar = AccessSampler::new(period, 7).unwrap();
+        let mut batched = AccessSampler::new(period, 8).unwrap();
+        let mut sum_s = vec![0u64; n];
+        let mut sum_b = vec![0u64; n];
+        let mut totals_s = Vec::with_capacity(rounds);
+        let mut totals_b = Vec::with_capacity(rounds);
+        let mut out = vec![0u64; n];
+        for _ in 0..rounds {
+            let mut t = 0u64;
+            for (rank, acc) in sum_s.iter_mut().enumerate() {
+                let ev = scalar.sample_count(total_true * weights[rank]);
+                *acc += ev;
+                t += ev;
+            }
+            totals_s.push(t);
+            batched.sample_weighted_events(&mut out, total_true, &table);
+            for (acc, &ev) in sum_b.iter_mut().zip(out.iter()) {
+                *acc += ev;
+            }
+            totals_b.push(out.iter().sum());
+        }
+
+        // Aggregate totals: both are Poisson(total_true/period) per round.
+        let expect_total = total_true / period;
+        let (mt_s, vt_s) = moments(&totals_s);
+        let (mt_b, vt_b) = moments(&totals_b);
+        let sigma = (expect_total / rounds as f64).sqrt(); // ≈ 10
+        assert!((mt_s - expect_total).abs() < 5.0 * sigma, "scalar {mt_s}");
+        assert!((mt_b - expect_total).abs() < 5.0 * sigma, "batched {mt_b}");
+        // Variance of a Poisson equals its mean (tolerance ~15 %).
+        assert!((vt_s / expect_total - 1.0).abs() < 0.3, "scalar var {vt_s}");
+        assert!(
+            (vt_b / expect_total - 1.0).abs() < 0.3,
+            "batched var {vt_b}"
+        );
+
+        // Per-rank means agree for head ranks (relative) and for the
+        // binned tail (the per-page means there are far below one event).
+        for rank in [0usize, 1, 5, 20] {
+            let m = total_true * weights[rank] / period * rounds as f64;
+            let a = sum_s[rank] as f64;
+            let b = sum_b[rank] as f64;
+            assert!((a / m - 1.0).abs() < 0.15, "rank {rank} scalar {a} vs {m}");
+            assert!((b / m - 1.0).abs() < 0.15, "rank {rank} batched {b} vs {m}");
+        }
+        let tail_s: u64 = sum_s[1024..].iter().sum();
+        let tail_b: u64 = sum_b[1024..].iter().sum();
+        let tail_expect =
+            total_true * (1.0 - weights[..1024].iter().sum::<f64>()) / period * rounds as f64;
+        assert!(
+            (tail_s as f64 / tail_expect - 1.0).abs() < 0.1,
+            "tail scalar {tail_s} vs {tail_expect}"
+        );
+        assert!(
+            (tail_b as f64 / tail_expect - 1.0).abs() < 0.1,
+            "tail batched {tail_b} vs {tail_expect}"
+        );
+    }
+
+    #[test]
+    fn batched_paths_respect_faults_and_are_deterministic() {
+        let weights = [0.5, 0.3, 0.2];
+        let table = WeightTable::new(&weights).unwrap();
+        let mut s = AccessSampler::new(2.0, 9).unwrap();
+        s.set_fault_state(true, 1.0);
+        let mut out = [7u64; 3];
+        s.sample_weighted_events(&mut out, 1e6, &table);
+        assert_eq!(out, [0, 0, 0]);
+        s.sample_uniform_events(&mut out, 1e6);
+        assert_eq!(out, [0, 0, 0]);
+        s.set_fault_state(false, 1.0);
+
+        // Dropout thins the batched stream like the scalar one.
+        let mut nominal = AccessSampler::new(4.0, 17).unwrap();
+        let mut dropped = AccessSampler::new(4.0, 17).unwrap();
+        dropped.set_fault_state(false, 0.25);
+        let mut buf = vec![0u64; 512];
+        nominal.sample_uniform_events(&mut buf, 400.0);
+        let a: u64 = buf.iter().sum();
+        dropped.sample_uniform_events(&mut buf, 400.0);
+        let b: u64 = buf.iter().sum();
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 0.25).abs() < 0.05, "ratio {ratio}");
+
+        // Same seed, same calls → bit-identical output.
+        let run = |seed: u64| {
+            let mut s = AccessSampler::new(8.0, seed).unwrap();
+            let mut o = vec![0u64; 64];
+            s.sample_uniform_estimates(&mut o, 100.0);
+            let t = WeightTable::new(&(0..64).map(|r| 1.0 / (r + 1) as f64).collect::<Vec<_>>())
+                .unwrap();
+            let mut o2 = vec![0u64; 64];
+            s.sample_weighted_estimates(&mut o2, 5000.0, &t);
+            (o, o2)
+        };
+        assert_eq!(run(33), run(33));
     }
 }

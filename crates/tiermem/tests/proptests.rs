@@ -237,3 +237,75 @@ proptest! {
         prop_assert!(rel_err < 0.05, "rel_err {rel_err}");
     }
 }
+
+proptest! {
+    /// After an arbitrary interleaving of `migrate` and `exchange`
+    /// operations, the incrementally maintained resident-popularity mass
+    /// equals a from-scratch O(n) recompute over the actual placement to
+    /// 1e-9, and `check_invariants` (which embeds the same cross-check)
+    /// stays clean.
+    #[test]
+    fn resident_popularity_matches_recompute(
+        raw_a in prop::collection::vec(0.0f64..1.0, 12),
+        raw_b in prop::collection::vec(0.0f64..1.0, 20),
+        ops in prop::collection::vec((0u8..4, 0u32..20, 0u32..20), 1..60),
+    ) {
+        let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let a = mem.register_workload(12 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(20 * MIB, InitialPlacement::AllSmem).unwrap();
+        let norm = |v: &[f64]| {
+            let t: f64 = v.iter().sum::<f64>().max(1e-12);
+            v.iter().map(|x| x / t).collect::<Vec<f64>>()
+        };
+        let wa = norm(&raw_a);
+        let wb = norm(&raw_b);
+        mem.register_popularity(a, &wa).unwrap();
+        mem.register_popularity(b, &wb).unwrap();
+
+        let recompute = |mem: &TieredMemory, w, weights: &[f64]| -> f64 {
+            let base = mem.region(w).base;
+            mem.pages_in_tier(w, Tier::FMem)
+                .map(|p| weights[(p.0 - base) as usize])
+                .sum::<f64>()
+                .clamp(0.0, 1.0)
+        };
+
+        for &(kind, ra, rb) in &ops {
+            let (w, rank) = if kind % 2 == 0 {
+                (a, ra % 12)
+            } else {
+                (b, rb % 20)
+            };
+            let page = mem.region(w).page(rank);
+            match kind {
+                0 | 1 => {
+                    // Migrate toward whichever tier it is not in; a full
+                    // destination tier is a legitimate no-op error.
+                    let to = mem.tier_of_unchecked(page).other();
+                    let _ = mem.migrate(page, to);
+                }
+                _ => {
+                    // Exchange one of `a`'s pages with one of `b`'s,
+                    // promoting whichever currently sits in SMem.
+                    let pa = mem.region(a).page(ra % 12);
+                    let pb = mem.region(b).page(rb % 20);
+                    let (fa, fb) = (
+                        mem.tier_of_unchecked(pa) == Tier::FMem,
+                        mem.tier_of_unchecked(pb) == Tier::FMem,
+                    );
+                    if fa && !fb {
+                        let _ = mem.exchange(&[pb], &[pa]);
+                    } else if fb && !fa {
+                        let _ = mem.exchange(&[pa], &[pb]);
+                    }
+                }
+            }
+            let inc_a = mem.resident_popularity(a).unwrap();
+            let inc_b = mem.resident_popularity(b).unwrap();
+            prop_assert!((inc_a - recompute(&mem, a, &wa)).abs() < 1e-9, "a: {inc_a}");
+            prop_assert!((inc_b - recompute(&mem, b, &wb)).abs() < 1e-9, "b: {inc_b}");
+            prop_assert!(mem.check_invariants().is_ok());
+        }
+    }
+}

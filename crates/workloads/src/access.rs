@@ -133,6 +133,20 @@ impl Popularity {
         ranks.into_iter().map(|r| self.weights[r]).sum()
     }
 
+    /// Builds the sampler's [`WeightTable`] over these weights, enabling
+    /// the batched weighted sampling path
+    /// ([`AccessSampler::sample_weighted_estimates`]). Weights are
+    /// normalized and non-increasing by construction, so this cannot
+    /// fail.
+    ///
+    /// [`WeightTable`]: mtat_tiermem::sampler::WeightTable
+    /// [`AccessSampler::sample_weighted_estimates`]:
+    ///     mtat_tiermem::sampler::AccessSampler::sample_weighted_estimates
+    pub fn to_weight_table(&self) -> mtat_tiermem::sampler::WeightTable {
+        mtat_tiermem::sampler::WeightTable::new(&self.weights)
+            .expect("popularity weights are normalized and non-increasing")
+    }
+
     /// The smallest number of hottest pages whose combined popularity
     /// reaches `target` (clamped to [0, 1]). Inverse of
     /// [`Self::fraction_top`]; used by profiling to ask "how much FMem
@@ -153,6 +167,15 @@ impl Popularity {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weight_table_bridge_covers_every_rank() {
+        let p = Popularity::new(AccessPattern::Zipfian { exponent: 1.1 }, 64);
+        let t = p.to_weight_table();
+        assert_eq!(t.len(), 64);
+        assert!((t.total() - 1.0).abs() < 1e-9);
+        assert_eq!(t.weights(), p.weights());
+    }
 
     #[test]
     fn uniform_weights_are_equal() {
