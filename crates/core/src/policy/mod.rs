@@ -158,6 +158,35 @@ pub trait Policy {
     fn wants_page_samples(&self) -> bool {
         true
     }
+
+    /// Serializes the policy's user-space controller state (the PP-M
+    /// daemon's view: learned weights, replay buffer, schedules,
+    /// accumulators) for crash recovery. `None` — the default — means
+    /// the policy has no controller state worth persisting; the driver
+    /// then skips checkpointing entirely.
+    ///
+    /// The returned bytes are a raw payload: the driver seals them into
+    /// the versioned, checksummed envelope
+    /// ([`mtat_snapshot::seal`]) before writing anything to disk.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// The policy's controller daemon has crashed
+    /// ([`mtat_tiermem::faults::FaultKind::PpmCrash`]). Until
+    /// [`Policy::on_controller_restart`] is called, [`Policy::on_tick`]
+    /// keeps running every tick — modeling the in-kernel enforcement
+    /// half that outlives the daemon — but the policy must make no new
+    /// control decisions. Policies without a daemon/enforcer split may
+    /// ignore the hook (default: no-op).
+    fn on_controller_crash(&mut self) {}
+
+    /// The controller daemon has been restarted. `checkpoint` carries
+    /// the payload of the latest valid checkpoint (already unsealed and
+    /// checksum-verified by the driver), or `None` when no usable
+    /// checkpoint survives — the policy then performs a cold restart
+    /// from `mem`'s current placement alone. Default: no-op.
+    fn on_controller_restart(&mut self, _mem: &TieredMemory, _checkpoint: Option<&[u8]>) {}
 }
 
 #[cfg(test)]
@@ -174,7 +203,14 @@ mod tests {
 
     #[test]
     fn default_trait_methods() {
-        let p = Noop;
+        let mut p = Noop;
+        assert_eq!(p.checkpoint(), None);
+        p.on_controller_crash();
+        let mem = TieredMemory::new(
+            mtat_tiermem::memory::MemorySpec::new(1 << 20, 1 << 20, 1 << 20).unwrap(),
+        );
+        p.on_controller_restart(&mem, None);
+        p.on_controller_restart(&mem, Some(&[1, 2, 3]));
         assert_eq!(p.name(), "noop");
         assert_eq!(p.smem_access_penalty(WorkloadId(0)), 0.0);
         assert_eq!(p.fmem_target(WorkloadId(0)), None);

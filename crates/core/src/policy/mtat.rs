@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use mtat_rl::sac::Sac;
+use mtat_rl::sac::{Sac, SacConfig};
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::page::WorkloadId;
 use mtat_tiermem::GIB;
@@ -148,6 +148,15 @@ pub struct MtatPolicy {
     latest_plan: Option<PartitionPlan>,
     /// Graceful-degradation supervisor (None = unsupervised).
     supervisor: Option<Supervisor>,
+    /// True while the PP-M daemon is crashed
+    /// ([`crate::policy::Policy::on_controller_crash`]): PP-E keeps
+    /// enforcing the last plan; no new decisions are made.
+    ppm_down: bool,
+    // Construction parameters retained for cold restarts (rebuilding a
+    // fresh sizer when no usable checkpoint exists).
+    lc_spec: LcSpec,
+    fmem_total: u64,
+    max_step_bytes: f64,
 }
 
 /// Pretrained-agent cache keyed by (workload, cores, FMem, step,
@@ -268,6 +277,10 @@ impl MtatPolicy {
             acc_ticks: 0,
             latest_plan: None,
             supervisor,
+            ppm_down: false,
+            lc_spec: lc_spec.clone(),
+            fmem_total,
+            max_step_bytes,
         }
     }
 
@@ -288,6 +301,103 @@ impl MtatPolicy {
     /// The supervisor's transition log (empty when unsupervised).
     pub fn supervisor_transitions(&self) -> &[crate::supervisor::Transition] {
         self.supervisor.as_ref().map_or(&[], |s| s.transitions())
+    }
+
+    /// True while the PP-M daemon is crashed (enforce-only operation).
+    pub fn controller_down(&self) -> bool {
+        self.ppm_down
+    }
+
+    /// Serializes the full PP-M control state — the sizer (including
+    /// the SAC agent's networks, optimizers, replay buffer, and RNG),
+    /// the BE annealing seed, the SLO guard, the supervisor's ladder
+    /// position, the interval accumulators, and the latest plan — as a
+    /// raw checkpoint payload. PP-E state (hotness histograms, retry
+    /// queue, adjustment schedule) is deliberately excluded: it models
+    /// the in-kernel enforcer, which survives a daemon crash in place.
+    pub fn encode_checkpoint(&self) -> Vec<u8> {
+        use mtat_snapshot::{Snap, SnapWriter};
+        let mut w = SnapWriter::new();
+        self.ppm.save_state(&mut w);
+        self.supervisor.snap(&mut w);
+        w.put_bool(self.acc_violated);
+        w.put_f64(self.acc_worst_p99);
+        w.put_f64(self.acc_access_rate);
+        w.put_f64(self.acc_hit_ratio);
+        w.put_f64(self.acc_load_rps);
+        w.put_u32(self.acc_ticks);
+        self.latest_plan.snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores control state captured by [`Self::encode_checkpoint`].
+    /// The checkpoint's structure must match this policy's
+    /// configuration (sizer kind, BE partitioning, supervision); a
+    /// mismatch or short payload is rejected. On `Err` the policy may
+    /// be partially overwritten — callers fall back to
+    /// [`Self::cold_restart`], which resets everything the decode
+    /// touches.
+    pub fn decode_checkpoint(&mut self, bytes: &[u8]) -> Result<(), mtat_snapshot::SnapError> {
+        use mtat_snapshot::{Snap, SnapError, SnapReader};
+        let mut r = SnapReader::new(bytes);
+        self.ppm.load_state(&mut r)?;
+        let supervisor: Option<Supervisor> = Snap::unsnap(&mut r)?;
+        match (&mut self.supervisor, supervisor) {
+            (Some(cur), Some(restored)) => *cur = restored,
+            (None, None) => {}
+            _ => return Err(SnapError::Malformed("checkpoint supervision mismatch")),
+        }
+        self.acc_violated = r.get_bool()?;
+        self.acc_worst_p99 = r.get_f64()?;
+        self.acc_access_rate = r.get_f64()?;
+        self.acc_hit_ratio = r.get_f64()?;
+        self.acc_load_rps = r.get_f64()?;
+        self.acc_ticks = r.get_u32()?;
+        self.latest_plan = Snap::unsnap(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapError::Malformed("trailing checkpoint bytes"));
+        }
+        Ok(())
+    }
+
+    /// Cold restart: the daemon is back but all user-space state is
+    /// lost. The RL variant returns with a *fresh, untrained* network —
+    /// relearning from scratch is exactly the cost checkpointing
+    /// exists to avoid — the annealing seed rewinds, the supervisor
+    /// restarts at the top of its ladder, and the sizer target realigns
+    /// to the placement PP-E actually maintained through the outage.
+    pub fn cold_restart(&mut self, mem: &TieredMemory) {
+        let lc_cfg = LcPartitionerConfig {
+            fmem_total: self.fmem_total,
+            max_step_bytes: self.max_step_bytes,
+            online_learning: self.cfg.online_learning,
+            explore: false,
+        };
+        let sizer = if self.cfg.use_rl {
+            let mut sac_cfg = SacConfig::paper(3, 1);
+            sac_cfg.update_every = 2;
+            LcSizer::Rl(LcPartitioner::new(
+                self.lc_spec.clone(),
+                lc_cfg,
+                Sac::new(sac_cfg, self.cfg.seed),
+            ))
+        } else {
+            LcSizer::Heuristic(ProportionalController::new(ControllerConfig::new(
+                self.fmem_total,
+                self.lc_spec.rss_bytes,
+                self.max_step_bytes,
+                self.lc_spec.slo_secs,
+            )))
+        };
+        self.ppm.cold_restart(sizer, self.cfg.seed ^ 0xBE);
+        if let Some(sup) = &mut self.supervisor {
+            *sup = Supervisor::new(self.cfg.supervisor.clone().unwrap_or_default());
+        }
+        self.latest_plan = None;
+        self.reset_accumulators();
+        if let Some(lc_id) = self.lc_id {
+            self.ppm.set_lc_target_bytes(mem.fmem_bytes_of(lc_id));
+        }
     }
 }
 
@@ -323,10 +433,41 @@ impl Policy for MtatPolicy {
         self.supervisor.as_ref().map(|s| s.state())
     }
 
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.encode_checkpoint())
+    }
+
+    fn on_controller_crash(&mut self) {
+        self.ppm_down = true;
+    }
+
+    fn on_controller_restart(&mut self, mem: &TieredMemory, checkpoint: Option<&[u8]>) {
+        self.ppm_down = false;
+        if let Some(payload) = checkpoint {
+            if self.decode_checkpoint(payload).is_ok() {
+                return;
+            }
+        }
+        self.cold_restart(mem);
+    }
+
     fn on_tick(&mut self, sim: &mut SimState<'_>) {
         let lc_id = self.lc_id.expect("init() must run first");
         let mut ppe = self.ppe.take().expect("init() must run first");
         ppe.record_tick(sim.workloads);
+
+        if self.ppm_down {
+            // The user-space daemon is dead. The in-kernel enforcer
+            // carries on alone: it keeps enforcing and refining the
+            // last plan and ages its histograms on the usual cadence,
+            // but no observation is accumulated and no decision made.
+            if sim.interval_boundary {
+                ppe.age();
+            }
+            ppe.tick(sim.mem, sim.migration);
+            self.ppe = Some(ppe);
+            return;
+        }
 
         // Accumulate the interval's LC observation.
         let lc = &sim.workloads[lc_id.index()];

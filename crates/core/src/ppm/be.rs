@@ -46,6 +46,29 @@ impl BePartitioner {
         &self.profiles
     }
 
+    /// Serializes the mutable partitioner state. Only the annealing
+    /// seed mutates at runtime (it advances per [`Self::partition`]
+    /// call); the profiles and SA configuration are offline artifacts
+    /// rebuilt deterministically on restart.
+    pub fn save_state(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u64(self.seed);
+    }
+
+    /// Restores state captured by [`Self::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut mtat_snapshot::SnapReader<'_>,
+    ) -> Result<(), mtat_snapshot::SnapError> {
+        self.seed = r.get_u64()?;
+        Ok(())
+    }
+
+    /// Rewinds the annealing seed (a cold daemon restart begins its
+    /// random walk from the configured seed again).
+    pub fn reset_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     /// Splits `remaining_bytes` of FMem among the BE workloads,
     /// returning per-workload byte allocations (whole GiB granularity,
     /// as in the paper's ±1 GB moves). The sub-GiB remainder of
@@ -178,5 +201,48 @@ mod tests {
     fn empty_profile_set() {
         let mut p = BePartitioner::new(Vec::new(), AnnealingConfig::default(), 0);
         assert!(p.partition(4 * GIB).is_empty());
+    }
+
+    mod snapshot_props {
+        use super::*;
+        use mtat_snapshot::{SnapReader, SnapWriter};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// save_state/load_state after an arbitrary warm-up resumes
+            /// the annealing random walk exactly: a restored partitioner
+            /// must produce the same allocation sequence as the one that
+            /// kept running.
+            #[test]
+            fn annealing_state_roundtrip_resumes_walk(
+                seed in 0u64..1_000_000_000,
+                warmup in 0u64..4,
+                total_gb in 1u64..24,
+            ) {
+                let profiles = profile_all(&BeSpec::all_paper_workloads(), 32 * GIB, 2 * MIB);
+                let mut live =
+                    BePartitioner::new(profiles.clone(), AnnealingConfig::default(), seed);
+                for _ in 0..warmup {
+                    live.partition(total_gb * GIB);
+                }
+
+                let mut w = SnapWriter::new();
+                live.save_state(&mut w);
+                let bytes = w.into_bytes();
+
+                // Restore into a partitioner built with a different seed:
+                // the checkpoint must fully override it.
+                let mut restored =
+                    BePartitioner::new(profiles, AnnealingConfig::default(), seed ^ 0x5eed);
+                restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+
+                for step in 0..3u64 {
+                    let total = (1 + (total_gb + step) % 24) * GIB;
+                    prop_assert_eq!(live.partition(total), restored.partition(total));
+                }
+            }
+        }
     }
 }

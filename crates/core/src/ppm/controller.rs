@@ -78,6 +78,23 @@ impl ProportionalController {
         self.cfg.fmem_total.min(self.cfg.rss_bytes)
     }
 
+    /// Serializes the mutable controller state (the target; the config
+    /// is rebuilt from the experiment spec on restart).
+    pub fn save_state(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u64(self.target_bytes);
+    }
+
+    /// Restores state captured by [`Self::save_state`] into this
+    /// controller, clamping to the current ceiling.
+    pub fn load_state(
+        &mut self,
+        r: &mut mtat_snapshot::SnapReader<'_>,
+    ) -> Result<(), mtat_snapshot::SnapError> {
+        let target = r.get_u64()?;
+        self.target_bytes = target.min(self.ceiling());
+        Ok(())
+    }
+
     /// One decision from the interval observation; returns the new
     /// target allocation in bytes.
     pub fn decide(&mut self, obs: &LcObservation) -> u64 {

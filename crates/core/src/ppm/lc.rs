@@ -138,6 +138,34 @@ impl LcPartitioner {
         self.cfg.fmem_total.min(self.spec.rss_bytes)
     }
 
+    /// Serializes the mutable partitioner state: the current target,
+    /// the in-flight (state, action) pair awaiting its reward, the last
+    /// raw action, and the full SAC agent (networks, optimizers, replay
+    /// buffer, RNG). The spec and config are rebuilt from the
+    /// experiment configuration on restart.
+    pub fn save_state(&self, w: &mut mtat_snapshot::SnapWriter) {
+        use mtat_snapshot::Snap;
+        w.put_u64(self.target_bytes);
+        self.pending.snap(w);
+        self.last_raw_action.snap(w);
+        self.agent.snap(w);
+    }
+
+    /// Restores state captured by [`Self::save_state`] into this
+    /// partitioner, replacing its agent.
+    pub fn load_state(
+        &mut self,
+        r: &mut mtat_snapshot::SnapReader<'_>,
+    ) -> Result<(), mtat_snapshot::SnapError> {
+        use mtat_snapshot::Snap;
+        let target = r.get_u64()?;
+        self.target_bytes = target.min(self.ceiling());
+        self.pending = Snap::unsnap(r)?;
+        self.last_raw_action = Snap::unsnap(r)?;
+        self.agent = Snap::unsnap(r)?;
+        Ok(())
+    }
+
     /// One PP-M decision: consume the interval observation, learn from
     /// the previous action's outcome, and return the new target FMem
     /// allocation in bytes.

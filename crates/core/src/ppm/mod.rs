@@ -36,6 +36,20 @@ impl PartitionPlan {
     }
 }
 
+impl mtat_snapshot::Snap for PartitionPlan {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u64(self.lc_bytes);
+        self.be_bytes.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            lc_bytes: r.get_u64()?,
+            be_bytes: mtat_snapshot::Snap::unsnap(r)?,
+        })
+    }
+}
+
 /// How PP-M sizes the LC partition.
 ///
 /// One sizer exists per policy instance, so the size skew between the
@@ -194,6 +208,89 @@ impl PartitionPolicyMaker {
     /// decided yet.
     pub fn rl_raw_action(&self) -> Option<f64> {
         self.lc.rl_raw_action()
+    }
+
+    /// Resets the runtime state for a cold daemon restart (no usable
+    /// checkpoint): installs a fresh primary sizer, rewinds the BE
+    /// annealing seed, clears the SLO-guard floor, and returns the
+    /// governing mode to nominal.
+    pub fn cold_restart(&mut self, lc: LcSizer, be_seed: u64) {
+        self.lc = lc;
+        if let Some(be) = &mut self.be {
+            be.reset_seed(be_seed);
+        }
+        self.guard_floor_bytes = 0;
+        self.guard_level = 0.0;
+        self.mode = DegradationState::Rl;
+    }
+
+    /// Serializes every piece of PP-M state that mutates at runtime:
+    /// the primary sizer (including the full SAC agent when RL-based),
+    /// the BE annealing seed, the SLO-guard floor, the fallback
+    /// controller's target, and the governing mode. Construction-time
+    /// configuration (capacities, step bounds, profiles) is rebuilt
+    /// from the experiment spec on restart.
+    pub fn save_state(&self, w: &mut mtat_snapshot::SnapWriter) {
+        use mtat_snapshot::Snap;
+        match &self.lc {
+            LcSizer::Rl(p) => {
+                w.put_u8(0);
+                p.save_state(w);
+            }
+            LcSizer::Heuristic(c) => {
+                w.put_u8(1);
+                c.save_state(w);
+            }
+        }
+        w.put_bool(self.be.is_some());
+        if let Some(be) = &self.be {
+            be.save_state(w);
+        }
+        w.put_u64(self.guard_floor_bytes);
+        w.put_f64(self.guard_level);
+        w.put_bool(self.fallback.is_some());
+        if let Some(c) = &self.fallback {
+            c.save_state(w);
+        }
+        self.mode.snap(w);
+    }
+
+    /// Restores state captured by [`Self::save_state`] into this PP-M.
+    /// The checkpoint's structure must match this instance (same sizer
+    /// kind, same BE/fallback presence) — a mismatch means the
+    /// checkpoint came from a differently configured policy and is
+    /// rejected as malformed rather than half-applied.
+    pub fn load_state(
+        &mut self,
+        r: &mut mtat_snapshot::SnapReader<'_>,
+    ) -> Result<(), mtat_snapshot::SnapError> {
+        use mtat_snapshot::{Snap, SnapError};
+        let sizer_tag = r.get_u8()?;
+        match (&mut self.lc, sizer_tag) {
+            (LcSizer::Rl(p), 0) => p.load_state(r)?,
+            (LcSizer::Heuristic(c), 1) => c.load_state(r)?,
+            _ => return Err(SnapError::Malformed("checkpoint sizer kind mismatch")),
+        }
+        let has_be = r.get_bool()?;
+        match (&mut self.be, has_be) {
+            (Some(be), true) => be.load_state(r)?,
+            (None, false) => {}
+            _ => return Err(SnapError::Malformed("checkpoint BE partitioner mismatch")),
+        }
+        self.guard_floor_bytes = r.get_u64()?;
+        self.guard_level = r.get_f64()?;
+        let has_fallback = r.get_bool()?;
+        match (&mut self.fallback, has_fallback) {
+            (Some(c), true) => c.load_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::Malformed(
+                    "checkpoint fallback controller mismatch",
+                ))
+            }
+        }
+        self.mode = Snap::unsnap(r)?;
+        Ok(())
     }
 
     /// One PP-M decision from the interval's LC observation.

@@ -21,14 +21,18 @@
 //! can carry without SLO violations (Fig. 8, Table 3).
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 
+use mtat_snapshot::{seal, unseal, CheckpointStore, SnapError};
 use mtat_tiermem::bandwidth::BandwidthModel;
+use mtat_tiermem::error::TierMemError;
 use mtat_tiermem::faults::{FaultInjector, FaultKind, FaultPlan, TickFaults};
 use mtat_tiermem::latency;
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::migration::MigrationEngine;
 use mtat_tiermem::page::Tier;
 use mtat_tiermem::sampler::AccessSampler;
+use mtat_tiermem::{audit_enabled, AuditViolation};
 use mtat_workloads::access::Popularity;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
@@ -69,6 +73,82 @@ pub struct Experiment {
     /// but consume the RNG stream differently. Retained for equivalence
     /// tests and the `perf_baseline` speedup measurement.
     pub legacy_accounting: bool,
+    /// PP-M checkpointing configuration. `None` (the default) disables
+    /// checkpoint capture; a crashed controller then restarts cold.
+    pub checkpoints: Option<CheckpointCfg>,
+}
+
+/// Checkpointing and crash-recovery configuration for a run.
+///
+/// PP-M control state is captured at partitioning-interval boundaries —
+/// the natural decision boundary: the per-interval accumulators have
+/// just been reset and the new plan handed to PP-E, so restoring such a
+/// checkpoint resumes *bit-identically* with the uninterrupted run.
+/// Checkpoints are sealed in the versioned, checksummed envelope of
+/// [`mtat_snapshot`]; up to `retain` generations are kept, and a restart
+/// falls back to older generations when newer ones are corrupt.
+#[derive(Debug, Clone)]
+pub struct CheckpointCfg {
+    /// Capture a checkpoint every this many partitioning intervals
+    /// (values below 1 are treated as 1).
+    pub every_intervals: u64,
+    /// Number of checkpoint generations to keep (values below 1 are
+    /// treated as 1).
+    pub retain: usize,
+    /// Directory for on-disk checkpoints (created if missing). `None`
+    /// keeps the sealed blobs in memory — same envelope, same fallback
+    /// semantics, no filesystem traffic.
+    pub dir: Option<PathBuf>,
+    /// Bit-identity probe: at the first interval boundary at or after
+    /// this time, checkpoint, crash, and restore the controller in
+    /// place. A correct checkpoint implementation continues exactly as
+    /// if nothing happened; the regression tests assert tick-for-tick
+    /// equality against an unprobed run.
+    pub restart_probe_at: Option<f64>,
+}
+
+impl CheckpointCfg {
+    /// In-memory checkpointing: every interval, three generations.
+    pub fn in_memory() -> Self {
+        Self {
+            every_intervals: 1,
+            retain: 3,
+            dir: None,
+            restart_probe_at: None,
+        }
+    }
+
+    /// On-disk checkpointing under `dir`: every interval, three
+    /// generations.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+            ..Self::in_memory()
+        }
+    }
+
+    /// Sets the capture cadence in partitioning intervals.
+    pub fn with_every(mut self, intervals: u64) -> Self {
+        self.every_intervals = intervals;
+        self
+    }
+
+    /// Sets the retained generation count.
+    pub fn with_retain(mut self, retain: usize) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Arms the bit-identity restart probe (see
+    /// [`Self::restart_probe_at`]).
+    pub fn with_restart_probe(mut self, at_secs: f64) -> Self {
+        self.restart_probe_at = Some(at_secs);
+        self
+    }
+}
+
+fn checkpoint_err(e: SnapError) -> TierMemError {
+    TierMemError::Checkpoint(e.to_string())
 }
 
 impl Experiment {
@@ -96,6 +176,7 @@ impl Experiment {
             lc_max_ref,
             fault_plan: FaultPlan::none(),
             legacy_accounting: false,
+            checkpoints: None,
         }
     }
 
@@ -124,13 +205,41 @@ impl Experiment {
         self
     }
 
+    /// Enables PP-M checkpointing (see [`CheckpointCfg`]).
+    pub fn with_checkpoints(mut self, cfg: CheckpointCfg) -> Self {
+        self.checkpoints = Some(cfg);
+        self
+    }
+
+    /// Runs the experiment under `policy`, panicking on runtime errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured workloads do not fit in the configured
+    /// memory (a misconfigured experiment, not a runtime condition), or
+    /// if [`Self::try_run`] reports an audit violation or checkpoint
+    /// I/O failure.
+    pub fn run(&self, policy: &mut dyn Policy) -> RunResult {
+        match self.try_run(policy) {
+            Ok(r) => r,
+            Err(e) => panic!("experiment run failed: {e}"),
+        }
+    }
+
     /// Runs the experiment under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::Audit`] when the runtime invariant
+    /// auditor (enabled by default in debug builds, or via `MTAT_AUDIT`)
+    /// detects an accounting violation, and
+    /// [`TierMemError::Checkpoint`] when checkpoint persistence fails.
     ///
     /// # Panics
     ///
     /// Panics if the configured workloads do not fit in the configured
     /// memory — a misconfigured experiment, not a runtime condition.
-    pub fn run(&self, policy: &mut dyn Policy) -> RunResult {
+    pub fn try_run(&self, policy: &mut dyn Policy) -> Result<RunResult, TierMemError> {
         let page_size = self.cfg.mem.page_size();
         let mut mem = TieredMemory::new(self.cfg.mem);
         let lc_id = mem
@@ -249,6 +358,26 @@ impl Experiment {
         let ticks_per_interval = self.cfg.ticks_per_interval();
         let sigma = self.cfg.burst_sigma;
 
+        // Checkpointing state. On-disk stores get atomic writes and
+        // generation pruning from `CheckpointStore`; the in-memory ring
+        // keeps the same sealed envelope so corruption detection and
+        // generation fallback behave identically.
+        let ckpt_cfg = self.checkpoints.as_ref();
+        let mut ckpt_store: Option<CheckpointStore> = match ckpt_cfg {
+            Some(ck) => match &ck.dir {
+                Some(dir) => Some(
+                    CheckpointStore::open(dir.clone(), ck.retain.max(1)).map_err(checkpoint_err)?,
+                ),
+                None => None,
+            },
+            None => None,
+        };
+        let mut ckpt_ring: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut boundaries_seen: u64 = 0;
+        let mut probe_pending = ckpt_cfg.and_then(|ck| ck.restart_probe_at);
+        let mut ppm_was_down = false;
+        let audit_on = audit_enabled();
+
         let mut ticks = Vec::with_capacity(n_ticks as usize);
         let mut lc_requests = 0.0;
         let mut lc_violated_requests = 0.0;
@@ -280,6 +409,29 @@ impl Experiment {
             } else {
                 (fmem_util, smem_util)
             };
+
+            // ---- PP-M crash/restart edges ----
+            // A `PpmCrash` fault models the user-space daemon dying
+            // while the in-kernel PP-E survives: the policy keeps
+            // enforcing its last plan but makes no new decisions. On
+            // recovery a fresh daemon reloads the newest checkpoint
+            // generation that passes verification (corrupt generations
+            // are skipped), or restarts cold when none exists.
+            if faults_enabled && tf.ppm_down != ppm_was_down {
+                if tf.ppm_down {
+                    policy.on_controller_crash();
+                } else {
+                    let payload: Option<Vec<u8>> = match &ckpt_store {
+                        Some(store) => store.load_latest().map_err(checkpoint_err)?,
+                        None => ckpt_ring
+                            .iter()
+                            .rev()
+                            .find_map(|blob| unseal(blob).ok().map(|p| p.to_vec())),
+                    };
+                    policy.on_controller_restart(&mem, payload.as_deref());
+                }
+                ppm_was_down = tf.ppm_down;
+            }
 
             // ---- LC performance from current placement ----
             let level = self.load.level_at(now);
@@ -464,6 +616,62 @@ impl Experiment {
                 policy.on_tick(&mut sim);
             }
 
+            // ---- Checkpoint capture & bit-identity restart probe ----
+            // Captures happen right after the boundary tick: the policy
+            // has just reset its interval accumulators and handed PP-E
+            // the new plan, so the snapshot sits exactly on a decision
+            // boundary. While the controller is down nothing is
+            // captured (there is no daemon to ask).
+            if let Some(ck) = ckpt_cfg {
+                if interval_boundary && !tf.ppm_down {
+                    boundaries_seen += 1;
+                    if boundaries_seen.is_multiple_of(ck.every_intervals.max(1)) {
+                        if let Some(payload) = policy.checkpoint() {
+                            if let Some(store) = &mut ckpt_store {
+                                store.save(&payload).map_err(checkpoint_err)?;
+                            } else {
+                                ckpt_ring.push_back(seal(&payload));
+                                while ckpt_ring.len() > ck.retain.max(1) {
+                                    ckpt_ring.pop_front();
+                                }
+                            }
+                        }
+                    }
+                    if probe_pending.is_some_and(|at| now >= at) {
+                        probe_pending = None;
+                        if let Some(payload) = policy.checkpoint() {
+                            policy.on_controller_crash();
+                            policy.on_controller_restart(&mem, Some(&payload));
+                        }
+                    }
+                }
+            }
+
+            // ---- Runtime invariant audit ----
+            if audit_on {
+                mem.audit()?;
+                if interval_boundary {
+                    // Conservation across the partition plan: the bytes
+                    // the policy hands out must fit in FMem. `u64::MAX`
+                    // is the static policies' "everything" sentinel.
+                    let fmem_bytes = self.cfg.mem.fmem_bytes();
+                    let mut plan_bytes = 0u64;
+                    for o in obs.iter() {
+                        if let Some(t) = policy.fmem_target(o.id) {
+                            let t = if t == u64::MAX { fmem_bytes } else { t };
+                            plan_bytes = plan_bytes.saturating_add(t);
+                        }
+                    }
+                    if plan_bytes > fmem_bytes {
+                        return Err(AuditViolation::PlanExceedsFmem {
+                            plan_bytes,
+                            fmem_bytes,
+                        }
+                        .into());
+                    }
+                }
+            }
+
             // Update the contention state for the next tick: workload
             // traffic split by tier plus migration traffic (which
             // touches both tiers).
@@ -503,7 +711,7 @@ impl Experiment {
         debug_assert!(mem.check_invariants().is_ok(), "placement invariants");
 
         let duration = n_ticks as f64 * tick_secs;
-        RunResult {
+        Ok(RunResult {
             policy: policy.name().to_string(),
             lc_name: self.lc.name.clone(),
             be_names: self.bes.iter().map(|b| b.name.clone()).collect(),
@@ -524,7 +732,7 @@ impl Experiment {
             retried_moves: engine.retried_moves(),
             duration_secs: duration,
             tick_secs,
-        }
+        })
     }
 
     /// Measures the maximum constant load (requests/s) the policy
@@ -726,7 +934,7 @@ mod tests {
             r.violation_rate_after(10.0)
         );
         // And the BE workload picks up the FMem the LC cannot use.
-        let last = r.ticks.last().unwrap();
+        let last = r.final_tick().expect("run produced ticks");
         assert_eq!(last.fmem_bytes[0], 0);
         assert!(last.fmem_bytes[1] > 0);
     }

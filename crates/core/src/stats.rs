@@ -1,11 +1,12 @@
 //! Experiment metrics: time series, SLO accounting, fairness.
 
+use mtat_tiermem::error::TierMemError;
 use serde::{Deserialize, Serialize};
 
 use crate::supervisor::DegradationState;
 
 /// One simulation tick's observations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TickRecord {
     /// Simulation time at the start of the tick (seconds).
     pub t: f64,
@@ -66,6 +67,18 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// The last tick of the run, or [`TierMemError::EmptyRun`] when the
+    /// run produced no ticks (zero duration, or a tick length longer
+    /// than the run). Prefer this over `ticks.last().unwrap()` in
+    /// callers that inspect final state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::EmptyRun`] when `ticks` is empty.
+    pub fn final_tick(&self) -> Result<&TickRecord, TierMemError> {
+        self.ticks.last().ok_or(TierMemError::EmptyRun)
+    }
+
     /// Fraction of LC requests that arrived during SLO-violating ticks
     /// (the Table 4 metric).
     pub fn violation_rate(&self) -> f64 {
@@ -348,5 +361,13 @@ mod tests {
         assert_eq!(r.violation_rate(), 0.0);
         assert_eq!(r.mean_lc_fmem_ratio(), 0.0);
         assert_eq!(r.avg_migration_bw(), 0.0);
+        assert!(matches!(r.final_tick(), Err(TierMemError::EmptyRun)));
+    }
+
+    #[test]
+    fn final_tick_returns_last() {
+        let r = result();
+        let last = r.final_tick().expect("nonempty run");
+        assert_eq!(last.t, 3.0);
     }
 }

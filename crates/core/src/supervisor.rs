@@ -237,12 +237,120 @@ impl Supervisor {
     }
 }
 
+impl mtat_snapshot::Snap for DegradationState {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u8(match self {
+            DegradationState::Rl => 0,
+            DegradationState::Proportional => 1,
+            DegradationState::Static => 2,
+        });
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(DegradationState::Rl),
+            1 => Ok(DegradationState::Proportional),
+            2 => Ok(DegradationState::Static),
+            _ => Err(mtat_snapshot::SnapError::Malformed("degradation state tag")),
+        }
+    }
+}
+
+impl mtat_snapshot::Snap for SupervisorConfig {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u32(self.demote_after_violations);
+        w.put_u32(self.static_after_violations);
+        w.put_u32(self.static_after_hard_faults);
+        w.put_u32(self.healthy_intervals);
+        w.put_u64(self.stale_limit_ticks);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            demote_after_violations: r.get_u32()?,
+            static_after_violations: r.get_u32()?,
+            static_after_hard_faults: r.get_u32()?,
+            healthy_intervals: r.get_u32()?,
+            stale_limit_ticks: r.get_u64()?,
+        })
+    }
+}
+
+impl mtat_snapshot::Snap for Transition {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_f64(self.at_secs);
+        self.to.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            at_secs: r.get_f64()?,
+            to: mtat_snapshot::Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl mtat_snapshot::Snap for Supervisor {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.cfg.snap(w);
+        self.state.snap(w);
+        w.put_u32(self.slo_streak);
+        w.put_u32(self.hard_streak);
+        w.put_u32(self.healthy_streak);
+        w.put_bool(self.stale_seen);
+        w.put_bool(self.nonfinite_seen);
+        self.transitions.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            cfg: mtat_snapshot::Snap::unsnap(r)?,
+            state: mtat_snapshot::Snap::unsnap(r)?,
+            slo_streak: r.get_u32()?,
+            hard_streak: r.get_u32()?,
+            healthy_streak: r.get_u32()?,
+            stale_seen: r.get_bool()?,
+            nonfinite_seen: r.get_bool()?,
+            transitions: mtat_snapshot::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sup() -> Supervisor {
         Supervisor::new(SupervisorConfig::default())
+    }
+
+    /// A mid-ladder supervisor checkpointed and restored continues its
+    /// state machine exactly where the original left off.
+    #[test]
+    fn snapshot_roundtrip_preserves_ladder_position() {
+        use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+        let mut s = sup();
+        // Drive into Proportional with partial streaks latched.
+        for i in 0..3 {
+            s.on_interval(i as f64 * 5.0, true, false);
+        }
+        s.on_interval(15.0, true, false);
+        s.note_tick(10); // latch stale_seen inside the current interval
+        assert_eq!(s.state(), DegradationState::Proportional);
+
+        let mut w = SnapWriter::new();
+        s.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Supervisor::unsnap(&mut SnapReader::new(&bytes)).unwrap();
+
+        // Both copies must now evolve identically.
+        for i in 4..12 {
+            let violated = i < 6;
+            let a = s.on_interval(i as f64 * 5.0, violated, false);
+            let b = restored.on_interval(i as f64 * 5.0, violated, false);
+            assert_eq!(a, b, "interval {i}");
+        }
+        assert_eq!(s.transitions(), restored.transitions());
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Crash-tolerance integration tests for the PP-M checkpoint/restore
+//! subsystem (the paper's user-space daemon / in-kernel enforcer split):
+//!
+//! * a checkpoint taken at a decision boundary and restored in place
+//!   continues **bit-identically** with the uninterrupted run;
+//! * a `PpmCrash` fault freezes control while PP-E keeps enforcing the
+//!   last plan, and the restarted controller resumes from the latest
+//!   valid checkpoint;
+//! * on-disk generation fallback survives a corrupted newest file;
+//! * the runtime invariant auditor turns deliberately broken accounting
+//!   into a structured [`TierMemError::Audit`];
+//! * the committed format-v1 fixture stays decodable, and corrupting
+//!   any single byte of a sealed checkpoint is always detected.
+
+use mtat_core::config::SimConfig;
+use mtat_core::policy::mtat::{MtatConfig, MtatPolicy};
+use mtat_core::policy::statics::StaticPolicy;
+use mtat_core::policy::{Policy, SimState, WorkloadObs};
+use mtat_core::runner::{CheckpointCfg, Experiment};
+use mtat_snapshot::{seal, unseal, CheckpointStore};
+use mtat_tiermem::faults::{FaultKind, FaultPlan};
+use mtat_tiermem::memory::TieredMemory;
+use mtat_tiermem::page::Tier;
+use mtat_tiermem::{AuditViolation, TierMemError, GIB};
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+fn small_lc() -> LcSpec {
+    let mut s = LcSpec::redis();
+    s.rss_bytes = (1.2 * GIB as f64) as u64;
+    s
+}
+
+fn small_be() -> BeSpec {
+    let mut s = BeSpec::sssp();
+    s.rss_bytes = 2 * GIB;
+    s
+}
+
+fn experiment(load: LoadPattern, secs: f64) -> Experiment {
+    Experiment::new(SimConfig::small_test(), small_lc(), load, vec![small_be()]).with_duration(secs)
+}
+
+/// The full RL policy under supervision with online learning — the
+/// checkpoint has to capture live SAC weights, the replay buffer, RNG
+/// streams, supervisor streaks, and per-interval accumulators for the
+/// bit-identity assertions below to hold.
+fn rl_policy(exp: &Experiment) -> MtatPolicy {
+    let mut cfg = MtatConfig::full().supervised();
+    cfg.pretrain_steps = 400; // enough for real weights, cached per key
+    cfg.online_learning = true;
+    MtatPolicy::new(cfg, &exp.cfg, &exp.lc, &exp.bes)
+}
+
+/// Heuristic-sizer variant used by the committed format fixture: no
+/// network weights, so the fixture stays small and fully deterministic.
+fn fixture_policy(exp: &Experiment) -> MtatPolicy {
+    let mut cfg = MtatConfig::full().with_heuristic_sizer().supervised();
+    cfg.online_learning = false;
+    MtatPolicy::new(cfg, &exp.cfg, &exp.lc, &exp.bes)
+}
+
+fn assert_ticks_bit_identical(a: &mtat_core::RunResult, b: &mtat_core::RunResult) {
+    assert_eq!(a.ticks.len(), b.ticks.len());
+    for (x, y) in a.ticks.iter().zip(&b.ticks) {
+        assert_eq!(x.lc_p99.to_bits(), y.lc_p99.to_bits(), "p99 at t={}", x.t);
+        assert_eq!(
+            x.lc_fmem_ratio.to_bits(),
+            y.lc_fmem_ratio.to_bits(),
+            "fmem ratio at t={}",
+            x.t
+        );
+        assert_eq!(x.fmem_bytes, y.fmem_bytes, "placement at t={}", x.t);
+        assert_eq!(x, y, "tick records diverge at t={}", x.t);
+    }
+}
+
+/// Tentpole regression: checkpoint-at-boundary + restore-in-place must
+/// continue exactly as if nothing happened. The probed run captures a
+/// checkpoint at the first interval boundary at/after t=20, crashes the
+/// controller, restores from that checkpoint, and keeps going; every
+/// tick must match the unprobed run bit-for-bit.
+#[test]
+fn restart_probe_resumes_bit_identically() {
+    let load = LoadPattern::staircase(&[0.4, 0.9, 0.5], 15.0);
+    let base = experiment(load, 45.0);
+    let probed = base
+        .clone()
+        .with_checkpoints(CheckpointCfg::in_memory().with_restart_probe(20.0));
+
+    let r_base = base.run(&mut rl_policy(&base));
+    let r_probe = probed.run(&mut rl_policy(&probed));
+
+    assert_ticks_bit_identical(&r_base, &r_probe);
+    assert_eq!(r_base.total_migration_bytes, r_probe.total_migration_bytes);
+    assert_eq!(
+        r_base.lc_violated_requests.to_bits(),
+        r_probe.lc_violated_requests.to_bits()
+    );
+}
+
+/// A `PpmCrash` outage: before the window the faulted run matches the
+/// clean one bit-for-bit; during the window PP-E keeps enforcing the
+/// last plan (the placement stays put, degradation state keeps being
+/// reported); after the window the controller restores from the latest
+/// checkpoint — which produces a different (informed) trajectory than a
+/// cold restart from an untrained agent.
+#[test]
+fn ppm_crash_enforces_last_plan_then_restores() {
+    let load = LoadPattern::Constant(0.5);
+    let plan = FaultPlan::new(0xC4A5).with(FaultKind::PpmCrash, 20.0, 15.0);
+    let clean = experiment(load, 60.0);
+    let checkpointed = clean
+        .clone()
+        .with_fault_plan(plan.clone())
+        .with_checkpoints(CheckpointCfg::in_memory());
+    let cold = clean.clone().with_fault_plan(plan);
+
+    let r_clean = clean.run(&mut rl_policy(&clean));
+    let r_ckpt = checkpointed.run(&mut rl_policy(&checkpointed));
+    let r_cold = cold.run(&mut rl_policy(&cold));
+
+    assert_eq!(r_ckpt.ticks.len(), 60);
+
+    // Identical up to the crash: an inactive fault window perturbs
+    // nothing.
+    for (a, b) in r_clean.ticks.iter().zip(&r_ckpt.ticks).take(20) {
+        assert_eq!(a.lc_p99.to_bits(), b.lc_p99.to_bits(), "t={}", a.t);
+        assert_eq!(a.fmem_bytes, b.fmem_bytes, "t={}", a.t);
+    }
+
+    // During the outage the daemon is dead but enforcement is not: the
+    // last plan stays in force, so once PP-E has converged the placement
+    // holds steady, and the (frozen) supervisor state is still reported.
+    let outage: Vec<_> = r_ckpt
+        .ticks
+        .iter()
+        .filter(|t| t.t >= 28.0 && t.t < 35.0)
+        .collect();
+    assert!(!outage.is_empty());
+    for t in &outage {
+        assert_eq!(
+            t.fmem_bytes, outage[0].fmem_bytes,
+            "placement must hold under the frozen plan at t={}",
+            t.t
+        );
+        assert!(t.degradation.is_some(), "supervised state still reported");
+    }
+
+    // Restoring the checkpoint actually matters: the restored run and
+    // the cold-restart run diverge after recovery (an untrained fresh
+    // agent does not reproduce the learned controller's trajectory).
+    let diverged = r_ckpt
+        .ticks
+        .iter()
+        .zip(&r_cold.ticks)
+        .filter(|(a, _)| a.t >= 36.0)
+        .any(|(a, b)| a.fmem_bytes != b.fmem_bytes || a.lc_p99.to_bits() != b.lc_p99.to_bits());
+    assert!(
+        diverged,
+        "checkpoint restore must differ from a cold restart"
+    );
+}
+
+/// On-disk generation fallback, end to end: corrupt the newest
+/// generation file and the store (and a crashed-then-restarted run)
+/// falls back to the previous valid generation instead of silently
+/// loading garbage or giving up.
+#[test]
+fn disk_checkpoints_fall_back_past_corruption() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("ckpt_fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Stage 1: a clean run leaves several sealed generations on disk.
+    let exp =
+        experiment(LoadPattern::Constant(0.5), 30.0).with_checkpoints(CheckpointCfg::on_disk(&dir));
+    exp.run(&mut rl_policy(&exp));
+
+    let store = CheckpointStore::open(&dir, 3).expect("store opens");
+    let gens = store.generations().expect("list generations");
+    assert!(gens.len() >= 2, "want multiple generations, got {gens:?}");
+    let newest_payload = store
+        .load_latest()
+        .expect("dir readable")
+        .expect("valid checkpoint");
+
+    // Corrupt one payload byte of the newest generation (oldest-first
+    // ordering, so the newest is last).
+    let newest = gens.last().expect("nonempty").clone();
+    let mut bytes = std::fs::read(&newest).expect("read newest");
+    *bytes.last_mut().expect("nonempty file") ^= 0xFF;
+    std::fs::write(&newest, &bytes).expect("write corruption");
+
+    // The store detects the corruption and serves the older generation.
+    let fallback = store
+        .load_latest()
+        .expect("dir readable")
+        .expect("older generation survives");
+    assert_ne!(
+        fallback, newest_payload,
+        "fallback must be a different (older) generation"
+    );
+
+    // And a restarted controller accepts the fallback payload.
+    let mut restarted = rl_policy(&exp);
+    restarted
+        .decode_checkpoint(&fallback)
+        .expect("fallback generation decodes");
+
+    // Stage 2, end to end: a run whose controller is down from t=0
+    // restarts at t=10 against the corrupted store and must complete,
+    // recovering through the fallback generation.
+    let plan = FaultPlan::new(0xFA11).with(FaultKind::PpmCrash, 0.0, 10.0);
+    let exp2 = experiment(LoadPattern::Constant(0.5), 25.0)
+        .with_fault_plan(plan)
+        .with_checkpoints(CheckpointCfg::on_disk(&dir));
+    let r = exp2.run(&mut rl_policy(&exp2));
+    assert_eq!(r.ticks.len(), 25);
+}
+
+/// A policy that silently breaks the page-table accounting mid-run, to
+/// prove the auditor catches it as a structured error.
+struct CorruptingPolicy {
+    inner: StaticPolicy,
+    corrupt_at_tick: u64,
+    tick: u64,
+}
+
+impl Policy for CorruptingPolicy {
+    fn name(&self) -> &str {
+        "corruptor"
+    }
+    fn init(&mut self, mem: &TieredMemory, workloads: &[WorkloadObs]) {
+        self.inner.init(mem, workloads);
+    }
+    fn on_tick(&mut self, sim: &mut SimState<'_>) {
+        self.inner.on_tick(sim);
+        if self.tick == self.corrupt_at_tick {
+            sim.mem.debug_corrupt_tier_counter(Tier::FMem, 1);
+        }
+        self.tick += 1;
+    }
+}
+
+#[test]
+fn auditor_catches_broken_accounting() {
+    if !mtat_tiermem::audit_enabled() {
+        // Release build without MTAT_AUDIT: the auditor is opted out.
+        // CI runs the whole suite once with MTAT_AUDIT=1 to cover this
+        // path in release mode too.
+        return;
+    }
+    let exp = experiment(LoadPattern::Constant(0.4), 20.0);
+    let mut p = CorruptingPolicy {
+        inner: StaticPolicy::fmem_all(),
+        corrupt_at_tick: 7,
+        tick: 0,
+    };
+    let err = exp.try_run(&mut p).expect_err("auditor must trip");
+    assert!(
+        matches!(
+            err,
+            TierMemError::Audit(AuditViolation::TierCount {
+                tier: Tier::FMem,
+                ..
+            })
+        ),
+        "unexpected error: {err}"
+    );
+
+    // The same run without the corruption passes the auditor.
+    let mut clean = CorruptingPolicy {
+        inner: StaticPolicy::fmem_all(),
+        corrupt_at_tick: u64::MAX,
+        tick: 0,
+    };
+    exp.try_run(&mut clean).expect("clean run passes the audit");
+}
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ckpt_v1.bin");
+
+/// Format-compatibility guard: the committed v1 fixture must keep
+/// unsealing (magic, version, checksum) and decoding into a freshly
+/// constructed policy of the same shape. An incompatible codec change
+/// without a format-version bump fails here.
+#[test]
+fn format_v1_fixture_still_decodes() {
+    let sealed = std::fs::read(FIXTURE).expect("committed fixture present");
+    let payload = unseal(&sealed).expect("v1 envelope verifies").to_vec();
+    let exp = experiment(LoadPattern::Constant(0.5), 30.0);
+    let mut p = fixture_policy(&exp);
+    p.decode_checkpoint(&payload)
+        .expect("v1 payload decodes into a same-shape policy");
+
+    // Single-byte damage anywhere in the envelope is detected.
+    let mut broken = sealed.clone();
+    broken[sealed.len() / 2] ^= 0x01;
+    assert!(unseal(&broken).is_err(), "corruption must not unseal");
+}
+
+/// Regenerates the committed fixture. Run manually after a deliberate,
+/// version-bumped format change:
+/// `cargo test -p mtat-core --test crash_recovery -- --ignored`
+#[test]
+#[ignore = "writes tests/fixtures/ckpt_v1.bin; run only to regenerate"]
+fn regenerate_format_v1_fixture() {
+    let exp = experiment(LoadPattern::Constant(0.5), 30.0);
+    let mut p = fixture_policy(&exp);
+    exp.run(&mut p);
+    let payload = p.checkpoint().expect("mtat policies checkpoint");
+    let path = std::path::Path::new(FIXTURE);
+    std::fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir");
+    std::fs::write(path, seal(&payload)).expect("write fixture");
+}
+
+mod corruption_props {
+    use super::{seal, unseal};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any single corrupted byte of a sealed checkpoint is detected
+        /// — FNV-1a's per-byte step is a bijection, so a flipped byte
+        /// always changes the digest (or breaks the header outright).
+        #[test]
+        fn corrupting_any_byte_is_detected(
+            payload in prop::collection::vec(0u64..256, 0..512),
+            pos in 0.0f64..1.0,
+            flip in 1u64..256,
+        ) {
+            let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+            let mut sealed = seal(&payload);
+            let i = ((pos * sealed.len() as f64) as usize).min(sealed.len() - 1);
+            sealed[i] ^= flip as u8;
+            prop_assert!(unseal(&sealed).is_err(), "byte {i} flipped by {flip:#04x}");
+        }
+
+        /// Truncated checkpoints never unseal.
+        #[test]
+        fn truncation_is_detected(
+            payload in prop::collection::vec(0u64..256, 0..256),
+            cut in 0.0f64..1.0,
+        ) {
+            let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+            let sealed = seal(&payload);
+            let keep = ((cut * sealed.len() as f64) as usize).min(sealed.len() - 1);
+            prop_assert!(unseal(&sealed[..keep]).is_err(), "kept {keep} of {}", sealed.len());
+        }
+    }
+}

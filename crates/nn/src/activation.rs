@@ -49,6 +49,25 @@ impl Activation {
     }
 }
 
+impl mtat_snapshot::Snap for Activation {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u8(match self {
+            Activation::Relu => 0,
+            Activation::Tanh => 1,
+            Activation::Identity => 2,
+        });
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Activation::Relu),
+            1 => Ok(Activation::Tanh),
+            2 => Ok(Activation::Identity),
+            _ => Err(mtat_snapshot::SnapError::Malformed("activation tag")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,6 +169,61 @@ impl Linear {
     }
 }
 
+/// Checkpoints the parameters *and* the Adam moments — a resumed update
+/// with stale or zeroed moments would diverge from the uninterrupted
+/// run on the very next optimizer step. Gradient accumulators are
+/// transient (always zeroed before use) and are rebuilt as zeros.
+impl mtat_snapshot::Snap for Linear {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.in_dim.snap(w);
+        self.out_dim.snap(w);
+        self.w.snap(w);
+        self.b.snap(w);
+        self.mw.snap(w);
+        self.vw.snap(w);
+        self.mb.snap(w);
+        self.vb.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        use mtat_snapshot::SnapError;
+        let in_dim = usize::unsnap(r)?;
+        let out_dim = usize::unsnap(r)?;
+        let w = Vec::<f64>::unsnap(r)?;
+        let b = Vec::<f64>::unsnap(r)?;
+        let mw = Vec::<f64>::unsnap(r)?;
+        let vw = Vec::<f64>::unsnap(r)?;
+        let mb = Vec::<f64>::unsnap(r)?;
+        let vb = Vec::<f64>::unsnap(r)?;
+        let nw = in_dim
+            .checked_mul(out_dim)
+            .ok_or(SnapError::Malformed("layer shape overflow"))?;
+        if in_dim == 0
+            || out_dim == 0
+            || w.len() != nw
+            || mw.len() != nw
+            || vw.len() != nw
+            || b.len() != out_dim
+            || mb.len() != out_dim
+            || vb.len() != out_dim
+        {
+            return Err(SnapError::Malformed("layer shape mismatch"));
+        }
+        Ok(Self {
+            in_dim,
+            out_dim,
+            w,
+            b,
+            gw: vec![0.0; nw],
+            gb: vec![0.0; out_dim],
+            mw,
+            vw,
+            mb,
+            vb,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -173,6 +173,28 @@ impl Mlp {
     }
 }
 
+impl mtat_snapshot::Snap for Mlp {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.layers.snap(w);
+        self.hidden_act.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        use mtat_snapshot::SnapError;
+        let layers = Vec::<Linear>::unsnap(r)?;
+        let hidden_act = Activation::unsnap(r)?;
+        if layers.is_empty() {
+            return Err(SnapError::Malformed("MLP with no layers"));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(SnapError::Malformed("MLP layer dims do not chain"));
+            }
+        }
+        Ok(Self { layers, hidden_act })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +327,59 @@ mod tests {
     #[should_panic(expected = "at least input and output")]
     fn too_few_dims_panics() {
         let _ = Mlp::new(&[3], Activation::Relu, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_training_bit_identically() {
+        use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, 21);
+        let mut adam = Adam::new(1e-2);
+        let step = |net: &mut Mlp, adam: &mut Adam, x: f64| {
+            let (y, cache) = net.forward_cached(&[x]);
+            let grad = loss::mse_grad(&y, &[2.0 * x]);
+            net.zero_grad();
+            net.backward(&cache, &grad);
+            net.adam_step(adam);
+        };
+        for i in 0..50 {
+            step(&mut net, &mut adam, (i % 7) as f64 / 7.0);
+        }
+
+        let mut w = SnapWriter::new();
+        net.snap(&mut w);
+        adam.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut net2 = Mlp::unsnap(&mut r).unwrap();
+        let mut adam2 = Adam::unsnap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(adam2.step_count(), adam.step_count());
+
+        // Training both copies further must stay bit-identical: the Adam
+        // moments and step count travelled with the snapshot.
+        for i in 0..50 {
+            let x = (i % 7) as f64 / 7.0;
+            step(&mut net, &mut adam, x);
+            step(&mut net2, &mut adam2, x);
+        }
+        for (a, b) in net.layers.iter().zip(&net2.layers) {
+            assert_eq!(a.weights(), b.weights());
+            assert_eq!(a.biases(), b.biases());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_shapes() {
+        use mtat_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, 4);
+        let mut w = SnapWriter::new();
+        net.snap(&mut w);
+        let mut bytes = w.into_bytes();
+        // The first field is the layer count; claim zero layers.
+        bytes[0] = 0;
+        let got = Mlp::unsnap(&mut SnapReader::new(&bytes[..9]));
+        assert!(matches!(got, Err(SnapError::Malformed(_))));
     }
 }

@@ -50,6 +50,13 @@ impl Adam {
         self.t.get()
     }
 
+    /// Restores the time step from a checkpoint. Bias correction uses
+    /// `t` directly, so a resumed optimizer must continue from the exact
+    /// step the snapshot captured to stay bit-identical.
+    pub fn set_step_count(&self, t: u64) {
+        self.t.set(t);
+    }
+
     /// Applies one Adam update to `params` given accumulated `grads`
     /// (scaled by `grad_scale`, e.g. `1/batch`), maintaining first and
     /// second moments `m` and `v` in place.
@@ -79,6 +86,26 @@ impl Adam {
             let v_hat = v[i] / bc2;
             params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
+    }
+}
+
+impl mtat_snapshot::Snap for Adam {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_f64(self.lr);
+        w.put_f64(self.beta1);
+        w.put_f64(self.beta2);
+        w.put_f64(self.eps);
+        w.put_u64(self.t.get());
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            lr: r.get_f64()?,
+            beta1: r.get_f64()?,
+            beta2: r.get_f64()?,
+            eps: r.get_f64()?,
+            t: Cell::new(r.get_u64()?),
+        })
     }
 }
 

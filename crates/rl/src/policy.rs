@@ -179,6 +179,25 @@ impl GaussianPolicy {
     }
 }
 
+impl mtat_snapshot::Snap for GaussianPolicy {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.net.snap(w);
+        self.action_dim.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        use mtat_snapshot::SnapError;
+        let net = Mlp::unsnap(r)?;
+        let action_dim = usize::unsnap(r)?;
+        if action_dim == 0 || net.out_dim() != 2 * action_dim {
+            return Err(SnapError::Malformed(
+                "policy head does not match action_dim",
+            ));
+        }
+        Ok(Self { net, action_dim })
+    }
+}
+
 /// Standard normal via Box–Muller.
 pub fn standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);

@@ -80,6 +80,52 @@ impl ReplayBuffer {
     }
 }
 
+impl mtat_snapshot::Snap for Transition {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.state.snap(w);
+        self.action.snap(w);
+        self.reward.snap(w);
+        self.next_state.snap(w);
+        self.done.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            state: Vec::unsnap(r)?,
+            action: Vec::unsnap(r)?,
+            reward: f64::unsnap(r)?,
+            next_state: Vec::unsnap(r)?,
+            done: bool::unsnap(r)?,
+        })
+    }
+}
+
+/// The ring write pointer `next` travels with the contents — a restored
+/// buffer must evict the same slots the crashed one would have, or
+/// replay sampling diverges once the buffer wraps.
+impl mtat_snapshot::Snap for ReplayBuffer {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.capacity.snap(w);
+        self.buf.snap(w);
+        self.next.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        use mtat_snapshot::SnapError;
+        let capacity = usize::unsnap(r)?;
+        let buf = Vec::<Transition>::unsnap(r)?;
+        let next = usize::unsnap(r)?;
+        if capacity == 0 || buf.len() > capacity || next >= capacity.max(1) {
+            return Err(SnapError::Malformed("replay buffer shape"));
+        }
+        Ok(Self {
+            capacity,
+            buf,
+            next,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

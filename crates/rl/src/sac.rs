@@ -333,6 +333,89 @@ impl Sac {
     }
 }
 
+impl mtat_snapshot::Snap for SacConfig {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.state_dim.snap(w);
+        self.action_dim.snap(w);
+        self.hidden.snap(w);
+        self.gamma.snap(w);
+        self.tau.snap(w);
+        self.alpha.snap(w);
+        self.auto_alpha.snap(w);
+        self.actor_lr.snap(w);
+        self.critic_lr.snap(w);
+        self.alpha_lr.snap(w);
+        self.batch_size.snap(w);
+        self.update_every.snap(w);
+        self.warmup.snap(w);
+        self.buffer_capacity.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            state_dim: usize::unsnap(r)?,
+            action_dim: usize::unsnap(r)?,
+            hidden: Vec::unsnap(r)?,
+            gamma: f64::unsnap(r)?,
+            tau: f64::unsnap(r)?,
+            alpha: f64::unsnap(r)?,
+            auto_alpha: bool::unsnap(r)?,
+            actor_lr: f64::unsnap(r)?,
+            critic_lr: f64::unsnap(r)?,
+            alpha_lr: f64::unsnap(r)?,
+            batch_size: usize::unsnap(r)?,
+            update_every: usize::unsnap(r)?,
+            warmup: usize::unsnap(r)?,
+            buffer_capacity: usize::unsnap(r)?,
+        })
+    }
+}
+
+/// The complete learning state: networks *and* target copies, all three
+/// optimizers (with their step counts), the temperature, the replay
+/// buffer with its ring pointer, the exploration RNG stream, and the
+/// update cadence counters. Restoring this and feeding the same
+/// observations continues bit-identically to the uninterrupted agent.
+impl mtat_snapshot::Snap for Sac {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.cfg.snap(w);
+        self.policy.snap(w);
+        self.q1.snap(w);
+        self.q2.snap(w);
+        self.q1_target.snap(w);
+        self.q2_target.snap(w);
+        self.actor_adam.snap(w);
+        self.q1_adam.snap(w);
+        self.q2_adam.snap(w);
+        self.log_alpha.snap(w);
+        self.target_entropy.snap(w);
+        self.replay.snap(w);
+        self.rng.snap(w);
+        self.since_update.snap(w);
+        self.updates_done.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            cfg: SacConfig::unsnap(r)?,
+            policy: GaussianPolicy::unsnap(r)?,
+            q1: Mlp::unsnap(r)?,
+            q2: Mlp::unsnap(r)?,
+            q1_target: Mlp::unsnap(r)?,
+            q2_target: Mlp::unsnap(r)?,
+            actor_adam: Adam::unsnap(r)?,
+            q1_adam: Adam::unsnap(r)?,
+            q2_adam: Adam::unsnap(r)?,
+            log_alpha: f64::unsnap(r)?,
+            target_entropy: f64::unsnap(r)?,
+            replay: ReplayBuffer::unsnap(r)?,
+            rng: StdRng::unsnap(r)?,
+            since_update: usize::unsnap(r)?,
+            updates_done: u64::unsnap(r)?,
+        })
+    }
+}
+
 fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
     let mut v = Vec::with_capacity(a.len() + b.len());
     v.extend_from_slice(a);
@@ -444,6 +527,45 @@ mod tests {
         agent.train(&mut env, 1500);
         // With a deterministic optimum the temperature should shrink.
         assert!(agent.alpha() < a0, "alpha {} -> {}", a0, agent.alpha());
+    }
+
+    #[test]
+    fn snapshot_mid_training_resumes_bit_identically() {
+        use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+
+        // Train past warmup so the snapshot captures a learning agent:
+        // non-trivial replay contents, Adam moments, RNG mid-stream.
+        let mut cfg = SacConfig::small(1, 1);
+        cfg.warmup = 32;
+        cfg.batch_size = 8;
+        let mut env = SetPointEnv::new(0.6, 25);
+        let mut agent = Sac::new(cfg, 13);
+        agent.train(&mut env, 120);
+
+        let mut w = SnapWriter::new();
+        agent.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = Sac::unsnap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.updates_done(), agent.updates_done());
+        assert_eq!(restored.replay_len(), agent.replay_len());
+
+        // Both agents must now produce identical trajectories: same
+        // exploration draws, same sampled mini-batches, same updates.
+        let mut env_a = SetPointEnv::new(0.6, 25);
+        let mut env_b = SetPointEnv::new(0.6, 25);
+        agent.train(&mut env_a, 120);
+        restored.train(&mut env_b, 120);
+        let s = [0.37];
+        assert_eq!(agent.act_deterministic(&s), restored.act_deterministic(&s));
+        assert_eq!(agent.act(&s), restored.act(&s));
+        assert_eq!(agent.updates_done(), restored.updates_done());
+        assert_eq!(
+            agent.q_value(&s, &[0.1]).to_bits(),
+            restored.q_value(&s, &[0.1]).to_bits()
+        );
+        assert_eq!(agent.alpha().to_bits(), restored.alpha().to_bits());
     }
 
     #[test]

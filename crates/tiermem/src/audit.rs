@@ -1,0 +1,202 @@
+//! Runtime invariant auditor: conservation laws for the tiered-memory
+//! substrate, checked after every tick.
+//!
+//! Accounting bugs in a tiering system are insidious: an off-by-one in a
+//! residency counter or a drifted popularity mass silently skews every
+//! downstream decision (hit-ratio observations, partition plans, RL
+//! rewards) without ever crashing. The auditor recomputes the ground
+//! truth from the page table each tick and surfaces any disagreement as
+//! a structured [`AuditViolation`] instead of silent drift.
+//!
+//! The audit is on by default in debug and test builds (where its O(n)
+//! cost over ~10⁴ pages is negligible) and opt-in for release builds via
+//! the `MTAT_AUDIT` environment variable — see [`audit_enabled`]. The
+//! checks themselves live in
+//! [`TieredMemory::audit`](crate::memory::TieredMemory::audit), which
+//! has access to the private counters; this module defines the violation
+//! vocabulary and the enablement policy.
+
+use std::fmt;
+
+use crate::page::{Tier, WorkloadId};
+
+/// A conservation-law violation detected by the runtime auditor.
+///
+/// Each variant names the counter that disagreed with an O(n) recount of
+/// the page table, with both values so the drift magnitude is visible in
+/// logs and test failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditViolation {
+    /// A per-tier occupancy counter disagrees with the page-table recount.
+    TierCount {
+        /// The tier whose counter drifted.
+        tier: Tier,
+        /// The incrementally maintained counter value.
+        counter: u64,
+        /// Pages actually resident per the page table.
+        recount: u64,
+    },
+    /// A tier holds more pages than its capacity.
+    TierOvercommit {
+        /// The overcommitted tier.
+        tier: Tier,
+        /// Pages resident in the tier.
+        used: u64,
+        /// Pages the tier can hold.
+        capacity: u64,
+    },
+    /// A page's index falls outside its owner's registered region.
+    PageOutsideRegion {
+        /// Index of the page in the global page table.
+        page_index: usize,
+        /// The workload recorded as owner.
+        workload: WorkloadId,
+    },
+    /// A workload's residency counters disagree with the per-page recount.
+    ResidencyMismatch {
+        /// The workload whose counters drifted.
+        workload: WorkloadId,
+        /// Counter (FMem pages, SMem pages).
+        counter: (u64, u64),
+        /// Recount (FMem pages, SMem pages).
+        recount: (u64, u64),
+    },
+    /// The incrementally maintained FMem popularity mass drifted beyond
+    /// tolerance of the from-scratch recompute.
+    PopularityDrift {
+        /// The workload whose mass drifted.
+        workload: WorkloadId,
+        /// The incrementally maintained (Kahan-compensated) mass.
+        incremental: f64,
+        /// The O(n) recomputed mass.
+        recomputed: f64,
+    },
+    /// A partition plan allocates more FMem than exists.
+    PlanExceedsFmem {
+        /// Total bytes the plan hands out.
+        plan_bytes: u64,
+        /// FMem capacity in bytes.
+        fmem_bytes: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::TierCount {
+                tier,
+                counter,
+                recount,
+            } => write!(
+                f,
+                "audit: {tier} occupancy counter {counter} != page-table recount {recount}"
+            ),
+            AuditViolation::TierOvercommit {
+                tier,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "audit: {tier} overcommitted, {used} pages resident but capacity is {capacity}"
+            ),
+            AuditViolation::PageOutsideRegion {
+                page_index,
+                workload,
+            } => write!(
+                f,
+                "audit: page index {page_index} lies outside the region of its owner {workload}"
+            ),
+            AuditViolation::ResidencyMismatch {
+                workload,
+                counter,
+                recount,
+            } => write!(
+                f,
+                "audit: {workload} residency counters (fmem {}, smem {}) != recount (fmem {}, smem {})",
+                counter.0, counter.1, recount.0, recount.1
+            ),
+            AuditViolation::PopularityDrift {
+                workload,
+                incremental,
+                recomputed,
+            } => write!(
+                f,
+                "audit: {workload} popularity mass drifted, incremental {incremental} vs recomputed {recomputed}"
+            ),
+            AuditViolation::PlanExceedsFmem {
+                plan_bytes,
+                fmem_bytes,
+            } => write!(
+                f,
+                "audit: partition plan allocates {plan_bytes} bytes of FMem but only {fmem_bytes} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+/// Whether the per-tick invariant audit should run.
+///
+/// * `MTAT_AUDIT=0` — force off (even in debug builds).
+/// * `MTAT_AUDIT=<anything else, non-empty>` — force on (the release
+///   opt-in; CI runs the release test suite once this way).
+/// * unset — on in debug/test builds (`debug_assertions`), off in release.
+pub fn audit_enabled() -> bool {
+    match std::env::var("MTAT_AUDIT") {
+        Ok(v) if v == "0" || v.is_empty() => false,
+        Ok(_) => true,
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_without_trailing_period() {
+        let violations = [
+            AuditViolation::TierCount {
+                tier: Tier::FMem,
+                counter: 5,
+                recount: 4,
+            },
+            AuditViolation::TierOvercommit {
+                tier: Tier::SMem,
+                used: 100,
+                capacity: 64,
+            },
+            AuditViolation::PageOutsideRegion {
+                page_index: 3,
+                workload: WorkloadId(1),
+            },
+            AuditViolation::ResidencyMismatch {
+                workload: WorkloadId(0),
+                counter: (4, 4),
+                recount: (3, 5),
+            },
+            AuditViolation::PopularityDrift {
+                workload: WorkloadId(2),
+                incremental: 0.5,
+                recomputed: 0.7,
+            },
+            AuditViolation::PlanExceedsFmem {
+                plan_bytes: 1 << 40,
+                fmem_bytes: 1 << 35,
+            },
+        ];
+        for v in violations {
+            let s = v.to_string();
+            assert!(s.starts_with("audit: "), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn violations_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AuditViolation>();
+    }
+}

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::audit::AuditViolation;
 use crate::page::{PageId, Tier, WorkloadId};
 
 /// Errors returned by tiered-memory substrate operations.
@@ -56,6 +57,13 @@ pub enum TierMemError {
         /// Pages that did not move.
         pages: u64,
     },
+    /// The runtime invariant auditor found a conservation-law violation.
+    Audit(AuditViolation),
+    /// Saving or restoring a PP-M checkpoint failed.
+    Checkpoint(String),
+    /// An experiment produced no ticks, so there is no final state to
+    /// report.
+    EmptyRun,
 }
 
 impl fmt::Display for TierMemError {
@@ -86,11 +94,20 @@ impl fmt::Display for TierMemError {
                     "migration failed for workload {workload:?}: {pages} pages unmoved"
                 )
             }
+            TierMemError::Audit(v) => write!(f, "{v}"),
+            TierMemError::Checkpoint(detail) => write!(f, "checkpoint failure: {detail}"),
+            TierMemError::EmptyRun => write!(f, "experiment produced no ticks"),
         }
     }
 }
 
 impl Error for TierMemError {}
+
+impl From<AuditViolation> for TierMemError {
+    fn from(v: AuditViolation) -> Self {
+        TierMemError::Audit(v)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -121,6 +138,13 @@ mod tests {
                 workload: WorkloadId(1),
                 pages: 12,
             },
+            TierMemError::Audit(AuditViolation::TierCount {
+                tier: Tier::FMem,
+                counter: 2,
+                recount: 3,
+            }),
+            TierMemError::Checkpoint("no valid generation".to_string()),
+            TierMemError::EmptyRun,
         ];
         for e in errs {
             let s = e.to_string();

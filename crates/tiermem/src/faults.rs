@@ -69,6 +69,12 @@ pub enum FaultKind {
         /// Additional utilization in [0, 1].
         extra: f64,
     },
+    /// The PP-M control daemon crashes: the policy makes no decisions
+    /// while the window is active, and the in-kernel PP-E keeps
+    /// enforcing the last partition plan (the paper's daemon/kernel
+    /// split). When the window ends the runner restarts PP-M, restoring
+    /// from the latest valid checkpoint if one exists.
+    PpmCrash,
 }
 
 /// A fault active over a closed-open time window `[start, start + duration)`.
@@ -165,6 +171,9 @@ pub struct TickFaults {
     pub telemetry_noise_amp: f64,
     /// Extra bandwidth utilization on both tiers.
     pub bandwidth_extra_util: f64,
+    /// The PP-M control daemon is down this tick (no policy decisions;
+    /// PP-E keeps enforcing the last plan).
+    pub ppm_down: bool,
 }
 
 impl TickFaults {
@@ -178,6 +187,7 @@ impl TickFaults {
             telemetry_delay_ticks: 0,
             telemetry_noise_amp: 0.0,
             bandwidth_extra_util: 0.0,
+            ppm_down: false,
         }
     }
 
@@ -252,6 +262,7 @@ impl FaultInjector {
                     t.bandwidth_extra_util =
                         (t.bandwidth_extra_util + extra.clamp(0.0, 1.0)).min(1.0);
                 }
+                FaultKind::PpmCrash => t.ppm_down = true,
             }
         }
         self.trace.push(t);
@@ -332,6 +343,18 @@ mod tests {
         assert_eq!(t.migration_bw_factor, 0.0);
         assert_eq!(t.sampler_keep, 0.3);
         assert_eq!(t.bandwidth_extra_util, 1.0);
+    }
+
+    #[test]
+    fn ppm_crash_window_marks_daemon_down() {
+        let p = FaultPlan::new(3).with(FaultKind::PpmCrash, 5.0, 10.0);
+        let mut inj = FaultInjector::new(p);
+        assert!(!inj.begin_tick(4.0).ppm_down);
+        assert!(inj.begin_tick(5.0).ppm_down);
+        assert!(inj.begin_tick(14.0).ppm_down);
+        let after = inj.begin_tick(15.0);
+        assert!(!after.ppm_down);
+        assert!(after.is_nominal());
     }
 
     #[test]

@@ -328,6 +328,43 @@ impl AccessHistogram {
     }
 }
 
+/// The checkpoint carries the *full* internal state, not just the
+/// counts: re-binning uses swap-remove, so the order of ranks inside a
+/// bin is history-dependent, and `hottest_matching` breaks ties in bin
+/// order. Rebuilding bins from counts alone would produce a histogram
+/// that answers tie-broken queries differently from the original —
+/// violating bit-identical resume.
+impl mtat_snapshot::Snap for AccessHistogram {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        self.region.snap(w);
+        self.counts.snap(w);
+        self.bins.snap(w);
+        self.slots.snap(w);
+        self.total.snap(w);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        use mtat_snapshot::SnapError;
+        let h = Self {
+            region: PageRegion::unsnap(r)?,
+            counts: Vec::unsnap(r)?,
+            bins: Vec::unsnap(r)?,
+            slots: Vec::unsnap(r)?,
+            total: u64::unsnap(r)?,
+        };
+        if h.counts.len() != h.region.len()
+            || h.slots.len() != h.region.len()
+            || h.bins.len() != NUM_BINS
+        {
+            return Err(SnapError::Malformed("histogram shape mismatch"));
+        }
+        if h.check_invariants().is_err() {
+            return Err(SnapError::Malformed("histogram internal inconsistency"));
+        }
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +506,60 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_preserves_bin_internal_order() {
+        use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+
+        // Build a history-dependent bin layout: several pages in the same
+        // bin, arrived via different rebinning paths (swap_remove order).
+        let mut h = AccessHistogram::new(region(16));
+        let mut x = 0xD1CEu64;
+        for _ in 0..800 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.add(PageId(100 + (x % 16) as u32), x % 9);
+            if x.is_multiple_of(97) {
+                h.age();
+            }
+        }
+        let mut w = SnapWriter::new();
+        h.snap(&mut w);
+        let bytes = w.into_bytes();
+        let restored = AccessHistogram::unsnap(&mut SnapReader::new(&bytes)).unwrap();
+        restored.check_invariants().unwrap();
+        // Tie-broken queries must agree exactly, which requires the
+        // bin-internal order to have survived the roundtrip.
+        assert_eq!(
+            h.hottest_matching(16, |_| true),
+            restored.hottest_matching(16, |_| true)
+        );
+        assert_eq!(
+            h.coldest_matching(16, |_| true),
+            restored.coldest_matching(16, |_| true)
+        );
+        // And re-encoding the restored histogram is byte-identical.
+        let mut w2 = SnapWriter::new();
+        restored.snap(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_state() {
+        use mtat_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+        let mut h = AccessHistogram::new(region(4));
+        h.add(PageId(100), 9);
+        let mut w = SnapWriter::new();
+        h.snap(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt the total (last 8 bytes) — counts no longer sum to it.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        let got = AccessHistogram::unsnap(&mut SnapReader::new(&bytes));
+        assert!(matches!(got, Err(SnapError::Malformed(_))));
+    }
+
+    #[test]
     fn stress_rebinning_consistency() {
         let mut h = AccessHistogram::new(region(64));
         // Deterministic pseudo-random walk of adds and ages.
@@ -485,5 +576,61 @@ mod tests {
             }
         }
         h.check_invariants().unwrap();
+    }
+
+    mod snapshot_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Snapshot/restore of an arbitrary add/age history preserves
+            /// every observable: totals, per-rank counts, the exact
+            /// tie-breaking order of hottest/coldest scans (bin-internal
+            /// order is history-dependent), and the internal invariants.
+            #[test]
+            fn roundtrip_preserves_arbitrary_histories(
+                ops in prop::collection::vec(
+                    (0u32..24, 0u64..40, prop::bool::ANY),
+                    0..200,
+                ),
+            ) {
+                use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+
+                let mut h = AccessHistogram::new(region(24));
+                for &(page, count, do_age) in &ops {
+                    h.add(PageId(100 + page), count);
+                    if do_age {
+                        h.age();
+                    }
+                }
+
+                let mut w = SnapWriter::new();
+                h.snap(&mut w);
+                let bytes = w.into_bytes();
+                let restored = AccessHistogram::unsnap(&mut SnapReader::new(&bytes)).unwrap();
+
+                prop_assert_eq!(restored.total(), h.total());
+                for k in 0..=24usize {
+                    prop_assert_eq!(restored.kth_hottest_count(k), h.kth_hottest_count(k));
+                }
+                prop_assert_eq!(
+                    restored.hottest_matching(24, |_| true),
+                    h.hottest_matching(24, |_| true)
+                );
+                prop_assert_eq!(
+                    restored.coldest_matching(24, |_| true),
+                    h.coldest_matching(24, |_| true)
+                );
+                restored.check_invariants().unwrap();
+
+                // Re-serializing yields the same bytes: the codec has a
+                // canonical form.
+                let mut w2 = SnapWriter::new();
+                restored.snap(&mut w2);
+                prop_assert_eq!(bytes, w2.into_bytes());
+            }
+        }
     }
 }

@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod audit;
 pub mod bandwidth;
 pub mod error;
 pub mod faults;
@@ -59,6 +60,7 @@ pub mod migration;
 pub mod page;
 pub mod sampler;
 
+pub use audit::{audit_enabled, AuditViolation};
 pub use bandwidth::BandwidthModel;
 pub use error::TierMemError;
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow, TickFaults};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::audit::AuditViolation;
 use crate::error::TierMemError;
 use crate::page::{PageId, PageRegion, Tier, WorkloadId};
 
@@ -526,9 +527,19 @@ impl TieredMemory {
         self.residency[w.index()].fmem_pages * self.spec.page_size()
     }
 
-    /// Checks internal counter consistency; used by tests and property
-    /// tests as the system invariant.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Audits the conservation laws of this memory system against an
+    /// O(n) recount of the page table: per-tier occupancy counters,
+    /// tier capacities, page-to-region ownership, per-workload residency
+    /// counters, and the incrementally maintained popularity masses.
+    ///
+    /// This is the substrate half of the runtime invariant auditor
+    /// ([`crate::audit`]); the experiment runner calls it after every
+    /// tick when [`crate::audit::audit_enabled`] says so.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AuditViolation`] found.
+    pub fn audit(&self) -> Result<(), AuditViolation> {
         let mut fmem = 0u64;
         let mut smem = 0u64;
         let mut per_w: Vec<Residency> = vec![Residency::default(); self.regions.len()];
@@ -546,32 +557,47 @@ impl TieredMemory {
             }
             let region = self.regions[m.owner.index()];
             if (i as u32) < region.base || (i as u32) >= region.base + region.n_pages {
-                return Err(format!("page {i} outside its owner's region"));
+                return Err(AuditViolation::PageOutsideRegion {
+                    page_index: i,
+                    workload: m.owner,
+                });
             }
         }
         if fmem != self.fmem_used {
-            return Err(format!("fmem_used {} != recount {fmem}", self.fmem_used));
+            return Err(AuditViolation::TierCount {
+                tier: Tier::FMem,
+                counter: self.fmem_used,
+                recount: fmem,
+            });
         }
         if smem != self.smem_used {
-            return Err(format!("smem_used {} != recount {smem}", self.smem_used));
+            return Err(AuditViolation::TierCount {
+                tier: Tier::SMem,
+                counter: self.smem_used,
+                recount: smem,
+            });
         }
         if fmem > self.spec.fmem_pages() {
-            return Err(format!(
-                "fmem overcommitted: {fmem} > {}",
-                self.spec.fmem_pages()
-            ));
+            return Err(AuditViolation::TierOvercommit {
+                tier: Tier::FMem,
+                used: fmem,
+                capacity: self.spec.fmem_pages(),
+            });
         }
         if smem > self.spec.smem_pages() {
-            return Err(format!(
-                "smem overcommitted: {smem} > {}",
-                self.spec.smem_pages()
-            ));
+            return Err(AuditViolation::TierOvercommit {
+                tier: Tier::SMem,
+                used: smem,
+                capacity: self.spec.smem_pages(),
+            });
         }
         for (i, (got, want)) in per_w.iter().zip(self.residency.iter()).enumerate() {
             if got != want {
-                return Err(format!(
-                    "workload {i} residency mismatch: {got:?} vs {want:?}"
-                ));
+                return Err(AuditViolation::ResidencyMismatch {
+                    workload: WorkloadId(i as u16),
+                    counter: (want.fmem_pages, want.smem_pages),
+                    recount: (got.fmem_pages, got.smem_pages),
+                });
             }
         }
         for (i, mass) in self.popularity.iter().enumerate() {
@@ -584,13 +610,43 @@ impl TieredMemory {
                 .map(|(rank, _)| mass.weights[rank])
                 .sum();
             if (scratch - mass.fmem_mass).abs() > 1e-9 {
-                return Err(format!(
-                    "workload {i} popularity mass drifted: incremental {} vs recompute {scratch}",
-                    mass.fmem_mass
-                ));
+                return Err(AuditViolation::PopularityDrift {
+                    workload: WorkloadId(i as u16),
+                    incremental: mass.fmem_mass,
+                    recomputed: scratch,
+                });
             }
         }
         Ok(())
+    }
+
+    /// Checks internal counter consistency; used by tests and property
+    /// tests as the system invariant. Stringly-typed wrapper around
+    /// [`Self::audit`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.audit().map_err(|v| v.to_string())
+    }
+
+    /// Deliberately desynchronizes a tier occupancy counter from the page
+    /// table. Exists only so tests can prove the auditor catches broken
+    /// accounting; never call this outside a test.
+    #[doc(hidden)]
+    pub fn debug_corrupt_tier_counter(&mut self, tier: Tier, delta: i64) {
+        let counter = match tier {
+            Tier::FMem => &mut self.fmem_used,
+            Tier::SMem => &mut self.smem_used,
+        };
+        *counter = counter.wrapping_add_signed(delta);
+    }
+
+    /// Deliberately drifts a workload's incremental popularity mass.
+    /// Exists only so tests can prove the auditor catches broken
+    /// accounting; never call this outside a test.
+    #[doc(hidden)]
+    pub fn debug_corrupt_popularity(&mut self, w: WorkloadId, delta: f64) {
+        if let Some(mass) = self.popularity[w.index()].as_mut() {
+            mass.fmem_mass += delta;
+        }
     }
 }
 
@@ -795,6 +851,45 @@ mod tests {
         mem.register_popularity(w, &[0.1, 0.9]).unwrap();
         assert!((mem.resident_popularity(w).unwrap() - 0.9).abs() < 1e-12);
         mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auditor_catches_deliberate_counter_corruption() {
+        use crate::audit::AuditViolation;
+
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem
+            .register_workload(6 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        mem.register_popularity(w, &[0.3, 0.25, 0.2, 0.15, 0.07, 0.03])
+            .unwrap();
+        mem.audit().unwrap();
+
+        // Tier-counter drift is detected and names the tier.
+        let mut broken = mem.clone();
+        broken.debug_corrupt_tier_counter(Tier::FMem, 1);
+        assert!(matches!(
+            broken.audit(),
+            Err(AuditViolation::TierCount {
+                tier: Tier::FMem,
+                ..
+            })
+        ));
+
+        // Popularity-mass drift beyond the Kahan tolerance is detected.
+        let mut broken = mem.clone();
+        broken.debug_corrupt_popularity(w, 1e-6);
+        assert!(matches!(
+            broken.audit(),
+            Err(AuditViolation::PopularityDrift { .. })
+        ));
+        // And the stringly wrapper reports the same failure.
+        assert!(broken.check_invariants().is_err());
+
+        // Drift *within* tolerance stays silent.
+        let mut ok = mem;
+        ok.debug_corrupt_popularity(w, 1e-12);
+        ok.audit().unwrap();
     }
 
     #[test]

@@ -156,6 +156,20 @@ impl PageRegion {
     }
 }
 
+impl mtat_snapshot::Snap for PageRegion {
+    fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
+        w.put_u32(self.base);
+        w.put_u32(self.n_pages);
+    }
+
+    fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
+        Ok(Self {
+            base: r.get_u32()?,
+            n_pages: r.get_u32()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,19 @@ pub struct StdRng {
     state: u64,
 }
 
+impl StdRng {
+    /// The generator's raw internal state, for checkpointing. Restoring
+    /// via [`StdRng::from_state`] continues the exact same stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a captured [`StdRng::state`] value.
+    pub fn from_state(state: u64) -> Self {
+        StdRng { state }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         StdRng { state: seed }
