@@ -22,6 +22,8 @@ use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{CheckpointCfg, Experiment};
 use mtat_core::stats::RunResult;
+use mtat_obs::export::{json_f64, json_opt_f64};
+use mtat_obs::{obs_enabled, Obs};
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
@@ -165,27 +167,99 @@ fn slo_recover_secs(r: &RunResult, fault_end: f64, window_ticks: usize) -> Optio
     None
 }
 
-fn json_f(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.4}")
-    } else {
-        "null".to_string()
-    }
+/// Cross-checks the shared registry against the runs' own records: the
+/// `runner.lc_p99_ns` histogram aggregated over every cell must agree —
+/// within its configured relative-error bound — with the exact
+/// nearest-rank p99 over all per-tick P99 values, and the tick counter
+/// must match exactly. A drift here means the instrumentation and the
+/// physics disagree about what happened.
+fn assert_registry_consistent(tele: &Obs, runs: &[RunResult]) {
+    let mut ns: Vec<u64> = runs
+        .iter()
+        .flat_map(|r| r.ticks.iter())
+        .map(|t| (t.lc_p99 * 1e9).round() as u64)
+        .collect();
+    let total_ticks = ns.len() as u64;
+    assert_eq!(
+        tele.counter_value("runner.ticks"),
+        Some(total_ticks),
+        "registry tick counter disagrees with the runs"
+    );
+    ns.sort_unstable();
+    let rank = ((0.99 * total_ticks as f64).ceil() as usize).clamp(1, ns.len());
+    let exact = ns[rank - 1];
+    let (approx, bound) = tele
+        .with_registry(|reg| {
+            let h = reg.histogram("runner.lc_p99_ns").expect("histogram exists");
+            assert_eq!(h.count(), total_ticks);
+            (h.p99(), h.relative_error_bound())
+        })
+        .expect("telemetry enabled");
+    let err = (approx as f64 - exact as f64).abs() / exact.max(1) as f64;
+    assert!(
+        err <= bound,
+        "metrics p99 {approx} ns vs exact {exact} ns: rel err {err:.6} exceeds bound {bound:.6}"
+    );
+    eprintln!(
+        "# metrics cross-check: p99 {approx} ns vs exact {exact} ns (rel err {err:.2e} <= {bound:.2e}), {total_ticks} ticks"
+    );
 }
 
-fn json_opt(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".to_string(), |x| format!("{x:.1}"))
+/// Cross-checks the registry against the runs, then emits the snapshot:
+/// JSON to `path` and Prometheus text to `path.prom` when a path is
+/// given, both to stderr otherwise. No-op when telemetry is disabled.
+fn emit_metrics(tele: &Obs, runs: &[RunResult], path: Option<&str>) {
+    if !tele.is_enabled() {
+        return;
+    }
+    assert_registry_consistent(tele, runs);
+    let json = tele.snapshot_json().expect("telemetry enabled");
+    let prom = tele
+        .snapshot_prometheus(&[("bench", "chaos_matrix")])
+        .expect("telemetry enabled");
+    match path {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            let prom_path = format!("{path}.prom");
+            std::fs::write(&prom_path, &prom)
+                .unwrap_or_else(|e| panic!("cannot write {prom_path}: {e}"));
+            eprintln!("# wrote metrics snapshot to {path} and {prom_path}");
+        }
+        None => {
+            eprintln!("# metrics snapshot (json):");
+            eprintln!("{json}");
+            eprintln!("# metrics snapshot (prometheus):");
+            eprintln!("{prom}");
+        }
+    }
 }
 
 fn main() {
     // `chaos_matrix --trace <scenario>` dumps the per-tick TSV time
     // series of both policies for one scenario instead of the matrix.
+    // `--metrics-out PATH` additionally writes the aggregated metrics
+    // registry as JSON (plus `PATH.prom` in Prometheus text format);
+    // setting `MTAT_OBS=on` without a path prints both to stderr.
     let args: Vec<String> = std::env::args().collect();
     let trace = args
         .iter()
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // One registry shared by every cell: counters and histograms
+    // aggregate across the whole matrix. Telemetry never perturbs the
+    // simulation, so the report below is byte-identical either way.
+    let tele = if obs_enabled() || metrics_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
 
     let cfg = SimConfig::paper();
     let lc = LcSpec::redis();
@@ -211,13 +285,16 @@ fn main() {
             harness::worker_count(POLICIES.len()),
             |_, name| {
                 let mut p = make_policy(name, &cfg, &lc, &bes);
-                arm_experiment(&exp, Some(&scenario), name).run(p.as_mut())
+                arm_experiment(&exp, Some(&scenario), name)
+                    .with_obs(tele.clone())
+                    .run(p.as_mut())
             },
         );
         for (name, r) in POLICIES.iter().zip(&runs) {
             println!("## {name}");
             print!("{}", r.to_tsv_string());
         }
+        emit_metrics(&tele, &runs, metrics_out.as_deref());
         return;
     }
 
@@ -244,7 +321,7 @@ fn main() {
             }
         };
         let mut p = make_policy(name, &cfg, &lc, &bes);
-        exp.run(p.as_mut())
+        exp.with_obs(tele.clone()).run(p.as_mut())
     });
     let clean: Vec<(String, RunResult)> = POLICIES
         .iter()
@@ -284,32 +361,32 @@ fn main() {
             retaineds.push(retained);
             println!("        {{");
             println!("          \"policy\": \"{name}\",");
-            println!("          \"violation_rate\": {},", json_f(overall));
+            println!("          \"violation_rate\": {},", json_f64(overall));
             println!(
                 "          \"violation_rate_in_fault\": {},",
-                json_f(violation_rate_between(r, FAULT_START, fault_end))
+                json_f64(violation_rate_between(r, FAULT_START, fault_end))
             );
             println!(
                 "          \"violation_rate_post_fault\": {},",
-                json_f(violation_rate_between(r, fault_end, DURATION))
+                json_f64(violation_rate_between(r, fault_end, DURATION))
             );
             println!(
                 "          \"be_throughput_retained\": {},",
-                json_f(retained)
+                json_f64(retained)
             );
             println!("          \"failed_moves\": {},", r.failed_moves);
             println!("          \"retried_moves\": {},", r.retried_moves);
             println!(
                 "          \"degraded_tick_fraction\": {},",
-                json_f(r.degraded_tick_fraction(0.0))
+                json_f64(r.degraded_tick_fraction(0.0))
             );
             println!(
                 "          \"repromote_secs_after_clearance\": {},",
-                json_opt(repromote_secs(r, fault_end))
+                json_opt_f64(repromote_secs(r, fault_end))
             );
             println!(
                 "          \"slo_recover_secs_after_clearance\": {}",
-                json_opt(slo_recover_secs(r, fault_end, 10))
+                json_opt_f64(slo_recover_secs(r, fault_end, 10))
             );
             let comma = if pi + 1 < POLICIES.len() { "," } else { "" };
             println!("        }}{comma}");
@@ -334,6 +411,8 @@ fn main() {
     }
     println!("  ]");
     println!("}}");
+
+    emit_metrics(&tele, &runs, metrics_out.as_deref());
 
     eprintln!("# scenario\tunsupervised\tsupervised\timproved");
     for (s, u, v, ok) in verdicts {

@@ -43,6 +43,8 @@ use std::time::Instant;
 use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
+use mtat_obs::obs_enabled;
+use mtat_obs::registry::Registry;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
@@ -59,6 +61,18 @@ struct Timed {
 impl Timed {
     fn ticks_per_sec(&self) -> f64 {
         self.ticks as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Lands this measurement in the metrics registry under
+    /// `perf.<section>.<arm>_*`. The registry is the single store the
+    /// report and the `--check` guard both read from.
+    fn record(&self, reg: &mut Registry, section: &str, arm: &str) {
+        reg.gauge_set(&format!("perf.{section}.{arm}_wall_secs"), self.wall_secs);
+        reg.counter_add(&format!("perf.{section}.{arm}_ticks"), self.ticks as u64);
+        reg.gauge_set(
+            &format!("perf.{section}.{arm}_ticks_per_sec"),
+            self.ticks_per_sec(),
+        );
     }
 }
 
@@ -168,19 +182,39 @@ fn main() {
     );
     let scaling = serial_secs / parallel_secs.max(1e-9);
 
+    // Every measurement lands in one registry; the JSON report, the
+    // optional Prometheus export, and the --check guard all read from
+    // it rather than from scattered locals.
+    let mut reg = Registry::new();
+    for (name, legacy, incr, speedup) in [
+        ("reference", &ref_legacy, &ref_incr, ref_speedup),
+        ("adaptive", &ad_legacy, &ad_incr, ad_speedup),
+    ] {
+        legacy.record(&mut reg, name, "legacy");
+        incr.record(&mut reg, name, "incremental");
+        reg.gauge_set(&format!("perf.{name}.speedup"), speedup);
+    }
+    reg.gauge_set("perf.matrix.workers", pool as f64);
+    reg.gauge_set("perf.matrix.serial_secs", serial_secs);
+    reg.gauge_set("perf.matrix.parallel_secs", parallel_secs);
+    reg.gauge_set("perf.matrix.scaling", scaling);
+
     let mode = if quick { "quick" } else { "full" };
-    let section = |name: &str, policy: &str, legacy: &Timed, incr: &Timed, speedup: f64| {
+    let g = |reg: &Registry, key: &str| reg.gauge(key).unwrap_or(f64::NAN);
+    let c = |reg: &Registry, key: &str| reg.counter(key);
+    let section = |reg: &Registry, name: &str, policy: &str| {
         format!(
             "  \"{name}\": {{\n    \"policy\": \"{policy}\",\n    \
              \"legacy\": {{ \"wall_secs\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1} }},\n    \
              \"incremental\": {{ \"wall_secs\": {:.3}, \"ticks\": {}, \"ticks_per_sec\": {:.1} }},\n    \
-             \"speedup\": {speedup:.2}\n  }}",
-            legacy.wall_secs,
-            legacy.ticks,
-            legacy.ticks_per_sec(),
-            incr.wall_secs,
-            incr.ticks,
-            incr.ticks_per_sec(),
+             \"speedup\": {:.2}\n  }}",
+            g(reg, &format!("perf.{name}.legacy_wall_secs")),
+            c(reg, &format!("perf.{name}.legacy_ticks")),
+            g(reg, &format!("perf.{name}.legacy_ticks_per_sec")),
+            g(reg, &format!("perf.{name}.incremental_wall_secs")),
+            c(reg, &format!("perf.{name}.incremental_ticks")),
+            g(reg, &format!("perf.{name}.incremental_ticks_per_sec")),
+            g(reg, &format!("perf.{name}.speedup")),
         )
     };
     let json = format!(
@@ -188,10 +222,16 @@ fn main() {
          {},\n{},\n  \"speedup\": {ref_speedup:.2},\n  \
          \"parallel\": {{ \"cells\": 4, \"workers\": {pool}, \"serial_secs\": {serial_secs:.3}, \
          \"parallel_secs\": {parallel_secs:.3}, \"scaling\": {scaling:.2} }}\n}}\n",
-        section("reference", "fmem_all", &ref_legacy, &ref_incr, ref_speedup),
-        section("adaptive", "memtis", &ad_legacy, &ad_incr, ad_speedup),
+        section(&reg, "reference", "fmem_all"),
+        section(&reg, "adaptive", "memtis"),
     );
     print!("{json}");
+
+    if obs_enabled() {
+        // MTAT_OBS=on: also expose the measurements in Prometheus text
+        // format on stderr (scrape-friendly without a second run).
+        eprint!("{}", reg.to_prometheus(&[("bench", "perf_baseline")]));
+    }
 
     if check {
         let baseline = std::fs::read_to_string(&out_path)
@@ -203,8 +243,8 @@ fn main() {
         // whole hot path (batched sampler, tracker, hotness competition)
         // every tick, whereas the reference run is O(1)/tick and its
         // quick-mode timing is noise-dominated.
-        let tps = ad_incr.ticks_per_sec();
-        let speedup = ad_speedup;
+        let tps = g(&reg, "perf.adaptive.incremental_ticks_per_sec");
+        let speedup = g(&reg, "perf.adaptive.speedup");
         eprintln!(
             "# check: {tps:.0} ticks/s vs baseline {base_tps:.0} (floor {:.0})",
             base_tps * REGRESSION_FLOOR

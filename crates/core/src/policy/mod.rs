@@ -14,6 +14,7 @@ pub mod mtat;
 pub mod statics;
 pub mod tpp;
 
+use mtat_obs::Obs;
 use mtat_tiermem::memory::{InitialPlacement, TieredMemory};
 use mtat_tiermem::migration::MigrationEngine;
 use mtat_tiermem::page::WorkloadId;
@@ -111,6 +112,14 @@ pub trait Policy {
     /// Called once after all workloads are registered, before the first
     /// tick. Policies build their histograms and initial targets here.
     fn init(&mut self, _mem: &TieredMemory, _workloads: &[WorkloadObs]) {}
+
+    /// Hands the policy the run's telemetry handle before the first
+    /// tick. Policies that export internal state (plan deltas, learner
+    /// diagnostics, supervisor transitions) keep a clone; the default
+    /// ignores it. The handle may be disabled — every call on it is
+    /// then a no-op — and instrumentation must never influence the
+    /// policy's decisions.
+    fn set_obs(&mut self, _obs: &Obs) {}
 
     /// Called every tick; the policy observes and migrates.
     fn on_tick(&mut self, sim: &mut SimState<'_>);

@@ -20,6 +20,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use mtat_obs::event::Severity;
+use mtat_obs::Obs;
 use mtat_rl::sac::{Sac, SacConfig};
 use mtat_tiermem::memory::TieredMemory;
 use mtat_tiermem::page::WorkloadId;
@@ -157,6 +159,9 @@ pub struct MtatPolicy {
     lc_spec: LcSpec,
     fmem_total: u64,
     max_step_bytes: f64,
+    /// Telemetry handle ([`Policy::set_obs`]); disabled (inert) by
+    /// default. Never consulted by any control path.
+    obs: Obs,
 }
 
 /// Pretrained-agent cache keyed by (workload, cores, FMem, step,
@@ -281,7 +286,50 @@ impl MtatPolicy {
             lc_spec: lc_spec.clone(),
             fmem_total,
             max_step_bytes,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Exports the interval's control-plane diagnostics: plan deltas,
+    /// SAC learner health, annealing search stats, and enforcement
+    /// backlog. Called only on the enabled path.
+    fn emit_interval_telemetry(&self, now_secs: f64, plan: &PartitionPlan, prev_lc_bytes: u64) {
+        self.obs.count("mtat.plans", 1);
+        self.obs.gauge("mtat.plan_lc_bytes", plan.lc_bytes as f64);
+        let delta = plan.lc_bytes as f64 - prev_lc_bytes as f64;
+        self.obs.gauge("mtat.plan_lc_delta_bytes", delta);
+        self.obs
+            .observe("mtat.plan_lc_delta_abs_bytes", delta.abs() as u64);
+        if let Some(sac) = self.ppm.sac_agent() {
+            self.obs.gauge("mtat.sac_alpha", sac.alpha());
+            self.obs
+                .gauge("mtat.sac_updates", sac.updates_done() as f64);
+            self.obs
+                .gauge("mtat.sac_replay_len", sac.replay_len() as f64);
+            self.obs
+                .gauge("mtat.sac_critic_loss", sac.last_critic_loss());
+            self.obs.gauge("mtat.sac_entropy", sac.last_entropy());
+            self.obs
+                .gauge("mtat.sac_critic_param_l2", sac.critic_param_l2());
+        }
+        if let Some(a) = self.ppm.last_anneal() {
+            self.obs
+                .gauge("mtat.anneal_iterations", a.iterations as f64);
+            self.obs.gauge("mtat.anneal_best_score", a.best_score);
+            self.obs.gauge("mtat.anneal_temperature", a.final_temp);
+        }
+        self.obs.event(
+            now_secs,
+            "mtat",
+            Severity::Info,
+            "plan",
+            &[
+                ("lc_bytes", plan.lc_bytes.to_string()),
+                ("delta_bytes", format!("{delta:.0}")),
+                ("be_workloads", plan.be_bytes.len().to_string()),
+                ("mode", self.ppm.mode().label().to_string()),
+            ],
+        );
     }
 
     /// The most recent PP-M plan (diagnostics).
@@ -406,6 +454,10 @@ impl Policy for MtatPolicy {
         &self.name
     }
 
+    fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
     fn init(&mut self, mem: &TieredMemory, workloads: &[WorkloadObs]) {
         let lc = workloads
             .iter()
@@ -482,6 +534,14 @@ impl Policy for MtatPolicy {
         }
 
         if sim.interval_boundary && self.acc_ticks > 0 {
+            let transitions_before = self
+                .supervisor
+                .as_ref()
+                .map_or(0, |s| s.transitions().len());
+            let prev_lc_bytes = self
+                .latest_plan
+                .as_ref()
+                .map_or_else(|| self.ppm.lc_target_bytes(), |p| p.lc_bytes);
             let n = self.acc_ticks as f64;
             let usage = sim.mem.residency(lc_id).fmem_usage_ratio();
             let obs = LcObservation {
@@ -528,6 +588,24 @@ impl Policy for MtatPolicy {
             }
             ppe.set_plan(sim.mem, targets);
             ppe.age();
+            if self.obs.is_enabled() {
+                self.emit_interval_telemetry(sim.now_secs, &plan, prev_lc_bytes);
+                if let Some(sup) = &self.supervisor {
+                    let transitions = sup.transitions();
+                    if transitions.len() > transitions_before {
+                        let t = transitions.last().expect("length just checked");
+                        self.obs.count("mtat.supervisor_transitions", 1);
+                        self.obs.event(
+                            sim.now_secs,
+                            "mtat",
+                            Severity::Warn,
+                            "supervisor_transition",
+                            &[("to", t.to.label().to_string())],
+                        );
+                        self.obs.dump_flight_recorder("supervisor transition");
+                    }
+                }
+            }
             self.latest_plan = Some(plan);
             self.reset_accumulators();
         }
@@ -536,6 +614,10 @@ impl Policy for MtatPolicy {
             ppe.set_placement_frozen(sim.fmem_bw_util > threshold);
         }
         ppe.tick(sim.mem, sim.migration);
+        if self.obs.is_enabled() {
+            self.obs
+                .gauge("mtat.ppe_deferred_pages", ppe.deferred_pages() as f64);
+        }
         self.ppe = Some(ppe);
     }
 }

@@ -23,12 +23,26 @@ pub fn min_np(profiles: &[BeProfile], alloc_gb: &[u64]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Diagnostics from the most recent annealing search. Telemetry only:
+/// deliberately excluded from [`BePartitioner::save_state`], so the
+/// checkpoint payload is unchanged by its existence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// Iterations the search actually executed.
+    pub iterations: usize,
+    /// Objective value (`min NP`) of the accepted allocation.
+    pub best_score: f64,
+    /// Temperature when the search stopped: `T₀ · γ^iterations`.
+    pub final_temp: f64,
+}
+
 /// BE partitioner: owns the offline profiles and the SA configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BePartitioner {
     profiles: Vec<BeProfile>,
     cfg: AnnealingConfig,
     seed: u64,
+    last_anneal: Option<AnnealStats>,
 }
 
 impl BePartitioner {
@@ -38,7 +52,15 @@ impl BePartitioner {
             profiles,
             cfg,
             seed,
+            last_anneal: None,
         }
+    }
+
+    /// Diagnostics from the most recent [`Self::partition`] call
+    /// (`None` before the first search, or when there are no BE
+    /// workloads to partition).
+    pub fn last_anneal(&self) -> Option<AnnealStats> {
+        self.last_anneal
     }
 
     /// The profiles this partitioner allocates against.
@@ -87,6 +109,11 @@ impl BePartitioner {
             &self.cfg,
             self.seed,
         );
+        self.last_anneal = Some(AnnealStats {
+            iterations: result.iterations,
+            best_score: result.best_score,
+            final_temp: self.cfg.t0 * self.cfg.gamma.powi(result.iterations as i32),
+        });
         // Vary the seed between invocations so repeated partitioning
         // calls explore different random walks, as a daemon would.
         self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);

@@ -210,6 +210,22 @@ impl PartitionPolicyMaker {
         self.lc.rl_raw_action()
     }
 
+    /// The primary sizer's SAC agent (`None` for the heuristic
+    /// ablation). Read-only: exposed for learner diagnostics.
+    pub fn sac_agent(&self) -> Option<&mtat_rl::sac::Sac> {
+        match &self.lc {
+            LcSizer::Rl(p) => Some(p.agent()),
+            LcSizer::Heuristic(_) => None,
+        }
+    }
+
+    /// Diagnostics from the BE partitioner's most recent annealing
+    /// search (`None` for the LC-only variant or before the first
+    /// search).
+    pub fn last_anneal(&self) -> Option<crate::ppm::be::AnnealStats> {
+        self.be.as_ref().and_then(BePartitioner::last_anneal)
+    }
+
     /// Resets the runtime state for a cold daemon restart (no usable
     /// checkpoint): installs a fresh primary sizer, rewinds the BE
     /// annealing seed, clears the SLO-guard floor, and returns the

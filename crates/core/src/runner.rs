@@ -23,6 +23,8 @@
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
+use mtat_obs::event::Severity;
+use mtat_obs::Obs;
 use mtat_snapshot::{seal, unseal, CheckpointStore, SnapError};
 use mtat_tiermem::bandwidth::BandwidthModel;
 use mtat_tiermem::error::TierMemError;
@@ -76,6 +78,12 @@ pub struct Experiment {
     /// PP-M checkpointing configuration. `None` (the default) disables
     /// checkpoint capture; a crashed controller then restarts cold.
     pub checkpoints: Option<CheckpointCfg>,
+    /// Explicit telemetry handle. `None` (the default) defers to the
+    /// `MTAT_OBS` environment variable ([`Obs::from_env`]); harnesses
+    /// that need one registry per matrix cell attach their own handle.
+    /// Telemetry never feeds back into simulation physics — runs are
+    /// bit-identical with observability on or off.
+    pub obs: Option<Obs>,
 }
 
 /// Checkpointing and crash-recovery configuration for a run.
@@ -177,6 +185,7 @@ impl Experiment {
             fault_plan: FaultPlan::none(),
             legacy_accounting: false,
             checkpoints: None,
+            obs: None,
         }
     }
 
@@ -208,6 +217,13 @@ impl Experiment {
     /// Enables PP-M checkpointing (see [`CheckpointCfg`]).
     pub fn with_checkpoints(mut self, cfg: CheckpointCfg) -> Self {
         self.checkpoints = Some(cfg);
+        self
+    }
+
+    /// Attaches an explicit telemetry handle instead of consulting
+    /// `MTAT_OBS` (see [`Experiment::obs`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -292,6 +308,30 @@ impl Experiment {
         if faults_enabled {
             engine.set_fault_seed(self.fault_plan.seed);
         }
+
+        // Telemetry: an explicit handle wins, otherwise `MTAT_OBS`
+        // decides. A disabled handle is inert (one `Option` check per
+        // call) and telemetry never feeds back into the physics, so
+        // runs are bit-identical with observability on or off.
+        let tele = self.obs.clone().unwrap_or_else(Obs::from_env);
+        if tele.is_enabled() {
+            sampler.set_obs(tele.clone());
+            engine.set_obs(tele.clone());
+            tele.count("runner.runs", 1);
+            tele.event(
+                0.0,
+                "runner",
+                Severity::Info,
+                "run_start",
+                &[
+                    ("policy", policy.name().to_string()),
+                    ("load", self.load.describe()),
+                    ("duration_secs", format!("{:.0}", self.duration_secs)),
+                    ("seed", self.cfg.seed.to_string()),
+                ],
+            );
+        }
+        policy.set_obs(&tele);
         let max_history = 1 + self
             .fault_plan
             .windows
@@ -420,14 +460,59 @@ impl Experiment {
             if faults_enabled && tf.ppm_down != ppm_was_down {
                 if tf.ppm_down {
                     policy.on_controller_crash();
+                    if tele.is_enabled() {
+                        tele.count("runner.ppm_crashes", 1);
+                        tele.event(now, "runner", Severity::Warn, "ppm_crash", &[]);
+                        tele.dump_flight_recorder("ppm crash");
+                    }
                 } else {
-                    let payload: Option<Vec<u8>> = match &ckpt_store {
-                        Some(store) => store.load_latest().map_err(checkpoint_err)?,
-                        None => ckpt_ring
-                            .iter()
-                            .rev()
-                            .find_map(|blob| unseal(blob).ok().map(|p| p.to_vec())),
+                    let restore_t0 = std::time::Instant::now();
+                    let (generation, payload): (Option<u64>, Option<Vec<u8>>) = match &ckpt_store {
+                        Some(store) => match store
+                            .load_latest_with_generation()
+                            .map_err(checkpoint_err)?
+                        {
+                            Some((gen, p)) => (Some(gen), Some(p)),
+                            None => (None, None),
+                        },
+                        None => (
+                            None,
+                            ckpt_ring
+                                .iter()
+                                .rev()
+                                .find_map(|blob| unseal(blob).ok().map(|p| p.to_vec())),
+                        ),
                     };
+                    if tele.is_enabled() {
+                        tele.count("runner.ppm_restarts", 1);
+                        tele.observe(
+                            "ckpt.restore_ns",
+                            u64::try_from(restore_t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        let source = match (&ckpt_store, &payload) {
+                            (_, None) => "cold",
+                            (Some(_), Some(_)) => "disk",
+                            (None, Some(_)) => "ring",
+                        };
+                        tele.event(
+                            now,
+                            "runner",
+                            Severity::Warn,
+                            "ppm_restart",
+                            &[
+                                ("source", source.to_string()),
+                                (
+                                    "generation",
+                                    generation.map_or_else(|| "-".to_string(), |g| g.to_string()),
+                                ),
+                                (
+                                    "payload_bytes",
+                                    payload.as_ref().map_or(0, Vec::len).to_string(),
+                                ),
+                            ],
+                        );
+                        tele.dump_flight_recorder("ppm restart");
+                    }
                     policy.on_controller_restart(&mem, payload.as_deref());
                 }
                 ppm_was_down = tf.ppm_down;
@@ -467,6 +552,16 @@ impl Experiment {
             lc_requests += offered * tick_secs;
             if violated {
                 lc_violated_requests += offered * tick_secs;
+            }
+            if tele.is_enabled() {
+                tele.count("runner.ticks", 1);
+                if violated {
+                    tele.count("runner.slo_violations", 1);
+                }
+                // The `as` cast saturates, so an unstable queue's
+                // infinite P99 lands in the histogram's top bucket.
+                tele.observe("runner.lc_p99_ns", (p99 * 1e9).round() as u64);
+                tele.gauge("runner.lc_load_rps", load_rps);
             }
 
             // Demand-side access rate: queued requests still represent
@@ -627,6 +722,7 @@ impl Experiment {
                     boundaries_seen += 1;
                     if boundaries_seen.is_multiple_of(ck.every_intervals.max(1)) {
                         if let Some(payload) = policy.checkpoint() {
+                            let save_t0 = std::time::Instant::now();
                             if let Some(store) = &mut ckpt_store {
                                 store.save(&payload).map_err(checkpoint_err)?;
                             } else {
@@ -634,6 +730,21 @@ impl Experiment {
                                 while ckpt_ring.len() > ck.retain.max(1) {
                                     ckpt_ring.pop_front();
                                 }
+                            }
+                            if tele.is_enabled() {
+                                tele.count("ckpt.saves", 1);
+                                tele.observe(
+                                    "ckpt.save_ns",
+                                    u64::try_from(save_t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
+                                tele.gauge("ckpt.payload_bytes", payload.len() as f64);
+                                tele.event(
+                                    now,
+                                    "runner",
+                                    Severity::Debug,
+                                    "checkpoint",
+                                    &[("payload_bytes", payload.len().to_string())],
+                                );
                             }
                         }
                     }
@@ -649,26 +760,68 @@ impl Experiment {
 
             // ---- Runtime invariant audit ----
             if audit_on {
-                mem.audit()?;
-                if interval_boundary {
-                    // Conservation across the partition plan: the bytes
-                    // the policy hands out must fit in FMem. `u64::MAX`
-                    // is the static policies' "everything" sentinel.
-                    let fmem_bytes = self.cfg.mem.fmem_bytes();
-                    let mut plan_bytes = 0u64;
-                    for o in obs.iter() {
-                        if let Some(t) = policy.fmem_target(o.id) {
-                            let t = if t == u64::MAX { fmem_bytes } else { t };
-                            plan_bytes = plan_bytes.saturating_add(t);
+                if let Err(v) = mem.audit() {
+                    if tele.is_enabled() {
+                        tele.event(
+                            now,
+                            "runner",
+                            Severity::Error,
+                            "audit_violation",
+                            &[("detail", v.to_string())],
+                        );
+                        if let Some(dump) = tele.dump_flight_recorder("audit violation") {
+                            eprintln!("{dump}");
                         }
                     }
-                    if plan_bytes > fmem_bytes {
-                        return Err(AuditViolation::PlanExceedsFmem {
-                            plan_bytes,
-                            fmem_bytes,
-                        }
-                        .into());
+                    return Err(v.into());
+                }
+            }
+            if interval_boundary && (audit_on || tele.is_enabled()) {
+                // Conservation across the partition plan: the bytes
+                // the policy hands out must fit in FMem. `u64::MAX`
+                // is the static policies' "everything" sentinel. The
+                // plan total is also what telemetry reports, so it is
+                // computed whenever either consumer wants it.
+                let fmem_bytes = self.cfg.mem.fmem_bytes();
+                let mut plan_bytes = 0u64;
+                for o in obs.iter() {
+                    if let Some(t) = policy.fmem_target(o.id) {
+                        let t = if t == u64::MAX { fmem_bytes } else { t };
+                        plan_bytes = plan_bytes.saturating_add(t);
                     }
+                }
+                if tele.is_enabled() {
+                    tele.count("runner.intervals", 1);
+                    tele.gauge("runner.plan_bytes", plan_bytes as f64);
+                    tele.event(
+                        now,
+                        "runner",
+                        Severity::Info,
+                        "plan",
+                        &[
+                            ("plan_bytes", plan_bytes.to_string()),
+                            ("fmem_bytes", fmem_bytes.to_string()),
+                        ],
+                    );
+                }
+                if audit_on && plan_bytes > fmem_bytes {
+                    let v = AuditViolation::PlanExceedsFmem {
+                        plan_bytes,
+                        fmem_bytes,
+                    };
+                    if tele.is_enabled() {
+                        tele.event(
+                            now,
+                            "runner",
+                            Severity::Error,
+                            "audit_violation",
+                            &[("detail", v.to_string())],
+                        );
+                        if let Some(dump) = tele.dump_flight_recorder("audit violation") {
+                            eprintln!("{dump}");
+                        }
+                    }
+                    return Err(v.into());
                 }
             }
 
@@ -687,6 +840,11 @@ impl Experiment {
             smem_demand += mig_bw;
             fmem_util = bw.utilization(fmem_demand, true);
             smem_util = bw.utilization(smem_demand, false);
+            if tele.is_enabled() {
+                tele.gauge("runner.fmem_bw_util", fmem_util);
+                tele.gauge("runner.smem_bw_util", smem_util);
+                tele.gauge("runner.migration_bw_bytes_per_sec", mig_bw);
+            }
 
             // ---- Record ----
             let fmem_bytes: Vec<u64> = std::iter::once(lc_id)

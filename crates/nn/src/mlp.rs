@@ -64,6 +64,22 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// L2 norm of all parameters (weights and biases across layers).
+    ///
+    /// A cheap divergence diagnostic for telemetry: SAC training that
+    /// is blowing up shows as an exploding parameter norm long before
+    /// actions saturate, and a healthy run keeps it bounded.
+    pub fn param_l2(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.weights().iter().map(|w| w * w).sum::<f64>()
+                    + l.biases().iter().map(|b| b * b).sum::<f64>()
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Inference-only forward pass.
     ///
     /// # Panics

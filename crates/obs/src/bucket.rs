@@ -1,0 +1,233 @@
+//! Shared bucket-index arithmetic for every histogram in the workspace.
+//!
+//! Two binning schemes live here, both audited by the same test suite so
+//! the rest of the workspace never re-derives bit tricks:
+//!
+//! * [`exponent_bin`] — the pure power-of-two binning used by
+//!   `mtat_tiermem::histogram` for Fig. 4 hotness histograms (bin `k`
+//!   covers `[2^(k-1), 2^k)`; bin 0 is exactly zero).
+//! * [`log_linear_index`] / [`bucket_bounds`] — HDR-style log-linear
+//!   binning used by [`crate::hist::Histogram`] for tail-latency
+//!   percentiles with a *bounded relative error*: each power-of-two
+//!   octave is split into `2^bits` equal sub-buckets, so any recorded
+//!   value is off from its bucket representative by strictly less than
+//!   `2^-(bits+1)` of its magnitude (see [`relative_error_bound`]).
+//!
+//! All functions are total over `u64` and allocation-free.
+
+/// Sub-bucket resolution used by default across the workspace: 7 bits
+/// (128 sub-buckets per octave) bounds the relative quantile error at
+/// `2^-8 < 0.4%`, comfortably below run-to-run p99 noise, while keeping
+/// a full histogram under 60 KiB.
+pub const DEFAULT_SUB_BUCKET_BITS: u32 = 7;
+
+/// Maximum supported sub-bucket resolution. Beyond 16 bits the bucket
+/// array would dwarf any cache for no measurable accuracy gain.
+pub const MAX_SUB_BUCKET_BITS: u32 = 16;
+
+/// Pure exponential binning: 0 maps to bin 0 and any other count `c`
+/// maps to bin `⌈log2(c)⌉ + 1` clamped to `num_bins - 1`, i.e. bin `k`
+/// (for `0 < k < num_bins - 1`) covers `[2^(k-1), 2^k)`.
+///
+/// This is the exact binning contract of
+/// `mtat_tiermem::histogram::bin_for_count` (Fig. 4 of the paper groups
+/// pages by access-count magnitude); it lives here so the tiermem
+/// histogram and the obs histograms share one audited implementation.
+///
+/// ```
+/// use mtat_obs::bucket::exponent_bin;
+/// assert_eq!(exponent_bin(0, 48), 0);
+/// assert_eq!(exponent_bin(1, 48), 1);
+/// assert_eq!(exponent_bin(2, 48), 2);
+/// assert_eq!(exponent_bin(3, 48), 2);
+/// assert_eq!(exponent_bin(4, 48), 3);
+/// assert_eq!(exponent_bin(u64::MAX, 48), 47);
+/// ```
+#[inline]
+#[must_use]
+pub fn exponent_bin(count: u64, num_bins: usize) -> usize {
+    if count == 0 {
+        0
+    } else {
+        ((64 - count.leading_zeros()) as usize).min(num_bins - 1)
+    }
+}
+
+/// Number of buckets a log-linear layout with `bits` sub-bucket bits
+/// needs to cover all of `u64`.
+///
+/// Values below `2^(bits+1)` get one exact bucket each; every octave
+/// `[2^e, 2^(e+1))` for `e` in `bits+1 ..= 63` contributes `2^bits`
+/// sub-buckets.
+#[inline]
+#[must_use]
+pub fn bucket_count(bits: u32) -> usize {
+    assert!(
+        (1..=MAX_SUB_BUCKET_BITS).contains(&bits),
+        "sub-bucket bits must be in 1..={MAX_SUB_BUCKET_BITS}, got {bits}"
+    );
+    (1usize << (bits + 1)) + (63 - bits as usize) * (1usize << bits)
+}
+
+/// Log-linear bucket index of `value` for `bits` sub-bucket bits.
+///
+/// Values below `2^(bits+1)` are stored exactly (`index == value`).
+/// Larger values land in the sub-bucket of their octave selected by the
+/// top `bits` bits below the leading one — the classic HdrHistogram
+/// layout, computed with two shifts and a `leading_zeros`.
+#[inline]
+#[must_use]
+pub fn log_linear_index(value: u64, bits: u32) -> usize {
+    debug_assert!((1..=MAX_SUB_BUCKET_BITS).contains(&bits));
+    let linear_max = 1u64 << (bits + 1);
+    if value < linear_max {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // >= bits + 1
+        let sub = ((value - (1u64 << exp)) >> (exp - bits)) as usize;
+        linear_max as usize + ((exp - (bits + 1)) as usize) * (1usize << bits) + sub
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `index` (the inverse of
+/// [`log_linear_index`]: every `v` in the range maps back to `index`).
+#[inline]
+#[must_use]
+pub fn bucket_bounds(index: usize, bits: u32) -> (u64, u64) {
+    debug_assert!((1..=MAX_SUB_BUCKET_BITS).contains(&bits));
+    debug_assert!(index < bucket_count(bits));
+    let linear_max = 1usize << (bits + 1);
+    if index < linear_max {
+        (index as u64, index as u64)
+    } else {
+        let r = index - linear_max;
+        let oct = (r >> bits) as u32;
+        let sub = (r & ((1usize << bits) - 1)) as u64;
+        let exp = bits + 1 + oct;
+        let width = 1u64 << (exp - bits);
+        let lo = (1u64 << exp) + sub * width;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// Representative value reported for bucket `index`: the midpoint of
+/// its range, so the worst-case quantile error is half a bucket width.
+#[inline]
+#[must_use]
+pub fn bucket_value(index: usize, bits: u32) -> u64 {
+    let (lo, hi) = bucket_bounds(index, bits);
+    lo + (hi - lo) / 2
+}
+
+/// Worst-case relative error of any value reported from a log-linear
+/// histogram with `bits` sub-bucket bits: `2^-(bits+1)`.
+///
+/// Proof sketch: a value `v >= 2^(bits+1)` in octave `e` sits in a
+/// bucket of width `2^(e-bits)`; the midpoint is within half that width,
+/// and `v >= 2^e`, so the relative error is `< 2^(e-bits-1) / 2^e`.
+/// Values below `2^(bits+1)` are exact.
+#[inline]
+#[must_use]
+pub fn relative_error_bound(bits: u32) -> f64 {
+    1.0 / (1u64 << (bits + 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_bin_matches_tiermem_contract() {
+        // The exact boundary cases asserted by
+        // mtat_tiermem::histogram::tests::bin_boundaries_double.
+        assert_eq!(exponent_bin(0, 48), 0);
+        assert_eq!(exponent_bin(1, 48), 1);
+        assert_eq!(exponent_bin(2, 48), 2);
+        assert_eq!(exponent_bin(3, 48), 2);
+        assert_eq!(exponent_bin(4, 48), 3);
+        assert_eq!(exponent_bin(7, 48), 3);
+        assert_eq!(exponent_bin(8, 48), 4);
+        assert_eq!(exponent_bin(u64::MAX, 48), 47);
+    }
+
+    #[test]
+    fn exponent_bin_is_monotone() {
+        let mut prev = exponent_bin(0, 48);
+        for c in 1..10_000u64 {
+            let b = exponent_bin(c, 48);
+            assert!(b >= prev, "bin regressed at count {c}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        for bits in [1, 4, 7] {
+            for v in 0..(1u64 << (bits + 1)) {
+                let i = log_linear_index(v, bits);
+                assert_eq!(i as u64, v);
+                assert_eq!(bucket_bounds(i, bits), (v, v));
+                assert_eq!(bucket_value(i, bits), v);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_invert_index_at_extremes() {
+        for bits in [1, 7, 16] {
+            for v in [
+                0,
+                1,
+                (1u64 << (bits + 1)) - 1,
+                1u64 << (bits + 1),
+                12_345,
+                u64::MAX / 3,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                let i = log_linear_index(v, bits);
+                let (lo, hi) = bucket_bounds(i, bits);
+                assert!(lo <= v && v <= hi, "v={v} bits={bits} -> [{lo}, {hi}]");
+                // Both endpoints map back to the same bucket.
+                assert_eq!(log_linear_index(lo, bits), i);
+                assert_eq!(log_linear_index(hi, bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn top_bucket_reaches_u64_max() {
+        for bits in [1, 7, 16] {
+            let last = bucket_count(bits) - 1;
+            assert_eq!(log_linear_index(u64::MAX, bits), last);
+            let (_, hi) = bucket_bounds(last, bits);
+            assert_eq!(hi, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn representative_respects_relative_error() {
+        let bits = DEFAULT_SUB_BUCKET_BITS;
+        let bound = relative_error_bound(bits);
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let rep = bucket_value(log_linear_index(v, bits), bits);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= bound, "v={v} rep={rep} err={err} bound={bound}");
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn default_bits_bucket_count() {
+        // 2^8 exact buckets + 56 octaves x 128 sub-buckets.
+        assert_eq!(bucket_count(7), 256 + 56 * 128);
+        assert!(relative_error_bound(7) < 0.004);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-bucket bits")]
+    fn zero_bits_rejected() {
+        let _ = bucket_count(0);
+    }
+}

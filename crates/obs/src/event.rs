@@ -1,0 +1,285 @@
+//! Structured event stream and bounded flight recorder.
+//!
+//! Aggregate metrics say *that* a run went wrong; the event stream says
+//! *what happened just before*. Components emit typed [`Event`] records
+//! (sim-time timestamp, component, severity, key/value payload) into a
+//! bounded [`FlightRecorder`] ring buffer. When the runner hits an
+//! audit violation, a supervisor ladder transition, or a PP-M
+//! crash/restore edge, it dumps the recorder — turning a one-shot
+//! failure into a post-mortem without rerunning under a debugger.
+//!
+//! The recorder is deliberately small and lossy-at-the-front: under
+//! wraparound the *oldest* events are dropped and a dump lists the
+//! surviving events in exact insertion order (property-tested in
+//! `tests/props.rs`).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-volume trace detail (per-tick migration progress).
+    Debug,
+    /// Normal control-plane activity (plans, checkpoints).
+    Info,
+    /// Degraded but handled (crash edges, ladder demotions).
+    Warn,
+    /// Invariant violations; always accompanied by a dump.
+    Error,
+}
+
+impl Severity {
+    /// Fixed-width uppercase label for dump lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO ",
+            Severity::Warn => "WARN ",
+            Severity::Error => "ERROR",
+        }
+    }
+}
+
+/// One structured event record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotone sequence number assigned by the recorder; survives
+    /// wraparound, so dumps show how many events were dropped.
+    pub seq: u64,
+    /// Simulation time in seconds (not wall clock — events must be
+    /// reproducible across reruns of a seeded experiment).
+    pub now_secs: f64,
+    /// Emitting component ("runner", "ppm", "supervisor", ...).
+    pub component: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Event name within the component ("plan", "ppm_crash", ...).
+    pub name: &'static str,
+    /// Free-form key/value payload.
+    pub kv: Vec<(&'static str, String)>,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:06} t={:9.3}s {} {}.{}",
+            self.seq,
+            self.now_secs,
+            self.severity.label(),
+            self.component,
+            self.name
+        )?;
+        for (k, v) in &self.kv {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded ring buffer of the most recent [`Event`]s.
+///
+/// ```
+/// use mtat_obs::event::{FlightRecorder, Severity};
+///
+/// let mut fr = FlightRecorder::new(2);
+/// for i in 0..5u64 {
+///     fr.push(i as f64, "demo", Severity::Info, "tick", vec![("i", i.to_string())]);
+/// }
+/// // Capacity 2: only the last two events survive, oldest first.
+/// let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+/// assert_eq!(seqs, [3, 4]);
+/// assert_eq!(fr.dropped(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<Event>,
+}
+
+impl FlightRecorder {
+    /// Default recorder depth: enough to cover several policy intervals
+    /// of per-tick events around a failure edge.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// Creates a recorder holding at most `cap` events (min 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            next_seq: 0,
+            dropped: 0,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(
+        &mut self,
+        now_secs: f64,
+        component: &'static str,
+        severity: Severity,
+        name: &'static str,
+        kv: Vec<(&'static str, String)>,
+    ) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            seq: self.next_seq,
+            now_secs,
+            component,
+            severity,
+            name,
+            kv,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently retained, oldest first (exact insertion order).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted by wraparound since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Renders a post-mortem dump: a header with `reason` and drop
+    /// accounting, then every retained event in insertion order.
+    #[must_use]
+    pub fn dump(&self, reason: &str) -> String {
+        let mut out = String::with_capacity(64 + self.buf.len() * 80);
+        out.push_str(&format!(
+            "=== flight recorder dump: {reason} ({} events retained, {} dropped) ===\n",
+            self.buf.len(),
+            self.dropped
+        ));
+        for e in &self.buf {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out.push_str("=== end of dump ===\n");
+        out
+    }
+
+    /// Clears retained events (drop accounting is preserved).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(fr: &mut FlightRecorder, n: u64) {
+        for i in 0..n {
+            fr.push(
+                i as f64 * 0.5,
+                "test",
+                Severity::Info,
+                "ev",
+                vec![("i", i.to_string())],
+            );
+        }
+    }
+
+    #[test]
+    fn severity_order() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn insertion_order_without_wraparound() {
+        let mut fr = FlightRecorder::new(10);
+        push_n(&mut fr, 4);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3]);
+        assert_eq!(fr.dropped(), 0);
+        assert_eq!(fr.total_pushed(), 4);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_order() {
+        let mut fr = FlightRecorder::new(3);
+        push_n(&mut fr, 10);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        assert_eq!(fr.capacity(), 1);
+        push_n(&mut fr, 3);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.events().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn dump_contains_reason_events_and_payload() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(
+            1.25,
+            "ppm",
+            Severity::Warn,
+            "plan",
+            vec![("lc_bytes", "1024".to_string())],
+        );
+        let d = fr.dump("unit-test");
+        assert!(d.contains("unit-test"));
+        assert!(d.contains("ppm.plan"));
+        assert!(d.contains("lc_bytes=1024"));
+        assert!(d.contains("WARN"));
+        assert!(d.starts_with("=== flight recorder dump"));
+        assert!(d.ends_with("=== end of dump ===\n"));
+    }
+
+    #[test]
+    fn clear_preserves_drop_accounting() {
+        let mut fr = FlightRecorder::new(2);
+        push_n(&mut fr, 5);
+        assert_eq!(fr.dropped(), 3);
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 3);
+        assert_eq!(fr.total_pushed(), 5);
+    }
+}

@@ -1,0 +1,377 @@
+//! # mtat-obs — zero-dependency observability for the MTAT workspace
+//!
+//! The paper's argument is about *tail* behaviour — MTAT is judged on
+//! p99 response latency under co-location (§6) — yet a simulation run
+//! that only reports end-of-run aggregates turns every chaos-scenario
+//! or audit failure into a rerun-under-a-debugger session. This crate
+//! is the common telemetry substrate the runner, PP-E, PP-M, the
+//! supervisor, and the fault machinery all emit into:
+//!
+//! * [`registry::Registry`] — named counters, gauges, and log-linear
+//!   HDR-style histograms ([`hist::Histogram`]) with a bounded relative
+//!   error on p50/p95/p99/p999 queries; snapshots export to JSON and to
+//!   the Prometheus text exposition format ([`export`]).
+//! * [`event::FlightRecorder`] — a bounded ring of typed
+//!   [`event::Event`] records (sim-time timestamp, component, severity,
+//!   key/value payload), dumped automatically by the runner alongside
+//!   any audit violation, supervisor ladder transition, or PP-M
+//!   crash/restore edge.
+//! * [`Obs`] — the instrumentation facade threaded through every
+//!   layer. A disabled handle is a `None` and every call is an early
+//!   return past one branch, so the default-off path adds nothing
+//!   measurable to `perf_baseline`; an enabled handle shares one
+//!   mutex-guarded registry+recorder across clones.
+//! * [`bucket`] — the audited bucket-index arithmetic shared with
+//!   `mtat_tiermem::histogram` (one implementation of the bit tricks,
+//!   one test suite).
+//!
+//! Like `mtat-snapshot`, the crate has **zero runtime dependencies** so
+//! it can sit below `tiermem` in the dependency graph.
+//!
+//! ## Enabling
+//!
+//! Observability follows the `MTAT_OBS` environment variable (mirroring
+//! `MTAT_AUDIT`): unset, empty, or `0` means **off** (perf first —
+//! instrumentation must be asked for), anything else means on.
+//! Harnesses can also bypass the environment entirely by attaching an
+//! explicit handle ([`Obs::enabled`] / [`Obs::disabled`]) to an
+//! experiment, which is what `chaos_matrix --metrics-out` does to give
+//! every matrix cell its own registry.
+//!
+//! ## Determinism contract
+//!
+//! Instrumentation must never feed back into simulation physics: an
+//! [`Obs`] handle owns no RNG, and nothing read from it influences
+//! control decisions. Runs with observability on and off are
+//! bit-identical (asserted by `mtat-core`'s integration tests).
+
+pub mod bucket;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod registry;
+
+use std::sync::{Arc, Mutex};
+
+use event::{FlightRecorder, Severity};
+use registry::Registry;
+
+/// Returns whether `MTAT_OBS` asks for observability: unset, empty, or
+/// `"0"` mean off, anything else means on.
+///
+/// Unlike `MTAT_AUDIT` (default-on under debug), the default here is
+/// **off** in every build: telemetry is pull, not push, and the perf
+/// smoke test relies on the disabled path being the ambient one.
+#[must_use]
+pub fn obs_enabled() -> bool {
+    match std::env::var("MTAT_OBS") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    }
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    registry: Mutex<Registry>,
+    recorder: Mutex<FlightRecorder>,
+    /// Most recent flight-recorder dump, kept so harnesses and tests
+    /// can retrieve the post-mortem after the failing call returned.
+    last_dump: Mutex<Option<String>>,
+}
+
+/// Cheap, cloneable instrumentation handle.
+///
+/// A disabled handle (the [`Default`]) carries no allocation at all;
+/// every method is a branch on `None` and returns immediately, which is
+/// what keeps always-instrumented hot paths free when `MTAT_OBS` is
+/// off. Clones of an enabled handle share one registry and recorder.
+///
+/// ```
+/// use mtat_obs::Obs;
+/// use mtat_obs::event::Severity;
+///
+/// let obs = Obs::enabled();
+/// obs.count("runner.ticks", 1);
+/// obs.gauge("runner.util", 0.5);
+/// obs.observe("runner.lc_p99_ns", 73_000);
+/// obs.event(1.0, "runner", Severity::Info, "run_start", &[]);
+/// let dump = obs.dump_flight_recorder("demo").unwrap();
+/// assert!(dump.contains("runner.run_start"));
+/// assert!(obs.snapshot_json().unwrap().contains("runner.ticks"));
+///
+/// let off = Obs::disabled();
+/// off.count("runner.ticks", 1); // no-op
+/// assert!(off.snapshot_json().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A no-op handle: every call is an early return.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An active handle with a flight recorder of
+    /// [`FlightRecorder::DEFAULT_CAPACITY`] events.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::with_recorder_capacity(FlightRecorder::DEFAULT_CAPACITY)
+    }
+
+    /// An active handle with a flight recorder of `cap` events.
+    #[must_use]
+    pub fn with_recorder_capacity(cap: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                registry: Mutex::new(Registry::new()),
+                recorder: Mutex::new(FlightRecorder::new(cap)),
+                last_dump: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// [`Obs::enabled`] or [`Obs::disabled`] according to `MTAT_OBS`
+    /// (see [`obs_enabled`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        if obs_enabled() {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// True when this handle records anything. Callers doing non-trivial
+    /// work *just to build a metric* (string formatting, summing a
+    /// slice) should guard on this; plain `count`/`gauge`/`observe`
+    /// calls don't need to.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to counter `name`.
+    #[inline]
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .counter_add(name, delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .gauge_set(name, value);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .observe(name, value);
+        }
+    }
+
+    /// Records `n` identical observations into histogram `name`.
+    #[inline]
+    pub fn observe_n(&self, name: &str, value: u64, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .observe_n(name, value, n);
+        }
+    }
+
+    /// Appends an event to the flight recorder. `kv` is cloned only on
+    /// the enabled path; callers formatting payloads should still guard
+    /// with [`Obs::is_enabled`] to keep the disabled path free.
+    pub fn event(
+        &self,
+        now_secs: f64,
+        component: &'static str,
+        severity: Severity,
+        name: &'static str,
+        kv: &[(&'static str, String)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.lock().expect("obs poisoned").push(
+                now_secs,
+                component,
+                severity,
+                name,
+                kv.to_vec(),
+            );
+        }
+    }
+
+    /// Renders a post-mortem dump of the flight recorder, stores it as
+    /// [`Obs::last_dump`], bumps the `obs.flight_dumps` counter, and
+    /// returns it. `None` when disabled.
+    pub fn dump_flight_recorder(&self, reason: &str) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let dump = inner.recorder.lock().expect("obs poisoned").dump(reason);
+        inner
+            .registry
+            .lock()
+            .expect("obs poisoned")
+            .counter_add("obs.flight_dumps", 1);
+        *inner.last_dump.lock().expect("obs poisoned") = Some(dump.clone());
+        Some(dump)
+    }
+
+    /// The most recent flight-recorder dump, if any.
+    #[must_use]
+    pub fn last_dump(&self) -> Option<String> {
+        self.inner
+            .as_ref()?
+            .last_dump
+            .lock()
+            .expect("obs poisoned")
+            .clone()
+    }
+
+    /// Current counter value (`None` when disabled).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        Some(
+            self.inner
+                .as_ref()?
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .counter(name),
+        )
+    }
+
+    /// Current gauge value (`None` when disabled or never set).
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()?
+            .registry
+            .lock()
+            .expect("obs poisoned")
+            .gauge(name)
+    }
+
+    /// Runs `f` against the shared registry (`None` when disabled).
+    /// This is the escape hatch for bulk reads — quantile queries,
+    /// cross-checks in tests — without cloning the registry.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> Option<T> {
+        Some(f(&self
+            .inner
+            .as_ref()?
+            .registry
+            .lock()
+            .expect("obs poisoned")))
+    }
+
+    /// JSON snapshot of the registry (`None` when disabled).
+    #[must_use]
+    pub fn snapshot_json(&self) -> Option<String> {
+        self.with_registry(Registry::to_json)
+    }
+
+    /// Prometheus text snapshot with `labels` on every sample (`None`
+    /// when disabled).
+    #[must_use]
+    pub fn snapshot_prometheus(&self, labels: &[(&str, &str)]) -> Option<String> {
+        self.with_registry(|r| r.to_prometheus(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_fully_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.count("c", 1);
+        obs.gauge("g", 1.0);
+        obs.observe("h", 1);
+        obs.event(0.0, "t", Severity::Error, "e", &[]);
+        assert_eq!(obs.counter_value("c"), None);
+        assert_eq!(obs.gauge_value("g"), None);
+        assert_eq!(obs.dump_flight_recorder("x"), None);
+        assert_eq!(obs.last_dump(), None);
+        assert_eq!(obs.snapshot_json(), None);
+        assert_eq!(obs.snapshot_prometheus(&[]), None);
+        assert!(obs.with_registry(|_| ()).is_none());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Obs::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        a.count("shared", 2);
+        b.count("shared", 3);
+        assert_eq!(a.counter_value("shared"), Some(5));
+        b.event(1.0, "t", Severity::Info, "e", &[]);
+        let dump = a.dump_flight_recorder("shared-state").unwrap();
+        assert!(dump.contains("t.e"));
+        assert_eq!(b.last_dump().unwrap(), dump);
+        assert_eq!(a.counter_value("obs.flight_dumps"), Some(1));
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let obs = Obs::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let o = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        o.count("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.counter_value("n"), Some(4000));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_names() {
+        let obs = Obs::enabled();
+        obs.observe("lat.ns", 500);
+        obs.gauge("util", 0.9);
+        let j = obs.snapshot_json().unwrap();
+        assert!(j.contains("lat.ns"));
+        let p = obs.snapshot_prometheus(&[("cell", "a")]).unwrap();
+        assert!(p.contains("mtat_lat_ns"));
+        assert!(p.contains("cell=\"a\""));
+    }
+}

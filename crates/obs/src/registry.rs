@@ -1,0 +1,282 @@
+//! Named-metric registry: counters, gauges, and histograms.
+//!
+//! A [`Registry`] is a plain single-threaded container (the thread-safe
+//! wrapper is [`crate::Obs`]). Names are dotted paths
+//! (`"tiermem.migration.granted_pages"`); `BTreeMap` storage keeps
+//! exports deterministically ordered, which matters because snapshot
+//! files are committed as CI artifacts and diffed across runs.
+
+use std::collections::BTreeMap;
+
+use crate::export::{json_f64, json_string, prometheus_f64, prometheus_labels, prometheus_name};
+use crate::hist::Histogram;
+
+/// Counters (monotone `u64`), gauges (`f64` last-write-wins), and
+/// log-linear histograms, all addressed by dotted name.
+///
+/// ```
+/// use mtat_obs::registry::Registry;
+///
+/// let mut reg = Registry::new();
+/// reg.counter_add("runner.ticks", 3);
+/// reg.gauge_set("runner.fmem_bw_util", 0.42);
+/// reg.observe("runner.lc_p99_ns", 73_000);
+/// assert_eq!(reg.counter("runner.ticks"), 3);
+/// assert_eq!(reg.gauge("runner.fmem_bw_util"), Some(0.42));
+/// assert!(reg.to_json().contains("\"runner.ticks\": 3"));
+/// assert!(reg.to_prometheus(&[]).contains("mtat_runner_ticks_total 3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Current counter value (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Current gauge value, if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`, creating it at the
+    /// workspace-default resolution first.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.observe_n(name, value, 1);
+    }
+
+    /// Records `n` identical observations into histogram `name`.
+    pub fn observe_n(&mut self, name: &str, value: u64, n: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record_n(value, n);
+        } else {
+            let mut h = Histogram::new();
+            h.record_n(value, n);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Read access to histogram `name`, if it exists.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Registered counter names in sorted order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Registered gauge names in sorted order.
+    pub fn gauge_names(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
+    /// Registered histogram names in sorted order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.hists.keys().map(String::as_str)
+    }
+
+    /// True when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Snapshot as a pretty-printed JSON object with `counters`,
+    /// `gauges`, and `histograms` sections; histograms export count,
+    /// min/max/mean, and the standard quantile ladder.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(k)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}}}",
+                json_string(k),
+                h.count(),
+                h.min(),
+                h.max(),
+                json_f64(h.mean()),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.p999(),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Snapshot in the Prometheus text exposition format. `labels` are
+    /// attached to every sample (e.g. `[("cell", "ppm_crash/mtat_full")]`
+    /// to distinguish matrix cells sharing one scrape file). Histograms
+    /// export as summaries (quantile ladder + `_sum`/`_count`).
+    #[must_use]
+    pub fn to_prometheus(&self, labels: &[(&str, &str)]) -> String {
+        let sel = prometheus_labels(labels);
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name}_total counter\n"));
+            out.push_str(&format!("{name}_total{sel} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name}{sel} {}\n", prometheus_f64(*v)));
+        }
+        for (k, h) in &self.hists {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [
+                ("0.5", h.p50()),
+                ("0.95", h.p95()),
+                ("0.99", h.p99()),
+                ("0.999", h.p999()),
+            ] {
+                let mut quantile_labels: Vec<(&str, &str)> = labels.to_vec();
+                quantile_labels.push(("quantile", q));
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    prometheus_labels(&quantile_labels)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_sum{sel} {}\n",
+                prometheus_f64(h.mean() * h.count() as f64)
+            ));
+            out.push_str(&format!("{name}_count{sel} {}\n", h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        assert_eq!(r.counter("a.b"), 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", -2.5);
+        assert_eq!(r.gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histograms_autocreate() {
+        let mut r = Registry::new();
+        r.observe("h", 10);
+        r.observe_n("h", 20, 4);
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 20);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_and_ordered() {
+        let mut r = Registry::new();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 2);
+        r.gauge_set("mid", f64::NAN);
+        r.observe("lat", 100);
+        let j = r.to_json();
+        // BTreeMap ordering: a.first before z.last.
+        let a = j.find("a.first").unwrap();
+        let z = j.find("z.last").unwrap();
+        assert!(a < z);
+        // NaN gauge exports as null, not as bare NaN (invalid JSON).
+        assert!(j.contains("\"mid\": null"));
+        assert!(j.contains("\"p99\": 100"));
+        // Balanced braces as a cheap well-formedness check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces in {j}"
+        );
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_types_and_labels() {
+        let mut r = Registry::new();
+        r.counter_add("runner.ticks", 7);
+        r.gauge_set("util", 0.5);
+        r.observe("lat.ns", 1000);
+        let p = r.to_prometheus(&[("cell", "x/y")]);
+        assert!(p.contains("# TYPE mtat_runner_ticks_total counter"));
+        assert!(p.contains("mtat_runner_ticks_total{cell=\"x/y\"} 7"));
+        assert!(p.contains("# TYPE mtat_util gauge"));
+        assert!(p.contains("mtat_util{cell=\"x/y\"} 0.5"));
+        assert!(p.contains("# TYPE mtat_lat_ns summary"));
+        assert!(p.contains("mtat_lat_ns{cell=\"x/y\",quantile=\"0.99\"}"));
+        assert!(p.contains("mtat_lat_ns_count{cell=\"x/y\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_without_labels_has_bare_names() {
+        let mut r = Registry::new();
+        r.counter_add("c", 1);
+        let p = r.to_prometheus(&[]);
+        assert!(p.contains("mtat_c_total 1\n"));
+    }
+}

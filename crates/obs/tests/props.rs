@@ -1,0 +1,161 @@
+//! Property tests for the observability primitives (satellite of
+//! ISSUE 4): histogram quantiles stay within the configured relative
+//! error for *arbitrary* sample streams, flight-recorder dumps preserve
+//! exact insertion order under wraparound, and the shared bucket math
+//! is a consistent index/range bijection over all of `u64`.
+
+use mtat_obs::bucket::{bucket_bounds, bucket_count, exponent_bin, log_linear_index};
+use mtat_obs::event::{FlightRecorder, Severity};
+use mtat_obs::hist::Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile oracle over raw samples.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Full-range `u64` strategy (the vendored proptest stub has no
+/// `prop::num::u64::ANY`): raw draws plus forced extremes so the top
+/// bucket and the exact region are both exercised.
+fn any_u64() -> impl Strategy<Value = u64> {
+    (0u64..u64::MAX, 0usize..4).prop_map(|(v, k)| match k {
+        0 => v % 256,       // exact linear region
+        1 => v,             // anywhere
+        2 => v | (1 << 63), // top octave
+        _ => u64::MAX,      // absolute extreme
+    })
+}
+
+/// Mixed-magnitude sample streams crossing several octaves.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u64..u64::MAX, 0usize..3).prop_map(|(v, k)| match k {
+            0 => v % 256,
+            1 => 1_000 + v % 10_000_000,
+            _ => v,
+        }),
+        1..400,
+    )
+}
+
+proptest! {
+    /// Tentpole accuracy contract: every quantile the histogram reports
+    /// is within its advertised relative-error bound of the exact
+    /// nearest-rank percentile of the stream.
+    #[test]
+    fn percentiles_within_relative_error(vals in samples(), bits in 1u32..11) {
+        let mut h = Histogram::with_bits(bits);
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let bound = h.relative_error_bound();
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let exact = exact_percentile(&sorted, p);
+            let got = h.percentile(p);
+            let err = if exact == 0 {
+                got as f64 // zero is in the exact region: must match exactly
+            } else {
+                (got as f64 - exact as f64).abs() / exact as f64
+            };
+            prop_assert!(
+                err <= bound,
+                "p={} got={} exact={} err={} bound={} bits={}",
+                p, got, exact, err, bound, bits
+            );
+        }
+    }
+
+    /// min/max/count/mean are exact regardless of bucketing.
+    #[test]
+    fn scalar_stats_are_exact(vals in samples()) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &vals {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.min(), *vals.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+        let mean = sum as f64 / vals.len() as f64;
+        prop_assert!((h.mean() - mean).abs() <= mean.abs() * 1e-12 + 1e-9);
+    }
+
+    /// Merging two histograms equals recording the concatenated stream.
+    #[test]
+    fn merge_equals_concat(a in samples(), b in samples()) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        for p in [25.0, 50.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), hc.percentile(p));
+        }
+    }
+
+    /// Satellite contract: a flight-recorder dump lists events in exact
+    /// insertion order — also under wraparound — keeping only the
+    /// newest `cap` and accounting precisely for the dropped prefix.
+    #[test]
+    fn flight_recorder_order_under_wraparound(cap in 1usize..32, n in 0u64..200) {
+        let mut fr = FlightRecorder::new(cap);
+        for i in 0..n {
+            fr.push(i as f64, "prop", Severity::Debug, "ev", vec![("i", i.to_string())]);
+        }
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        let expect_start = n.saturating_sub(cap as u64);
+        let expected: Vec<u64> = (expect_start..n).collect();
+        prop_assert_eq!(&seqs, &expected);
+        prop_assert_eq!(fr.dropped(), expect_start);
+        prop_assert_eq!(fr.total_pushed(), n);
+        // The rendered dump preserves that order line by line.
+        let dump = fr.dump("prop");
+        let mut last_pos = 0usize;
+        for s in &seqs {
+            let needle = format!("#{s:06} ");
+            let pos = dump[last_pos..].find(&needle).map(|p| p + last_pos);
+            prop_assert!(pos.is_some(), "seq {} missing from dump", s);
+            last_pos = pos.unwrap();
+        }
+    }
+
+    /// Bucket index and bounds form a bijection: every value maps into
+    /// a bucket whose range contains it, and both endpoints map back.
+    #[test]
+    fn bucket_index_bounds_roundtrip(v in any_u64(), bits in 1u32..17) {
+        let i = log_linear_index(v, bits);
+        prop_assert!(i < bucket_count(bits));
+        let (lo, hi) = bucket_bounds(i, bits);
+        prop_assert!(lo <= v && v <= hi);
+        prop_assert_eq!(log_linear_index(lo, bits), i);
+        prop_assert_eq!(log_linear_index(hi, bits), i);
+        // Adjacent buckets tile the axis with no gap.
+        if hi < u64::MAX {
+            prop_assert_eq!(log_linear_index(hi + 1, bits), i + 1);
+        }
+    }
+
+    /// The shared exponential binning keeps tiermem's contract: zero in
+    /// bin 0, count `c > 0` in bin `64 - leading_zeros(c)` clamped.
+    #[test]
+    fn exponent_bin_contract(c in any_u64()) {
+        let bin = exponent_bin(c, 48);
+        if c == 0 {
+            prop_assert_eq!(bin, 0);
+        } else {
+            let expected = (64 - c.leading_zeros()) as usize;
+            prop_assert_eq!(bin, expected.min(47));
+            if bin < 47 {
+                // Range check: bin k covers [2^(k-1), 2^k).
+                prop_assert!(c >= 1u64 << (bin - 1));
+                prop_assert!(c < 1u64 << bin);
+            }
+        }
+    }
+}

@@ -119,6 +119,14 @@ pub struct Sac {
     rng: StdRng,
     since_update: usize,
     updates_done: u64,
+    /// Mean squared TD error of the last gradient round (NaN before the
+    /// first). Diagnostic only — excluded from snapshots, so the
+    /// checkpoint format is unchanged and a restored agent simply
+    /// reports NaN until its next update.
+    last_critic_loss: f64,
+    /// Policy entropy estimate `−E[log π]` from the last gradient round
+    /// (NaN before the first). Diagnostic only, excluded from snapshots.
+    last_entropy: f64,
 }
 
 impl Sac {
@@ -149,6 +157,8 @@ impl Sac {
             rng: StdRng::seed_from_u64(seed ^ 0x4444),
             since_update: 0,
             updates_done: 0,
+            last_critic_loss: f64::NAN,
+            last_entropy: f64::NAN,
             cfg,
         }
     }
@@ -228,13 +238,16 @@ impl Sac {
         // ---- Critic regression ----
         self.q1.zero_grad();
         self.q2.zero_grad();
+        let mut critic_sq_err = 0.0;
         for (t, &y) in batch.iter().zip(&targets) {
             let xin = concat(&t.state, &t.action);
             let (q1v, c1) = self.q1.forward_cached(&xin);
             let (q2v, c2) = self.q2.forward_cached(&xin);
+            critic_sq_err += ((q1v[0] - y).powi(2) + (q2v[0] - y).powi(2)) / (2.0 * b as f64);
             self.q1.backward(&c1, &[2.0 * (q1v[0] - y)]);
             self.q2.backward(&c2, &[2.0 * (q2v[0] - y)]);
         }
+        self.last_critic_loss = critic_sq_err;
         self.q1.adam_step_batch(&mut self.q1_adam, b);
         self.q2.adam_step_batch(&mut self.q2_adam, b);
 
@@ -275,6 +288,8 @@ impl Sac {
         }
         self.policy.adam_step_batch(&mut self.actor_adam, b);
 
+        self.last_entropy = -mean_log_prob;
+
         // ---- Temperature ----
         if self.cfg.auto_alpha {
             // J(α) = −log α · (log π + H_target); ∂J/∂log α applied to
@@ -294,6 +309,25 @@ impl Sac {
     pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
         let xin = concat(state, action);
         self.q1.forward(&xin)[0].min(self.q2.forward(&xin)[0])
+    }
+
+    /// Mean squared TD error of the most recent gradient round (NaN
+    /// before the first update, or right after a checkpoint restore).
+    pub fn last_critic_loss(&self) -> f64 {
+        self.last_critic_loss
+    }
+
+    /// Policy entropy estimate `−E[log π(a|s)]` from the most recent
+    /// gradient round (NaN before the first update or after restore).
+    pub fn last_entropy(&self) -> f64 {
+        self.last_entropy
+    }
+
+    /// L2 norm of the online critics' parameters — a divergence
+    /// diagnostic (exploding critics show up here before actions
+    /// saturate).
+    pub fn critic_param_l2(&self) -> f64 {
+        (self.q1.param_l2().powi(2) + self.q2.param_l2().powi(2)).sqrt()
     }
 
     /// Runs `steps` environment interactions with exploration and online
@@ -412,6 +446,10 @@ impl mtat_snapshot::Snap for Sac {
             rng: StdRng::unsnap(r)?,
             since_update: usize::unsnap(r)?,
             updates_done: u64::unsnap(r)?,
+            // Diagnostics are transient by design: keeping them out of
+            // the encoding preserves checkpoint format v1 exactly.
+            last_critic_loss: f64::NAN,
+            last_entropy: f64::NAN,
         })
     }
 }

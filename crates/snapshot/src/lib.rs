@@ -589,13 +589,31 @@ impl CheckpointStore {
     /// [`SnapError::Io`] only when the directory itself cannot be read —
     /// unreadable or corrupted individual files are skipped.
     pub fn load_latest(&self) -> Result<Option<Vec<u8>>, SnapError> {
-        for (_, path) in Self::list_generations(&self.dir)?.into_iter().rev() {
+        Ok(self.load_latest_with_generation()?.map(|(_, p)| p))
+    }
+
+    /// Like [`CheckpointStore::load_latest`], but also reports *which*
+    /// generation number verified — telemetry wants to record whether a
+    /// restore came from the newest generation or had to fall back past
+    /// corrupted ones.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] only when the directory itself cannot be read.
+    pub fn load_latest_with_generation(&self) -> Result<Option<(u64, Vec<u8>)>, SnapError> {
+        for (gen, path) in Self::list_generations(&self.dir)?.into_iter().rev() {
             let Ok(bytes) = fs::read(&path) else { continue };
             if let Ok(payload) = unseal(&bytes) {
-                return Ok(Some(payload.to_vec()));
+                return Ok(Some((gen, payload.to_vec())));
             }
         }
         Ok(None)
+    }
+
+    /// The generation number the next [`CheckpointStore::save`] will
+    /// write (equivalently: how many generations were ever saved here).
+    pub fn next_generation(&self) -> u64 {
+        self.next_gen
     }
 }
 

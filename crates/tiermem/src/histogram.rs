@@ -58,13 +58,15 @@ pub struct AccessHistogram {
 }
 
 /// Returns the bin index for an access count.
+///
+/// Delegates to the workspace-shared, audited bucket arithmetic in
+/// [`mtat_obs::bucket::exponent_bin`] so this histogram and the
+/// observability histograms cannot drift apart on boundary cases (the
+/// contract — 0 → bin 0, count `c > 0` → bin `⌈log2(c)⌉+1` clamped —
+/// is property-tested there and boundary-tested below).
 #[inline]
 pub fn bin_for_count(count: u64) -> usize {
-    if count == 0 {
-        0
-    } else {
-        ((64 - count.leading_zeros()) as usize).min(NUM_BINS - 1)
-    }
+    mtat_obs::bucket::exponent_bin(count, NUM_BINS)
 }
 
 impl AccessHistogram {

@@ -11,6 +11,7 @@
 //! [`MigrationEngine`] owns those numbers and meters actual page moves so
 //! that the §5.5 overhead experiment can report consumed bandwidth.
 
+use mtat_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,10 @@ pub struct MigrationEngine {
     /// Failures in the most recent `try_consume_pages` call, so the
     /// caller can tell fault losses apart from budget exhaustion.
     failed_last_call: u64,
+    /// Telemetry handle (disabled by default). Never serialized and
+    /// never consulted for decisions — metering only.
+    #[serde(skip)]
+    obs: Obs,
 }
 
 impl MigrationEngine {
@@ -120,7 +125,15 @@ impl MigrationEngine {
             failed_moves: 0,
             retried_moves: 0,
             failed_last_call: 0,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle; page grants, transient failures,
+    /// and retry credits are counted through it. Budget arithmetic and
+    /// the fault RNG stream are unaffected.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Seeds the per-move failure stream (fault injection only). Without
@@ -216,6 +229,13 @@ impl MigrationEngine {
         self.failed_moves += failed;
         let completed = granted - failed;
         self.total_pages_moved += completed;
+        if self.obs.is_enabled() {
+            self.obs.count("tiermem.migration.requested_pages", pages);
+            self.obs.count("tiermem.migration.granted_pages", granted);
+            self.obs.count("tiermem.migration.failed_pages", failed);
+            self.obs
+                .count("tiermem.migration.denied_pages", pages - granted);
+        }
         completed
     }
 
@@ -255,6 +275,7 @@ impl MigrationEngine {
     /// re-drives deferred work).
     pub fn note_retried(&mut self, pages: u64) {
         self.retried_moves += pages;
+        self.obs.count("tiermem.migration.retried_pages", pages);
     }
 
     /// Bytes moved during the current tick so far.

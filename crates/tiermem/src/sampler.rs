@@ -12,6 +12,7 @@
 //! real daemon does — undersampling cold pages to zero and occasionally
 //! over-ranking lukewarm ones.
 
+use mtat_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -200,6 +201,9 @@ pub struct AccessSampler {
     /// configured period — so estimates read low, as a real daemon's
     /// would when the PMU silently drops records.
     fault_keep: f64,
+    /// Telemetry handle (disabled by default; owns no RNG, so it can
+    /// never perturb the sample stream).
+    obs: Obs,
 }
 
 impl AccessSampler {
@@ -223,7 +227,15 @@ impl AccessSampler {
             rng: StdRng::seed_from_u64(seed),
             fault_blackout: false,
             fault_keep: 1.0,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle; the batched sampling paths report
+    /// batch/event/blackout counters through it. Sampling output is
+    /// bit-identical whether or not a handle is attached.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Fault-injection hook (see [`crate::faults`]): a blackout makes
@@ -283,6 +295,9 @@ impl AccessSampler {
         out.fill(0);
         let n = out.len();
         if self.fault_blackout || n == 0 {
+            if self.fault_blackout {
+                self.obs.count("tiermem.sampler.blackout_batches", 1);
+            }
             return;
         }
         let mean_total = per_page_true.max(0.0) * n as f64 / self.period * self.fault_keep;
@@ -290,6 +305,8 @@ impl AccessSampler {
         for _ in 0..events {
             out[self.rng.gen_range(0..n)] += 1;
         }
+        self.obs.count("tiermem.sampler.batches", 1);
+        self.obs.count("tiermem.sampler.events", events);
     }
 
     /// [`Self::sample_uniform_events`] followed by the period scale-up of
@@ -326,6 +343,9 @@ impl AccessSampler {
         );
         out.fill(0);
         if self.fault_blackout || out.is_empty() {
+            if self.fault_blackout {
+                self.obs.count("tiermem.sampler.blackout_batches", 1);
+            }
             return;
         }
         // Expected events per unit weight.
@@ -338,6 +358,8 @@ impl AccessSampler {
             let r = self.rng.next_u64();
             out[table.event_rank(r)] += 1;
         }
+        self.obs.count("tiermem.sampler.batches", 1);
+        self.obs.count("tiermem.sampler.events", events);
     }
 
     /// [`Self::sample_weighted_events`] followed by the period scale-up

@@ -100,6 +100,20 @@ impl LoadPattern {
             LoadPattern::Steps(steps) => steps.iter().map(|&(_, l)| l).fold(0.0, f64::max),
         }
     }
+
+    /// A compact human-readable description for telemetry ("what load
+    /// schedule drove this run" in run-start events and dumps).
+    pub fn describe(&self) -> String {
+        match self {
+            LoadPattern::Constant(f) => format!("constant({:.0}%)", f * 100.0),
+            LoadPattern::Steps(steps) => format!(
+                "steps({}x, {:.0}s, peak {:.0}%)",
+                steps.len(),
+                self.duration_secs(),
+                self.peak_level() * 100.0
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
