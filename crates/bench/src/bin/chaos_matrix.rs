@@ -23,7 +23,7 @@ use mtat_core::config::SimConfig;
 use mtat_core::runner::{CheckpointCfg, Experiment};
 use mtat_core::stats::RunResult;
 use mtat_obs::export::{json_f64, json_opt_f64};
-use mtat_obs::{obs_enabled, Obs};
+use mtat_obs::{obs_enabled, trace_enabled, Obs};
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
@@ -234,12 +234,25 @@ fn emit_metrics(tele: &Obs, runs: &[RunResult], path: Option<&str>) {
     }
 }
 
+/// Writes the span-trace document (spans + decision provenance) to
+/// `path`. No-op unless the handle traces and a path was given.
+fn emit_trace(tele: &Obs, path: Option<&str>) {
+    let (Some(path), Some(json)) = (path, tele.trace_json()) else {
+        return;
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("# wrote span trace to {path} (view: mtat-trace summary {path})");
+}
+
 fn main() {
     // `chaos_matrix --trace <scenario>` dumps the per-tick TSV time
     // series of both policies for one scenario instead of the matrix.
     // `--metrics-out PATH` additionally writes the aggregated metrics
     // registry as JSON (plus `PATH.prom` in Prometheus text format);
     // setting `MTAT_OBS=on` without a path prints both to stderr.
+    // `--trace-out PATH` records phase spans + decision provenance for
+    // every cell and writes the `mtat-trace` document there (also
+    // enabled by `MTAT_TRACE=on`, which prints nothing without a path).
     let args: Vec<String> = std::env::args().collect();
     let trace = args
         .iter()
@@ -251,11 +264,18 @@ fn main() {
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // One registry shared by every cell: counters and histograms
     // aggregate across the whole matrix. Telemetry never perturbs the
     // simulation, so the report below is byte-identical either way.
-    let tele = if obs_enabled() || metrics_out.is_some() {
+    let tele = if trace_out.is_some() || trace_enabled() {
+        Obs::traced()
+    } else if obs_enabled() || metrics_out.is_some() {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -284,6 +304,7 @@ fn main() {
             &POLICIES,
             harness::worker_count(POLICIES.len()),
             |_, name| {
+                let _cell = tele.span_labeled(0.0, "cell", &format!("{name}/{scenario}"));
                 let mut p = make_policy(name, &cfg, &lc, &bes);
                 arm_experiment(&exp, Some(&scenario), name)
                     .with_obs(tele.clone())
@@ -295,6 +316,7 @@ fn main() {
             print!("{}", r.to_tsv_string());
         }
         emit_metrics(&tele, &runs, metrics_out.as_deref());
+        emit_trace(&tele, trace_out.as_deref());
         return;
     }
 
@@ -313,6 +335,8 @@ fn main() {
     }
     let runs = harness::run_matrix(&cells, harness::worker_count(cells.len()), |_, cell| {
         let (scenario, name) = *cell;
+        let label = format!("{name}/{}", scenario.map_or("clean", |si| scs[si].0));
+        let _cell = tele.span_labeled(0.0, "cell", &label);
         let exp = match scenario {
             None => base.clone(),
             Some(si) => {
@@ -413,6 +437,7 @@ fn main() {
     println!("}}");
 
     emit_metrics(&tele, &runs, metrics_out.as_deref());
+    emit_trace(&tele, trace_out.as_deref());
 
     eprintln!("# scenario\tunsupervised\tsupervised\timproved");
     for (s, u, v, ok) in verdicts {

@@ -9,6 +9,7 @@
 //!          [--load fig7 | --load 0.8 | --load spike]
 //!          [--duration SECS] [--seed N] [--lc-cores N]
 //!          [--be sssp,bfs,pr,xsbench] [--timeseries]
+//!          [--trace-out PATH]
 //! ```
 //!
 //! Examples:
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 use mtat_bench::make_policy;
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
+use mtat_obs::Obs;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
@@ -36,12 +38,13 @@ struct Args {
     lc_cores: Option<usize>,
     be: Vec<String>,
     timeseries: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: mtat_sim [--lc NAME] [--policy NAME] [--load fig7|spike|FRAC]\n\
      \x20               [--duration SECS] [--seed N] [--lc-cores N]\n\
-     \x20               [--be a,b,c] [--timeseries]\n\
+     \x20               [--be a,b,c] [--timeseries] [--trace-out PATH]\n\
      \n\
      LC workloads:  redis (default), memcached, mongodb, silo\n\
      policies:      mtat_full (default), mtat_lc_only, memtis, tpp,\n\
@@ -59,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         lc_cores: None,
         be: vec!["sssp".into(), "bfs".into(), "pr".into(), "xsbench".into()],
         timeseries: false,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
                     .collect()
             }
             "--timeseries" => args.timeseries = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -150,6 +155,12 @@ fn run() -> Result<(), String> {
     if let Some(d) = args.duration {
         exp = exp.with_duration(d);
     }
+    // Tracing never perturbs the simulation; attaching a traced handle
+    // only when asked keeps the default run allocation-free.
+    let tele = args.trace_out.as_ref().map(|_| Obs::traced());
+    if let Some(t) = &tele {
+        exp = exp.with_obs(t.clone());
+    }
 
     eprintln!(
         "running {} under {} for {:.0}s (ref max {:.1} KRPS, seed {:#x})",
@@ -161,6 +172,12 @@ fn run() -> Result<(), String> {
     );
     let mut policy = make_policy(&args.policy, &cfg, &exp.lc, &exp.bes);
     let result = exp.run(policy.as_mut());
+
+    if let (Some(path), Some(t)) = (&args.trace_out, &tele) {
+        let json = t.trace_json().expect("traced handle");
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote span trace to {path} (view: mtat-trace summary {path})");
+    }
 
     if args.timeseries {
         print!("{}", result.to_tsv_string());

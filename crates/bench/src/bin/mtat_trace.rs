@@ -1,0 +1,97 @@
+//! `mtat-trace` — offline analyzer for span-trace documents.
+//!
+//! Every `--trace-out PATH` flag (`mtat_sim`, `chaos_matrix`) and every
+//! [`mtat_obs::Obs::trace_json`] call writes the same document; this
+//! tool reads it back and answers where the time went and why each
+//! partition plan looked the way it did.
+//!
+//! ```text
+//! mtat-trace summary        FILE          per-phase time table
+//! mtat-trace slowest-phases FILE [-n N]   N slowest individual spans
+//! mtat-trace plan TICK      FILE          causal chain of the decision
+//!                                         at TICK (inputs → mode →
+//!                                         SAC/anneal → clamps → plan →
+//!                                         enforcement)
+//! mtat-trace export --chrome FILE         Chrome trace-event JSON
+//!                                         (open in Perfetto)
+//! mtat-trace export --folded FILE         collapsed stacks (inferno)
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use mtat_bench::trace;
+
+fn usage() -> &'static str {
+    "usage: mtat-trace summary FILE\n\
+     \x20      mtat-trace slowest-phases FILE [-n N]\n\
+     \x20      mtat-trace plan TICK FILE\n\
+     \x20      mtat-trace export --chrome|--folded FILE\n\
+     \n\
+     FILE is a trace document produced by --trace-out (mtat_sim,\n\
+     chaos_matrix) or Obs::trace_json. Chrome exports load directly in\n\
+     Perfetto (ui.perfetto.dev) or chrome://tracing; folded exports are\n\
+     flamegraph.pl / inferno input."
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "summary" => {
+            let path = args.get(1).ok_or("summary needs FILE")?;
+            Ok(trace::summary(&trace::load_trace(path)?))
+        }
+        "slowest-phases" => {
+            let path = args.get(1).ok_or("slowest-phases needs FILE")?;
+            let n = match args.get(2).map(String::as_str) {
+                Some("-n") => args
+                    .get(3)
+                    .ok_or("-n needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("-n: {e}"))?,
+                Some(other) => return Err(format!("unknown flag {other}")),
+                None => 20,
+            };
+            Ok(trace::slowest_phases(&trace::load_trace(path)?, n))
+        }
+        "plan" => {
+            let tick = args
+                .get(1)
+                .ok_or("plan needs TICK")?
+                .parse::<u64>()
+                .map_err(|e| format!("TICK: {e}"))?;
+            let path = args.get(2).ok_or("plan needs FILE")?;
+            trace::plan_chain(&trace::load_trace(path)?, tick)
+        }
+        "export" => {
+            let format = args.get(1).ok_or("export needs --chrome or --folded")?;
+            let path = args.get(2).ok_or("export needs FILE")?;
+            let doc = trace::load_trace(path)?;
+            match format.as_str() {
+                "--chrome" => Ok(trace::export_chrome(&doc)),
+                "--folded" => Ok(trace::export_folded(&doc)),
+                other => Err(format!("unknown export format {other}")),
+            }
+        }
+        "--help" | "-h" => Err(String::new()),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            // Tolerate a closed pipe (`mtat-trace export ... | head`).
+            let _ = std::io::stdout().write_all(out.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

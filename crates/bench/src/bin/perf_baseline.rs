@@ -43,8 +43,8 @@ use std::time::Instant;
 use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
-use mtat_obs::obs_enabled;
 use mtat_obs::registry::Registry;
+use mtat_obs::{obs_enabled, Obs};
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
@@ -88,13 +88,29 @@ fn paper_exp(duration: f64) -> Experiment {
 
 /// Runs `exp` under a fresh policy (no pretraining, so the timing
 /// isolates the runner's per-tick accounting) and times it.
+///
+/// The wall time is read from the span profiler — the runner's root
+/// `run` span — rather than an ad-hoc `Instant` pair around the call:
+/// one timing source for benches and traces, and the measurement stays
+/// honest because tracing provably never perturbs the physics (the
+/// bit-identity regression tests pin that down).
 fn time_run(exp: &Experiment, policy_name: &str) -> Timed {
     let cfg = &exp.cfg;
     let mut policy = make_policy(policy_name, cfg, &exp.lc, &exp.bes);
-    let start = Instant::now();
-    let r = exp.run(policy.as_mut());
+    let tele = Obs::traced();
+    let r = exp.clone().with_obs(tele.clone()).run(policy.as_mut());
+    let run_ns: u64 = tele
+        .with_tracer(|t| {
+            t.spans()
+                .iter()
+                .filter(|s| s.name == "run")
+                .map(|s| s.dur_ns)
+                .sum()
+        })
+        .expect("traced handle has a tracer");
+    assert!(run_ns > 0, "runner must emit a root run span");
     Timed {
-        wall_secs: start.elapsed().as_secs_f64(),
+        wall_secs: run_ns as f64 / 1e9,
         ticks: r.ticks.len(),
     }
 }

@@ -10,13 +10,20 @@
 //!   partition replacement (paper: ~4 GB/s average against a 25.6 GB/s
 //!   channel).
 //!
+//! All timing comes from the span profiler (a traced [`Obs`] handle)
+//! rather than ad-hoc `Instant` pairs: the same spans that `--trace-out`
+//! records are the measurement, so the per-phase breakdown below is the
+//! `mtat-trace summary` of this run. Tracing never perturbs the
+//! simulation (bit-identity is regression-tested), so the physics rows
+//! are identical to an untraced run.
+//!
 //! Output: a short TSV report.
 
-use std::time::Instant;
-
+use mtat_bench::trace::phase_totals;
 use mtat_bench::{header, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
+use mtat_obs::Obs;
 use mtat_tiermem::GIB;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
@@ -31,15 +38,33 @@ fn main() {
         BeSpec::all_paper_workloads(),
     );
 
+    let tele = Obs::traced();
+
     // Pretraining happens at construction; measure it separately since
     // the paper's daemon amortizes it over its whole uptime.
-    let t0 = Instant::now();
+    let pretrain_span = tele.span(0.0, "pretrain");
     let mut policy = make_policy("mtat_full", &cfg, &exp.lc, &exp.bes);
-    let pretrain_secs = t0.elapsed().as_secs_f64();
+    drop(pretrain_span);
 
-    let t1 = Instant::now();
-    let r = exp.run(policy.as_mut());
-    let run_wall = t1.elapsed().as_secs_f64();
+    let r = exp.with_obs(tele.clone()).run(policy.as_mut());
+
+    let spans = tele
+        .with_tracer(|t| t.spans().to_vec())
+        .expect("traced handle has a tracer");
+    let totals = phase_totals(&spans);
+    // Wall seconds spent in a phase, children included (so sac-forward
+    // is also part of ppm-plan, exactly as the call tree nests).
+    let phase_secs = |name: &str| {
+        totals
+            .iter()
+            .find(|t| t.name == name)
+            .map_or(0.0, |t| t.total_ns as f64 / 1e9)
+    };
+    let pretrain_secs = phase_secs("pretrain");
+    let run_wall = phase_secs("run");
+    assert!(run_wall > 0.0, "runner must emit a root run span");
+    // Fraction of one core over the simulated duration.
+    let cpu_pct = |name: &str| phase_secs(name) / r.duration_secs * 100.0;
 
     let peak_bw = r
         .ticks
@@ -59,6 +84,19 @@ fn main() {
         // included, so this is an upper bound on the daemon's share.
         run_wall / r.duration_secs * 100.0
     );
+    // Per-phase breakdown of that upper bound, straight from the span
+    // profiler (phase wall time, children included, as % of one core).
+    for (row, phase) in [
+        ("ppm_plan_cpu_pct", "ppm-plan"),
+        ("sac_forward_cpu_pct", "sac-forward"),
+        ("anneal_cpu_pct", "anneal"),
+        ("ppe_enforce_cpu_pct", "ppe-enforce"),
+        ("track_cpu_pct", "track"),
+        ("sample_cpu_pct", "sample"),
+        ("migrate_cpu_pct", "migrate"),
+    ] {
+        println!("{row}\t{:.3}\t(span profiler)", cpu_pct(phase));
+    }
     println!(
         "ppe_avg_migration_gbps\t{:.2}\t~4 GB/s during replacement",
         r.avg_migration_bw() / GIB as f64

@@ -22,6 +22,7 @@
 //! and the DESIGN.md ablations.
 
 pub mod harness;
+pub mod trace;
 
 use mtat_core::config::SimConfig;
 use mtat_core::policy::memtis::MemtisPolicy;

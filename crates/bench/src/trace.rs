@@ -1,0 +1,505 @@
+//! Offline analysis of span-trace documents for the `mtat-trace` CLI.
+//!
+//! A trace document is what [`mtat_obs::Obs::trace_json`] writes (and
+//! every `--trace-out` flag produces):
+//!
+//! ```text
+//! {"version":1,"dropped_spans":N,"spans":[...],"provenance":[...]}
+//! ```
+//!
+//! This module parses it back — with the obs crate's own dependency-free
+//! JSON parser, so what the exporter writes is exactly what the analyzer
+//! accepts — and answers the questions an operator actually asks of a
+//! run: where did the time go ([`summary`]), which individual phase
+//! executions were pathological ([`slowest_phases`]), and *why* did the
+//! controller emit the plan it emitted at a given tick ([`plan_chain`],
+//! the full input → decision → enforcement causal chain). The export
+//! helpers re-emit the spans in Chrome trace-event JSON (load in
+//! Perfetto / `chrome://tracing`) or collapsed-stack text (pipe into
+//! inferno/flamegraph.pl).
+
+use std::collections::BTreeMap;
+
+use mtat_obs::json::{self, Value};
+use mtat_obs::span::{chrome_trace_json, folded_stacks, SpanRecord};
+
+/// A parsed trace document: spans reconstructed into the live
+/// [`SpanRecord`] shape, provenance kept as parsed JSON objects.
+#[derive(Debug)]
+pub struct TraceDoc {
+    pub version: u64,
+    pub dropped_spans: u64,
+    pub spans: Vec<SpanRecord>,
+    pub provenance: Vec<Value>,
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a u64"))
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn span_from_value(v: &Value) -> Result<SpanRecord, String> {
+    let parent = match field(v, "parent")? {
+        Value::Null => None,
+        p => Some(p.as_u64().ok_or("span parent is not a u64")?),
+    };
+    let label = match field(v, "label")? {
+        Value::Null => None,
+        l => Some(l.as_str().ok_or("span label is not a string")?.to_string()),
+    };
+    Ok(SpanRecord {
+        id: field_u64(v, "id")?,
+        parent,
+        name: field(v, "name")?
+            .as_str()
+            .ok_or("span name is not a string")?
+            .to_string(),
+        label,
+        tid: u32::try_from(field_u64(v, "tid")?).map_err(|_| "span tid overflows u32")?,
+        sim_secs: field_f64(v, "sim_secs")?,
+        start_ns: field_u64(v, "start_ns")?,
+        dur_ns: field_u64(v, "dur_ns")?,
+    })
+}
+
+/// Parses a trace document.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSON, not a version-1 trace
+/// document, or a span/provenance entry is malformed.
+pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
+    let doc = json::parse(text)?;
+    let version = field_u64(&doc, "version")?;
+    if version != 1 {
+        return Err(format!("unsupported trace version {version}"));
+    }
+    let spans = field(&doc, "spans")?
+        .as_arr()
+        .ok_or("spans is not an array")?
+        .iter()
+        .map(span_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let provenance = field(&doc, "provenance")?
+        .as_arr()
+        .ok_or("provenance is not an array")?
+        .to_vec();
+    Ok(TraceDoc {
+        version,
+        dropped_spans: field_u64(&doc, "dropped_spans")?,
+        spans,
+        provenance,
+    })
+}
+
+/// Reads and parses a trace file.
+///
+/// # Errors
+///
+/// Returns a message on I/O or parse failure.
+pub fn load_trace(path: &str) -> Result<TraceDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Per-phase aggregate over all spans sharing a display name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    pub name: String,
+    pub count: u64,
+    /// Sum of wall durations (children included).
+    pub total_ns: u64,
+    /// Sum of self times (children's wall time subtracted).
+    pub self_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Aggregates spans by display name, ordered by descending self time
+/// (name as tiebreak, so output is deterministic).
+#[must_use]
+pub fn phase_totals(spans: &[SpanRecord]) -> Vec<PhaseTotal> {
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut by_name: BTreeMap<String, PhaseTotal> = BTreeMap::new();
+    for s in spans {
+        let own = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let e = by_name
+            .entry(s.display_name())
+            .or_insert_with(|| PhaseTotal {
+                name: s.display_name(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                max_ns: 0,
+            });
+        e.count += 1;
+        e.total_ns += s.dur_ns;
+        e.self_ns += own;
+        e.max_ns = e.max_ns.max(s.dur_ns);
+    }
+    let mut out: Vec<PhaseTotal> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// The `summary` report: document stats plus a per-phase table.
+#[must_use]
+pub fn summary(doc: &TraceDoc) -> String {
+    let mut out = String::new();
+    let total_self: u64 = phase_totals(&doc.spans).iter().map(|t| t.self_ns).sum();
+    out.push_str(&format!(
+        "spans: {}  dropped: {}  provenance records: {}\n",
+        doc.spans.len(),
+        doc.dropped_spans,
+        doc.provenance.len()
+    ));
+    out.push_str("phase\tcount\ttotal\tself\tself%\tmax\n");
+    for t in phase_totals(&doc.spans) {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            t.self_ns as f64 / total_self as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:.1}%\t{}\n",
+            t.name,
+            t.count,
+            fmt_ns(t.total_ns),
+            fmt_ns(t.self_ns),
+            pct,
+            fmt_ns(t.max_ns)
+        ));
+    }
+    out
+}
+
+/// Root-to-leaf display path of span `id` (`…` marks a missing parent,
+/// which only happens when the tracer hit its capacity cap).
+fn span_path(spans: &[SpanRecord], id: u64) -> String {
+    let mut parts = Vec::new();
+    let mut cur = Some(id);
+    while let Some(c) = cur {
+        match spans.iter().find(|s| s.id == c) {
+            Some(s) => {
+                parts.push(s.display_name());
+                cur = s.parent;
+            }
+            None => {
+                parts.push("…".to_string());
+                cur = None;
+            }
+        }
+    }
+    parts.reverse();
+    parts.join(";")
+}
+
+/// The `slowest-phases` report: the `n` individual span executions with
+/// the largest wall duration, with full paths and sim times.
+#[must_use]
+pub fn slowest_phases(doc: &TraceDoc, n: usize) -> String {
+    let mut idx: Vec<usize> = (0..doc.spans.len()).collect();
+    idx.sort_by(|&a, &b| {
+        doc.spans[b]
+            .dur_ns
+            .cmp(&doc.spans[a].dur_ns)
+            .then_with(|| doc.spans[a].id.cmp(&doc.spans[b].id))
+    });
+    let mut out = String::from("dur\tsim_t\tpath\n");
+    for &i in idx.iter().take(n) {
+        let s = &doc.spans[i];
+        out.push_str(&format!(
+            "{}\t{:.3}\t{}\n",
+            fmt_ns(s.dur_ns),
+            s.sim_secs,
+            span_path(&doc.spans, s.id)
+        ));
+    }
+    out
+}
+
+fn fmt_num(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{n:.0}")
+            } else {
+                format!("{n}")
+            }
+        }
+        Value::Str(s) => s.clone(),
+        _ => "?".to_string(),
+    }
+}
+
+fn kv_line(obj: &Value) -> String {
+    match obj.as_obj() {
+        Some(pairs) => pairs
+            .iter()
+            .map(|(k, v)| format!("{k} {}", fmt_num(v)))
+            .collect::<Vec<_>>()
+            .join("  "),
+        None => "(none)".to_string(),
+    }
+}
+
+/// The `plan <tick>` report: the full causal chain of the provenance
+/// record decided at `tick` — observed inputs → supervisor mode → SAC
+/// or anneal internals → clamps → emitted plan → enforcement outcome —
+/// plus the wall-time spans of that decision (`ppm-plan` and its
+/// children at the same sim time).
+///
+/// # Errors
+///
+/// Returns a message when the document has no provenance at all or no
+/// record at `tick` (listing the ticks that do have one).
+pub fn plan_chain(doc: &TraceDoc, tick: u64) -> Result<String, String> {
+    if doc.provenance.is_empty() {
+        return Err("trace has no provenance records (was it captured with tracing on?)".into());
+    }
+    let rec = doc
+        .provenance
+        .iter()
+        .find(|r| r.get("tick").and_then(Value::as_u64) == Some(tick))
+        .ok_or_else(|| {
+            let ticks: Vec<String> = doc
+                .provenance
+                .iter()
+                .filter_map(|r| r.get("tick").and_then(Value::as_u64))
+                .map(|t| t.to_string())
+                .collect();
+            format!(
+                "no decision at tick {tick}; decision boundaries: {}",
+                ticks.join(", ")
+            )
+        })?;
+    let seq = field_u64(rec, "seq")?;
+    let now = field_f64(rec, "now_secs")?;
+    let mut out = String::new();
+    out.push_str(&format!("plan seq {seq} @ tick {tick} (t={now:.3}s)\n"));
+    out.push_str(&format!("  inputs:  {}\n", kv_line(field(rec, "inputs")?)));
+    out.push_str(&format!(
+        "  mode:    {}\n",
+        field(rec, "mode")?.as_str().unwrap_or("?")
+    ));
+    for (key, label) in [("sac", "sac:    "), ("anneal", "anneal: ")] {
+        let v = field(rec, key)?;
+        let body = match v {
+            Value::Null => "(not run)".to_string(),
+            other => kv_line(other),
+        };
+        out.push_str(&format!("  {label} {body}\n"));
+    }
+    out.push_str(&format!("  clamps:  {}\n", kv_line(field(rec, "clamps")?)));
+    out.push_str(&format!("  plan:    {}\n", kv_line(field(rec, "plan")?)));
+    let enforce = field(rec, "enforce")?;
+    let body = match enforce {
+        Value::Null => "(pending — run ended before the next boundary)".to_string(),
+        other => kv_line(other),
+    };
+    out.push_str(&format!("  enforce: {body}\n"));
+
+    // Wall-time view of the same decision: the ppm-plan span opened at
+    // this sim time, with its children indented beneath it.
+    let decision: Vec<&SpanRecord> = doc
+        .spans
+        .iter()
+        .filter(|s| s.name == "ppm-plan" && s.sim_secs.to_bits() == now.to_bits())
+        .collect();
+    for plan_span in decision {
+        out.push_str(&format!(
+            "  spans:   ppm-plan {}\n",
+            fmt_ns(plan_span.dur_ns)
+        ));
+        for child in doc.spans.iter().filter(|s| s.parent == Some(plan_span.id)) {
+            out.push_str(&format!(
+                "           └ {} {}\n",
+                child.display_name(),
+                fmt_ns(child.dur_ns)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Re-emits the spans as Chrome trace-event JSON (Perfetto-viewable).
+#[must_use]
+pub fn export_chrome(doc: &TraceDoc) -> String {
+    chrome_trace_json(&doc.spans)
+}
+
+/// Re-emits the spans as collapsed stacks (inferno/flamegraph input).
+#[must_use]
+pub fn export_folded(doc: &TraceDoc) -> String {
+    folded_stacks(&doc.spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_json() -> String {
+        let spans = [
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "tick".into(),
+                label: None,
+                tid: 0,
+                sim_secs: 4.0,
+                start_ns: 0,
+                dur_ns: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "ppm-plan".into(),
+                label: None,
+                tid: 0,
+                sim_secs: 4.0,
+                start_ns: 10,
+                dur_ns: 60,
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(2),
+                name: "sac-forward".into(),
+                label: None,
+                tid: 0,
+                sim_secs: 4.0,
+                start_ns: 20,
+                dur_ns: 25,
+            },
+        ];
+        let prov = "{\"seq\":1,\"tick\":40,\"now_secs\":4,\
+             \"inputs\":{\"usage_ratio\":0.9,\"access_ratio\":0.75,\
+             \"access_count_norm\":1.25,\"p99_secs\":0.000073,\"violated\":false},\
+             \"mode\":\"rl\",\"sac\":{\"raw_action\":-1500000,\"alpha\":0.2,\
+             \"entropy\":1.42},\"anneal\":null,\
+             \"clamps\":{\"sizer_bytes\":1073741824,\"guard_floor_bytes\":0,\
+             \"guard_applied\":false,\"fmem_clamped\":false},\
+             \"plan\":{\"lc_bytes\":1073741824,\"be_total_bytes\":3221225472},\
+             \"enforce\":{\"granted_pages\":100,\"failed_pages\":2,\
+             \"retried_pages\":1,\"deferred_pages\":0,\"schedule_done\":true}}";
+        let span_json: Vec<String> = spans.iter().map(SpanRecord::to_json).collect();
+        format!(
+            "{{\"version\":1,\"dropped_spans\":0,\"spans\":[{}],\"provenance\":[{prov}]}}",
+            span_json.join(",")
+        )
+    }
+
+    #[test]
+    fn parses_roundtripped_document() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        assert_eq!(doc.version, 1);
+        assert_eq!(doc.spans.len(), 3);
+        assert_eq!(doc.spans[1].parent, Some(1));
+        assert_eq!(doc.spans[2].name, "sac-forward");
+        assert_eq!(doc.provenance.len(), 1);
+    }
+
+    #[test]
+    fn rejects_future_versions_and_garbage() {
+        assert!(
+            parse_trace("{\"version\":2,\"dropped_spans\":0,\"spans\":[],\"provenance\":[]}")
+                .is_err()
+        );
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{\"version\":1}").is_err());
+    }
+
+    #[test]
+    fn phase_totals_subtract_children() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        let totals = phase_totals(&doc.spans);
+        let get = |n: &str| totals.iter().find(|t| t.name == n).expect("phase exists");
+        assert_eq!(get("tick").self_ns, 40); // 100 - 60
+        assert_eq!(get("ppm-plan").self_ns, 35); // 60 - 25
+        assert_eq!(get("sac-forward").self_ns, 25);
+        assert_eq!(get("tick").total_ns, 100);
+    }
+
+    #[test]
+    fn summary_and_slowest_render_all_phases() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        let s = summary(&doc);
+        assert!(s.contains("provenance records: 1"));
+        for name in ["tick", "ppm-plan", "sac-forward"] {
+            assert!(s.contains(name), "{name} missing from summary:\n{s}");
+        }
+        let slow = slowest_phases(&doc, 2);
+        assert!(slow.contains("tick;ppm-plan"), "paths missing:\n{slow}");
+        assert_eq!(slow.lines().count(), 3); // header + 2 rows
+    }
+
+    #[test]
+    fn plan_chain_reconstructs_causal_chain() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        let chain = plan_chain(&doc, 40).expect("tick 40 exists");
+        for needle in [
+            "plan seq 1 @ tick 40",
+            "usage_ratio 0.9",
+            "mode:    rl",
+            "raw_action -1500000",
+            "alpha 0.2",
+            "(not run)", // anneal
+            "sizer_bytes 1073741824",
+            "lc_bytes 1073741824",
+            "granted_pages 100",
+            "schedule_done true",
+            "ppm-plan",
+            "sac-forward",
+        ] {
+            assert!(chain.contains(needle), "{needle:?} missing:\n{chain}");
+        }
+    }
+
+    #[test]
+    fn plan_chain_lists_boundaries_on_miss() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        let err = plan_chain(&doc, 7).expect_err("no tick 7");
+        assert!(err.contains("decision boundaries: 40"), "{err}");
+    }
+
+    #[test]
+    fn exports_delegate_to_obs_exporters() {
+        let doc = parse_trace(&doc_json()).expect("parses");
+        let chrome = export_chrome(&doc);
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        let folded = export_folded(&doc);
+        assert!(folded.contains("tick;ppm-plan;sac-forward 25"));
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end acceptance tests for `mtat-trace`: a seeded traced run's
+//! document must round-trip through the offline analyzer, every
+//! decision boundary must reconstruct its full causal chain, and the
+//! Chrome export must be schema-valid trace-event JSON.
+
+use mtat_bench::trace;
+use mtat_core::config::SimConfig;
+use mtat_core::policy::mtat::{MtatConfig, MtatPolicy};
+use mtat_core::runner::Experiment;
+use mtat_obs::json::{self, Value};
+use mtat_obs::Obs;
+use mtat_tiermem::GIB;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+/// One seeded traced MTAT run, returned as the written trace document.
+fn traced_run() -> String {
+    let mut lc = LcSpec::redis();
+    lc.rss_bytes = (1.2 * GIB as f64) as u64;
+    let mut be = BeSpec::sssp();
+    be.rss_bytes = 2 * GIB;
+    let exp = Experiment::new(
+        SimConfig::small_test(),
+        lc,
+        LoadPattern::staircase(&[0.4, 0.9, 0.5], 15.0),
+        vec![be],
+    )
+    .with_duration(45.0);
+    let tele = Obs::traced();
+    let mut policy = MtatPolicy::new(MtatConfig::full(), &exp.cfg, &exp.lc, &exp.bes);
+    exp.with_obs(tele.clone()).run(&mut policy);
+    tele.trace_json().expect("traced handle")
+}
+
+#[test]
+fn analyzer_round_trips_a_seeded_run() {
+    let text = traced_run();
+
+    // The file path is the CLI's interface; exercise it end to end.
+    let path = std::env::temp_dir().join(format!("mtat_trace_test_{}.json", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path").to_string();
+    std::fs::write(&path, &text).expect("write trace");
+    let doc = trace::load_trace(&path).expect("analyzer parses its own format");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(doc.version, 1);
+    assert_eq!(doc.dropped_spans, 0);
+    assert!(!doc.spans.is_empty());
+    assert!(!doc.provenance.is_empty(), "run must leave provenance");
+
+    // `summary` covers the whole taxonomy.
+    let summary = trace::summary(&doc);
+    for phase in ["run", "tick", "sample", "track", "ppm-plan", "ppe-enforce"] {
+        assert!(summary.contains(phase), "{phase} missing:\n{summary}");
+    }
+
+    // `slowest-phases` renders full root-to-leaf paths.
+    let slow = trace::slowest_phases(&doc, 5);
+    assert_eq!(slow.lines().count(), 6, "header + 5 rows:\n{slow}");
+    assert!(slow.contains("run"), "paths must reach the root:\n{slow}");
+
+    // `plan <tick>` reconstructs the input → decision → enforcement
+    // chain for EVERY decision boundary of the run.
+    let ticks: Vec<u64> = doc
+        .provenance
+        .iter()
+        .filter_map(|r| r.get("tick").and_then(Value::as_u64))
+        .collect();
+    assert!(!ticks.is_empty());
+    for t in &ticks {
+        let chain = trace::plan_chain(&doc, *t).expect("boundary reconstructs");
+        for needle in ["inputs:", "mode:", "clamps:", "plan:", "enforce:"] {
+            assert!(
+                chain.contains(needle),
+                "{needle} missing at tick {t}:\n{chain}"
+            );
+        }
+    }
+    // All but the last decision carry a concrete enforcement outcome.
+    for t in &ticks[..ticks.len() - 1] {
+        let chain = trace::plan_chain(&doc, *t).expect("boundary reconstructs");
+        assert!(
+            chain.contains("granted_pages"),
+            "enforcement missing at tick {t}:\n{chain}"
+        );
+    }
+    // A tick that is not a boundary names the ones that are.
+    let miss = trace::plan_chain(&doc, 1_000_000).expect_err("not a boundary");
+    assert!(miss.contains("decision boundaries:"), "{miss}");
+}
+
+#[test]
+fn chrome_export_is_schema_valid() {
+    let doc = trace::parse_trace(&traced_run()).expect("parses");
+    let chrome = trace::export_chrome(&doc);
+    let parsed = json::parse(&chrome).expect("chrome export is valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), doc.spans.len());
+    for e in events {
+        // The fields Perfetto/chrome://tracing require of a complete
+        // ("X") event.
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        assert_eq!(e.get("cat").and_then(Value::as_str), Some("mtat"));
+        assert!(e.get("ts").and_then(Value::as_f64).is_some());
+        assert!(e.get("dur").and_then(Value::as_f64).is_some());
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("tid").and_then(Value::as_u64).is_some());
+    }
+
+    let folded = trace::export_folded(&doc);
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("`path count` shape");
+        assert!(!path.is_empty());
+        assert!(count.parse::<u64>().is_ok(), "bad self-time in {line:?}");
+    }
+    assert!(
+        folded.lines().any(|l| l.starts_with("run;tick;")),
+        "stacks must nest under run;tick:\n{folded}"
+    );
+}

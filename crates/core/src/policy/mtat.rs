@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mtat_obs::event::Severity;
+use mtat_obs::provenance::{AnnealTrace, EnforceOutcome, PlanProvenance, SacTrace};
 use mtat_obs::Obs;
 use mtat_rl::sac::{Sac, SacConfig};
 use mtat_tiermem::memory::TieredMemory;
@@ -162,6 +163,21 @@ pub struct MtatPolicy {
     /// Telemetry handle ([`Policy::set_obs`]); disabled (inert) by
     /// default. Never consulted by any control path.
     obs: Obs,
+    /// Open provenance record awaiting its enforcement outcome, plus
+    /// the migration-engine counter snapshot taken when its plan was
+    /// installed. Telemetry only: excluded from checkpoints, and never
+    /// read by any control path.
+    prov_snap: Option<ProvSnap>,
+}
+
+/// Migration-engine counters at plan-installation time; the deltas at
+/// the next decision boundary become the plan's enforcement outcome.
+#[derive(Debug, Clone, Copy)]
+struct ProvSnap {
+    seq: u64,
+    moved: u64,
+    failed: u64,
+    retried: u64,
 }
 
 /// Pretrained-agent cache keyed by (workload, cores, FMem, step,
@@ -287,6 +303,7 @@ impl MtatPolicy {
             fmem_total,
             max_step_bytes,
             obs: Obs::disabled(),
+            prov_snap: None,
         }
     }
 
@@ -335,6 +352,65 @@ impl MtatPolicy {
     /// The most recent PP-M plan (diagnostics).
     pub fn latest_plan(&self) -> Option<&PartitionPlan> {
         self.latest_plan.as_ref()
+    }
+
+    /// Opens the provenance record for a freshly decided `plan` —
+    /// interval inputs, supervisor mode, SAC/anneal telemetry, clamp
+    /// diagnostics — and snapshots the migration-engine counters that
+    /// the next decision boundary diffs into the enforcement outcome.
+    /// Tracing path only (callers guard on [`Obs::tracing_enabled`]).
+    fn open_plan_provenance(
+        &mut self,
+        sim: &SimState<'_>,
+        obs: &LcObservation,
+        plan: &PartitionPlan,
+    ) {
+        let meta = self.ppm.last_decision();
+        let sac = match (
+            self.ppm.mode(),
+            self.ppm.sac_agent(),
+            self.ppm.rl_raw_action(),
+        ) {
+            (DegradationState::Rl, Some(agent), Some(raw)) => Some(SacTrace {
+                raw_action: raw,
+                alpha: agent.alpha(),
+                entropy: agent.last_entropy(),
+            }),
+            _ => None,
+        };
+        let anneal = self.ppm.last_anneal().map(|a| AnnealTrace {
+            iterations: a.iterations as u64,
+            best_score: a.best_score,
+            final_temp: a.final_temp,
+        });
+        let rec = PlanProvenance {
+            seq: 0,
+            tick: (sim.now_secs / sim.tick_secs).round() as u64,
+            now_secs: sim.now_secs,
+            usage_ratio: obs.usage_ratio,
+            access_ratio: obs.access_ratio,
+            access_count_norm: obs.access_count_norm,
+            p99_secs: obs.p99_secs,
+            violated: obs.violated,
+            mode: self.ppm.mode().label(),
+            sac,
+            anneal,
+            sizer_bytes: meta.map_or(plan.lc_bytes, |m| m.sizer_bytes),
+            guard_floor_bytes: meta.map_or(0, |m| m.guard_floor_bytes),
+            guard_applied: meta.is_some_and(|m| m.guard_applied),
+            fmem_clamped: meta.is_some_and(|m| m.fmem_clamped),
+            lc_bytes: plan.lc_bytes,
+            be_total_bytes: plan.be_bytes.iter().sum(),
+            enforce: None,
+        };
+        if let Some(seq) = self.obs.provenance_open(rec) {
+            self.prov_snap = Some(ProvSnap {
+                seq,
+                moved: sim.migration.total_pages_moved(),
+                failed: sim.migration.failed_moves(),
+                retried: sim.migration.retried_moves(),
+            });
+        }
     }
 
     fn reset_accumulators(&mut self) {
@@ -456,6 +532,12 @@ impl Policy for MtatPolicy {
 
     fn set_obs(&mut self, obs: &Obs) {
         self.obs = obs.clone();
+        // PP-M opens the sac-forward / anneal child spans itself; PP-E
+        // (created later, in init) is wired there.
+        self.ppm.set_obs(obs.clone());
+        if let Some(ppe) = &mut self.ppe {
+            ppe.set_obs(obs.clone());
+        }
     }
 
     fn init(&mut self, mem: &TieredMemory, workloads: &[WorkloadObs]) {
@@ -465,12 +547,12 @@ impl Policy for MtatPolicy {
             .expect("MTAT needs an LC workload");
         self.lc_id = Some(lc.id);
         let p_max_pairs = 512;
-        self.ppe = Some(PartitionPolicyEnforcer::new(
-            mem,
-            lc.id.index(),
-            p_max_pairs,
-            self.cfg.refine_pairs,
-        ));
+        let mut ppe =
+            PartitionPolicyEnforcer::new(mem, lc.id.index(), p_max_pairs, self.cfg.refine_pairs);
+        // The runner attaches the handle before init; forward it to the
+        // freshly built enforcer.
+        ppe.set_obs(self.obs.clone());
+        self.ppe = Some(ppe);
         // Align the sizer's starting target with the initial placement.
         self.ppm.set_lc_target_bytes(mem.fmem_bytes_of(lc.id));
         self.reset_accumulators();
@@ -506,7 +588,10 @@ impl Policy for MtatPolicy {
     fn on_tick(&mut self, sim: &mut SimState<'_>) {
         let lc_id = self.lc_id.expect("init() must run first");
         let mut ppe = self.ppe.take().expect("init() must run first");
-        ppe.record_tick(sim.workloads);
+        {
+            let _track = self.obs.span(sim.now_secs, "track");
+            ppe.record_tick(sim.workloads);
+        }
 
         if self.ppm_down {
             // The user-space daemon is dead. The in-kernel enforcer
@@ -516,6 +601,7 @@ impl Policy for MtatPolicy {
             if sim.interval_boundary {
                 ppe.age();
             }
+            let _enforce = self.obs.span(sim.now_secs, "ppe-enforce");
             ppe.tick(sim.mem, sim.migration);
             self.ppe = Some(ppe);
             return;
@@ -551,6 +637,23 @@ impl Policy for MtatPolicy {
                 p99_secs: self.acc_worst_p99,
                 violated: self.acc_violated,
             };
+            // The previous plan has had its full interval of
+            // enforcement: close its provenance record from the
+            // migration-engine counter deltas, before set_plan clears
+            // the retry queue and replaces the schedule.
+            if let Some(snap) = self.prov_snap.take() {
+                self.obs.provenance_finalize(
+                    snap.seq,
+                    EnforceOutcome {
+                        granted_pages: sim.migration.total_pages_moved() - snap.moved,
+                        failed_pages: sim.migration.failed_moves() - snap.failed,
+                        retried_pages: sim.migration.retried_moves() - snap.retried,
+                        deferred_pages: ppe.deferred_pages(),
+                        schedule_done: !ppe.adjusting(),
+                    },
+                );
+            }
+            let plan_span = self.obs.span(sim.now_secs, "ppm-plan");
             if let Some(sup) = &mut self.supervisor {
                 // Dead-sensor signature: requests are being served (the
                 // LC server knows its own offered load) yet the sampled
@@ -588,6 +691,10 @@ impl Policy for MtatPolicy {
             }
             ppe.set_plan(sim.mem, targets);
             ppe.age();
+            drop(plan_span);
+            if self.obs.tracing_enabled() {
+                self.open_plan_provenance(sim, &obs, &plan);
+            }
             if self.obs.is_enabled() {
                 self.emit_interval_telemetry(sim.now_secs, &plan, prev_lc_bytes);
                 if let Some(sup) = &self.supervisor {
@@ -613,7 +720,10 @@ impl Policy for MtatPolicy {
         if let Some(threshold) = self.cfg.bandwidth_freeze_util {
             ppe.set_placement_frozen(sim.fmem_bw_util > threshold);
         }
-        ppe.tick(sim.mem, sim.migration);
+        {
+            let _enforce = self.obs.span(sim.now_secs, "ppe-enforce");
+            ppe.tick(sim.mem, sim.migration);
+        }
         if self.obs.is_enabled() {
             self.obs
                 .gauge("mtat.ppe_deferred_pages", ppe.deferred_pages() as f64);

@@ -82,6 +82,8 @@ pub struct PartitionPolicyEnforcer {
     slice_pages: Vec<mtat_tiermem::page::PageId>,
     /// Ranked eviction-candidate buffer reused across ticks.
     ranked_buf: Vec<(u64, mtat_tiermem::page::PageId)>,
+    /// Telemetry handle; phase spans for adjustment vs refinement.
+    obs: mtat_obs::Obs,
 }
 
 impl PartitionPolicyEnforcer {
@@ -108,7 +110,14 @@ impl PartitionPolicyEnforcer {
             scratch: placement::PlacementScratch::default(),
             slice_pages: Vec::new(),
             ranked_buf: Vec::new(),
+            obs: mtat_obs::Obs::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (spans for the adjust / refine
+    /// sub-phases of each enforcement tick).
+    pub fn set_obs(&mut self, obs: mtat_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Suspends (or resumes) hotness refinement and residual-pool
@@ -197,6 +206,7 @@ impl PartitionPolicyEnforcer {
         // p_max-bounded slices until the tick's bandwidth budget is
         // spent or the adjustment completes. LC-first ordering holds
         // within every slice.
+        let adjust_span = self.obs.span_here("adjust");
         loop {
             let slice = match &mut self.schedule {
                 Some(schedule) if !schedule.is_complete() => {
@@ -255,9 +265,13 @@ impl PartitionPolicyEnforcer {
         // Re-drive moves that failed under transient faults in earlier
         // slices, using whatever budget this tick has left.
         self.retry_deferred(mem, engine);
+        drop(adjust_span);
         let schedule_done = self.schedule.as_ref().is_none_or(|s| s.is_complete());
 
         // --- Fig. 4b refinement within enforced partitions ---
+        // One span covers refinement plus residual-pool competition
+        // (the guard also closes correctly on the frozen early return).
+        let _refine_span = self.obs.span_here("refine");
         if schedule_done && !self.placement_frozen {
             for i in 0..self.targets_pages.len() {
                 if let Some(target) = self.targets_pages[i] {

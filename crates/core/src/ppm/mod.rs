@@ -19,6 +19,7 @@ use crate::ppm::be::BePartitioner;
 use crate::ppm::controller::ProportionalController;
 use crate::ppm::lc::{LcObservation, LcPartitioner};
 use crate::supervisor::DegradationState;
+use mtat_obs::Obs;
 
 /// A per-interval FMem partitioning decision (bytes).
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +123,27 @@ pub struct PartitionPolicyMaker {
     static_lc_bytes: u64,
     /// Which sizer currently governs the LC partition.
     mode: DegradationState,
+    /// Clamp diagnostics of the most recent decision (telemetry only —
+    /// nothing here feeds back into later decisions).
+    last_decision: Option<DecisionMeta>,
+    /// Telemetry handle; child spans of the `ppm-plan` phase.
+    obs: Obs,
+}
+
+/// What happened between the sizer's raw choice and the emitted plan in
+/// the most recent [`PartitionPolicyMaker::decide`] call. Pure
+/// diagnostics for decision provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionMeta {
+    /// LC target straight out of the governing sizer, before the SLO
+    /// guard and the FMem clamp.
+    pub sizer_bytes: u64,
+    /// Guard floor in force after this decision (0 = none installed).
+    pub guard_floor_bytes: u64,
+    /// True when the guard floor raised the sizer's target.
+    pub guard_applied: bool,
+    /// True when the LC target was clamped down to total FMem.
+    pub fmem_clamped: bool,
 }
 
 impl PartitionPolicyMaker {
@@ -146,7 +168,20 @@ impl PartitionPolicyMaker {
             fallback: None,
             static_lc_bytes: fmem_total,
             mode: DegradationState::Rl,
+            last_decision: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (spans for the sizer / annealer
+    /// sub-phases of each decision).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Clamp diagnostics of the most recent [`Self::decide`] call.
+    pub fn last_decision(&self) -> Option<DecisionMeta> {
+        self.last_decision
     }
 
     /// Installs the graceful-degradation ladder: a proportional
@@ -238,6 +273,7 @@ impl PartitionPolicyMaker {
         self.guard_floor_bytes = 0;
         self.guard_level = 0.0;
         self.mode = DegradationState::Rl;
+        self.last_decision = None;
     }
 
     /// Serializes every piece of PP-M state that mutates at runtime:
@@ -313,13 +349,21 @@ impl PartitionPolicyMaker {
     pub fn decide(&mut self, obs: &LcObservation) -> PartitionPlan {
         let before = self.lc_target_bytes();
         let mut lc_bytes = match self.mode {
-            DegradationState::Rl => self.lc.decide(obs),
+            DegradationState::Rl => {
+                let _span = match &self.lc {
+                    LcSizer::Rl(_) => self.obs.span_here("sac-forward"),
+                    LcSizer::Heuristic(_) => None,
+                };
+                self.lc.decide(obs)
+            }
             DegradationState::Proportional => match &mut self.fallback {
                 Some(c) => c.decide(obs),
                 None => self.lc.decide(obs),
             },
             DegradationState::Static => self.static_lc_bytes,
         };
+        let sizer_bytes = lc_bytes;
+        let mut guard_applied = false;
 
         if let Some(step) = self.slo_guard_step {
             if obs.violated {
@@ -337,6 +381,7 @@ impl PartitionPolicyMaker {
             }
             if self.guard_floor_bytes > lc_bytes {
                 lc_bytes = self.guard_floor_bytes;
+                guard_applied = true;
                 // Keep every sizer aligned with the forced allocation so
                 // neither the primary nor the fallback re-shrinks from a
                 // stale target after a mode change.
@@ -346,13 +391,23 @@ impl PartitionPolicyMaker {
                 }
             }
         }
+        let fmem_clamped = lc_bytes > self.fmem_total;
         lc_bytes = lc_bytes.min(self.fmem_total);
 
         let remaining = self.fmem_total - lc_bytes;
         let be_bytes = match &mut self.be {
-            Some(p) => p.partition(remaining),
+            Some(p) => {
+                let _span = self.obs.span_here("anneal");
+                p.partition(remaining)
+            }
             None => Vec::new(),
         };
+        self.last_decision = Some(DecisionMeta {
+            sizer_bytes,
+            guard_floor_bytes: self.guard_floor_bytes,
+            guard_applied,
+            fmem_clamped,
+        });
         PartitionPlan { lc_bytes, be_bytes }
     }
 }

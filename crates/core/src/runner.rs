@@ -84,6 +84,11 @@ pub struct Experiment {
     /// Telemetry never feeds back into simulation physics — runs are
     /// bit-identical with observability on or off.
     pub obs: Option<Obs>,
+    /// Flight-recorder dump trigger on sustained SLO violation: after
+    /// this many *consecutive* violating ticks the recorder is dumped
+    /// once (re-arming only after the streak breaks). `None` (the
+    /// default) disables the trigger.
+    pub slo_streak_dump: Option<u32>,
 }
 
 /// Checkpointing and crash-recovery configuration for a run.
@@ -186,6 +191,7 @@ impl Experiment {
             legacy_accounting: false,
             checkpoints: None,
             obs: None,
+            slo_streak_dump: None,
         }
     }
 
@@ -224,6 +230,14 @@ impl Experiment {
     /// `MTAT_OBS` (see [`Experiment::obs`]).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Arms the sustained-SLO-violation flight-recorder dump: after
+    /// `ticks` consecutive violating ticks the recorder is dumped once
+    /// (see [`Experiment::slo_streak_dump`]).
+    pub fn with_slo_streak_dump(mut self, ticks: u32) -> Self {
+        self.slo_streak_dump = Some(ticks);
         self
     }
 
@@ -332,6 +346,9 @@ impl Experiment {
             );
         }
         policy.set_obs(&tele);
+        // Root span for the whole run; every per-tick span nests under
+        // it. Closed by the guard when `try_run` returns.
+        let _run_span = tele.span(0.0, "run");
         let max_history = 1 + self
             .fault_plan
             .windows
@@ -429,8 +446,15 @@ impl Experiment {
         let mut fmem_util = 0.0f64;
         let mut smem_util = 0.0f64;
 
+        // Sustained-SLO-violation dump trigger state (satellite of the
+        // flight recorder): counts consecutive violating ticks and
+        // re-arms only once the streak breaks.
+        let mut slo_streak: u32 = 0;
+        let mut streak_dumped = false;
+
         for tick_index in 0..n_ticks {
             let now = tick_index as f64 * tick_secs;
+            let _tick_span = tele.span(now, "tick");
 
             // ---- Fault effects for this tick ----
             let tf = if faults_enabled {
@@ -562,6 +586,28 @@ impl Experiment {
                 // infinite P99 lands in the histogram's top bucket.
                 tele.observe("runner.lc_p99_ns", (p99 * 1e9).round() as u64);
                 tele.gauge("runner.lc_load_rps", load_rps);
+            }
+            if let Some(n) = self.slo_streak_dump {
+                if violated {
+                    slo_streak = slo_streak.saturating_add(1);
+                    if slo_streak >= n && !streak_dumped {
+                        streak_dumped = true;
+                        if tele.is_enabled() {
+                            tele.count("runner.slo_streak_dumps", 1);
+                            tele.event(
+                                now,
+                                "runner",
+                                Severity::Warn,
+                                "slo_streak",
+                                &[("ticks", slo_streak.to_string())],
+                            );
+                            tele.dump_flight_recorder("slo violation streak");
+                        }
+                    }
+                } else {
+                    slo_streak = 0;
+                    streak_dumped = false;
+                }
             }
 
             // Demand-side access rate: queued requests still represent

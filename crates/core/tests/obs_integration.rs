@@ -109,6 +109,142 @@ fn obs_on_and_off_are_bit_identical() {
     }
 }
 
+/// Span tracing and decision provenance must be exactly as invisible as
+/// plain metrics: a run with the full tracing handle attached is
+/// bit-identical — compared on the `f64` bit pattern — with a disabled
+/// run, under the full MTAT policy where every span and provenance hook
+/// fires (tick, sample, track, ppm-plan, sac-forward, anneal,
+/// ppe-enforce, migrate).
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    let load = LoadPattern::staircase(&[0.4, 0.9, 0.5], 15.0);
+    let traced = Obs::traced();
+    let on = experiment(load.clone(), 45.0).with_obs(traced.clone());
+    let off = experiment(load, 45.0).with_obs(Obs::disabled());
+
+    let mk = |exp: &Experiment| {
+        mtat_core::policy::mtat::MtatPolicy::new(
+            mtat_core::policy::mtat::MtatConfig::full(),
+            &exp.cfg,
+            &exp.lc,
+            &exp.bes,
+        )
+    };
+    let r_on = on.run(&mut mk(&on));
+    let r_off = off.run(&mut mk(&off));
+
+    assert_eq!(r_on.ticks.len(), r_off.ticks.len());
+    for (a, b) in r_on.ticks.iter().zip(&r_off.ticks) {
+        assert_eq!(a.lc_p99.to_bits(), b.lc_p99.to_bits(), "t={}", a.t);
+        assert_eq!(
+            a.lc_load_rps.to_bits(),
+            b.lc_load_rps.to_bits(),
+            "t={}",
+            a.t
+        );
+        assert_eq!(
+            a.migration_bw.to_bits(),
+            b.migration_bw.to_bits(),
+            "t={}",
+            a.t
+        );
+        assert_eq!(
+            a.fmem_bw_util.to_bits(),
+            b.fmem_bw_util.to_bits(),
+            "t={}",
+            a.t
+        );
+        assert_eq!(a.fmem_bytes, b.fmem_bytes, "t={}", a.t);
+        assert_eq!(a, b, "tick records diverge at t={}", a.t);
+    }
+
+    // ...while the traced handle actually collected the full taxonomy:
+    // one tick span per tick, nested phase spans, and a provenance
+    // record per decision boundary with a finalized enforcement outcome.
+    traced
+        .with_tracer(|t| {
+            let spans = t.spans();
+            assert_eq!(t.dropped(), 0, "short run must not hit the span cap");
+            let count = |n: &str| spans.iter().filter(|s| s.name == n).count();
+            assert_eq!(count("run"), 1);
+            assert_eq!(count("tick"), r_on.ticks.len());
+            for name in ["sample", "track", "ppm-plan", "ppe-enforce", "migrate"] {
+                assert!(count(name) > 0, "missing {name} spans");
+            }
+            // The full config starts in RL mode with the RL sizer, so
+            // the SAC forward pass is traced inside ppm-plan.
+            assert!(count("sac-forward") > 0, "missing sac-forward spans");
+            // Every non-root span's parent exists and started no later.
+            for s in spans {
+                let Some(pid) = s.parent else { continue };
+                let p = spans
+                    .iter()
+                    .find(|c| c.id == pid)
+                    .unwrap_or_else(|| panic!("span {} has dangling parent {pid}", s.id));
+                assert!(p.start_ns <= s.start_ns, "parent starts after child");
+            }
+        })
+        .expect("traced handle has a tracer");
+
+    let jsonl = traced.provenance_jsonl().expect("traced handle has a book");
+    let records: Vec<&str> = jsonl.lines().collect();
+    assert!(
+        !records.is_empty(),
+        "decision boundaries must leave records"
+    );
+    let finalized = records
+        .iter()
+        .filter(|l| l.contains("\"enforce\":{"))
+        .count();
+    // Every record except the last-opened one is finalized by the next
+    // boundary.
+    assert!(
+        finalized >= records.len() - 1,
+        "unfinalized provenance: {finalized}/{}",
+        records.len()
+    );
+    for l in &records {
+        assert!(l.contains("\"mode\":"), "mode missing: {l}");
+        assert!(l.contains("\"inputs\":{"), "inputs missing: {l}");
+        assert!(l.contains("\"plan\":{"), "plan missing: {l}");
+    }
+}
+
+/// The sustained-SLO-violation trigger dumps the flight recorder once
+/// per streak: an overloaded run trips it exactly once, and a run that
+/// never violates long enough leaves the recorder untouched.
+#[test]
+fn slo_streak_dump_fires_once_per_streak() {
+    let obs = Obs::enabled();
+    let exp = experiment(LoadPattern::Constant(1.5), 30.0)
+        .with_obs(obs.clone())
+        .with_slo_streak_dump(5);
+    exp.run(&mut StaticPolicy::fmem_all());
+
+    assert_eq!(obs.counter_value("runner.slo_streak_dumps"), Some(1));
+    let dump = obs.last_dump().expect("streak must dump the recorder");
+    assert!(
+        dump.contains("slo violation streak"),
+        "dump reason missing: {dump}"
+    );
+    assert!(
+        dump.contains("runner.slo_streak"),
+        "streak event missing: {dump}"
+    );
+
+    // Well under the knee: no violations, no dump.
+    let calm = Obs::enabled();
+    let exp = experiment(LoadPattern::Constant(0.3), 30.0)
+        .with_obs(calm.clone())
+        .with_slo_streak_dump(5);
+    exp.run(&mut StaticPolicy::fmem_all());
+    assert_eq!(
+        calm.counter_value("runner.slo_streak_dumps").unwrap_or(0),
+        0
+    );
+    assert!(calm.last_dump().is_none());
+}
+
 /// A policy that reports honest targets until `rogue_after_ticks`, then
 /// claims more FMem than exists — tripping the plan-conservation audit.
 struct RoguePolicy {

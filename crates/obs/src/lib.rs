@@ -21,6 +21,17 @@
 //!   return past one branch, so the default-off path adds nothing
 //!   measurable to `perf_baseline`; an enabled handle shares one
 //!   mutex-guarded registry+recorder across clones.
+//! * [`span`] — hierarchical phase spans (tick → sample → ppm-plan →
+//!   ppe-enforce → migrate, ...) with wall-ns durations and sim-time
+//!   anchors, exportable as Chrome trace-event JSON or collapsed
+//!   stacks; present only on [`Obs::traced`] handles.
+//! * [`provenance`] — per-plan decision provenance chaining interval
+//!   stats → supervisor mode → SAC/anneal telemetry → clamps →
+//!   enforcement outcome, exported as JSONL and embedded in trace
+//!   files.
+//! * [`json`] / [`promlint`] — a dependency-free JSON parser and a
+//!   promtool-style text-format linter, so `mtat-trace` and the
+//!   conformance tests can parse our own exports back.
 //! * [`bucket`] — the audited bucket-index arithmetic shared with
 //!   `mtat_tiermem::histogram` (one implementation of the bit tricks,
 //!   one test suite).
@@ -36,7 +47,9 @@
 //! Harnesses can also bypass the environment entirely by attaching an
 //! explicit handle ([`Obs::enabled`] / [`Obs::disabled`]) to an
 //! experiment, which is what `chaos_matrix --metrics-out` does to give
-//! every matrix cell its own registry.
+//! every matrix cell its own registry. A third axis, `MTAT_TRACE`
+//! (same on/off convention), upgrades the handle to [`Obs::traced`]:
+//! metrics + events + phase spans + decision provenance.
 //!
 //! ## Determinism contract
 //!
@@ -49,12 +62,18 @@ pub mod bucket;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod json;
+pub mod promlint;
+pub mod provenance;
 pub mod registry;
+pub mod span;
 
 use std::sync::{Arc, Mutex};
 
 use event::{FlightRecorder, Severity};
+use provenance::{EnforceOutcome, PlanProvenance, ProvenanceBook};
 use registry::Registry;
+use span::{SpanGuard, Tracer};
 
 /// Returns whether `MTAT_OBS` asks for observability: unset, empty, or
 /// `"0"` mean off, anything else means on.
@@ -70,6 +89,19 @@ pub fn obs_enabled() -> bool {
     }
 }
 
+/// Returns whether `MTAT_TRACE` asks for span tracing + decision
+/// provenance on top of metrics/events. Same semantics as
+/// [`obs_enabled`]: unset, empty, or `"0"` mean off. A set
+/// `MTAT_TRACE` implies full observability ([`Obs::from_env`] returns
+/// a traced handle regardless of `MTAT_OBS`).
+#[must_use]
+pub fn trace_enabled() -> bool {
+    match std::env::var("MTAT_TRACE") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    }
+}
+
 #[derive(Debug)]
 struct ObsInner {
     registry: Mutex<Registry>,
@@ -77,6 +109,11 @@ struct ObsInner {
     /// Most recent flight-recorder dump, kept so harnesses and tests
     /// can retrieve the post-mortem after the failing call returned.
     last_dump: Mutex<Option<String>>,
+    /// Span tracer — present only on traced handles ([`Obs::traced`]),
+    /// so a plain enabled handle pays nothing for the tracing axis.
+    tracer: Option<Mutex<Tracer>>,
+    /// Decision-provenance book — rides the same axis as the tracer.
+    provenance: Option<Mutex<ProvenanceBook>>,
 }
 
 /// Cheap, cloneable instrumentation handle.
@@ -130,15 +167,37 @@ impl Obs {
                 registry: Mutex::new(Registry::new()),
                 recorder: Mutex::new(FlightRecorder::new(cap)),
                 last_dump: Mutex::new(None),
+                tracer: None,
+                provenance: None,
             })),
         }
     }
 
-    /// [`Obs::enabled`] or [`Obs::disabled`] according to `MTAT_OBS`
-    /// (see [`obs_enabled`]).
+    /// A fully-instrumented handle: metrics + events + span tracer +
+    /// decision provenance. The tracer stores up to
+    /// [`Tracer::DEFAULT_CAPACITY`] completed spans (further
+    /// completions are counted, not stored).
+    #[must_use]
+    pub fn traced() -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                registry: Mutex::new(Registry::new()),
+                recorder: Mutex::new(FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY)),
+                last_dump: Mutex::new(None),
+                tracer: Some(Mutex::new(Tracer::new(Tracer::DEFAULT_CAPACITY))),
+                provenance: Some(Mutex::new(ProvenanceBook::new())),
+            })),
+        }
+    }
+
+    /// Handle per the environment: [`Obs::traced`] when `MTAT_TRACE`
+    /// is set (see [`trace_enabled`]), else [`Obs::enabled`] when
+    /// `MTAT_OBS` is set, else [`Obs::disabled`].
     #[must_use]
     pub fn from_env() -> Self {
-        if obs_enabled() {
+        if trace_enabled() {
+            Self::traced()
+        } else if obs_enabled() {
             Self::enabled()
         } else {
             Self::disabled()
@@ -299,6 +358,142 @@ impl Obs {
     pub fn snapshot_prometheus(&self, labels: &[(&str, &str)]) -> Option<String> {
         self.with_registry(|r| r.to_prometheus(labels))
     }
+
+    // --- span tracing & decision provenance (Obs::traced handles) ---
+
+    fn tracer(&self) -> Option<&Mutex<Tracer>> {
+        self.inner.as_ref()?.tracer.as_ref()
+    }
+
+    fn book(&self) -> Option<&Mutex<ProvenanceBook>> {
+        self.inner.as_ref()?.provenance.as_ref()
+    }
+
+    /// True when this handle records spans + provenance. Callers doing
+    /// non-trivial work *just to build a provenance record* should
+    /// guard on this, like [`Obs::is_enabled`] for events.
+    #[inline]
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer().is_some()
+    }
+
+    /// Opens a phase span at sim time `now_secs`. `None` (free) when
+    /// the handle has no tracer; otherwise the returned guard closes
+    /// the span on drop. The guard owns an `Obs` clone, so it never
+    /// borrows the instrumented object.
+    #[inline]
+    #[must_use]
+    pub fn span(&self, now_secs: f64, name: &'static str) -> Option<SpanGuard> {
+        let id = self
+            .tracer()?
+            .lock()
+            .expect("obs poisoned")
+            .begin(now_secs, name, None);
+        Some(SpanGuard::new(self.clone(), id))
+    }
+
+    /// Like [`Obs::span`] with a per-instance label (e.g. the matrix
+    /// cell name); the exporters display it as `name:label`.
+    #[must_use]
+    pub fn span_labeled(
+        &self,
+        now_secs: f64,
+        name: &'static str,
+        label: &str,
+    ) -> Option<SpanGuard> {
+        let id = self.tracer()?.lock().expect("obs poisoned").begin(
+            now_secs,
+            name,
+            Some(label.to_string()),
+        );
+        Some(SpanGuard::new(self.clone(), id))
+    }
+
+    /// Opens a span inheriting the sim time of the innermost open span
+    /// on this thread — for layers without a clock of their own
+    /// (`MigrationEngine`, PP-M internals). Falls back to `0.0` when
+    /// no span is open.
+    #[inline]
+    #[must_use]
+    pub fn span_here(&self, name: &'static str) -> Option<SpanGuard> {
+        let tracer = self.tracer()?;
+        let mut t = tracer.lock().expect("obs poisoned");
+        let now = t.current_sim_secs().unwrap_or(0.0);
+        let id = t.begin(now, name, None);
+        drop(t);
+        Some(SpanGuard::new(self.clone(), id))
+    }
+
+    /// Closes span `id`. Called by [`SpanGuard::drop`]; harness code
+    /// should hold guards rather than call this directly.
+    pub(crate) fn span_end(&self, id: u64) {
+        if let Some(tracer) = self.tracer() {
+            tracer.lock().expect("obs poisoned").end(id);
+        }
+    }
+
+    /// Runs `f` against the tracer (`None` when the handle has none) —
+    /// the bulk-read escape hatch for exporters and tests.
+    pub fn with_tracer<T>(&self, f: impl FnOnce(&Tracer) -> T) -> Option<T> {
+        Some(f(&self.tracer()?.lock().expect("obs poisoned")))
+    }
+
+    /// Opens a provenance record for a freshly-decided plan and
+    /// returns its sequence number (`None` when not tracing).
+    #[must_use]
+    pub fn provenance_open(&self, rec: PlanProvenance) -> Option<u64> {
+        Some(self.book()?.lock().expect("obs poisoned").open(rec))
+    }
+
+    /// Attaches the enforcement outcome observed over the following
+    /// interval to provenance record `seq`.
+    pub fn provenance_finalize(&self, seq: u64, outcome: EnforceOutcome) {
+        if let Some(book) = self.book() {
+            book.lock().expect("obs poisoned").finalize(seq, outcome);
+        }
+    }
+
+    /// All provenance records as JSONL (`None` when not tracing).
+    #[must_use]
+    pub fn provenance_jsonl(&self) -> Option<String> {
+        Some(self.book()?.lock().expect("obs poisoned").to_jsonl())
+    }
+
+    /// The full trace document — completed spans plus provenance — as
+    /// JSON (`None` when not tracing). This is the file format behind
+    /// `--trace-out`, the input of `mtat-trace`:
+    ///
+    /// ```text
+    /// {"version":1,"dropped_spans":N,"spans":[...],"provenance":[...]}
+    /// ```
+    #[must_use]
+    pub fn trace_json(&self) -> Option<String> {
+        let tracer = self.tracer()?;
+        let mut out = String::from("{\"version\":1,");
+        {
+            let t = tracer.lock().expect("obs poisoned");
+            out.push_str(&format!("\"dropped_spans\":{},\"spans\":[", t.dropped()));
+            for (i, s) in t.spans().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_json());
+            }
+        }
+        out.push_str("],\"provenance\":[");
+        if let Some(book) = self.book() {
+            let b = book.lock().expect("obs poisoned");
+            for (i, r) in b.records().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&r.to_json());
+            }
+        }
+        out.push_str("]}\n");
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +515,12 @@ mod tests {
         assert_eq!(obs.snapshot_json(), None);
         assert_eq!(obs.snapshot_prometheus(&[]), None);
         assert!(obs.with_registry(|_| ()).is_none());
+        assert!(!obs.tracing_enabled());
+        assert!(obs.span(0.0, "tick").is_none());
+        assert!(obs.span_labeled(0.0, "cell", "x").is_none());
+        assert!(obs.span_here("migrate").is_none());
+        assert!(obs.trace_json().is_none());
+        assert!(obs.provenance_jsonl().is_none());
     }
 
     #[test]
@@ -361,6 +562,103 @@ mod tests {
             }
         });
         assert_eq!(obs.counter_value("n"), Some(4000));
+    }
+
+    #[test]
+    fn plain_enabled_handle_has_no_tracer() {
+        let obs = Obs::enabled();
+        assert!(obs.is_enabled());
+        assert!(!obs.tracing_enabled());
+        assert!(obs.span(0.0, "tick").is_none());
+        assert!(obs.span_here("migrate").is_none());
+        assert!(obs.with_tracer(|_| ()).is_none());
+        assert!(obs.trace_json().is_none());
+        assert!(obs.provenance_jsonl().is_none());
+    }
+
+    #[test]
+    fn traced_spans_nest_and_export() {
+        let obs = Obs::traced();
+        assert!(obs.tracing_enabled());
+        {
+            let _tick = obs.span(1.5, "tick");
+            {
+                // span_here inherits the enclosing span's sim time.
+                let _mig = obs.span_here("migrate");
+            }
+        }
+        let spans = obs.with_tracer(|t| t.spans().to_vec()).unwrap();
+        assert_eq!(spans.len(), 2);
+        let mig = spans.iter().find(|s| s.name == "migrate").unwrap();
+        let tick = spans.iter().find(|s| s.name == "tick").unwrap();
+        assert_eq!(mig.parent, Some(tick.id));
+        assert_eq!(mig.sim_secs.to_bits(), 1.5f64.to_bits());
+        // The trace document parses back with our own parser.
+        let doc = json::parse(&obs.trace_json().unwrap()).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("spans").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn provenance_flows_through_handle() {
+        let obs = Obs::traced();
+        let rec = provenance::PlanProvenance {
+            seq: 0,
+            tick: 10,
+            now_secs: 1.0,
+            usage_ratio: 0.5,
+            access_ratio: 0.5,
+            access_count_norm: 1.0,
+            p99_secs: 1e-4,
+            violated: true,
+            mode: "heuristic",
+            sac: None,
+            anneal: None,
+            sizer_bytes: 1,
+            guard_floor_bytes: 0,
+            guard_applied: false,
+            fmem_clamped: false,
+            lc_bytes: 1,
+            be_total_bytes: 2,
+            enforce: None,
+        };
+        let seq = obs.provenance_open(rec).unwrap();
+        obs.provenance_finalize(
+            seq,
+            provenance::EnforceOutcome {
+                granted_pages: 5,
+                failed_pages: 0,
+                retried_pages: 0,
+                deferred_pages: 1,
+                schedule_done: false,
+            },
+        );
+        let jsonl = obs.provenance_jsonl().unwrap();
+        assert!(jsonl.contains("\"granted_pages\":5"));
+        assert!(Obs::enabled().provenance_open(jsonl_rec()).is_none());
+    }
+
+    fn jsonl_rec() -> provenance::PlanProvenance {
+        provenance::PlanProvenance {
+            seq: 0,
+            tick: 0,
+            now_secs: 0.0,
+            usage_ratio: 0.0,
+            access_ratio: 0.0,
+            access_count_norm: 0.0,
+            p99_secs: 0.0,
+            violated: false,
+            mode: "static",
+            sac: None,
+            anneal: None,
+            sizer_bytes: 0,
+            guard_floor_bytes: 0,
+            guard_applied: false,
+            fmem_clamped: false,
+            lc_bytes: 0,
+            be_total_bytes: 0,
+            enforce: None,
+        }
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! In-tree promtool-style lint and parser for the Prometheus text
+//! exposition format.
+//!
+//! [`registry::Registry::to_prometheus`](crate::registry::Registry)
+//! emits this format; these helpers let the conformance tests check,
+//! without external tooling, that a scraper would accept it:
+//!
+//! * [`parse`] — a strict line parser returning every sample with its
+//!   unescaped label set, so tests can round-trip values through the
+//!   wire format;
+//! * [`lint`] — structural checks modelled on `promtool check
+//!   metrics`: metric/label name validity, `# HELP`/`# TYPE` ordering
+//!   and uniqueness, valid type keywords, counter naming, and
+//!   no interleaving of metric families.
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// Label pairs with escape sequences (`\\`, `\"`, `\n`) decoded.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a metric name at the start of `s`, returning (name, rest).
+fn take_name(s: &str) -> (&str, &str) {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(s.len());
+    (&s[..end], &s[end..])
+}
+
+/// A decoded label set.
+pub type Labels = Vec<(String, String)>;
+
+/// Parses the `{k="v",...}` label block. Returns (labels, rest) or an
+/// error message.
+fn take_labels(s: &str) -> Result<(Labels, &str), String> {
+    debug_assert!(s.starts_with('{'));
+    let mut labels = Vec::new();
+    let mut rest = &s[1..];
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let (lname, r) = take_name(rest);
+        if lname.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        let r = r
+            .strip_prefix('=')
+            .ok_or_else(|| format!("label {lname}: expected '='"))?;
+        let r = r
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {lname}: expected '\"'"))?;
+        let mut value = String::new();
+        let mut chars = r.char_indices();
+        let close = loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(format!("label {lname}: unterminated value"));
+            };
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, other)) => return Err(format!("label {lname}: bad escape \\{other}")),
+                    None => return Err(format!("label {lname}: truncated escape")),
+                },
+                '\n' => return Err(format!("label {lname}: raw newline in value")),
+                c => value.push(c),
+            }
+        };
+        labels.push((lname.to_string(), value));
+        rest = &r[close + 1..];
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        }
+    }
+}
+
+/// Parses Prometheus text-format `text` into its samples. Comment
+/// (`# HELP` / `# TYPE`) and blank lines are validated for shape but
+/// not returned.
+///
+/// # Errors
+///
+/// Returns `Err` with a 1-based line number and message on the first
+/// malformed line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let at = |msg: String| format!("line {lineno}: {msg}");
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if comment.starts_with("HELP ") || comment.starts_with("TYPE ") {
+                let mut parts = comment.splitn(3, ' ');
+                let _kw = parts.next();
+                let name = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(at(format!("invalid metric name {name:?} in comment")));
+                }
+                if parts.next().is_none() {
+                    return Err(at("HELP/TYPE without a body".to_string()));
+                }
+            }
+            continue;
+        }
+        let (name, rest) = take_name(line);
+        if name.is_empty() || !valid_metric_name(name) {
+            return Err(at(format!("invalid metric name {name:?}")));
+        }
+        let (labels, rest) = if rest.starts_with('{') {
+            take_labels(rest).map_err(at)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.trim();
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .parse::<f64>()
+                .map_err(|_| at(format!("bad sample value {v:?}")))?,
+        };
+        samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+
+/// Maps a sample name to its metric family given the declared types:
+/// `x_sum`/`x_count`/`x_bucket` fold into family `x` when `x` is a
+/// declared summary or histogram.
+fn family_of<'a>(name: &'a str, types: &[(String, String)]) -> &'a str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types
+                .iter()
+                .any(|(n, t)| n == base && (t == "summary" || t == "histogram"))
+            {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Runs promtool-style structural checks over Prometheus text `text`
+/// and returns the list of issues (empty = clean). [`parse`] failures
+/// are reported as issues too, so one call covers both.
+#[must_use]
+pub fn lint(text: &str) -> Vec<String> {
+    let mut issues = Vec::new();
+    if let Err(e) = parse(text) {
+        issues.push(e);
+    }
+
+    // First pass: collect HELP/TYPE declarations in order.
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("").to_string();
+            let ty = parts.next().unwrap_or("").trim().to_string();
+            if !TYPES.contains(&ty.as_str()) {
+                issues.push(format!("metric {name}: unknown type {ty:?}"));
+            }
+            if types.iter().any(|(n, _)| *n == name) {
+                issues.push(format!("metric {name}: duplicate # TYPE"));
+            }
+            if ty == "counter" && !name.ends_with("_total") {
+                issues.push(format!("counter {name} should end in _total"));
+            }
+            types.push((name, ty));
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("").to_string();
+            if helps.contains(&name) {
+                issues.push(format!("metric {name}: duplicate # HELP"));
+            }
+            helps.push(name);
+        }
+    }
+
+    // Second pass: ordering. Within a family the order must be HELP
+    // (optional, first), TYPE, then samples, and families must not
+    // interleave once another family has started.
+    let mut seen_order: Vec<String> = Vec::new();
+    let mut family_closed: Vec<String> = Vec::new();
+    let mut note = |family: &str, issues: &mut Vec<String>| {
+        if let Some(last) = seen_order.last() {
+            if last != family {
+                if seen_order.iter().any(|f| f == family) {
+                    if !family_closed.contains(&family.to_string()) {
+                        issues.push(format!("metric family {family} is interleaved"));
+                        family_closed.push(family.to_string());
+                    }
+                    return;
+                }
+                seen_order.push(family.to_string());
+                return;
+            }
+            return;
+        }
+        seen_order.push(family.to_string());
+    };
+    let mut samples_seen: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if samples_seen.iter().any(|s| s == name) {
+                issues.push(format!("metric {name}: # HELP after samples"));
+            }
+            note(name, &mut issues);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if samples_seen.iter().any(|s| s == name) {
+                issues.push(format!("metric {name}: # TYPE after samples"));
+            }
+            note(name, &mut issues);
+        } else if line.starts_with('#') {
+            continue;
+        } else {
+            let (name, _) = take_name(line);
+            let family = family_of(name, &types);
+            note(family, &mut issues);
+            if !samples_seen.iter().any(|s| s == family) {
+                samples_seen.push(family.to_string());
+            }
+        }
+    }
+
+    // Label name validity (parse() checks shape, not the name charset).
+    if let Ok(samples) = parse(text) {
+        for s in &samples {
+            for (lname, _) in &s.labels {
+                if !valid_label_name(lname) {
+                    issues.push(format!("sample {}: invalid label name {lname:?}", s.name));
+                }
+                if lname.starts_with("__") {
+                    issues.push(format!("sample {}: reserved label name {lname:?}", s.name));
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_samples_with_escaped_labels() {
+        let text = "# HELP m_total help\n# TYPE m_total counter\n\
+                    m_total{cell=\"a\\\\b\\\"c\\nd\"} 3\nplain 1.5\n";
+        let samples = parse(text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].labels[0].1, "a\\b\"c\nd");
+        assert_eq!(samples[1].value, 1.5);
+        assert!(lint(text).is_empty());
+    }
+
+    #[test]
+    fn parses_special_values() {
+        let samples = parse("a +Inf\nb -Inf\nc NaN\n").unwrap();
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[1].value, f64::NEG_INFINITY);
+        assert!(samples[2].value.is_nan());
+    }
+
+    #[test]
+    fn lint_flags_bad_type_keyword() {
+        let issues = lint("# TYPE m widget\nm 1\n");
+        assert!(issues.iter().any(|i| i.contains("unknown type")));
+    }
+
+    #[test]
+    fn lint_flags_type_after_samples() {
+        let issues = lint("m 1\n# TYPE m gauge\n");
+        assert!(issues.iter().any(|i| i.contains("# TYPE after samples")));
+    }
+
+    #[test]
+    fn lint_flags_interleaved_families() {
+        let issues = lint("a 1\nb 2\na 3\n");
+        assert!(issues.iter().any(|i| i.contains("interleaved")));
+    }
+
+    #[test]
+    fn lint_flags_duplicate_declarations() {
+        let issues = lint("# TYPE m gauge\n# TYPE m gauge\nm 1\n");
+        assert!(issues.iter().any(|i| i.contains("duplicate # TYPE")));
+    }
+
+    #[test]
+    fn lint_flags_counter_naming() {
+        let issues = lint("# TYPE hits counter\nhits 1\n");
+        assert!(issues.iter().any(|i| i.contains("end in _total")));
+    }
+
+    #[test]
+    fn summary_children_fold_into_family() {
+        let text = "# TYPE lat summary\nlat{quantile=\"0.99\"} 5\nlat_sum 10\nlat_count 2\n";
+        assert!(lint(text).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("1bad 3\n").is_err());
+        assert!(parse("m{x=\"unterminated} 3\n").is_err());
+        assert!(parse("m not_a_number\n").is_err());
+    }
+}

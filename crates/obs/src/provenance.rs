@@ -1,0 +1,298 @@
+//! Decision provenance: why each `PartitionPlan` looks the way it does.
+//!
+//! Every PP-M decision boundary opens one [`PlanProvenance`] record
+//! chaining the full causal path of the plan:
+//!
+//! ```text
+//! observed interval stats → supervisor mode → SAC action (α, entropy)
+//!   or anneal score/temperature → clamps applied → enforcement outcome
+//! ```
+//!
+//! The record is opened when the plan is decided and **finalized at the
+//! next decision boundary**, once PP-E has had a full interval to act
+//! on it: the enforcement outcome (granted/failed/retried/deferred
+//! pages) is computed from migration-engine counter deltas between the
+//! two boundaries. The last record of a run may therefore carry a
+//! `null` enforcement outcome.
+//!
+//! Provenance is telemetry, not state: nothing is ever read back into
+//! the simulation, records are excluded from policy checkpoints, and
+//! the book is reset on PP-M cold restarts.
+
+use crate::export::json_string;
+
+/// Formats a float for provenance JSON: up to 9 decimals with trailing
+/// zeros trimmed (α/entropy need more precision than the 4-decimal
+/// metric snapshots), `null` for non-finite values.
+#[must_use]
+fn jnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v:.9}");
+    let s = s.trim_end_matches('0');
+    let s = s.trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// RL path of a decision: the raw (unclamped) SAC action plus the
+/// agent's temperature and last policy entropy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SacTrace {
+    pub raw_action: f64,
+    pub alpha: f64,
+    pub entropy: f64,
+}
+
+/// Annealing path of a decision: the BE partitioner's search stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealTrace {
+    pub iterations: u64,
+    pub best_score: f64,
+    pub final_temp: f64,
+}
+
+/// What PP-E actually did with the plan over the following interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnforceOutcome {
+    pub granted_pages: u64,
+    pub failed_pages: u64,
+    pub retried_pages: u64,
+    pub deferred_pages: u64,
+    pub schedule_done: bool,
+}
+
+/// One plan's full causal chain. See the module docs for lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProvenance {
+    /// Monotonic sequence number, assigned by the book at open.
+    pub seq: u64,
+    /// Tick index of the decision boundary.
+    pub tick: u64,
+    /// Simulation time of the decision.
+    pub now_secs: f64,
+    // --- observed interval stats (PP-M inputs) ---
+    pub usage_ratio: f64,
+    pub access_ratio: f64,
+    pub access_count_norm: f64,
+    pub p99_secs: f64,
+    pub violated: bool,
+    /// Supervisor-selected sizer mode at decision time.
+    pub mode: &'static str,
+    /// Present when the LC sizer ran its SAC agent.
+    pub sac: Option<SacTrace>,
+    /// Present when the BE partitioner ran its annealer.
+    pub anneal: Option<AnnealTrace>,
+    // --- clamps between raw decision and emitted plan ---
+    /// LC target straight out of the sizer, before the SLO guard.
+    pub sizer_bytes: u64,
+    /// SLO-guard floor in force (0 when no guard is installed).
+    pub guard_floor_bytes: u64,
+    /// True when the guard floor raised the sizer's target.
+    pub guard_applied: bool,
+    /// True when the LC target was clamped to total FMem.
+    pub fmem_clamped: bool,
+    // --- emitted plan ---
+    pub lc_bytes: u64,
+    pub be_total_bytes: u64,
+    /// Filled in at the next boundary; `null` in exports until then.
+    pub enforce: Option<EnforceOutcome>,
+}
+
+impl PlanProvenance {
+    /// One record as a single-line JSON object (the JSONL row shape,
+    /// also the element shape of a trace file's `provenance` array).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let sac = match &self.sac {
+            Some(s) => format!(
+                "{{\"raw_action\":{},\"alpha\":{},\"entropy\":{}}}",
+                jnum(s.raw_action),
+                jnum(s.alpha),
+                jnum(s.entropy)
+            ),
+            None => "null".to_string(),
+        };
+        let anneal = match &self.anneal {
+            Some(a) => format!(
+                "{{\"iterations\":{},\"best_score\":{},\"final_temp\":{}}}",
+                a.iterations,
+                jnum(a.best_score),
+                jnum(a.final_temp)
+            ),
+            None => "null".to_string(),
+        };
+        let enforce = match &self.enforce {
+            Some(e) => format!(
+                "{{\"granted_pages\":{},\"failed_pages\":{},\"retried_pages\":{},\
+                 \"deferred_pages\":{},\"schedule_done\":{}}}",
+                e.granted_pages, e.failed_pages, e.retried_pages, e.deferred_pages, e.schedule_done
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seq\":{},\"tick\":{},\"now_secs\":{},\
+             \"inputs\":{{\"usage_ratio\":{},\"access_ratio\":{},\"access_count_norm\":{},\
+             \"p99_secs\":{},\"violated\":{}}},\
+             \"mode\":{},\"sac\":{sac},\"anneal\":{anneal},\
+             \"clamps\":{{\"sizer_bytes\":{},\"guard_floor_bytes\":{},\"guard_applied\":{},\
+             \"fmem_clamped\":{}}},\
+             \"plan\":{{\"lc_bytes\":{},\"be_total_bytes\":{}}},\"enforce\":{enforce}}}",
+            self.seq,
+            self.tick,
+            jnum(self.now_secs),
+            jnum(self.usage_ratio),
+            jnum(self.access_ratio),
+            jnum(self.access_count_norm),
+            jnum(self.p99_secs),
+            self.violated,
+            json_string(self.mode),
+            self.sizer_bytes,
+            self.guard_floor_bytes,
+            self.guard_applied,
+            self.fmem_clamped,
+            self.lc_bytes,
+            self.be_total_bytes,
+        )
+    }
+}
+
+/// Append-only store of provenance records, shared (behind the obs
+/// mutex) by clones of a traced handle.
+#[derive(Debug, Default)]
+pub struct ProvenanceBook {
+    next_seq: u64,
+    records: Vec<PlanProvenance>,
+}
+
+impl ProvenanceBook {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `rec`, assigning and returning its sequence number.
+    pub fn open(&mut self, mut rec: PlanProvenance) -> u64 {
+        self.next_seq += 1;
+        rec.seq = self.next_seq;
+        self.records.push(rec);
+        self.next_seq
+    }
+
+    /// Attaches the enforcement outcome to record `seq`. Unknown seqs
+    /// (e.g. from before a book reset) are ignored.
+    pub fn finalize(&mut self, seq: u64, outcome: EnforceOutcome) {
+        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+            rec.enforce = Some(outcome);
+        }
+    }
+
+    #[must_use]
+    pub fn records(&self) -> &[PlanProvenance] {
+        &self.records
+    }
+
+    /// All records as JSONL (one JSON object per line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanProvenance {
+        PlanProvenance {
+            seq: 0,
+            tick: 40,
+            now_secs: 4.0,
+            usage_ratio: 0.9,
+            access_ratio: 0.75,
+            access_count_norm: 1.25,
+            p99_secs: 7.3e-5,
+            violated: false,
+            mode: "rl",
+            sac: Some(SacTrace {
+                raw_action: -1.5e6,
+                alpha: 0.2,
+                entropy: 1.42,
+            }),
+            anneal: None,
+            sizer_bytes: 1 << 30,
+            guard_floor_bytes: 0,
+            guard_applied: false,
+            fmem_clamped: false,
+            lc_bytes: 1 << 30,
+            be_total_bytes: 3 << 30,
+            enforce: None,
+        }
+    }
+
+    #[test]
+    fn open_assigns_monotonic_seqs() {
+        let mut book = ProvenanceBook::new();
+        assert_eq!(book.open(sample()), 1);
+        assert_eq!(book.open(sample()), 2);
+        assert_eq!(book.records()[1].seq, 2);
+    }
+
+    #[test]
+    fn finalize_attaches_outcome() {
+        let mut book = ProvenanceBook::new();
+        let seq = book.open(sample());
+        book.finalize(
+            seq,
+            EnforceOutcome {
+                granted_pages: 100,
+                failed_pages: 2,
+                retried_pages: 1,
+                deferred_pages: 0,
+                schedule_done: true,
+            },
+        );
+        let rec = &book.records()[0];
+        assert_eq!(rec.enforce.as_ref().unwrap().granted_pages, 100);
+        // Unknown seq: no panic, no effect.
+        book.finalize(
+            99,
+            EnforceOutcome {
+                granted_pages: 0,
+                failed_pages: 0,
+                retried_pages: 0,
+                deferred_pages: 0,
+                schedule_done: false,
+            },
+        );
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record_with_null_enforce() {
+        let mut book = ProvenanceBook::new();
+        book.open(sample());
+        book.open(sample());
+        let jsonl = book.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().next().unwrap().contains("\"enforce\":null"));
+        assert!(jsonl.contains("\"mode\":\"rl\""));
+        assert!(jsonl.contains("\"raw_action\":-1500000"));
+    }
+
+    #[test]
+    fn jnum_trims_and_nulls() {
+        assert_eq!(jnum(0.25), "0.25");
+        assert_eq!(jnum(2.0), "2");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(7.3e-5), "0.000073");
+    }
+}

@@ -159,23 +159,30 @@ impl Registry {
     /// Snapshot in the Prometheus text exposition format. `labels` are
     /// attached to every sample (e.g. `[("cell", "ppm_crash/mtat_full")]`
     /// to distinguish matrix cells sharing one scrape file). Histograms
-    /// export as summaries (quantile ladder + `_sum`/`_count`).
+    /// export as summaries (quantile ladder + `_sum`/`_count`). Every
+    /// family gets a generic `# HELP` line (the registry stores no
+    /// per-metric descriptions) followed by its `# TYPE`, in the order
+    /// scrapers require; conformance is covered by the
+    /// [`crate::promlint`] round-trip tests.
     #[must_use]
     pub fn to_prometheus(&self, labels: &[(&str, &str)]) -> String {
         let sel = prometheus_labels(labels);
         let mut out = String::new();
         for (k, v) in &self.counters {
             let name = prometheus_name(k);
+            out.push_str(&format!("# HELP {name}_total mtat counter {k}\n"));
             out.push_str(&format!("# TYPE {name}_total counter\n"));
             out.push_str(&format!("{name}_total{sel} {v}\n"));
         }
         for (k, v) in &self.gauges {
             let name = prometheus_name(k);
+            out.push_str(&format!("# HELP {name} mtat gauge {k}\n"));
             out.push_str(&format!("# TYPE {name} gauge\n"));
             out.push_str(&format!("{name}{sel} {}\n", prometheus_f64(*v)));
         }
         for (k, h) in &self.hists {
             let name = prometheus_name(k);
+            out.push_str(&format!("# HELP {name} mtat histogram {k}\n"));
             out.push_str(&format!("# TYPE {name} summary\n"));
             for (q, v) in [
                 ("0.5", h.p50()),
@@ -278,5 +285,69 @@ mod tests {
         r.counter_add("c", 1);
         let p = r.to_prometheus(&[]);
         assert!(p.contains("mtat_c_total 1\n"));
+    }
+
+    /// A registry exercising every metric kind plus hostile label
+    /// values and names needing sanitization.
+    fn conformance_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("runner.ticks", 7);
+        r.counter_add("tiermem.migration.granted_pages", 123);
+        r.gauge_set("mtat.sac_alpha", 0.25);
+        r.gauge_set("weird-name with spaces", -1.5);
+        r.gauge_set("nan.gauge", f64::NAN);
+        r.observe_n("runner.lc_p99_ns", 73_000, 10);
+        r
+    }
+
+    #[test]
+    fn prometheus_export_passes_promlint() {
+        let r = conformance_registry();
+        for labels in [
+            &[][..],
+            &[("cell", "fault/mtat_full"), ("quote", "a\"b\\c\nd")][..],
+        ] {
+            let text = r.to_prometheus(labels);
+            let issues = crate::promlint::lint(&text);
+            assert!(issues.is_empty(), "promlint issues: {issues:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_help_precedes_type_precedes_samples() {
+        let text = conformance_registry().to_prometheus(&[]);
+        let help = text.find("# HELP mtat_runner_ticks_total").unwrap();
+        let ty = text.find("# TYPE mtat_runner_ticks_total").unwrap();
+        let sample = text.find("\nmtat_runner_ticks_total 7").unwrap();
+        assert!(help < ty && ty < sample);
+    }
+
+    #[test]
+    fn prometheus_parse_back_roundtrips_values() {
+        let r = conformance_registry();
+        let text = r.to_prometheus(&[("cell", "x\"y\\z\nw")]);
+        let samples = crate::promlint::parse(&text).expect("export must parse back");
+        let find = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.labels.iter().all(|(k, _)| k != "quantile"))
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        assert_eq!(find("mtat_runner_ticks_total").value, 7.0);
+        assert_eq!(find("mtat_mtat_sac_alpha").value, 0.25);
+        assert_eq!(find("mtat_weird_name_with_spaces").value, -1.5);
+        assert!(find("mtat_nan_gauge").value.is_nan());
+        assert_eq!(find("mtat_runner_lc_p99_ns_count").value, 10.0);
+        // The hostile label value survives the escape/unescape cycle.
+        assert_eq!(find("mtat_runner_ticks_total").labels[0].1, "x\"y\\z\nw");
+        // Quantile samples carry both the shared and the quantile label.
+        let q99 = samples
+            .iter()
+            .find(|s| {
+                s.name == "mtat_runner_lc_p99_ns"
+                    && s.labels.iter().any(|(k, v)| k == "quantile" && v == "0.99")
+            })
+            .unwrap();
+        assert_eq!(q99.labels.len(), 2);
     }
 }

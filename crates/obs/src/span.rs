@@ -1,0 +1,417 @@
+//! Hierarchical phase spans: wall-clock timing with sim-time anchors.
+//!
+//! A span is one timed phase of the simulation loop (`tick`, `sample`,
+//! `ppm-plan`, `sac-forward`, `ppe-enforce`, `migrate`, ...). Spans nest:
+//! each thread keeps a stack of open spans, and a span started while
+//! another is open becomes its child. The tracer records, per completed
+//! span, the wall-clock start offset and duration in nanoseconds
+//! (measured from the tracer's epoch with [`std::time::Instant`]) plus
+//! the simulation time at which the span was opened.
+//!
+//! Wall-clock time is **write-only**: nothing in the simulation ever
+//! reads a span back, so tracing cannot perturb physics. The disabled
+//! path ([`crate::Obs::span`] on a handle without a tracer) is a branch
+//! on `None`, same as every other obs call.
+//!
+//! Two offline export formats are provided:
+//!
+//! * [`chrome_trace_json`] — the Chrome trace-event format (complete
+//!   `"ph":"X"` events), loadable in Perfetto or `chrome://tracing`;
+//! * [`folded_stacks`] — collapsed-stack text (`root;child;leaf N`),
+//!   the input format of inferno / `flamegraph.pl`, using *self* time
+//!   (duration minus children) in nanoseconds as the sample weight.
+
+use std::collections::{BTreeMap, HashMap};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::export::{json_f64, json_string};
+use crate::Obs;
+
+/// A completed span, as recorded by the [`Tracer`] and as parsed back
+/// from a trace file. `name` is owned so the exporters serve both live
+/// tracers (`&'static str` names) and file-parsed spans uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within one tracer (monotonic from 1).
+    pub id: u64,
+    /// Enclosing span on the same thread at open time, if any.
+    pub parent: Option<u64>,
+    /// Phase name (`tick`, `ppm-plan`, ...).
+    pub name: String,
+    /// Optional per-instance label (e.g. the matrix cell name).
+    pub label: Option<String>,
+    /// Small stable per-thread lane index (Chrome `tid`).
+    pub tid: u32,
+    /// Simulation time at which the span was opened.
+    pub sim_secs: f64,
+    /// Wall-clock offset from the tracer epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Display name used by both exporters: `name:label` when a label
+    /// is present, plain `name` otherwise.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        match &self.label {
+            Some(l) => format!("{}:{}", self.name, l),
+            None => self.name.clone(),
+        }
+    }
+
+    /// One span as a JSON object (the element shape of the `spans`
+    /// array in a trace file).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        let label = match &self.label {
+            Some(l) => json_string(l),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"parent\":{},\"name\":{},\"label\":{},\"tid\":{},\
+             \"sim_secs\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+            self.id,
+            parent,
+            json_string(&self.name),
+            label,
+            self.tid,
+            json_f64(self.sim_secs),
+            self.start_ns,
+            self.dur_ns,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    label: Option<String>,
+    parent: Option<u64>,
+    tid: u32,
+    sim_secs: f64,
+    start: Instant,
+    thread: ThreadId,
+}
+
+/// Span recorder shared (behind the obs mutex) by every clone of a
+/// traced [`Obs`] handle. Bounded: once `cap` completed spans are held,
+/// further completions are counted in [`Tracer::dropped`] instead of
+/// stored, so a runaway loop cannot exhaust memory.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    next_id: u64,
+    cap: usize,
+    dropped: u64,
+    done: Vec<SpanRecord>,
+    open: HashMap<u64, OpenSpan>,
+    /// Per-thread stack of open span ids (innermost last).
+    stacks: HashMap<ThreadId, Vec<u64>>,
+    /// Small stable lane index per thread, in order of first span.
+    tids: HashMap<ThreadId, u32>,
+}
+
+impl Tracer {
+    /// Default bound on stored completed spans (~1M; a 16-cell chaos
+    /// matrix produces ~60k).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: 0,
+            cap,
+            dropped: 0,
+            done: Vec::new(),
+            open: HashMap::new(),
+            stacks: HashMap::new(),
+            tids: HashMap::new(),
+        }
+    }
+
+    /// Opens a span on the calling thread and returns its id. The
+    /// enclosing open span on this thread (if any) becomes the parent.
+    pub fn begin(&mut self, sim_secs: f64, name: &'static str, label: Option<String>) -> u64 {
+        let thread = std::thread::current().id();
+        let next_tid = self.tids.len() as u32;
+        let tid = *self.tids.entry(thread).or_insert(next_tid);
+        let stack = self.stacks.entry(thread).or_default();
+        let parent = stack.last().copied();
+        self.next_id += 1;
+        let id = self.next_id;
+        stack.push(id);
+        self.open.insert(
+            id,
+            OpenSpan {
+                name,
+                label,
+                parent,
+                tid,
+                sim_secs,
+                start: Instant::now(),
+                thread,
+            },
+        );
+        id
+    }
+
+    /// Closes span `id`, recording its duration. Unknown ids (already
+    /// closed, or opened on a tracer that has since been replaced) are
+    /// ignored.
+    pub fn end(&mut self, id: u64) {
+        let Some(span) = self.open.remove(&id) else {
+            return;
+        };
+        if let Some(stack) = self.stacks.get_mut(&span.thread) {
+            stack.retain(|&s| s != id);
+        }
+        if self.done.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        let start_ns = span.start.duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        self.done.push(SpanRecord {
+            id,
+            parent: span.parent,
+            name: span.name.to_string(),
+            label: span.label,
+            tid: span.tid,
+            sim_secs: span.sim_secs,
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// Sim time of the innermost open span on the calling thread, if
+    /// any — lets leaf layers without a clock (`MigrationEngine`, PP-M
+    /// internals) anchor child spans to the enclosing phase's sim time.
+    #[must_use]
+    pub fn current_sim_secs(&self) -> Option<f64> {
+        let thread = std::thread::current().id();
+        let id = self.stacks.get(&thread)?.last()?;
+        self.open.get(id).map(|s| s.sim_secs)
+    }
+
+    /// Completed spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.done
+    }
+
+    /// Completions discarded because the store was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A RAII guard that closes its span when dropped. Owns a clone of the
+/// [`Obs`] handle (one `Arc` bump, enabled path only) so holding a
+/// guard never borrows the instrumented object — `&mut self` methods
+/// can run freely while a phase span is open.
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Obs,
+    id: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(obs: Obs, id: u64) -> Self {
+        Self { obs, id }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.span_end(self.id);
+    }
+}
+
+/// Renders spans as a complete Chrome trace-event JSON document
+/// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), one `"ph":"X"`
+/// complete event per span. Timestamps and durations are microseconds
+/// (the format's unit); `args` carries the sim time and span ids so
+/// Perfetto's detail pane links back to the simulation timeline.
+#[must_use]
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let parent = match s.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"mtat\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"sim_secs\":{},\"id\":{},\"parent\":{}}}}}",
+            json_string(&s.display_name()),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.tid,
+            json_f64(s.sim_secs),
+            s.id,
+            parent,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders spans as collapsed-stack text: one `path;to;leaf weight`
+/// line per distinct root→leaf path, where the weight is the
+/// aggregated **self** time (duration minus children) in nanoseconds.
+/// Lines are sorted by path for deterministic output.
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        if self_ns == 0 {
+            continue;
+        }
+        // Walk to the root; a parent missing from the slice (dropped or
+        // filtered) truncates the path there.
+        let mut path = vec![s.display_name()];
+        let mut cur = s.parent;
+        while let Some(pid) = cur {
+            match by_id.get(&pid) {
+                Some(p) => {
+                    path.push(p.display_name());
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        *agg.entry(path.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (path, ns) in agg {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            label: None,
+            tid: 0,
+            sim_secs: 0.5,
+            start_ns: id * 10,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn begin_end_nests_on_one_thread() {
+        let mut t = Tracer::new(16);
+        let a = t.begin(1.0, "tick", None);
+        let b = t.begin(1.0, "sample", None);
+        assert_eq!(t.current_sim_secs(), Some(1.0));
+        t.end(b);
+        t.end(a);
+        assert_eq!(t.spans().len(), 2);
+        let sample = t.spans().iter().find(|s| s.name == "sample").unwrap();
+        assert_eq!(sample.parent, Some(a));
+        let tick = t.spans().iter().find(|s| s.name == "tick").unwrap();
+        assert_eq!(tick.parent, None);
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let mut t = Tracer::new(2);
+        for _ in 0..4 {
+            let id = t.begin(0.0, "x", None);
+            t.end(id);
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn unknown_end_is_ignored() {
+        let mut t = Tracer::new(4);
+        t.end(42);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn threads_get_independent_stacks_and_lanes() {
+        use std::sync::Mutex;
+        let t = Mutex::new(Tracer::new(64));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let a = t.lock().unwrap().begin(0.0, "cell", None);
+                    let b = t.lock().unwrap().begin(0.0, "run", None);
+                    t.lock().unwrap().end(b);
+                    t.lock().unwrap().end(a);
+                });
+            }
+        });
+        let t = t.into_inner().unwrap();
+        assert_eq!(t.spans().len(), 4);
+        for s in t.spans() {
+            if s.name == "run" {
+                // Each run's parent is the cell span from the SAME thread.
+                let parent = t.spans().iter().find(|p| Some(p.id) == s.parent).unwrap();
+                assert_eq!(parent.name, "cell");
+                assert_eq!(parent.tid, s.tid);
+            }
+        }
+    }
+
+    #[test]
+    fn folded_uses_self_time() {
+        let spans = vec![rec(1, None, "tick", 100), rec(2, Some(1), "sample", 30)];
+        let folded = folded_stacks(&spans);
+        assert_eq!(folded, "tick 70\ntick;sample 30\n");
+    }
+
+    #[test]
+    fn chrome_export_contains_complete_events() {
+        let spans = vec![rec(1, None, "tick", 100)];
+        let doc = chrome_trace_json(&spans);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"name\":\"tick\""));
+    }
+
+    #[test]
+    fn labels_extend_display_names() {
+        let mut s = rec(1, None, "cell", 10);
+        s.label = Some("mtat_full/clean".to_string());
+        assert_eq!(s.display_name(), "cell:mtat_full/clean");
+        assert!(chrome_trace_json(&[s]).contains("cell:mtat_full/clean"));
+    }
+}

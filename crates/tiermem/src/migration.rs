@@ -220,6 +220,9 @@ impl MigrationEngine {
     /// reports the fault share so callers can defer and retry exactly
     /// those.
     pub fn try_consume_pages(&mut self, pages: u64) -> u64 {
+        // Anchored to the enclosing PP-E phase's sim time (the engine
+        // has no clock of its own).
+        let _span = self.obs.span_here("migrate");
         let granted = pages.min(self.remaining_tick_pages());
         self.tick_used_pages += granted;
         self.total_busy_secs +=

@@ -292,6 +292,7 @@ impl AccessSampler {
     /// `Poisson(n · mean)` draw scattered uniformly (Poisson splitting) —
     /// but costs O(events) RNG work instead of O(pages) Poisson draws.
     pub fn sample_uniform_events(&mut self, out: &mut [u64], per_page_true: f64) {
+        let _span = self.obs.span_here("sample");
         out.fill(0);
         let n = out.len();
         if self.fault_blackout || n == 0 {
@@ -336,6 +337,7 @@ impl AccessSampler {
         total_true: f64,
         table: &WeightTable,
     ) {
+        let _span = self.obs.span_here("sample");
         assert_eq!(
             out.len(),
             table.len(),
