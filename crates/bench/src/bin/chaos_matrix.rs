@@ -18,10 +18,13 @@
 //! Every run is deterministic: the simulation seed and the fault plan's
 //! seed fix the entire trajectory. Output is a JSON document on stdout.
 
+use std::panic::{self, AssertUnwindSafe};
+
 use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{CheckpointCfg, Experiment};
 use mtat_core::stats::RunResult;
+use mtat_core::HealthConfig;
 use mtat_obs::export::{json_f64, json_opt_f64};
 use mtat_obs::{obs_enabled, trace_enabled, Obs};
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
@@ -116,6 +119,74 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
                 .with(FaultKind::PpmCrash, 125.0, 10.0),
         ),
     ]
+}
+
+/// Self-healing scenarios: the fault strikes late in the surge plateau
+/// (the plan in force is surge-sized, LC-heavy), so an arm that freezes
+/// or pins a conservative partition starves the BE tier for the rest of
+/// the run while the self-healing arm rolls back and re-adapts.
+const HEAL_POLICY: &str = "mtat_full_supervised";
+
+fn heal_scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            // The learned controller's actor network is poisoned with
+            // NaN mid-surge — detection, rollback to the last known-good
+            // checkpoint, and re-entry all happen under pressure.
+            "ppm_poison",
+            FaultPlan::new(0x9015).with(FaultKind::SacPoison, 130.0, 2.0),
+        ),
+        (
+            // The worst correlated failure: sampler thinning, migration
+            // throttle + flakiness, telemetry noise, a bandwidth spike,
+            // and (at this intensity) an actor poisoning at the rising
+            // edge, sustained from late surge into the recovery phase.
+            "fault_storm",
+            FaultPlan::new(0x5702).with(FaultKind::FaultStorm { intensity: 0.95 }, 125.0, 40.0),
+        ),
+    ]
+}
+
+fn heal_arms() -> Vec<(&'static str, HealthConfig)> {
+    vec![
+        ("self_heal", HealthConfig::self_heal()),
+        ("crash_stop", HealthConfig::crash_stop()),
+        ("no_rollback", HealthConfig::no_rollback()),
+    ]
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Unwraps per-cell results, reporting every panicked cell by its
+/// (policy, scenario) pair and exiting non-zero if any cell failed —
+/// one poisoned cell must not take down the report of the others or,
+/// worse, deadlock the matrix.
+fn unwrap_cells(labeled: Vec<(String, Result<RunResult, String>)>) -> Vec<RunResult> {
+    let mut runs = Vec::with_capacity(labeled.len());
+    let mut failed = 0usize;
+    for (label, res) in labeled {
+        match res {
+            Ok(r) => runs.push(r),
+            Err(msg) => {
+                failed += 1;
+                eprintln!("# CELL PANICKED: {label}: {msg}");
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("# {failed} cell(s) panicked; aborting");
+        std::process::exit(1);
+    }
+    runs
 }
 
 /// Crash scenarios measure checkpoint/restore, so the supervised arm
@@ -300,17 +371,22 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown scenario {scenario}"))
             .1;
         let exp = base.with_fault_plan(plan);
-        let runs = harness::run_matrix(
+        let runs = unwrap_cells(harness::run_matrix(
             &POLICIES,
             harness::worker_count(POLICIES.len()),
             |_, name| {
-                let _cell = tele.span_labeled(0.0, "cell", &format!("{name}/{scenario}"));
-                let mut p = make_policy(name, &cfg, &lc, &bes);
-                arm_experiment(&exp, Some(&scenario), name)
-                    .with_obs(tele.clone())
-                    .run(p.as_mut())
+                let label = format!("{name}/{scenario}");
+                let res = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _cell = tele.span_labeled(0.0, "cell", &label);
+                    let mut p = make_policy(name, &cfg, &lc, &bes);
+                    arm_experiment(&exp, Some(&scenario), name)
+                        .with_obs(tele.clone())
+                        .run(p.as_mut())
+                }))
+                .map_err(panic_message);
+                (label, res)
             },
-        );
+        ));
         for (name, r) in POLICIES.iter().zip(&runs) {
             println!("## {name}");
             print!("{}", r.to_tsv_string());
@@ -333,20 +409,28 @@ fn main() {
             cells.push((Some(si), name));
         }
     }
-    let runs = harness::run_matrix(&cells, harness::worker_count(cells.len()), |_, cell| {
-        let (scenario, name) = *cell;
-        let label = format!("{name}/{}", scenario.map_or("clean", |si| scs[si].0));
-        let _cell = tele.span_labeled(0.0, "cell", &label);
-        let exp = match scenario {
-            None => base.clone(),
-            Some(si) => {
-                let faulted = base.clone().with_fault_plan(scs[si].1.clone());
-                arm_experiment(&faulted, Some(scs[si].0), name)
-            }
-        };
-        let mut p = make_policy(name, &cfg, &lc, &bes);
-        exp.with_obs(tele.clone()).run(p.as_mut())
-    });
+    let runs = unwrap_cells(harness::run_matrix(
+        &cells,
+        harness::worker_count(cells.len()),
+        |_, cell| {
+            let (scenario, name) = *cell;
+            let label = format!("{name}/{}", scenario.map_or("clean", |si| scs[si].0));
+            let res = panic::catch_unwind(AssertUnwindSafe(|| {
+                let _cell = tele.span_labeled(0.0, "cell", &label);
+                let exp = match scenario {
+                    None => base.clone(),
+                    Some(si) => {
+                        let faulted = base.clone().with_fault_plan(scs[si].1.clone());
+                        arm_experiment(&faulted, Some(scs[si].0), name)
+                    }
+                };
+                let mut p = make_policy(name, &cfg, &lc, &bes);
+                exp.with_obs(tele.clone()).run(p.as_mut())
+            }))
+            .map_err(panic_message);
+            (label, res)
+        },
+    ));
     let clean: Vec<(String, RunResult)> = POLICIES
         .iter()
         .zip(&runs)
@@ -433,11 +517,104 @@ fn main() {
         let comma = if si + 1 < scs.len() { "," } else { "" };
         println!("    }}{comma}");
     }
+    println!("  ],");
+
+    // ---- Self-healing ablation: recovery-mode arms under poison ----
+    // Same policy, same fault, three answers: autonomous rollback
+    // (self_heal), kill the daemon on first incident (crash_stop), and
+    // detect-but-never-restore (no_rollback). The paper's objective —
+    // BE throughput subject to the LC SLO — is asserted below: the
+    // self-healing arm must strictly beat both ablations on BE
+    // throughput at equal-or-better SLO compliance.
+    let heal_scs = heal_scenarios();
+    let arms = heal_arms();
+    let mut heal_cells: Vec<(usize, usize)> = Vec::new();
+    for si in 0..heal_scs.len() {
+        for ai in 0..arms.len() {
+            heal_cells.push((si, ai));
+        }
+    }
+    let heal_runs = unwrap_cells(harness::run_matrix(
+        &heal_cells,
+        harness::worker_count(heal_cells.len()),
+        |_, &(si, ai)| {
+            let label = format!("{HEAL_POLICY}/{}/{}", heal_scs[si].0, arms[ai].0);
+            let res = panic::catch_unwind(AssertUnwindSafe(|| {
+                let _cell = tele.span_labeled(0.0, "cell", &label);
+                let exp = base
+                    .clone()
+                    .with_fault_plan(heal_scs[si].1.clone())
+                    .with_checkpoints(CheckpointCfg::in_memory())
+                    .with_health(arms[ai].1.clone());
+                let mut p = make_policy(HEAL_POLICY, &cfg, &lc, &bes);
+                exp.with_obs(tele.clone()).run(p.as_mut())
+            }))
+            .map_err(panic_message);
+            (label, res)
+        },
+    ));
+
+    println!("  \"self_healing\": [");
+    let mut heal_verdicts = Vec::new();
+    for (si, (scenario, _)) in heal_scs.iter().enumerate() {
+        println!("    {{");
+        println!("      \"name\": \"{scenario}\",");
+        println!("      \"policy\": \"{HEAL_POLICY}\",");
+        println!("      \"arms\": [");
+        let mut stats = Vec::new();
+        for (ai, (arm, _)) in arms.iter().enumerate() {
+            let r = &heal_runs[si * arms.len() + ai];
+            let h = r.health.as_ref().expect("health arms carry a summary");
+            let vr = r.violation_rate_after(20.0);
+            let be = r.be_total_throughput();
+            stats.push((vr, be));
+            println!("        {{");
+            println!("          \"arm\": \"{arm}\",");
+            println!("          \"violation_rate\": {},", json_f64(vr));
+            println!("          \"be_total_throughput\": {},", json_f64(be));
+            println!("          \"rollbacks\": {},", h.rollbacks);
+            println!("          \"repairs\": {},", h.repairs);
+            println!("          \"unrecovered\": {},", h.unrecovered);
+            println!("          \"quarantined\": {}", h.quarantined);
+            let comma = if ai + 1 < arms.len() { "," } else { "" };
+            println!("        }}{comma}");
+        }
+        println!("      ],");
+        let (vr_sh, be_sh) = stats[0];
+        let wins = stats[1..]
+            .iter()
+            .all(|&(vr, be)| be_sh > be && vr_sh <= vr + 1e-9);
+        println!("      \"self_heal_wins\": {wins}");
+        heal_verdicts.push((*scenario, stats, wins));
+        let comma = if si + 1 < heal_scs.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
     println!("  ]");
     println!("}}");
 
-    emit_metrics(&tele, &runs, metrics_out.as_deref());
+    let all_runs: Vec<RunResult> = runs.iter().chain(&heal_runs).cloned().collect();
+    emit_metrics(&tele, &all_runs, metrics_out.as_deref());
     emit_trace(&tele, trace_out.as_deref());
+
+    eprintln!("# heal scenario\tarm\tviolation_rate\tbe_throughput");
+    for (s, stats, wins) in &heal_verdicts {
+        for ((arm, _), (vr, be)) in arms.iter().zip(stats) {
+            eprintln!("# {s}\t{arm}\t{vr:.4}\t{be:.1}");
+        }
+        let sh = &heal_runs[heal_scs.iter().position(|(n, _)| n == s).expect("known") * arms.len()];
+        let h = sh.health.as_ref().expect("summary");
+        assert_eq!(
+            h.unrecovered, 0,
+            "{s}: self-heal must recover every incident: {h:?}"
+        );
+        assert!(!h.quarantined, "{s}: rollback budget must hold: {h:?}");
+        assert!(h.final_audit_ok, "{s}: substrate consistent at end");
+        assert!(
+            wins,
+            "{s}: self-heal must strictly beat crash-stop and no-rollback on BE \
+             throughput at equal-or-better SLO compliance: {stats:?}"
+        );
+    }
 
     eprintln!("# scenario\tunsupervised\tsupervised\timproved");
     for (s, u, v, ok) in verdicts {

@@ -1,0 +1,287 @@
+//! Long-horizon soak harness for the self-healing runtime.
+//!
+//! Drives a simulated multi-day co-location run — diurnal LC load,
+//! periodic correlated fault storms, and scattered poison / drift /
+//! clock-skew / checkpoint-corruption windows — under the self-healing
+//! health subsystem, then asserts the robustness contract:
+//!
+//! * the run completes with **zero unrecovered incidents**;
+//! * rollbacks stay within the per-window budget (no quarantine) and
+//!   are bounded by the number of injected fault windows;
+//! * the final full audit of the memory substrate passes;
+//! * a second run of the identical configuration replays
+//!   **bit-identically** (FNV-1a-64 digest over every tick record) —
+//!   detection, rollback, and re-learning are all part of the
+//!   deterministic simulation.
+//!
+//! Usage: `soak [--hours N] [--quick] [--seed S] [--out DIR]`
+//!
+//! `--quick` is the PR-gate variant (~2 simulated hours, every fault
+//! kind exercised once). The default 48 simulated hours is the nightly
+//! soak; `--out DIR` writes the health event log (JSONL), the final
+//! flight-recorder dump, and a metrics snapshot for CI artifacts.
+
+use mtat_bench::make_policy;
+use mtat_core::config::SimConfig;
+use mtat_core::runner::{CheckpointCfg, Experiment};
+use mtat_core::stats::RunResult;
+use mtat_core::{HealthConfig, HealthState};
+use mtat_obs::Obs;
+use mtat_snapshot::fnv1a64;
+use mtat_tiermem::faults::{FaultKind, FaultPlan};
+use mtat_tiermem::GIB;
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+
+const POLICY: &str = "mtat_full_supervised";
+const STORM_PERIOD_HOURS: f64 = 6.0;
+
+/// Diurnal load: one-hour steps tracing a smooth day curve — trough
+/// 0.35 at midnight, peak 0.75 midday. Purely a function of the hour,
+/// so the schedule is reproducible from the duration alone.
+fn diurnal_load(hours: f64) -> LoadPattern {
+    let n = hours.ceil() as usize;
+    let mut steps = Vec::with_capacity(n);
+    for h in 0..n {
+        let frac = (h % 24) as f64 / 24.0;
+        let s = (std::f64::consts::PI * frac).sin();
+        steps.push((3600.0, 0.35 + 0.4 * s * s));
+    }
+    LoadPattern::Steps(steps)
+}
+
+/// The fault schedule, plus the number of windows that can raise
+/// incidents (the rollback bound asserted after the run). Every window
+/// starts 1 s past the hour mark so fault edges never coincide with a
+/// partitioning-interval boundary.
+fn fault_schedule(hours: f64, seed: u64) -> (FaultPlan, u32) {
+    let mut plan = FaultPlan::new(seed);
+    let mut incident_windows = 0u32;
+    let end = hours * 3600.0;
+    let mut add = |plan: &mut FaultPlan, kind: FaultKind, at: f64, dur: f64, incident: bool| {
+        if at + dur <= end {
+            *plan = plan.clone().with(kind, at, dur);
+            if incident {
+                incident_windows += 1;
+            }
+        }
+    };
+
+    // Correlated storms every 6 h (intensity 0.95 poisons the actor at
+    // the rising edge), starting 45 min in.
+    let mut t = 0.75 * 3600.0;
+    while t < end {
+        add(
+            &mut plan,
+            FaultKind::FaultStorm { intensity: 0.95 },
+            t + 1.0,
+            180.0,
+            true,
+        );
+        t += STORM_PERIOD_HOURS * 3600.0;
+    }
+
+    // Daily scattered faults: actor poisoning, accumulator drift,
+    // controller clock skew (watchdog food), and checkpoint corruption
+    // (generation-fallback food; raises no incident by itself).
+    let mut day = 0.0;
+    while day < end {
+        add(
+            &mut plan,
+            FaultKind::SacPoison,
+            day + 0.25 * 3600.0 + 1.0,
+            2.0,
+            true,
+        );
+        add(
+            &mut plan,
+            FaultKind::AccumulatorDrift { delta: 5e-4 },
+            day + 3600.0 + 1.0,
+            10.0,
+            true,
+        );
+        add(
+            &mut plan,
+            FaultKind::ClockSkew { factor: 4.0 },
+            day + 1.25 * 3600.0 + 1.0,
+            10.0,
+            true,
+        );
+        add(
+            &mut plan,
+            FaultKind::CheckpointCorrupt,
+            day + 1.5 * 3600.0 + 1.0,
+            120.0,
+            false,
+        );
+        day += 24.0 * 3600.0;
+    }
+    (plan, incident_windows)
+}
+
+fn small_lc() -> LcSpec {
+    let mut s = LcSpec::redis();
+    s.rss_bytes = (1.2 * GIB as f64) as u64;
+    s
+}
+
+fn small_be() -> BeSpec {
+    let mut s = BeSpec::sssp();
+    s.rss_bytes = 2 * GIB;
+    s
+}
+
+/// FNV-1a-64 digest over the bit patterns of every tick record — any
+/// single-ULP divergence anywhere in the run changes the digest.
+fn run_digest(r: &RunResult) -> u64 {
+    let mut bytes = Vec::with_capacity(r.ticks.len() * 64);
+    for t in &r.ticks {
+        bytes.extend_from_slice(&t.t.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&t.lc_load_rps.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&t.lc_p99.to_bits().to_le_bytes());
+        bytes.push(u8::from(t.lc_violated));
+        bytes.extend_from_slice(&t.lc_fmem_ratio.to_bits().to_le_bytes());
+        for &b in &t.fmem_bytes {
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        for &thr in &t.be_throughput {
+            bytes.extend_from_slice(&thr.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(&t.migration_bw.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn build_experiment(hours: f64, seed: u64) -> (Experiment, u32) {
+    let cfg = SimConfig::small_test().with_seed(seed);
+    let (plan, incident_windows) = fault_schedule(hours, seed ^ 0x50AC);
+    let exp = Experiment::new(cfg, small_lc(), diurnal_load(hours), vec![small_be()])
+        .with_duration(hours * 3600.0)
+        .with_fault_plan(plan)
+        // Capture every 12th interval (once per simulated minute):
+        // frequent enough that a rollback loses less than a minute of
+        // learning, cheap enough for a multi-day run.
+        .with_checkpoints(CheckpointCfg::in_memory().with_every(12))
+        .with_health(HealthConfig::self_heal());
+    (exp, incident_windows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let hours: f64 = if flag("--quick") {
+        2.0
+    } else {
+        opt("--hours").map_or(48.0, |v| v.parse().expect("--hours takes a number"))
+    };
+    let seed: u64 = opt("--seed").map_or(7, |v| v.parse().expect("--seed takes a number"));
+    let out = opt("--out");
+
+    let (exp, incident_windows) = build_experiment(hours, seed);
+    eprintln!(
+        "# soak: {hours} simulated hours, {} fault windows ({} incident-capable), seed {seed}",
+        exp.fault_plan.windows.len(),
+        incident_windows
+    );
+
+    // Pass 1: instrumented run — health events and the flight recorder
+    // come from here.
+    let tele = Obs::enabled();
+    let t0 = std::time::Instant::now();
+    let r1 = {
+        let exp = exp.clone().with_obs(tele.clone());
+        let mut p = make_policy(POLICY, &exp.cfg, &exp.lc, &exp.bes);
+        exp.run(p.as_mut())
+    };
+    eprintln!(
+        "# pass 1: {} ticks in {:.1}s wall",
+        r1.ticks.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Pass 2: telemetry off — physics must not notice, and the whole
+    // run (detection, rollback, re-learning) must replay bit-for-bit.
+    let r2 = {
+        let mut p = make_policy(POLICY, &exp.cfg, &exp.lc, &exp.bes);
+        exp.run(p.as_mut())
+    };
+    let (d1, d2) = (run_digest(&r1), run_digest(&r2));
+
+    let h = r1.health.as_ref().expect("health summary present");
+    println!("{{");
+    println!("  \"sim_hours\": {hours}, \"ticks\": {},", r1.ticks.len());
+    println!(
+        "  \"rollbacks\": {}, \"repairs\": {}, \"unrecovered\": {},",
+        h.rollbacks, h.repairs, h.unrecovered
+    );
+    println!(
+        "  \"poison_incidents\": {}, \"audit_incidents\": {}, \"watchdog_overruns\": {},",
+        h.poison_incidents, h.audit_incidents, h.watchdog_overruns
+    );
+    println!(
+        "  \"quarantined\": {}, \"final_state\": \"{}\", \"final_audit_ok\": {},",
+        h.quarantined,
+        h.final_state.label(),
+        h.final_audit_ok
+    );
+    println!(
+        "  \"violation_rate\": {:.6}, \"be_total_throughput\": {:.1},",
+        r1.violation_rate_after(20.0),
+        r1.be_total_throughput()
+    );
+    println!("  \"digest\": \"{d1:016x}\", \"replay_digest\": \"{d2:016x}\"");
+    println!("}}");
+
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let events: String = h.events.iter().map(|e| e.jsonl() + "\n").collect();
+        let ev_path = format!("{dir}/health_events.jsonl");
+        std::fs::write(&ev_path, events).unwrap_or_else(|e| panic!("write {ev_path}: {e}"));
+        let dump = tele
+            .dump_flight_recorder("soak end")
+            .unwrap_or_else(|| "(flight recorder empty)".to_string());
+        let fr_path = format!("{dir}/flight_recorder.txt");
+        std::fs::write(&fr_path, dump).unwrap_or_else(|e| panic!("write {fr_path}: {e}"));
+        if let Some(json) = tele.snapshot_json() {
+            let m_path = format!("{dir}/metrics.json");
+            std::fs::write(&m_path, json).unwrap_or_else(|e| panic!("write {m_path}: {e}"));
+        }
+        eprintln!("# wrote {ev_path}, {fr_path}");
+    }
+
+    // ---- The soak contract ----
+    assert_eq!(
+        r1.ticks.len(),
+        (hours * 3600.0).round() as usize,
+        "the run must complete every tick"
+    );
+    assert_eq!(h.unrecovered, 0, "every incident must be recovered: {h:?}");
+    assert!(!h.quarantined, "rollback budget must hold: {h:?}");
+    assert!(
+        h.rollbacks <= incident_windows,
+        "rollbacks ({}) exceed the incident-capable fault windows ({incident_windows})",
+        h.rollbacks
+    );
+    assert!(
+        h.rollbacks >= 1,
+        "the schedule must actually exercise recovery: {h:?}"
+    );
+    assert!(h.final_audit_ok, "final full audit must pass");
+    assert!(
+        matches!(h.final_state, HealthState::Healthy | HealthState::Degraded),
+        "run must end out of containment, got {:?}",
+        h.final_state
+    );
+    assert_eq!(d1, d2, "soak replay must be bit-identical");
+    eprintln!(
+        "# soak OK: {} rollbacks, {} repairs, digest {d1:016x}",
+        h.rollbacks, h.repairs
+    );
+}

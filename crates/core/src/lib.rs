@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod health;
 pub mod policy;
 pub mod ppe;
 pub mod ppm;
@@ -51,6 +52,7 @@ pub mod supervisor;
 pub mod tracker;
 
 pub use config::SimConfig;
+pub use health::{HealthConfig, HealthMonitor, HealthState, HealthSummary, RecoveryMode};
 pub use policy::hotset::HotsetPolicy;
 pub use policy::memtis::MemtisPolicy;
 pub use policy::mtat::{MtatConfig, MtatPolicy, MtatVariant};

@@ -196,6 +196,32 @@ pub trait Policy {
     /// checkpoint survives — the policy then performs a cold restart
     /// from `mem`'s current placement alone. Default: no-op.
     fn on_controller_restart(&mut self, _mem: &TieredMemory, _checkpoint: Option<&[u8]>) {}
+
+    /// Scans the policy's numeric surfaces for poison (NaN/Inf where
+    /// finiteness is an invariant). `Ok(())` means every sentinel is
+    /// quiet; `Err` names the first poisoned surface. The driver's
+    /// health monitor calls this every tick (and before marking a
+    /// checkpoint known-good), so implementations must be cheap.
+    /// Default: no numeric surfaces, always healthy.
+    fn health_probe(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Fault injection: corrupt the policy's learned state
+    /// ([`mtat_tiermem::faults::FaultKind::SacPoison`]). Policies
+    /// without learned state ignore the hook (default: no-op).
+    fn inject_poison(&mut self) {}
+
+    /// The health monitor has exhausted its rollback budget: park the
+    /// policy on its most trustworthy fallback permanently (e.g. latch
+    /// a supervisor at its Static rung). Default: no-op.
+    fn enter_quarantine(&mut self, _now_secs: f64) {}
+
+    /// A rollback just restored this policy from a known-good
+    /// checkpoint. Re-enter conservatively (e.g. force the supervisor
+    /// ladder to a non-RL rung) instead of resuming nominal control on
+    /// the first post-rollback tick. Default: no-op.
+    fn after_rollback(&mut self, _now_secs: f64) {}
 }
 
 #[cfg(test)]

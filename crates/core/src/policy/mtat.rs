@@ -451,6 +451,11 @@ impl MtatPolicy {
         w.put_f64(self.acc_load_rps);
         w.put_u32(self.acc_ticks);
         self.latest_plan.snap(&mut w);
+        // v1-compatible tail extension: the supervisor's quarantine
+        // latch rides after everything v1 wrote, and the decoder reads
+        // it only when present — payloads from before the health
+        // subsystem still decode (latch clear).
+        w.put_bool(self.supervisor.as_ref().is_some_and(Supervisor::is_latched));
         w.into_bytes()
     }
 
@@ -478,6 +483,14 @@ impl MtatPolicy {
         self.acc_load_rps = r.get_f64()?;
         self.acc_ticks = r.get_u32()?;
         self.latest_plan = Snap::unsnap(&mut r)?;
+        let latched = if r.is_exhausted() {
+            false // pre-latch v1 payload
+        } else {
+            r.get_bool()?
+        };
+        if let Some(sup) = &mut self.supervisor {
+            sup.restore_latched(latched);
+        }
         if !r.is_exhausted() {
             return Err(SnapError::Malformed("trailing checkpoint bytes"));
         }
@@ -583,6 +596,76 @@ impl Policy for MtatPolicy {
             }
         }
         self.cold_restart(mem);
+    }
+
+    fn health_probe(&self) -> Result<(), String> {
+        // The SAC diagnostics last_critic_loss / last_entropy are
+        // legitimately NaN before the first gradient round and after a
+        // restore (they are excluded from checkpoints), so the sentinel
+        // deliberately skips them. acc_worst_p99 may be +inf on a
+        // saturated interval; only NaN is poison there.
+        if let Some(sac) = self.ppm.sac_agent() {
+            if !sac.actor_param_l2().is_finite() {
+                return Err("sac_actor_params".to_string());
+            }
+            if !sac.alpha().is_finite() {
+                return Err("sac_alpha".to_string());
+            }
+        }
+        if let Some(raw) = self.ppm.rl_raw_action() {
+            if !raw.is_finite() {
+                return Err("sac_raw_action".to_string());
+            }
+        }
+        if self.acc_worst_p99.is_nan()
+            || self.acc_access_rate.is_nan()
+            || self.acc_hit_ratio.is_nan()
+            || self.acc_load_rps.is_nan()
+        {
+            return Err("interval_accumulators".to_string());
+        }
+        if let Some(plan) = &self.latest_plan {
+            let be_total: u64 = plan.be_bytes.iter().sum();
+            let total = plan.lc_bytes.saturating_add(be_total);
+            if total > self.fmem_total {
+                return Err(format!(
+                    "plan_overcommit: {total} > fmem {}",
+                    self.fmem_total
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_poison(&mut self) {
+        if let Some(sac) = self.ppm.sac_agent_mut() {
+            sac.poison_actor();
+        }
+    }
+
+    fn enter_quarantine(&mut self, now_secs: f64) {
+        if let Some(sup) = &mut self.supervisor {
+            // Latch the ladder at its trustworthy last rung; on_interval
+            // holds there with no re-promotion.
+            sup.set_latched(true, now_secs);
+            self.ppm.set_mode(DegradationState::Static);
+        } else {
+            // Unsupervised: park the daemon entirely. PP-E keeps
+            // enforcing the last plan — the paper's crash-survival
+            // posture, reused as containment.
+            self.ppm_down = true;
+        }
+    }
+
+    fn after_rollback(&mut self, now_secs: f64) {
+        // Re-enter via a conservative rung: the restored agent proved
+        // trustworthy once, but the condition that poisoned its
+        // successor may still be live. The ladder re-promotes to RL
+        // only after its healthy window.
+        if let Some(sup) = &mut self.supervisor {
+            sup.force_demote(DegradationState::Proportional, now_secs);
+            self.ppm.set_mode(DegradationState::Proportional);
+        }
     }
 
     fn on_tick(&mut self, sim: &mut SimState<'_>) {

@@ -127,6 +127,12 @@ impl LcPartitioner {
         &self.agent
     }
 
+    /// Mutable access to the underlying agent. Exists for fault
+    /// injection ([`Sac::poison_actor`]); control code must not use it.
+    pub fn agent_mut(&mut self) -> &mut Sac {
+        &mut self.agent
+    }
+
     /// The raw action component of the most recent decision, before
     /// clamping — `None` until the first decision. A non-finite value
     /// here means the network has diverged.

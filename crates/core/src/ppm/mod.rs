@@ -254,6 +254,16 @@ impl PartitionPolicyMaker {
         }
     }
 
+    /// Mutable access to the primary sizer's SAC agent. Exists for
+    /// fault injection ([`mtat_rl::sac::Sac::poison_actor`]); control
+    /// code must not use it.
+    pub fn sac_agent_mut(&mut self) -> Option<&mut mtat_rl::sac::Sac> {
+        match &mut self.lc {
+            LcSizer::Rl(p) => Some(p.agent_mut()),
+            LcSizer::Heuristic(_) => None,
+        }
+    }
+
     /// Diagnostics from the BE partitioner's most recent annealing
     /// search (`None` for the LC-only variant or before the first
     /// search).

@@ -43,6 +43,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::SimConfig;
+use crate::health::{Directive, HealthConfig, HealthMonitor, Incident};
 use crate::policy::{Policy, SimState, WorkloadClass, WorkloadObs};
 use crate::stats::{RunResult, TickRecord};
 
@@ -89,6 +90,10 @@ pub struct Experiment {
     /// once (re-arming only after the streak breaks). `None` (the
     /// default) disables the trigger.
     pub slo_streak_dump: Option<u32>,
+    /// Self-healing health subsystem ([`crate::health`]). `None` (the
+    /// default) keeps the pre-existing behavior: detections abort the
+    /// run instead of triggering autonomous recovery.
+    pub health: Option<HealthConfig>,
 }
 
 /// Checkpointing and crash-recovery configuration for a run.
@@ -164,6 +169,134 @@ fn checkpoint_err(e: SnapError) -> TierMemError {
     TierMemError::Checkpoint(e.to_string())
 }
 
+/// Executes the health monitor's directives for this tick's incidents.
+///
+/// Rollback semantics: the memory substrate is repaired in place first
+/// (the restored controller must read consistent accounting), then the
+/// last *known-good* checkpoint generation is restored — newer
+/// generations are marked suspect (renamed `.suspect` on disk, dropped
+/// from the in-memory ring) so neither this rollback nor a later crash
+/// restart can resurrect state captured after the fault began. With no
+/// known-good generation the controller restarts cold.
+#[allow(clippy::too_many_arguments)]
+fn handle_incidents(
+    incidents: &[Incident],
+    now: f64,
+    mon: &mut HealthMonitor,
+    policy: &mut dyn Policy,
+    mem: &mut TieredMemory,
+    ckpt_store: &mut Option<CheckpointStore>,
+    ckpt_ring: &mut VecDeque<(u64, Vec<u8>)>,
+    last_good_gen: &mut Option<u64>,
+    crash_stopped: &mut bool,
+    tele: &Obs,
+) -> Result<(), TierMemError> {
+    for incident in incidents {
+        let directive = mon.on_incident(now, incident);
+        if tele.is_enabled() {
+            tele.count("health.incidents", 1);
+            tele.event(
+                now,
+                "health",
+                Severity::Warn,
+                "incident",
+                &[
+                    ("kind", incident.label().to_string()),
+                    ("detail", incident.detail()),
+                    ("directive", format!("{directive:?}")),
+                ],
+            );
+        }
+        match directive {
+            Directive::Continue => {}
+            Directive::Repair => {
+                let fixed = mem.repair_accounting();
+                mon.note_repair(now, fixed);
+                if tele.is_enabled() {
+                    tele.count("health.repairs", 1);
+                }
+            }
+            Directive::Rollback => {
+                if tele.is_enabled() {
+                    tele.count("health.rollbacks", 1);
+                    tele.dump_flight_recorder("health rollback");
+                }
+                mem.repair_accounting();
+                let (generation, payload): (Option<u64>, Option<Vec<u8>>) = match ckpt_store {
+                    Some(store) => match *last_good_gen {
+                        Some(g) => {
+                            store.quarantine_newer_than(g).map_err(checkpoint_err)?;
+                            match store
+                                .load_latest_with_generation()
+                                .map_err(checkpoint_err)?
+                            {
+                                Some((got, p)) => (Some(got), Some(p)),
+                                None => (None, None),
+                            }
+                        }
+                        None => (None, None),
+                    },
+                    None => {
+                        match *last_good_gen {
+                            Some(g) => {
+                                while ckpt_ring.back().is_some_and(|(bg, _)| *bg > g) {
+                                    ckpt_ring.pop_back();
+                                }
+                            }
+                            None => ckpt_ring.clear(),
+                        }
+                        ckpt_ring
+                            .iter()
+                            .rev()
+                            .find_map(|(g, blob)| {
+                                unseal(blob).ok().map(|p| (Some(*g), Some(p.to_vec())))
+                            })
+                            .unwrap_or((None, None))
+                    }
+                };
+                policy.on_controller_crash();
+                policy.on_controller_restart(mem, payload.as_deref());
+                policy.after_rollback(now);
+                mon.on_rollback_complete(now, generation);
+                if tele.is_enabled() {
+                    tele.event(
+                        now,
+                        "health",
+                        Severity::Warn,
+                        "rollback",
+                        &[(
+                            "generation",
+                            generation.map_or_else(|| "cold".to_string(), |g| g.to_string()),
+                        )],
+                    );
+                }
+            }
+            Directive::Quarantine => {
+                mem.repair_accounting();
+                policy.enter_quarantine(now);
+                if tele.is_enabled() {
+                    tele.count("health.quarantines", 1);
+                    tele.event(now, "health", Severity::Error, "quarantine", &[]);
+                    tele.dump_flight_recorder("health quarantine");
+                }
+            }
+            Directive::CrashStop => {
+                if !*crash_stopped {
+                    policy.on_controller_crash();
+                    *crash_stopped = true;
+                    if tele.is_enabled() {
+                        tele.count("health.crash_stops", 1);
+                        tele.event(now, "health", Severity::Error, "crash_stop", &[]);
+                        tele.dump_flight_recorder("health crash-stop");
+                    }
+                }
+                mem.repair_accounting();
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Experiment {
     /// Creates an experiment. Duration defaults to the load pattern's
     /// length (or 240 s for open-ended patterns).
@@ -192,6 +325,7 @@ impl Experiment {
             checkpoints: None,
             obs: None,
             slo_streak_dump: None,
+            health: None,
         }
     }
 
@@ -238,6 +372,14 @@ impl Experiment {
     /// (see [`Experiment::slo_streak_dump`]).
     pub fn with_slo_streak_dump(mut self, ticks: u32) -> Self {
         self.slo_streak_dump = Some(ticks);
+        self
+    }
+
+    /// Enables the self-healing health subsystem (see [`crate::health`]).
+    /// Detections then trigger autonomous recovery — accounting repair,
+    /// checkpoint rollback, quarantine — instead of aborting the run.
+    pub fn with_health(mut self, cfg: HealthConfig) -> Self {
+        self.health = Some(cfg);
         self
     }
 
@@ -429,11 +571,23 @@ impl Experiment {
             },
             None => None,
         };
-        let mut ckpt_ring: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut ckpt_ring: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+        let mut ring_next_gen: u64 = 1;
         let mut boundaries_seen: u64 = 0;
         let mut probe_pending = ckpt_cfg.and_then(|ck| ck.restart_probe_at);
         let mut ppm_was_down = false;
         let audit_on = audit_enabled();
+
+        // Self-healing state. The monitor owns the health state machine
+        // and rollback budget; `last_good_gen` tracks the newest
+        // checkpoint generation captured while the system was verifiably
+        // healthy (newer generations are treated as suspect on
+        // rollback). `crash_stopped` models the ablation arm that kills
+        // the daemon permanently on first incident.
+        let mut monitor: Option<HealthMonitor> = self.health.clone().map(HealthMonitor::new);
+        let mut last_good_gen: Option<u64> = None;
+        let mut crash_stopped = false;
+        let mut sac_poison_was = false;
 
         let mut ticks = Vec::with_capacity(n_ticks as usize);
         let mut lc_requests = 0.0;
@@ -481,7 +635,7 @@ impl Experiment {
             // recovery a fresh daemon reloads the newest checkpoint
             // generation that passes verification (corrupt generations
             // are skipped), or restarts cold when none exists.
-            if faults_enabled && tf.ppm_down != ppm_was_down {
+            if faults_enabled && !crash_stopped && tf.ppm_down != ppm_was_down {
                 if tf.ppm_down {
                     policy.on_controller_crash();
                     if tele.is_enabled() {
@@ -499,13 +653,13 @@ impl Experiment {
                             Some((gen, p)) => (Some(gen), Some(p)),
                             None => (None, None),
                         },
-                        None => (
-                            None,
-                            ckpt_ring
-                                .iter()
-                                .rev()
-                                .find_map(|blob| unseal(blob).ok().map(|p| p.to_vec())),
-                        ),
+                        None => ckpt_ring
+                            .iter()
+                            .rev()
+                            .find_map(|(g, blob)| {
+                                unseal(blob).ok().map(|p| (Some(*g), Some(p.to_vec())))
+                            })
+                            .unwrap_or((None, None)),
                     };
                     if tele.is_enabled() {
                         tele.count("runner.ppm_restarts", 1);
@@ -540,6 +694,29 @@ impl Experiment {
                     policy.on_controller_restart(&mem, payload.as_deref());
                 }
                 ppm_was_down = tf.ppm_down;
+            }
+
+            // ---- Poison / drift fault application ----
+            // SAC poisoning corrupts once per window (rising edge): the
+            // NaN parameters persist until a rollback restores a clean
+            // checkpoint, exactly like a corrupted weight load would.
+            if faults_enabled && tf.sac_poison && !sac_poison_was && !crash_stopped && !tf.ppm_down
+            {
+                policy.inject_poison();
+                if tele.is_enabled() {
+                    tele.count("runner.sac_poisons", 1);
+                    tele.event(now, "runner", Severity::Warn, "sac_poison", &[]);
+                }
+            }
+            sac_poison_was = tf.sac_poison;
+            // Accumulator drift perturbs the incrementally maintained
+            // popularity mass of the first BE workload each tick — the
+            // legacy path recomputes from scratch, so it has no
+            // incremental state to drift.
+            if faults_enabled && tf.accum_drift != 0.0 && !self.legacy_accounting {
+                if let Some(&bid) = be_ids.first() {
+                    mem.debug_corrupt_popularity(bid, tf.accum_drift);
+                }
             }
 
             // ---- LC performance from current placement ----
@@ -764,18 +941,63 @@ impl Experiment {
             // boundary. While the controller is down nothing is
             // captured (there is no daemon to ask).
             if let Some(ck) = ckpt_cfg {
-                if interval_boundary && !tf.ppm_down {
+                if interval_boundary && !tf.ppm_down && !crash_stopped {
                     boundaries_seen += 1;
                     if boundaries_seen.is_multiple_of(ck.every_intervals.max(1)) {
-                        if let Some(payload) = policy.checkpoint() {
+                        // With health enabled, captures are gated on the
+                        // policy's own health probe: a checkpoint of an
+                        // already-poisoned controller would poison every
+                        // future rollback, so it is skipped, not saved.
+                        let probe = if monitor.is_some() {
+                            policy.health_probe()
+                        } else {
+                            Ok(())
+                        };
+                        if let Err(surface) = &probe {
+                            if tele.is_enabled() {
+                                tele.count("ckpt.skips_unhealthy", 1);
+                                tele.event(
+                                    now,
+                                    "runner",
+                                    Severity::Warn,
+                                    "checkpoint_skipped",
+                                    &[("probe", surface.clone())],
+                                );
+                            }
+                        } else if let Some(payload) = policy.checkpoint() {
                             let save_t0 = std::time::Instant::now();
-                            if let Some(store) = &mut ckpt_store {
-                                store.save(&payload).map_err(checkpoint_err)?;
+                            let mut blob = seal(&payload);
+                            // A torn device write: flip one byte of the
+                            // sealed envelope so the checksum rejects
+                            // this generation on restore and the loader
+                            // falls back to the previous one.
+                            if faults_enabled && tf.checkpoint_corrupt && !blob.is_empty() {
+                                let mid = blob.len() / 2;
+                                blob[mid] ^= 0xFF;
+                            }
+                            let generation = if let Some(store) = &mut ckpt_store {
+                                let g = store.next_generation();
+                                store.save_sealed(&blob).map_err(checkpoint_err)?;
+                                g
                             } else {
-                                ckpt_ring.push_back(seal(&payload));
+                                let g = ring_next_gen;
+                                ring_next_gen += 1;
+                                ckpt_ring.push_back((g, blob));
                                 while ckpt_ring.len() > ck.retain.max(1) {
                                     ckpt_ring.pop_front();
                                 }
+                                g
+                            };
+                            // Known-good generations are the rollback
+                            // targets. Only a capture taken while the
+                            // monitor reads Healthy (and not corrupted
+                            // by the fault plan) qualifies.
+                            let trustworthy = !(faults_enabled && tf.checkpoint_corrupt)
+                                && monitor
+                                    .as_ref()
+                                    .is_none_or(HealthMonitor::checkpoint_trustworthy);
+                            if trustworthy {
+                                last_good_gen = Some(generation);
                             }
                             if tele.is_enabled() {
                                 tele.count("ckpt.saves", 1);
@@ -789,7 +1011,11 @@ impl Experiment {
                                     "runner",
                                     Severity::Debug,
                                     "checkpoint",
-                                    &[("payload_bytes", payload.len().to_string())],
+                                    &[
+                                        ("payload_bytes", payload.len().to_string()),
+                                        ("generation", generation.to_string()),
+                                        ("known_good", trustworthy.to_string()),
+                                    ],
                                 );
                             }
                         }
@@ -804,25 +1030,52 @@ impl Experiment {
                 }
             }
 
-            // ---- Runtime invariant audit ----
-            if audit_on {
-                if let Err(v) = mem.audit() {
-                    if tele.is_enabled() {
-                        tele.event(
-                            now,
-                            "runner",
-                            Severity::Error,
-                            "audit_violation",
-                            &[("detail", v.to_string())],
-                        );
-                        if let Some(dump) = tele.dump_flight_recorder("audit violation") {
-                            eprintln!("{dump}");
-                        }
+            // ---- Health sentinels & runtime invariant audit ----
+            // With the health subsystem enabled, detections become
+            // incidents answered by the monitor's directive (repair,
+            // rollback, quarantine) instead of aborting the run. Without
+            // it the pre-existing fail-stop behavior is untouched.
+            let mut incidents: Vec<Incident> = Vec::new();
+            if let Some(mon) = &mut monitor {
+                let skew = if faults_enabled {
+                    tf.clock_skew_factor
+                } else {
+                    1.0
+                };
+                if let Some(i) = mon.observe_tick(now, violated, skew) {
+                    incidents.push(i);
+                }
+                // NaN/poison sentinel on the policy's numeric surfaces.
+                // Skipped in quarantine (the poisoned agent is contained,
+                // not consulted) and while the daemon is down.
+                if !mon.is_quarantined() && !crash_stopped && !tf.ppm_down {
+                    if let Err(surface) = policy.health_probe() {
+                        incidents.push(Incident::Poison(surface));
                     }
-                    return Err(v.into());
                 }
             }
-            if interval_boundary && (audit_on || tele.is_enabled()) {
+            if audit_on || monitor.is_some() {
+                if let Err(v) = mem.audit() {
+                    if monitor.is_some() {
+                        incidents.push(Incident::AuditViolation(v.to_string()));
+                    } else {
+                        if tele.is_enabled() {
+                            tele.event(
+                                now,
+                                "runner",
+                                Severity::Error,
+                                "audit_violation",
+                                &[("detail", v.to_string())],
+                            );
+                            if let Some(dump) = tele.dump_flight_recorder("audit violation") {
+                                eprintln!("{dump}");
+                            }
+                        }
+                        return Err(v.into());
+                    }
+                }
+            }
+            if interval_boundary && (audit_on || monitor.is_some() || tele.is_enabled()) {
                 // Conservation across the partition plan: the bytes
                 // the policy hands out must fit in FMem. `u64::MAX`
                 // is the static policies' "everything" sentinel. The
@@ -850,20 +1103,60 @@ impl Experiment {
                         ],
                     );
                 }
-                if audit_on && plan_bytes > fmem_bytes {
+                if (audit_on || monitor.is_some()) && plan_bytes > fmem_bytes {
                     let v = AuditViolation::PlanExceedsFmem {
                         plan_bytes,
                         fmem_bytes,
                     };
+                    if monitor.is_some() {
+                        incidents.push(Incident::AuditViolation(v.to_string()));
+                    } else {
+                        if tele.is_enabled() {
+                            tele.event(
+                                now,
+                                "runner",
+                                Severity::Error,
+                                "audit_violation",
+                                &[("detail", v.to_string())],
+                            );
+                            if let Some(dump) = tele.dump_flight_recorder("audit violation") {
+                                eprintln!("{dump}");
+                            }
+                        }
+                        return Err(v.into());
+                    }
+                }
+            }
+
+            // ---- Incident handling: autonomous recovery ----
+            if !incidents.is_empty() {
+                let mon = monitor.as_mut().expect("incidents require the monitor");
+                handle_incidents(
+                    &incidents,
+                    now,
+                    mon,
+                    policy,
+                    &mut mem,
+                    &mut ckpt_store,
+                    &mut ckpt_ring,
+                    &mut last_good_gen,
+                    &mut crash_stopped,
+                    &tele,
+                )?;
+                // Post-recovery verification: if the substrate audit
+                // still fails after the directive ran, the fault is
+                // unrepairable and the run aborts as it would have
+                // without the health subsystem.
+                if let Err(v) = mem.audit() {
                     if tele.is_enabled() {
                         tele.event(
                             now,
                             "runner",
                             Severity::Error,
                             "audit_violation",
-                            &[("detail", v.to_string())],
+                            &[("detail", format!("unrepairable: {v}"))],
                         );
-                        if let Some(dump) = tele.dump_flight_recorder("audit violation") {
+                        if let Some(dump) = tele.dump_flight_recorder("unrepairable violation") {
                             eprintln!("{dump}");
                         }
                     }
@@ -914,6 +1207,10 @@ impl Experiment {
 
         debug_assert!(mem.check_invariants().is_ok(), "placement invariants");
 
+        // The summary's final-audit verdict runs the *full* audit once,
+        // unconditionally, so even runs with per-tick auditing disabled
+        // report whether they ended consistent.
+        let final_audit_ok = mem.audit().is_ok();
         let duration = n_ticks as f64 * tick_secs;
         Ok(RunResult {
             policy: policy.name().to_string(),
@@ -936,6 +1233,7 @@ impl Experiment {
             retried_moves: engine.retried_moves(),
             duration_secs: duration,
             tick_secs,
+            health: monitor.map(|m| m.summary(final_audit_ok)),
         })
     }
 

@@ -64,6 +64,9 @@ pub struct RunResult {
     pub duration_secs: f64,
     /// Tick length in seconds.
     pub tick_secs: f64,
+    /// Self-healing accounting (`None` when the health subsystem is
+    /// disabled for the run).
+    pub health: Option<crate::health::HealthSummary>,
 }
 
 impl RunResult {
@@ -282,6 +285,7 @@ mod tests {
             retried_moves: 0,
             duration_secs: 4.0,
             tick_secs: 1.0,
+            health: None,
         }
     }
 

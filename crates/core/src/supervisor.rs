@@ -126,6 +126,9 @@ pub struct Supervisor {
     stale_seen: bool,
     /// Latched within the current interval: non-finite SAC action seen.
     nonfinite_seen: bool,
+    /// Quarantine latch set by the health monitor: pins the ladder at
+    /// Static and disables re-promotion until explicitly cleared.
+    latched: bool,
     transitions: Vec<Transition>,
 }
 
@@ -140,6 +143,7 @@ impl Supervisor {
             healthy_streak: 0,
             stale_seen: false,
             nonfinite_seen: false,
+            latched: false,
             transitions: Vec::new(),
         }
     }
@@ -166,6 +170,51 @@ impl Supervisor {
         self.nonfinite_seen = true;
     }
 
+    /// Forces the ladder to `to` immediately, outside the normal
+    /// streak-driven evaluation. The health monitor uses this after a
+    /// rollback to re-enter via a conservative rung instead of handing a
+    /// freshly restored agent straight back the controls. All streaks
+    /// reset so the new state gets a clean evaluation window.
+    pub fn force_demote(&mut self, to: DegradationState, now_secs: f64) {
+        if to != self.state {
+            self.state = to;
+            self.transitions.push(Transition {
+                at_secs: now_secs,
+                to,
+            });
+        }
+        self.slo_streak = 0;
+        self.hard_streak = 0;
+        self.healthy_streak = 0;
+        self.stale_seen = false;
+        self.nonfinite_seen = false;
+    }
+
+    /// Sets or clears the quarantine latch. While latched the ladder is
+    /// pinned at [`DegradationState::Static`] and [`Self::on_interval`]
+    /// never re-promotes — the contained-but-alive terminal state the
+    /// health monitor enters when its rollback budget is exhausted.
+    pub fn set_latched(&mut self, latched: bool, now_secs: f64) {
+        self.latched = latched;
+        if latched {
+            self.force_demote(DegradationState::Static, now_secs);
+        }
+    }
+
+    /// Whether the quarantine latch is set.
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Restores the latch bit from a checkpoint without touching the
+    /// ladder: the serialized state already reflects any forced
+    /// demotion that accompanied the latch. (The latch travels at the
+    /// tail of the policy payload, not in [`mtat_snapshot::Snap`] for
+    /// `Supervisor`, so pre-latch v1 payloads keep decoding.)
+    pub fn restore_latched(&mut self, latched: bool) {
+        self.latched = latched;
+    }
+
     /// One interval-boundary evaluation. `violated` is the interval's
     /// SLO outcome; `sensor_dead` flags the blackout signature (zero
     /// observed memory-access demand while requests are being served).
@@ -178,6 +227,12 @@ impl Supervisor {
     ) -> DegradationState {
         let stale = std::mem::take(&mut self.stale_seen);
         let nonfinite = std::mem::take(&mut self.nonfinite_seen);
+        if self.latched {
+            // Quarantined: the per-interval latches are still consumed
+            // (so clearing the latch starts from a clean slate) but the
+            // ladder is pinned at Static with no streak evolution.
+            return self.state;
+        }
         let hard_fault = stale || nonfinite || sensor_dead;
 
         if violated {
@@ -299,6 +354,10 @@ impl mtat_snapshot::Snap for Supervisor {
         w.put_u32(self.healthy_streak);
         w.put_bool(self.stale_seen);
         w.put_bool(self.nonfinite_seen);
+        // The quarantine latch is deliberately NOT part of this record:
+        // it travels at the tail of the policy checkpoint payload so v1
+        // payloads (which predate the latch) keep decoding. See
+        // `MtatPolicy::encode_checkpoint` and `Supervisor::restore_latched`.
         self.transitions.snap(w);
     }
 
@@ -311,6 +370,7 @@ impl mtat_snapshot::Snap for Supervisor {
             healthy_streak: r.get_u32()?,
             stale_seen: r.get_bool()?,
             nonfinite_seen: r.get_bool()?,
+            latched: false,
             transitions: mtat_snapshot::Snap::unsnap(r)?,
         })
     }
@@ -490,6 +550,70 @@ mod tests {
             );
         }
         assert_eq!(s.on_interval(9.0, false, false), DegradationState::Rl);
+    }
+
+    #[test]
+    fn force_demote_resets_streaks_and_records_transition() {
+        let mut s = sup();
+        s.on_interval(0.0, true, false);
+        s.on_interval(5.0, true, false); // slo_streak = 2, one short of demotion
+        s.force_demote(DegradationState::Proportional, 7.0);
+        assert_eq!(s.state(), DegradationState::Proportional);
+        assert_eq!(s.transitions().len(), 1);
+        assert_eq!(s.transitions()[0].at_secs, 7.0);
+        // Streaks were cleared: a single further violation does not
+        // escalate, and three clean intervals re-promote normally.
+        assert_eq!(
+            s.on_interval(10.0, true, false),
+            DegradationState::Proportional
+        );
+        for i in 0..2 {
+            assert_eq!(
+                s.on_interval(15.0 + i as f64 * 5.0, false, false),
+                DegradationState::Proportional
+            );
+        }
+        assert_eq!(s.on_interval(25.0, false, false), DegradationState::Rl);
+        // Forcing the current state is a streak reset, not a transition.
+        let n = s.transitions().len();
+        s.force_demote(DegradationState::Rl, 30.0);
+        assert_eq!(s.transitions().len(), n);
+    }
+
+    #[test]
+    fn quarantine_latch_pins_ladder_at_static() {
+        use mtat_snapshot::{Snap, SnapReader, SnapWriter};
+        let mut s = sup();
+        s.set_latched(true, 12.0);
+        assert!(s.is_latched());
+        assert_eq!(s.state(), DegradationState::Static);
+        // No amount of healthy intervals re-promotes while latched.
+        for i in 0..10 {
+            assert_eq!(
+                s.on_interval(15.0 + i as f64 * 5.0, false, false),
+                DegradationState::Static
+            );
+        }
+        // The wire format deliberately excludes the latch (v1 payload
+        // compatibility); the policy codec re-applies it from the
+        // payload tail via `restore_latched`.
+        let mut w = SnapWriter::new();
+        s.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Supervisor::unsnap(&mut SnapReader::new(&bytes)).unwrap();
+        assert!(!restored.is_latched());
+        assert_eq!(restored.state(), DegradationState::Static);
+        restored.restore_latched(true);
+        assert!(restored.is_latched());
+        // Clearing the latch restores the normal re-promotion path.
+        s.set_latched(false, 80.0);
+        for i in 0..2 {
+            assert_eq!(
+                s.on_interval(85.0 + i as f64 * 5.0, false, false),
+                DegradationState::Static
+            );
+        }
+        assert_eq!(s.on_interval(95.0, false, false), DegradationState::Rl);
     }
 
     #[test]

@@ -167,6 +167,15 @@ impl Linear {
     pub fn biases(&self) -> &[f64] {
         &self.b
     }
+
+    /// Overwrites every weight and bias with `v`. Fault-injection
+    /// support: writing a non-finite value models a corrupted gradient
+    /// round or a bad parameter load, the poison the health sentinel
+    /// must detect and contain.
+    pub fn fill_params(&mut self, v: f64) {
+        self.w.fill(v);
+        self.b.fill(v);
+    }
 }
 
 /// Checkpoints the parameters *and* the Adam moments — a resumed update

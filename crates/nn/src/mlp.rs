@@ -80,6 +80,14 @@ impl Mlp {
             .sqrt()
     }
 
+    /// Overwrites every parameter in every layer with `v` (see
+    /// [`Linear::fill_params`]). Fault-injection support.
+    pub fn fill_params(&mut self, v: f64) {
+        for layer in &mut self.layers {
+            layer.fill_params(v);
+        }
+    }
+
     /// Inference-only forward pass.
     ///
     /// # Panics

@@ -14,8 +14,9 @@
 //! * [`event::FlightRecorder`] — a bounded ring of typed
 //!   [`event::Event`] records (sim-time timestamp, component, severity,
 //!   key/value payload), dumped automatically by the runner alongside
-//!   any audit violation, supervisor ladder transition, or PP-M
-//!   crash/restore edge.
+//!   any audit violation, supervisor ladder transition, PP-M
+//!   crash/restore edge, or health-monitor rollback/quarantine/
+//!   crash-stop directive (DESIGN.md §4g).
 //! * [`Obs`] — the instrumentation facade threaded through every
 //!   layer. A disabled handle is a `None` and every call is an early
 //!   return past one branch, so the default-off path adds nothing
@@ -50,6 +51,20 @@
 //! every matrix cell its own registry. A third axis, `MTAT_TRACE`
 //! (same on/off convention), upgrades the handle to [`Obs::traced`]:
 //! metrics + events + phase spans + decision provenance.
+//!
+//! ## Health-subsystem names (emitted by `mtat-core`'s runner)
+//!
+//! The self-healing runtime (DESIGN.md §4g) reports through the same
+//! facade. Counters: `health.incidents` (every incident handed to the
+//! monitor), `health.repairs`, `health.rollbacks`,
+//! `health.quarantines`, `health.crash_stops`, `runner.sac_poisons`
+//! (fault injections, not detections), and `ckpt.skips_unhealthy`
+//! (checkpoint captures refused because the policy's health probe
+//! failed). Flight-recorder events: `health.incidents` carries the
+//! incident kind/detail and the directive chosen; `rollback` carries
+//! the restored generation (or `cold`); `checkpoint` gains a
+//! `known_good` flag. Rollbacks, quarantines, and crash-stops also
+//! trigger an automatic flight-recorder dump.
 //!
 //! ## Determinism contract
 //!

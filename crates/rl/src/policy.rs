@@ -74,6 +74,19 @@ impl GaussianPolicy {
         self.action_dim
     }
 
+    /// L2 norm of the actor network's parameters — the health sentinel's
+    /// cheapest poison detector: any NaN weight makes the whole norm NaN
+    /// immediately, without waiting for a decision boundary.
+    pub fn param_l2(&self) -> f64 {
+        self.net.param_l2()
+    }
+
+    /// Overwrites every actor parameter with `v`. Fault-injection
+    /// support (see [`mtat_nn::mlp::Mlp::fill_params`]).
+    pub fn fill_params(&mut self, v: f64) {
+        self.net.fill_params(v);
+    }
+
     /// Splits the raw network output into `(mu, log_std, clamped_flags)`.
     fn split(&self, raw: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
         let mu = raw[..self.action_dim].to_vec();

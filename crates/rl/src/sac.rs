@@ -330,6 +330,22 @@ impl Sac {
         (self.q1.param_l2().powi(2) + self.q2.param_l2().powi(2)).sqrt()
     }
 
+    /// L2 norm of the actor's parameters. A single NaN weight makes the
+    /// norm NaN, so this is the health sentinel's poison probe: it fires
+    /// on the tick the corruption lands rather than at the next decision
+    /// boundary.
+    pub fn actor_param_l2(&self) -> f64 {
+        self.policy.param_l2()
+    }
+
+    /// Overwrites the actor parameters with NaN, modelling a corrupted
+    /// gradient round or bad parameter load. Fault-injection support for
+    /// the self-healing runtime; the agent is unusable until rolled back
+    /// to a known-good checkpoint.
+    pub fn poison_actor(&mut self) {
+        self.policy.fill_params(f64::NAN);
+    }
+
     /// Runs `steps` environment interactions with exploration and online
     /// updates — the while-loop of Algorithm 1. Returns the total reward
     /// collected.

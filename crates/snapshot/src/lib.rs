@@ -486,6 +486,10 @@ pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
     next_gen: u64,
+    /// Test shim: when set, the next save writes only this many bytes of
+    /// the sealed blob (a simulated torn device write) and then clears
+    /// itself. See [`CheckpointStore::debug_truncate_next_write`].
+    truncate_next_write: Option<usize>,
 }
 
 impl CheckpointStore {
@@ -509,7 +513,20 @@ impl CheckpointStore {
             dir,
             retain,
             next_gen,
+            truncate_next_write: None,
         })
+    }
+
+    /// Arms the write-truncation shim: the next [`CheckpointStore::save`]
+    /// (or [`CheckpointStore::save_sealed`]) persists only the first
+    /// `bytes` bytes of the sealed blob before renaming it into place —
+    /// the torn-write a host crash between `write` and `fsync` would
+    /// leave behind. Exists so tests can prove that a torn latest
+    /// generation is detected and older generations are used instead;
+    /// never call this outside a test.
+    #[doc(hidden)]
+    pub fn debug_truncate_next_write(&mut self, bytes: usize) {
+        self.truncate_next_write = Some(bytes);
     }
 
     /// The store's directory.
@@ -554,20 +571,54 @@ impl CheckpointStore {
     ///
     /// [`SnapError::Io`] on any filesystem failure.
     pub fn save(&mut self, payload: &[u8]) -> Result<PathBuf, SnapError> {
+        let sealed = seal(payload);
+        self.save_sealed(&sealed)
+    }
+
+    /// Writes an already-sealed blob as the next generation. Same
+    /// atomicity and durability contract as [`CheckpointStore::save`];
+    /// exists so callers that keep sealed blobs around (the runner's
+    /// in-memory ring, fault injection that corrupts a blob post-seal)
+    /// can share one persistence path.
+    ///
+    /// Durability ordering: the temp file is written and `fsync`ed, then
+    /// renamed into place, then (on Unix) the *directory* is `fsync`ed —
+    /// without the final directory sync a host crash after the rename
+    /// can forget the rename itself and leave a torn or missing latest
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] on any filesystem failure.
+    pub fn save_sealed(&mut self, sealed: &[u8]) -> Result<PathBuf, SnapError> {
         let gen = self.next_gen;
         let final_path = self.dir.join(format!("ckpt-{gen:08}.mtat"));
         let tmp_path = self.dir.join(format!(".ckpt-{gen:08}.tmp"));
-        let sealed = seal(payload);
+        let written: &[u8] = match self.truncate_next_write.take() {
+            Some(limit) => &sealed[..limit.min(sealed.len())],
+            None => sealed,
+        };
         {
             let mut f = fs::File::create(&tmp_path)
                 .map_err(|e| SnapError::Io(format!("create {tmp_path:?}: {e}")))?;
-            f.write_all(&sealed)
+            f.write_all(written)
                 .map_err(|e| SnapError::Io(format!("write {tmp_path:?}: {e}")))?;
             f.sync_all()
                 .map_err(|e| SnapError::Io(format!("sync {tmp_path:?}: {e}")))?;
         }
         fs::rename(&tmp_path, &final_path)
             .map_err(|e| SnapError::Io(format!("rename into {final_path:?}: {e}")))?;
+        // Persist the rename: fsync the directory so the new directory
+        // entry survives a host crash. Directory handles cannot be
+        // opened for syncing on all platforms; on those the rename-only
+        // guarantee (the pre-fix behavior) stands.
+        #[cfg(unix)]
+        {
+            let d = fs::File::open(&self.dir)
+                .map_err(|e| SnapError::Io(format!("open dir {:?}: {e}", self.dir)))?;
+            d.sync_all()
+                .map_err(|e| SnapError::Io(format!("sync dir {:?}: {e}", self.dir)))?;
+        }
         self.next_gen = gen + 1;
 
         let gens = Self::list_generations(&self.dir)?;
@@ -578,6 +629,50 @@ impl CheckpointStore {
             }
         }
         Ok(final_path)
+    }
+
+    /// Quarantines every generation *newer than* `gen`: the files are
+    /// renamed from `.mtat` to `.suspect`, so generation walks
+    /// ([`CheckpointStore::load_latest`], retention pruning) no longer
+    /// see them, but the bytes stay on disk for post-mortem analysis.
+    /// The rollback engine calls this after restoring a known-good
+    /// generation — anything captured after it may carry the poisoned
+    /// state that forced the rollback. Returns how many generations were
+    /// quarantined.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] if the directory cannot be listed or a rename
+    /// fails.
+    pub fn quarantine_newer_than(&mut self, gen: u64) -> Result<usize, SnapError> {
+        let mut quarantined = 0;
+        for (g, path) in Self::list_generations(&self.dir)? {
+            if g > gen {
+                let suspect = path.with_extension("suspect");
+                fs::rename(&path, &suspect)
+                    .map_err(|e| SnapError::Io(format!("quarantine {path:?}: {e}")))?;
+                quarantined += 1;
+            }
+        }
+        Ok(quarantined)
+    }
+
+    /// Loads a specific generation's payload, or `None` when that
+    /// generation is absent or fails envelope verification.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] only when the directory itself cannot be read.
+    pub fn load_generation(&self, gen: u64) -> Result<Option<Vec<u8>>, SnapError> {
+        for (g, path) in Self::list_generations(&self.dir)? {
+            if g == gen {
+                let Ok(bytes) = fs::read(&path) else {
+                    return Ok(None);
+                };
+                return Ok(unseal(&bytes).ok().map(|p| p.to_vec()));
+            }
+        }
+        Ok(None)
     }
 
     /// Loads the newest generation whose envelope verifies, falling back
@@ -815,5 +910,74 @@ mod tests {
     #[test]
     fn zero_retain_is_rejected() {
         assert!(CheckpointStore::open(tmp_dir("zero"), 0).is_err());
+    }
+
+    /// The durability satellite: a torn write of the latest generation
+    /// (simulated via the truncation shim — the bytes a crash between
+    /// `write` and `fsync` would leave) must never be loaded; the store
+    /// falls back to the previous, fully persisted generation.
+    #[test]
+    fn torn_latest_generation_falls_back_to_previous() {
+        let dir = tmp_dir("torn");
+        // Retain must exceed the 1 good + 4 torn + 1 recovery saves
+        // below, or the pruner deletes the good generation itself.
+        let mut store = CheckpointStore::open(&dir, 8).unwrap();
+        store.save(b"good-generation").unwrap();
+        let sealed_len = seal(b"torn-generation").len();
+        for torn_bytes in [0, 1, sealed_len / 2, sealed_len - 1] {
+            store.debug_truncate_next_write(torn_bytes);
+            store.save(b"torn-generation").unwrap();
+        }
+        assert_eq!(
+            store.load_latest().unwrap().unwrap(),
+            b"good-generation".to_vec(),
+            "every torn generation must be skipped"
+        );
+        // A subsequent intact save becomes the newest valid generation.
+        store.save(b"after-recovery").unwrap();
+        assert_eq!(
+            store.load_latest().unwrap().unwrap(),
+            b"after-recovery".to_vec()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_hides_newer_generations_but_keeps_bytes() {
+        let dir = tmp_dir("quarantine");
+        let mut store = CheckpointStore::open(&dir, 10).unwrap();
+        store.save(b"gen-0").unwrap();
+        store.save(b"gen-1").unwrap();
+        store.save(b"gen-2").unwrap();
+        assert_eq!(store.quarantine_newer_than(0).unwrap(), 2);
+        let (gen, payload) = store.load_latest_with_generation().unwrap().unwrap();
+        assert_eq!(gen, 0);
+        assert_eq!(payload, b"gen-0".to_vec());
+        assert_eq!(store.load_generation(1).unwrap(), None);
+        // The suspect bytes stay on disk for post-mortem analysis.
+        let suspects: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".suspect"))
+            .collect();
+        assert_eq!(suspects.len(), 2);
+        // New saves continue past the quarantined numbers.
+        store.save(b"gen-3").unwrap();
+        let (gen, payload) = store.load_latest_with_generation().unwrap().unwrap();
+        assert_eq!(gen, 3);
+        assert_eq!(payload, b"gen-3".to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_generation_fetches_specific_payloads() {
+        let dir = tmp_dir("loadgen");
+        let mut store = CheckpointStore::open(&dir, 10).unwrap();
+        store.save(b"a").unwrap();
+        store.save(b"b").unwrap();
+        assert_eq!(store.load_generation(0).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(store.load_generation(1).unwrap(), Some(b"b".to_vec()));
+        assert_eq!(store.load_generation(7).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

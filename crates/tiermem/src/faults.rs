@@ -75,6 +75,44 @@ pub enum FaultKind {
     /// split). When the window ends the runner restarts PP-M, restoring
     /// from the latest valid checkpoint if one exists.
     PpmCrash,
+    /// The learned controller's actor network is poisoned with NaN
+    /// parameters at the window's rising edge (a corrupted gradient
+    /// round, a bad weight load). The policy's subsequent raw actions
+    /// are non-finite; the health sentinel is expected to contain the
+    /// damage and roll PP-M back to a clean checkpoint.
+    SacPoison,
+    /// A bookkeeping accumulator drifts: each tick inside the window the
+    /// incrementally maintained popularity mass of one workload gains
+    /// `delta` (a Kahan-compensation bug, a missed update). Surfaces as
+    /// a [`crate::audit::AuditViolation::PopularityDrift`].
+    AccumulatorDrift {
+        /// Per-tick drift added to the incremental mass.
+        delta: f64,
+    },
+    /// The control daemon runs slow: each tick inside the window costs
+    /// `factor` × the nominal tick budget of (simulated) wall time. The
+    /// runner's watchdog compares this against its per-tick budget —
+    /// deliberately driven off simulated time, never the host clock, so
+    /// replays stay bit-identical.
+    ClockSkew {
+        /// Simulated slowdown factor (1.0 = nominal, ≥ 1).
+        factor: f64,
+    },
+    /// Every checkpoint captured inside the window is corrupted after
+    /// sealing (a torn device write): the envelope checksum rejects it
+    /// on restore, exercising generation fallback.
+    CheckpointCorrupt,
+    /// A correlated multi-fault window: sampler thinning, migration
+    /// throttling and flakiness, telemetry noise, and a bandwidth spike
+    /// all at once, scaled by `intensity` in [0, 1]. At intensity
+    /// ≥ 0.9 the storm also poisons the SAC actor at its rising edge —
+    /// the worst correlated failure the self-healing runtime must
+    /// absorb. Storms never delay telemetry (the staleness ring is
+    /// sized from explicit [`FaultKind::TelemetryStale`] windows only).
+    FaultStorm {
+        /// Storm strength in [0, 1].
+        intensity: f64,
+    },
 }
 
 /// A fault active over a closed-open time window `[start, start + duration)`.
@@ -174,6 +212,18 @@ pub struct TickFaults {
     /// The PP-M control daemon is down this tick (no policy decisions;
     /// PP-E keeps enforcing the last plan).
     pub ppm_down: bool,
+    /// The SAC actor is poisoned this tick. The runner injects the NaN
+    /// corruption on the *rising edge* only (a poison event, not a
+    /// state), so consecutive poisoned ticks corrupt once.
+    pub sac_poison: bool,
+    /// Per-tick drift added to one workload's incremental popularity
+    /// mass (0.0 = nominal). Overlapping drift windows sum.
+    pub accum_drift: f64,
+    /// Simulated controller slowdown factor (1.0 = nominal); the
+    /// watchdog compares `tick_secs × factor` against its budget.
+    pub clock_skew_factor: f64,
+    /// Checkpoints captured this tick are corrupted after sealing.
+    pub checkpoint_corrupt: bool,
 }
 
 impl TickFaults {
@@ -188,6 +238,10 @@ impl TickFaults {
             telemetry_noise_amp: 0.0,
             bandwidth_extra_util: 0.0,
             ppm_down: false,
+            sac_poison: false,
+            accum_drift: 0.0,
+            clock_skew_factor: 1.0,
+            checkpoint_corrupt: false,
         }
     }
 
@@ -263,6 +317,23 @@ impl FaultInjector {
                         (t.bandwidth_extra_util + extra.clamp(0.0, 1.0)).min(1.0);
                 }
                 FaultKind::PpmCrash => t.ppm_down = true,
+                FaultKind::SacPoison => t.sac_poison = true,
+                FaultKind::AccumulatorDrift { delta } => t.accum_drift += delta,
+                FaultKind::ClockSkew { factor } => {
+                    t.clock_skew_factor = t.clock_skew_factor.max(factor.max(1.0));
+                }
+                FaultKind::CheckpointCorrupt => t.checkpoint_corrupt = true,
+                FaultKind::FaultStorm { intensity } => {
+                    let i = intensity.clamp(0.0, 1.0);
+                    t.sampler_keep = t.sampler_keep.min(1.0 - 0.7 * i);
+                    t.migration_bw_factor = t.migration_bw_factor.min(1.0 - 0.8 * i);
+                    t.migration_fail_prob = t.migration_fail_prob.max(0.4 * i);
+                    t.telemetry_noise_amp = t.telemetry_noise_amp.max(0.3 * i);
+                    t.bandwidth_extra_util = (t.bandwidth_extra_util + 0.5 * i).min(1.0);
+                    if i >= 0.9 {
+                        t.sac_poison = true;
+                    }
+                }
             }
         }
         self.trace.push(t);
@@ -283,6 +354,33 @@ impl FaultInjector {
     pub fn trace(&self) -> &[TickFaults] {
         &self.trace
     }
+
+    /// The injector's mutable state — the position of its seeded random
+    /// stream. Together with the (immutable) plan this fully determines
+    /// all future output, so a fault window that straddles a
+    /// checkpoint/restore boundary survives the restore bit-identically:
+    /// capture this, rebuild with [`FaultInjector::new`], and
+    /// [`FaultInjector::restore_state`] the value.
+    pub fn state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Restores a state captured by [`FaultInjector::state`]. The trace
+    /// restarts empty; the effect stream continues exactly where the
+    /// captured injector left off.
+    pub fn restore_state(&mut self, s: FaultInjectorState) {
+        self.rng = StdRng::from_state(s.rng_state);
+    }
+}
+
+/// Opaque snapshot of a [`FaultInjector`]'s mutable state (see
+/// [`FaultInjector::state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInjectorState {
+    /// Raw RNG state of the injector's seeded stream.
+    pub rng_state: u64,
 }
 
 #[cfg(test)]
@@ -382,5 +480,127 @@ mod tests {
     fn last_fault_end() {
         assert_eq!(plan().last_fault_end_secs(), 22.0);
         assert_eq!(FaultPlan::none().last_fault_end_secs(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_windows_are_never_active() {
+        let w = FaultWindow {
+            kind: FaultKind::SamplerBlackout,
+            start_secs: 10.0,
+            duration_secs: 0.0,
+        };
+        assert!(!w.active_at(9.999));
+        assert!(!w.active_at(10.0));
+        assert!(!w.active_at(10.001));
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with(FaultKind::SamplerBlackout, 10.0, 0.0));
+        for tick in 0..30 {
+            assert!(inj.begin_tick(tick as f64).is_nominal(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_of_the_same_kind_compose() {
+        // Two drift windows overlap in [5, 8): the drift sums. Two skew
+        // windows overlap there too: the worst factor wins.
+        let p = FaultPlan::new(2)
+            .with(FaultKind::AccumulatorDrift { delta: 1e-6 }, 0.0, 8.0)
+            .with(FaultKind::AccumulatorDrift { delta: 3e-6 }, 5.0, 10.0)
+            .with(FaultKind::ClockSkew { factor: 2.0 }, 0.0, 8.0)
+            .with(FaultKind::ClockSkew { factor: 5.0 }, 5.0, 10.0);
+        let mut inj = FaultInjector::new(p);
+        let early = inj.begin_tick(2.0);
+        assert_eq!(early.accum_drift, 1e-6);
+        assert_eq!(early.clock_skew_factor, 2.0);
+        let both = inj.begin_tick(6.0);
+        assert_eq!(both.accum_drift, 4e-6);
+        assert_eq!(both.clock_skew_factor, 5.0);
+        let late = inj.begin_tick(9.0);
+        assert_eq!(late.accum_drift, 3e-6);
+        assert_eq!(late.clock_skew_factor, 5.0);
+        assert!(inj.begin_tick(20.0).is_nominal());
+    }
+
+    #[test]
+    fn new_kinds_activate_and_expire() {
+        let p = FaultPlan::new(7).with(FaultKind::SacPoison, 5.0, 2.0).with(
+            FaultKind::CheckpointCorrupt,
+            10.0,
+            3.0,
+        );
+        let mut inj = FaultInjector::new(p);
+        assert!(!inj.begin_tick(4.0).sac_poison);
+        assert!(inj.begin_tick(5.0).sac_poison);
+        assert!(!inj.begin_tick(7.0).sac_poison);
+        let t = inj.begin_tick(11.0);
+        assert!(t.checkpoint_corrupt && !t.sac_poison);
+        assert!(inj.begin_tick(13.0).is_nominal());
+    }
+
+    #[test]
+    fn fault_storm_expands_into_correlated_effects() {
+        let mut inj = FaultInjector::new(FaultPlan::new(9).with(
+            FaultKind::FaultStorm { intensity: 0.5 },
+            0.0,
+            5.0,
+        ));
+        let t = inj.begin_tick(1.0);
+        assert!(t.sampler_keep < 1.0);
+        assert!(t.migration_bw_factor < 1.0);
+        assert!(t.migration_fail_prob > 0.0);
+        assert!(t.telemetry_noise_amp > 0.0);
+        assert!(t.bandwidth_extra_util > 0.0);
+        // Below the poison threshold: the storm degrades but does not poison.
+        assert!(!t.sac_poison);
+        // Storms never delay telemetry (the staleness ring is sized from
+        // explicit TelemetryStale windows only).
+        assert_eq!(t.telemetry_delay_ticks, 0);
+        assert!(inj.begin_tick(6.0).is_nominal());
+
+        let mut worst = FaultInjector::new(FaultPlan::new(9).with(
+            FaultKind::FaultStorm { intensity: 1.0 },
+            0.0,
+            5.0,
+        ));
+        let t = worst.begin_tick(0.0);
+        assert!(t.sac_poison, "a full-intensity storm poisons the actor");
+        assert_eq!(t.migration_bw_factor, 1.0 - 0.8);
+    }
+
+    #[test]
+    fn injector_state_survives_restore_bit_identically() {
+        // A noise window (which consumes the seeded stream) straddles a
+        // simulated checkpoint/restore at t = 10: the restored injector
+        // must continue the exact same draw sequence.
+        let p = FaultPlan::new(0x51AD)
+            .with(FaultKind::TelemetryNoise { amplitude: 0.2 }, 5.0, 20.0)
+            .with(FaultKind::FaultStorm { intensity: 0.4 }, 8.0, 15.0);
+        let mut reference = FaultInjector::new(p.clone());
+        let mut live = FaultInjector::new(p.clone());
+        for tick in 0..10 {
+            let now = tick as f64;
+            let a = reference.begin_tick(now);
+            let b = live.begin_tick(now);
+            assert_eq!(a, b);
+            assert_eq!(
+                reference.noise_factor(a.telemetry_noise_amp).to_bits(),
+                live.noise_factor(b.telemetry_noise_amp).to_bits()
+            );
+        }
+        // "Crash" mid-window and rebuild from plan + captured state.
+        let saved = live.state();
+        let mut restored = FaultInjector::new(p);
+        restored.restore_state(saved);
+        for tick in 10..30 {
+            let now = tick as f64;
+            let a = reference.begin_tick(now);
+            let b = restored.begin_tick(now);
+            assert_eq!(a, b, "tick {tick}");
+            assert_eq!(
+                reference.noise_factor(a.telemetry_noise_amp).to_bits(),
+                restored.noise_factor(b.telemetry_noise_amp).to_bits(),
+                "tick {tick}"
+            );
+        }
     }
 }

@@ -648,6 +648,73 @@ impl TieredMemory {
             mass.fmem_mass += delta;
         }
     }
+
+    /// Rebuilds every derived counter from the page table — the ground
+    /// truth that placement mutations never touch directly. Used by the
+    /// self-healing runtime to repair accounting drift (a poisoned
+    /// accumulator, a corrupted counter) instead of aborting the run.
+    ///
+    /// Recomputes per-tier occupancy, per-workload residency, and the
+    /// FMem-resident popularity masses (resetting their Kahan
+    /// compensation terms). Page ownership itself is *not* repairable:
+    /// if a page lies outside its owner's region the page table is the
+    /// corrupted party and rollback, not repair, is the only recovery.
+    ///
+    /// Returns the number of counters that actually changed, so callers
+    /// can distinguish a no-op sweep from a real repair.
+    pub fn repair_accounting(&mut self) -> u32 {
+        let mut repaired = 0u32;
+        let mut fmem = 0u64;
+        let mut smem = 0u64;
+        let mut per_w: Vec<Residency> = vec![Residency::default(); self.regions.len()];
+        for m in &self.pages {
+            let r = &mut per_w[m.owner.index()];
+            match m.tier {
+                Tier::FMem => {
+                    fmem += 1;
+                    r.fmem_pages += 1;
+                }
+                Tier::SMem => {
+                    smem += 1;
+                    r.smem_pages += 1;
+                }
+            }
+        }
+        if self.fmem_used != fmem {
+            self.fmem_used = fmem;
+            repaired += 1;
+        }
+        if self.smem_used != smem {
+            self.smem_used = smem;
+            repaired += 1;
+        }
+        for (counter, recount) in self.residency.iter_mut().zip(per_w) {
+            if *counter != recount {
+                *counter = recount;
+                repaired += 1;
+            }
+        }
+        for (i, mass) in self.popularity.iter_mut().enumerate() {
+            let Some(mass) = mass else { continue };
+            let region = self.regions[i];
+            let recomputed: f64 = region
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| self.pages[p.index()].tier == Tier::FMem)
+                .map(|(rank, _)| mass.weights[rank])
+                .sum();
+            // `!(x <= tol)` instead of `x > tol` so a NaN-poisoned mass
+            // counts as repaired. Normalize unconditionally: after a
+            // repair sweep the mass is exact with zero compensation.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !((mass.fmem_mass - recomputed).abs() <= 1e-9) {
+                repaired += 1;
+            }
+            mass.fmem_mass = recomputed;
+            mass.comp = 0.0;
+        }
+        repaired
+    }
 }
 
 #[cfg(test)]
@@ -890,6 +957,40 @@ mod tests {
         let mut ok = mem;
         ok.debug_corrupt_popularity(w, 1e-12);
         ok.audit().unwrap();
+    }
+
+    #[test]
+    fn repair_accounting_restores_corrupted_counters() {
+        let mut mem = TieredMemory::new(small_spec());
+        let w = mem
+            .register_workload(6 * MIB, InitialPlacement::FmemFirst)
+            .unwrap();
+        mem.register_popularity(w, &[0.3, 0.25, 0.2, 0.15, 0.07, 0.03])
+            .unwrap();
+        mem.migrate(mem.region(w).page(0), Tier::SMem).unwrap();
+        mem.audit().unwrap();
+
+        // A healthy system needs no counter repairs.
+        let before = mem.resident_popularity(w).unwrap();
+        assert_eq!(mem.repair_accounting(), 0);
+        mem.audit().unwrap();
+        // Normalization keeps the mass within audit tolerance.
+        assert!((mem.resident_popularity(w).unwrap() - before).abs() <= 1e-9);
+
+        // Corrupt every repairable surface at once, including a
+        // NaN-poisoned popularity mass.
+        mem.debug_corrupt_tier_counter(Tier::FMem, 2);
+        mem.debug_corrupt_tier_counter(Tier::SMem, -1);
+        mem.debug_corrupt_popularity(w, f64::NAN);
+        assert!(mem.audit().is_err());
+
+        let repaired = mem.repair_accounting();
+        assert!(repaired >= 3, "expected >=3 repairs, got {repaired}");
+        mem.audit().unwrap();
+        assert!((mem.resident_popularity(w).unwrap() - before).abs() <= 1e-9);
+
+        // Idempotent: a second sweep finds nothing to fix.
+        assert_eq!(mem.repair_accounting(), 0);
     }
 
     #[test]
