@@ -30,6 +30,8 @@ pub struct MemtisPolicy {
     scratch: placement::PlacementScratch,
     /// Workload-id buffer reused across ticks.
     all_ids: Vec<WorkloadId>,
+    /// Telemetry handle; phase spans for tracking vs placement.
+    obs: mtat_obs::Obs,
 }
 
 impl MemtisPolicy {
@@ -40,6 +42,7 @@ impl MemtisPolicy {
             pairs_per_tick: 1024,
             scratch: placement::PlacementScratch::default(),
             all_ids: Vec::new(),
+            obs: mtat_obs::Obs::disabled(),
         }
     }
 
@@ -65,12 +68,20 @@ impl Policy for MemtisPolicy {
         self.tracker = Some(HotnessTracker::new(mem));
     }
 
+    fn set_obs(&mut self, obs: &mtat_obs::Obs) {
+        self.obs = obs.clone();
+    }
+
     fn on_tick(&mut self, sim: &mut SimState<'_>) {
         let tracker = self.tracker.as_mut().expect("init() must run first");
-        tracker.record_tick(sim.workloads);
-        if sim.interval_boundary {
-            tracker.age_all();
+        {
+            let _track = self.obs.span(sim.now_secs, "track");
+            tracker.record_tick(sim.workloads);
+            if sim.interval_boundary {
+                tracker.age_all();
+            }
         }
+        let _place = self.obs.span(sim.now_secs, "ppe-enforce");
         self.all_ids.clear();
         self.all_ids.extend(sim.workloads.iter().map(|w| w.id));
         let pool_cap = sim.mem.spec().fmem_pages();
@@ -114,6 +125,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled,
+            touched: Default::default(),
             slo_violated: false,
         }
     }

@@ -60,6 +60,13 @@ pub struct WorkloadObs {
     /// PEBS-estimated access counts per page rank for this tick
     /// (sampled events × sampling period).
     pub sampled: Vec<u64>,
+    /// Dirty-rank bitset over `sampled`: which ranks the sampler
+    /// scattered events into this tick. Consumers walk set bits (in
+    /// ascending rank order, matching a dense front-to-back scan)
+    /// instead of every page. The default is the conservative all-dirty
+    /// state, which preserves dense semantics for hand-built
+    /// observations and the legacy accounting path.
+    pub touched: mtat_tiermem::sampler::TouchedSet,
     /// Whether the last tick violated the SLO.
     pub slo_violated: bool,
 }
@@ -275,6 +282,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled: vec![],
+            touched: Default::default(),
             slo_violated: false,
         };
         assert!(obs.is_lc());

@@ -856,6 +856,7 @@ mod tests {
             access_rate: load * 28.0,
             throughput: load,
             sampled,
+            touched: Default::default(),
             slo_violated: violated,
         }
     }

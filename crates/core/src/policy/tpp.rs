@@ -185,6 +185,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled,
+            touched: Default::default(),
             slo_violated: false,
         }
     }

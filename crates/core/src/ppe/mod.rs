@@ -230,13 +230,11 @@ impl PartitionPolicyEnforcer {
                         .coldest_fmem_into(&mut pages, mem, w, (-m) as usize);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
                     self.note_fault_failures(i, false, engine);
-                    for &p in pages.iter().take(granted) {
-                        // A full slow tier makes this demotion
-                        // unsatisfiable right now; skip rather than
-                        // panic — the next plan recomputes from actual
-                        // residency.
-                        let _ = mem.migrate(p, Tier::SMem);
-                    }
+                    // Range-batched application of the granted prefix. A
+                    // full slow tier makes the tail unsatisfiable right
+                    // now; the batch stops there rather than panic — the
+                    // next plan recomputes from actual residency.
+                    mem.migrate_batch(&pages[..granted], Tier::SMem);
                     self.slice_pages = pages;
                 }
             }
@@ -255,9 +253,7 @@ impl PartitionPolicyEnforcer {
                     self.tracker.hottest_smem_into(&mut pages, mem, w, want);
                     let granted = engine.try_consume_pages(pages.len() as u64) as usize;
                     self.note_fault_failures(i, true, engine);
-                    for &p in pages.iter().take(granted) {
-                        let _ = mem.migrate(p, Tier::FMem);
-                    }
+                    mem.migrate_batch(&pages[..granted], Tier::FMem);
                     self.slice_pages = pages;
                 }
             }
@@ -346,9 +342,9 @@ impl PartitionPolicyEnforcer {
         candidates.sort_unstable_by_key(|&(c, _)| c);
         let take = (need as usize).min(candidates.len());
         let granted = engine.try_consume_pages(take as u64) as usize;
-        for &(_, p) in candidates.iter().take(granted) {
-            let _ = mem.migrate(p, Tier::SMem);
-        }
+        pages.clear();
+        pages.extend(candidates.iter().take(granted).map(|&(_, p)| p));
+        mem.migrate_batch(&pages, Tier::SMem);
         self.ranked_buf = candidates;
         self.slice_pages = pages;
     }
@@ -411,9 +407,7 @@ impl PartitionPolicyEnforcer {
             if completed > 0 {
                 engine.note_retried(completed as u64);
                 let tier = if d.promote { Tier::FMem } else { Tier::SMem };
-                for &p in candidates.iter().take(completed) {
-                    let _ = mem.migrate(p, tier);
-                }
+                mem.migrate_batch(&candidates[..completed], tier);
             }
             let reachable = if blocked {
                 d.pages
@@ -460,6 +454,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled,
+            touched: Default::default(),
             slo_violated: false,
         }
     }

@@ -28,6 +28,8 @@ pub struct PlacementScratch {
     cold_pages: Vec<PageId>,
     hot_ranked: Vec<(u64, PageId)>,
     cold_ranked: Vec<(u64, PageId)>,
+    promote_buf: Vec<PageId>,
+    pair_buf: Vec<(PageId, PageId)>,
 }
 
 /// Moves workload `w` toward `target_pages` of FMem residency, spending
@@ -71,14 +73,10 @@ pub fn enforce_target_with(
         let pages = &mut scratch.hot_pages;
         tracker.hottest_smem_into(pages, mem, w, want as usize);
         let granted = engine.try_consume_pages(pages.len() as u64);
-        let mut promoted = 0;
-        for &p in pages.iter().take(granted as usize) {
-            // Count only moves that actually land; a lost race for the
-            // last free frame is skipped, not fatal.
-            if mem.migrate(p, Tier::FMem).is_ok() {
-                promoted += 1;
-            }
-        }
+        // One range-batched application of the granted prefix; a lost
+        // race for the last free frame stops the batch, exactly where
+        // the per-page loop would have kept failing.
+        let promoted = mem.migrate_batch(&pages[..granted as usize], Tier::FMem);
         (promoted, 0)
     } else if current > target_pages {
         let want = (current - target_pages).min(engine.remaining_tick_pages());
@@ -88,12 +86,7 @@ pub fn enforce_target_with(
         let pages = &mut scratch.cold_pages;
         tracker.coldest_fmem_into(pages, mem, w, want as usize);
         let granted = engine.try_consume_pages(pages.len() as u64);
-        let mut demoted = 0;
-        for &p in pages.iter().take(granted as usize) {
-            if mem.migrate(p, Tier::SMem).is_ok() {
-                demoted += 1;
-            }
-        }
+        let demoted = mem.migrate_batch(&pages[..granted as usize], Tier::SMem);
         (0, demoted)
     } else {
         (0, 0)
@@ -143,14 +136,41 @@ pub fn refine_swaps_with(
     tracker.hottest_smem_into(hot, mem, w, budget_pairs as usize);
     tracker.coldest_fmem_into(cold, mem, w, budget_pairs as usize);
     let hist = tracker.histogram(w);
+    if engine.may_fail() {
+        // Fault-injection path: per-pair budget calls, so each pair's
+        // per-page failure draws land exactly as they always have.
+        let mut swaps = 0;
+        for (&h, &c) in hot.iter().zip(cold.iter()) {
+            if (hist.count(h) as f64) <= hist.count(c) as f64 * hysteresis {
+                break; // candidates are sorted; no further pair can win
+            }
+            if engine.try_consume_pages(2) < 2 {
+                break;
+            }
+            if mem.exchange(&[h], &[c]).is_ok() {
+                swaps += 1;
+            }
+        }
+        return swaps;
+    }
+    // Fault-free: the winning pairs are a prefix (candidates are sorted
+    // and the histogram is immutable here), and `budget_pairs` was
+    // pre-clamped to the engine's remaining budget, so the per-pair
+    // `try_consume_pages(2)` can never come up short. Count the prefix,
+    // pay for it with one budget call, then apply each exchange in the
+    // legacy order.
+    let winners = hot
+        .iter()
+        .zip(cold.iter())
+        .take_while(|&(&h, &c)| (hist.count(h) as f64) > hist.count(c) as f64 * hysteresis)
+        .count();
+    if winners == 0 {
+        return 0;
+    }
+    let granted = engine.try_consume_pages(2 * winners as u64);
+    debug_assert_eq!(granted, 2 * winners as u64);
     let mut swaps = 0;
-    for (&h, &c) in hot.iter().zip(cold.iter()) {
-        if (hist.count(h) as f64) <= hist.count(c) as f64 * hysteresis {
-            break; // candidates are sorted; no further pair can win
-        }
-        if engine.try_consume_pages(2) < 2 {
-            break;
-        }
+    for (&h, &c) in hot.iter().zip(cold.iter()).take(winners) {
         if mem.exchange(&[h], &[c]).is_ok() {
             swaps += 1;
         }
@@ -225,35 +245,108 @@ pub fn compete_with(
     cold.sort_unstable_by_key(|&(count, _)| count);
 
     let mut pool_used: u64 = ws.iter().map(|&w| mem.residency(w).fmem_pages).sum();
-    let mut moved = 0;
+    if engine.may_fail() {
+        // Fault-injection path: per-move budget calls, preserving the
+        // exact per-granted-page failure draws.
+        let mut moved = 0;
+        let mut ci = 0;
+        for &(hcount, hpage) in hot.iter() {
+            if hcount == 0 {
+                break; // nothing hot left to justify a move
+            }
+            if pool_used < pool_cap_pages && mem.free_pages(Tier::FMem) > 0 {
+                // Free capacity: promote unconditionally.
+                if engine.try_consume_pages(1) < 1 {
+                    break;
+                }
+                if mem.migrate(hpage, Tier::FMem).is_ok() {
+                    pool_used += 1;
+                    moved += 1;
+                }
+            } else if ci < cold.len() {
+                let (ccount, cpage) = cold[ci];
+                if (hcount as f64) <= ccount as f64 * hysteresis {
+                    break; // the hottest leftover cannot displace anything
+                }
+                if engine.try_consume_pages(2) < 2 {
+                    break;
+                }
+                if mem.exchange(&[hpage], &[cpage]).is_ok() {
+                    moved += 2;
+                }
+                ci += 1;
+            } else {
+                break;
+            }
+        }
+        return moved;
+    }
+    // Fault-free batched selection. The loop below replays the legacy
+    // control flow against *virtual* budget/occupancy state instead of
+    // paying the migration engine per move:
+    //
+    // * `pool_used` only ever grows and `free` only ever shrinks
+    //   (exchanges are FMem-neutral; a failed exchange touches nothing),
+    //   so promotions form a strict prefix of the hot list and the
+    //   promote-vs-exchange branch never flips back.
+    // * A fault-free promote with `free > 0` cannot fail, so virtual
+    //   `free`/`pool_used` track the real values exactly.
+    // * The legacy `try_consume_pages(2)` on a 1-page remainder still
+    //   consumed that page (granted = 1 < 2, then break) — the virtual
+    //   loop adds the leftover to the consume total before breaking so
+    //   the engine's budget/byte counters come out identical.
+    //
+    // One `try_consume_pages(total)` then pays for everything at once,
+    // promotions apply as a single range batch, and exchanges replay
+    // pair-by-pair in the legacy order (the Kahan-compensated popularity
+    // masses are order-sensitive at the last ULP).
+    let mut remaining = engine.remaining_tick_pages();
+    let mut free = mem.free_pages(Tier::FMem);
+    let promotes = &mut scratch.promote_buf;
+    let pairs = &mut scratch.pair_buf;
+    promotes.clear();
+    pairs.clear();
+    let mut total: u64 = 0;
     let mut ci = 0;
     for &(hcount, hpage) in hot.iter() {
         if hcount == 0 {
-            break; // nothing hot left to justify a move
+            break;
         }
-        if pool_used < pool_cap_pages && mem.free_pages(Tier::FMem) > 0 {
-            // Free capacity: promote unconditionally.
-            if engine.try_consume_pages(1) < 1 {
+        if pool_used < pool_cap_pages && free > 0 {
+            if remaining == 0 {
                 break;
             }
-            if mem.migrate(hpage, Tier::FMem).is_ok() {
-                pool_used += 1;
-                moved += 1;
-            }
+            remaining -= 1;
+            total += 1;
+            promotes.push(hpage);
+            pool_used += 1;
+            free -= 1;
         } else if ci < cold.len() {
             let (ccount, cpage) = cold[ci];
             if (hcount as f64) <= ccount as f64 * hysteresis {
-                break; // the hottest leftover cannot displace anything
-            }
-            if engine.try_consume_pages(2) < 2 {
                 break;
             }
-            if mem.exchange(&[hpage], &[cpage]).is_ok() {
-                moved += 2;
+            if remaining < 2 {
+                total += remaining;
+                break;
             }
+            remaining -= 2;
+            total += 2;
+            pairs.push((hpage, cpage));
             ci += 1;
         } else {
             break;
+        }
+    }
+    if total == 0 {
+        return 0;
+    }
+    let granted = engine.try_consume_pages(total);
+    debug_assert_eq!(granted, total);
+    let mut moved = mem.migrate_batch(promotes, Tier::FMem);
+    for &(h, c) in pairs.iter() {
+        if mem.exchange(&[h], &[c]).is_ok() {
+            moved += 2;
         }
     }
     moved
@@ -288,6 +381,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled,
+            touched: Default::default(),
             slo_violated: false,
         }
     }

@@ -525,6 +525,7 @@ impl Experiment {
             access_rate: 0.0,
             throughput: 0.0,
             sampled: vec![0; mem.region(lc_id).len()],
+            touched: Default::default(),
             slo_violated: false,
         });
         for (spec, &id) in self.bes.iter().zip(&be_ids) {
@@ -541,6 +542,7 @@ impl Experiment {
                 access_rate: 0.0,
                 throughput: 0.0,
                 sampled: vec![0; mem.region(id).len()],
+                touched: Default::default(),
                 slo_violated: false,
             });
         }
@@ -809,7 +811,11 @@ impl Experiment {
                             *s = sampler.estimate_from_samples(ev);
                         }
                     } else {
-                        sampler.sample_uniform_estimates(&mut o.sampled, per_page);
+                        sampler.sample_uniform_estimates_touched(
+                            &mut o.sampled,
+                            &mut o.touched,
+                            per_page,
+                        );
                     }
                 }
             }
@@ -851,8 +857,9 @@ impl Experiment {
                         *s = sampler.estimate_from_samples(ev);
                     }
                 } else if sample_pages {
-                    sampler.sample_weighted_estimates(
+                    sampler.sample_weighted_estimates_touched(
                         &mut o.sampled,
+                        &mut o.touched,
                         access_rate * tick_secs,
                         &be_tables[bi],
                     );
@@ -1371,6 +1378,7 @@ fn copy_obs_into(dst: &mut Vec<WorkloadObs>, src: &[WorkloadObs]) {
         d.access_rate = s.access_rate;
         d.throughput = s.throughput;
         d.sampled.clone_from(&s.sampled);
+        d.touched.clone_from(&s.touched);
         d.slo_violated = s.slo_violated;
     }
     dst.extend(src[filled..].iter().cloned());

@@ -7,7 +7,7 @@
 
 use mtat_tiermem::histogram::AccessHistogram;
 use mtat_tiermem::memory::TieredMemory;
-use mtat_tiermem::page::{PageId, Tier, WorkloadId};
+use mtat_tiermem::page::{PageId, WorkloadId};
 
 use crate::policy::WorkloadObs;
 
@@ -46,13 +46,26 @@ impl HotnessTracker {
     }
 
     /// Feeds this tick's sampled access estimates into the histograms.
+    ///
+    /// Ranks are visited through each observation's touched-set when it
+    /// carries one — ascending rank order, exactly the order (and thus
+    /// the histogram bin-insertion order) of the dense front-to-back
+    /// walk it replaces — and densely in the all-dirty fallback state.
     pub fn record_tick(&mut self, workloads: &[WorkloadObs]) {
         for obs in workloads {
             let hist = &mut self.hists[obs.id.index()];
-            let base = hist.region().base;
-            for (rank, &est) in obs.sampled.iter().enumerate() {
-                if est > 0 {
-                    hist.add(PageId(base + rank as u32), est);
+            if obs.touched.is_all() {
+                for (rank, &est) in obs.sampled.iter().enumerate() {
+                    if est > 0 {
+                        hist.add_rank(rank as u32, est);
+                    }
+                }
+            } else {
+                for rank in obs.touched.iter_ranks() {
+                    let est = obs.sampled[rank];
+                    if est > 0 {
+                        hist.add_rank(rank as u32, est);
+                    }
                 }
             }
         }
@@ -69,7 +82,7 @@ impl HotnessTracker {
     /// The hottest SMem-resident pages of workload `w` (promotion
     /// candidates per Fig. 4a).
     pub fn hottest_smem(&self, mem: &TieredMemory, w: WorkloadId, n: usize) -> Vec<PageId> {
-        self.hists[w.index()].hottest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::SMem)
+        self.hists[w.index()].hottest_matching(n, |p| !mem.is_fmem(p))
     }
 
     /// [`Self::hottest_smem`] into a caller-owned buffer (cleared first),
@@ -85,14 +98,13 @@ impl HotnessTracker {
         n: usize,
     ) {
         let n = n.min(mem.residency(w).smem_pages as usize);
-        self.hists[w.index()]
-            .hottest_matching_into(out, n, |p| mem.tier_of_unchecked(p) == Tier::SMem);
+        self.hists[w.index()].hottest_matching_into(out, n, |p| !mem.is_fmem(p));
     }
 
     /// The coldest FMem-resident pages of workload `w` (demotion
     /// candidates per Fig. 4a).
     pub fn coldest_fmem(&self, mem: &TieredMemory, w: WorkloadId, n: usize) -> Vec<PageId> {
-        self.hists[w.index()].coldest_matching(n, |p| mem.tier_of_unchecked(p) == Tier::FMem)
+        self.hists[w.index()].coldest_matching(n, |p| mem.is_fmem(p))
     }
 
     /// [`Self::coldest_fmem`] into a caller-owned buffer (cleared first),
@@ -108,8 +120,7 @@ impl HotnessTracker {
         n: usize,
     ) {
         let n = n.min(mem.residency(w).fmem_pages as usize);
-        self.hists[w.index()]
-            .coldest_matching_into(out, n, |p| mem.tier_of_unchecked(p) == Tier::FMem);
+        self.hists[w.index()].coldest_matching_into(out, n, |p| mem.is_fmem(p));
     }
 }
 
@@ -142,6 +153,7 @@ mod tests {
             access_rate: 0.0,
             throughput: 0.0,
             sampled,
+            touched: Default::default(),
             slo_violated: false,
         };
         let obs = vec![mk(a, vec![10, 0, 5, 0]), mk(b, vec![0, 100, 0, 1])];

@@ -90,29 +90,41 @@ use provenance::{EnforceOutcome, PlanProvenance, ProvenanceBook};
 use registry::Registry;
 use span::{SpanGuard, Tracer};
 
-/// Returns whether `MTAT_OBS` asks for observability: unset, empty, or
-/// `"0"` mean off, anything else means on.
+/// Returns whether `MTAT_OBS` asks for observability: unset, empty,
+/// `"0"`, `"off"`, `"false"`, or `"no"` (case-insensitive) mean off,
+/// anything else means on.
 ///
 /// Unlike `MTAT_AUDIT` (default-on under debug), the default here is
 /// **off** in every build: telemetry is pull, not push, and the perf
 /// smoke test relies on the disabled path being the ambient one.
 #[must_use]
 pub fn obs_enabled() -> bool {
-    match std::env::var("MTAT_OBS") {
-        Ok(v) => !(v.is_empty() || v == "0"),
-        Err(_) => false,
-    }
+    env_flag("MTAT_OBS")
 }
 
 /// Returns whether `MTAT_TRACE` asks for span tracing + decision
 /// provenance on top of metrics/events. Same semantics as
-/// [`obs_enabled`]: unset, empty, or `"0"` mean off. A set
+/// [`obs_enabled`]: unset, empty, `"0"`, `"off"`, `"false"`, or
+/// `"no"` mean off. A set
 /// `MTAT_TRACE` implies full observability ([`Obs::from_env`] returns
 /// a traced handle regardless of `MTAT_OBS`).
 #[must_use]
 pub fn trace_enabled() -> bool {
-    match std::env::var("MTAT_TRACE") {
-        Ok(v) => !(v.is_empty() || v == "0"),
+    env_flag("MTAT_TRACE")
+}
+
+/// Shared opt-in parse for the observability env switches: a variable
+/// is on when set to anything except an explicit negative
+/// (empty, `0`, `off`, `false`, `no`, any case).
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("no"))
+        }
         Err(_) => false,
     }
 }

@@ -50,11 +50,30 @@ pub const NUM_BINS: usize = 48;
 pub struct AccessHistogram {
     region: PageRegion,
     counts: Vec<u64>,
-    /// bin -> local ranks currently in that bin
-    bins: Vec<Vec<u32>>,
-    /// local rank -> (bin, position within bin's vec)
+    /// All bins' local ranks in one flat arena, segmented per bin
+    /// (`segs[b]` names bin b's window). Replaces the former
+    /// `Vec<Vec<u32>>`: one allocation, no per-bin pointer chase, and
+    /// the hottest/coldest scans walk (mostly) contiguous memory.
+    arena: Vec<u32>,
+    /// Per-bin (offset, live length, capacity) into `arena`.
+    segs: [BinSeg; NUM_BINS],
+    /// Arena slots leaked by segment relocations; compaction trigger.
+    garbage: u32,
+    /// local rank -> (bin, position within bin's segment)
     slots: Vec<(u8, u32)>,
     total: u64,
+}
+
+/// One bin's window into the arena. `cap - len` trailing slots are
+/// reserved so pushes are O(1) until the window fills, at which point
+/// the segment relocates to the arena's end with doubled capacity
+/// (amortized O(1) per push, like `Vec` — but all bins share one
+/// allocation).
+#[derive(Debug, Clone, Copy, Default)]
+struct BinSeg {
+    off: u32,
+    len: u32,
+    cap: u32,
 }
 
 /// Returns the bin index for an access count.
@@ -73,16 +92,29 @@ impl AccessHistogram {
     /// Creates an all-zero histogram over `region`.
     pub fn new(region: PageRegion) -> Self {
         let n = region.len();
-        let mut bins = vec![Vec::new(); NUM_BINS];
-        bins[0] = (0..n as u32).collect();
+        let mut segs = [BinSeg::default(); NUM_BINS];
+        segs[0] = BinSeg {
+            off: 0,
+            len: n as u32,
+            cap: n as u32,
+        };
         let slots = (0..n as u32).map(|r| (0u8, r)).collect();
         Self {
             region,
             counts: vec![0; n],
-            bins,
+            arena: (0..n as u32).collect(),
+            segs,
+            garbage: 0,
             slots,
             total: 0,
         }
+    }
+
+    /// Bin `b`'s live ranks, in bin-internal (history-dependent) order.
+    #[inline]
+    fn bin_slice(&self, b: usize) -> &[u32] {
+        let s = self.segs[b];
+        &self.arena[s.off as usize..(s.off + s.len) as usize]
     }
 
     /// The region this histogram covers.
@@ -114,10 +146,19 @@ impl AccessHistogram {
     ///
     /// Panics if `page` is outside this histogram's region.
     pub fn add(&mut self, page: PageId, delta: u64) {
+        let rank = self.rank(page);
+        self.add_rank(rank, delta);
+    }
+
+    /// [`Self::add`] addressed by rank directly, skipping the page-id
+    /// translation — the hot-path entry for callers (the tracker) that
+    /// already hold rank-indexed estimate buffers.
+    #[inline]
+    pub fn add_rank(&mut self, rank: u32, delta: u64) {
         if delta == 0 {
             return;
         }
-        let rank = self.rank(page) as usize;
+        let rank = rank as usize;
         let new = self.counts[rank].saturating_add(delta);
         self.total += new - self.counts[rank];
         self.counts[rank] = new;
@@ -142,16 +183,26 @@ impl AccessHistogram {
     /// Panics if `bin >= NUM_BINS`.
     #[inline]
     pub fn bin_len(&self, bin: usize) -> usize {
-        self.bins[bin].len()
+        self.segs[bin].len as usize
     }
 
     /// Ages the histogram: halves every count (integer division) and
     /// re-bins, exactly as PP-E does at each partitioning update.
+    ///
+    /// Zero-count ranks are skipped outright: halving keeps them at
+    /// zero and in bin 0, so the sweep is O(touched pages), not
+    /// O(region) — in steady state the overwhelming majority of a
+    /// workload's pages are untouched within one aging interval.
     pub fn age(&mut self) {
         self.total = 0;
         for rank in 0..self.counts.len() {
-            self.counts[rank] /= 2;
-            self.total += self.counts[rank];
+            let c = self.counts[rank];
+            if c == 0 {
+                continue;
+            }
+            let halved = c / 2;
+            self.counts[rank] = halved;
+            self.total += halved;
             self.rebin(rank as u32);
         }
     }
@@ -181,7 +232,7 @@ impl AccessHistogram {
             return;
         }
         for bin in (0..NUM_BINS).rev() {
-            for &rank in &self.bins[bin] {
+            for &rank in self.bin_slice(bin) {
                 let page = PageId(self.region.base + rank);
                 if pred(page) {
                     out.push(page);
@@ -216,7 +267,7 @@ impl AccessHistogram {
             return;
         }
         for bin in 0..NUM_BINS {
-            for &rank in &self.bins[bin] {
+            for &rank in self.bin_slice(bin) {
                 let page = PageId(self.region.base + rank);
                 if pred(page) {
                     out.push(page);
@@ -238,13 +289,14 @@ impl AccessHistogram {
         }
         let mut remaining = k;
         for bin in (0..NUM_BINS).rev() {
-            let len = self.bins[bin].len();
+            let len = self.bin_len(bin);
             if len == 0 {
                 continue;
             }
             if remaining <= len {
                 // The k-th hottest lies in this bin; find it exactly.
-                let mut cs: Vec<u64> = self.bins[bin]
+                let mut cs: Vec<u64> = self
+                    .bin_slice(bin)
                     .iter()
                     .map(|&r| self.counts[r as usize])
                     .collect();
@@ -272,34 +324,124 @@ impl AccessHistogram {
     }
 
     /// Moves `rank` to the bin its current count demands, if different.
+    ///
+    /// The move is the same swap-remove + push the `Vec<Vec>` layout
+    /// performed, applied to the arena segments — crucially preserving
+    /// the history-dependent bin-internal order, which is observable
+    /// through hottest/coldest tie-breaks and pinned by the determinism
+    /// contract.
+    #[inline]
     fn rebin(&mut self, rank: u32) {
         let (old_bin, pos) = self.slots[rank as usize];
         let new_bin = bin_for_count(self.counts[rank as usize]) as u8;
         if new_bin == old_bin {
             return;
         }
-        // Swap-remove from the old bin, fixing the displaced page's slot.
-        let old_vec = &mut self.bins[old_bin as usize];
-        let last = old_vec.len() as u32 - 1;
-        old_vec.swap_remove(pos as usize);
-        if pos != last {
-            let moved_rank = old_vec[pos as usize];
+        // Swap-remove from the old segment, fixing the displaced slot.
+        let seg = &mut self.segs[old_bin as usize];
+        seg.len -= 1;
+        let last_idx = (seg.off + seg.len) as usize;
+        if pos != seg.len {
+            let moved_rank = self.arena[last_idx];
+            self.arena[(seg.off + pos) as usize] = moved_rank;
             self.slots[moved_rank as usize].1 = pos;
         }
-        // Push into the new bin.
-        let new_vec = &mut self.bins[new_bin as usize];
-        new_vec.push(rank);
-        self.slots[rank as usize] = (new_bin, new_vec.len() as u32 - 1);
+        // Push onto the new segment's tail.
+        let seg = self.segs[new_bin as usize];
+        if seg.len == seg.cap {
+            self.grow_bin(new_bin);
+        }
+        let seg = &mut self.segs[new_bin as usize];
+        self.arena[(seg.off + seg.len) as usize] = rank;
+        self.slots[rank as usize] = (new_bin, seg.len);
+        seg.len += 1;
     }
 
-    /// Verifies internal consistency (bin membership matches counts and
-    /// slots); used by tests and property tests.
+    /// Relocates bin `b`'s segment to the arena's end with doubled
+    /// capacity; compacts the whole arena first when relocation garbage
+    /// exceeds the live population.
+    #[cold]
+    fn grow_bin(&mut self, b: u8) {
+        if self.garbage as usize > self.counts.len() + 64 {
+            self.compact();
+            if self.segs[b as usize].len < self.segs[b as usize].cap {
+                return;
+            }
+        }
+        let seg = self.segs[b as usize];
+        let new_cap = (seg.cap * 2).max(8);
+        let new_off = self.arena.len() as u32;
+        self.arena
+            .resize(new_off as usize + new_cap as usize, u32::MAX);
+        self.arena.copy_within(
+            seg.off as usize..(seg.off + seg.len) as usize,
+            new_off as usize,
+        );
+        self.garbage += seg.cap;
+        self.segs[b as usize] = BinSeg {
+            off: new_off,
+            len: seg.len,
+            cap: new_cap,
+        };
+    }
+
+    /// Rebuilds the arena tight: every segment packed in bin order with
+    /// headroom, positions within each bin unchanged (slots stay valid).
+    fn compact(&mut self) {
+        let live: usize = self.segs.iter().map(|s| s.len as usize).sum();
+        let mut arena = Vec::with_capacity(live * 2 + NUM_BINS * 8);
+        for b in 0..NUM_BINS {
+            let s = self.segs[b];
+            let off = arena.len() as u32;
+            arena.extend_from_slice(&self.arena[s.off as usize..(s.off + s.len) as usize]);
+            let cap = s.len + (s.len / 2).max(4);
+            arena.resize(off as usize + cap as usize, u32::MAX);
+            self.segs[b] = BinSeg {
+                off,
+                len: s.len,
+                cap,
+            };
+        }
+        self.arena = arena;
+        self.garbage = 0;
+    }
+
+    /// Verifies internal consistency: bin membership matches counts and
+    /// slots, and the arena segments are in-bounds, non-overlapping
+    /// windows. Used by tests and property tests.
     pub fn check_invariants(&self) -> Result<(), String> {
+        // Arena segment geometry.
+        let mut windows: Vec<(u32, u32, usize)> = self
+            .segs
+            .iter()
+            .enumerate()
+            .map(|(b, s)| (s.off, s.cap, b))
+            .collect();
+        windows.sort_unstable();
+        let mut prev_end = 0u32;
+        for &(off, cap, b) in &windows {
+            if off < prev_end {
+                return Err(format!("bin {b} segment overlaps its predecessor"));
+            }
+            if (off + cap) as usize > self.arena.len() {
+                return Err(format!("bin {b} segment exceeds arena bounds"));
+            }
+            prev_end = off + cap;
+        }
+        for (b, s) in self.segs.iter().enumerate() {
+            if s.len > s.cap {
+                return Err(format!("bin {b} len {} exceeds cap {}", s.len, s.cap));
+            }
+        }
+        // Membership, slots, and totals.
         let mut seen = vec![false; self.counts.len()];
         let mut total = 0u64;
-        for (bin, ranks) in self.bins.iter().enumerate() {
-            for (pos, &rank) in ranks.iter().enumerate() {
+        for bin in 0..NUM_BINS {
+            for (pos, &rank) in self.bin_slice(bin).iter().enumerate() {
                 let r = rank as usize;
+                if r >= self.counts.len() {
+                    return Err(format!("rank {rank} out of range in bin {bin}"));
+                }
                 if seen[r] {
                     return Err(format!("rank {rank} appears in multiple bins"));
                 }
@@ -336,30 +478,63 @@ impl AccessHistogram {
 /// order. Rebuilding bins from counts alone would produce a histogram
 /// that answers tie-broken queries differently from the original —
 /// violating bit-identical resume.
+///
+/// The wire format is the v1 *per-page* layout — bins as a
+/// `Vec<Vec<u32>>` of ranks — even though the in-memory representation
+/// is the flat arena. The codec materializes the per-bin lists on
+/// encode and rebuilds the arena on decode, so every pre-refactor
+/// checkpoint still decodes, and a decode→re-encode roundtrip stays
+/// byte-identical (arena segment capacities are free parameters the
+/// wire never sees).
 impl mtat_snapshot::Snap for AccessHistogram {
     fn snap(&self, w: &mut mtat_snapshot::SnapWriter) {
         self.region.snap(w);
         self.counts.snap(w);
-        self.bins.snap(w);
+        // v1 layout: Vec<Vec<u32>> — outer length, then each bin as
+        // length + ranks in bin-internal order.
+        (NUM_BINS as u64).snap(w);
+        for b in 0..NUM_BINS {
+            let s = self.bin_slice(b);
+            (s.len() as u64).snap(w);
+            for &rank in s {
+                rank.snap(w);
+            }
+        }
         self.slots.snap(w);
         self.total.snap(w);
     }
 
     fn unsnap(r: &mut mtat_snapshot::SnapReader<'_>) -> Result<Self, mtat_snapshot::SnapError> {
         use mtat_snapshot::SnapError;
-        let h = Self {
-            region: PageRegion::unsnap(r)?,
-            counts: Vec::unsnap(r)?,
-            bins: Vec::unsnap(r)?,
-            slots: Vec::unsnap(r)?,
-            total: u64::unsnap(r)?,
-        };
-        if h.counts.len() != h.region.len()
-            || h.slots.len() != h.region.len()
-            || h.bins.len() != NUM_BINS
-        {
+        let region = PageRegion::unsnap(r)?;
+        let counts: Vec<u64> = Vec::unsnap(r)?;
+        let bins: Vec<Vec<u32>> = Vec::unsnap(r)?;
+        let slots: Vec<(u8, u32)> = Vec::unsnap(r)?;
+        let total = u64::unsnap(r)?;
+        if counts.len() != region.len() || slots.len() != region.len() || bins.len() != NUM_BINS {
             return Err(SnapError::Malformed("histogram shape mismatch"));
         }
+        // Rebuild the flat arena from the per-page lists, preserving
+        // bin-internal order.
+        let mut segs = [BinSeg::default(); NUM_BINS];
+        let mut arena = Vec::with_capacity(region.len());
+        for (b, ranks) in bins.iter().enumerate() {
+            segs[b] = BinSeg {
+                off: arena.len() as u32,
+                len: ranks.len() as u32,
+                cap: ranks.len() as u32,
+            };
+            arena.extend_from_slice(ranks);
+        }
+        let h = Self {
+            region,
+            counts,
+            arena,
+            segs,
+            garbage: 0,
+            slots,
+            total,
+        };
         if h.check_invariants().is_err() {
             return Err(SnapError::Malformed("histogram internal inconsistency"));
         }

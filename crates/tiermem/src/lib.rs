@@ -68,7 +68,7 @@ pub use histogram::AccessHistogram;
 pub use memory::{InitialPlacement, MemorySpec, TieredMemory};
 pub use migration::MigrationEngine;
 pub use page::{PageId, Tier, WorkloadId};
-pub use sampler::AccessSampler;
+pub use sampler::{AccessSampler, TouchedSet};
 
 /// One kibibyte (2¹⁰ bytes).
 pub const KIB: u64 = 1 << 10;

@@ -161,10 +161,11 @@ impl Residency {
     }
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct PageMeta {
-    owner: WorkloadId,
-    tier: Tier,
+/// One `u64` word of residency bits per 64 pages: bit set ⇔ the page is
+/// FMem-resident. The word index and mask for page-table index `i`.
+#[inline]
+fn bit_parts(i: usize) -> (usize, u64) {
+    (i >> 6, 1u64 << (i & 63))
 }
 
 /// Incrementally maintained FMem-resident popularity mass of one
@@ -196,10 +197,24 @@ impl PopularityMass {
 ///
 /// Holds the global page table and enforces tier capacities. See the
 /// [crate-level documentation](crate) for an end-to-end example.
+///
+/// The page table is struct-of-arrays: `owners` is a dense flat array
+/// indexed by page-table index, and tier residency is a bitset
+/// (`fmem_bits`, one `u64` word per 64 pages) instead of a per-page
+/// enum. Placement predicates — the hottest/coldest candidate scans
+/// that run over every page of a workload each tick — thus cost one L1
+/// word probe per page (~11 KiB of bitset for the paper-scale 88k-page
+/// co-location) rather than a cache-missing walk over a `Vec` of
+/// per-page structs.
 #[derive(Debug, Clone)]
 pub struct TieredMemory {
     spec: MemorySpec,
-    pages: Vec<PageMeta>,
+    /// Owner of page-table index `i` (parallel flat array).
+    owners: Vec<WorkloadId>,
+    /// Residency bitset: bit `i` set ⇔ page `i` is FMem-resident.
+    fmem_bits: Vec<u64>,
+    /// Total registered pages (the bitset tail word is partial).
+    n_pages: usize,
     regions: Vec<PageRegion>,
     residency: Vec<Residency>,
     popularity: Vec<Option<PopularityMass>>,
@@ -212,7 +227,9 @@ impl TieredMemory {
     pub fn new(spec: MemorySpec) -> Self {
         Self {
             spec,
-            pages: Vec::new(),
+            owners: Vec::new(),
+            fmem_bits: Vec::new(),
+            n_pages: 0,
             regions: Vec::new(),
             residency: Vec::new(),
             popularity: Vec::new(),
@@ -236,7 +253,36 @@ impl TieredMemory {
     /// Total number of registered pages.
     #[inline]
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.n_pages
+    }
+
+    /// Raw FMem-residency bit for a page-table index. Callers must pass
+    /// an index below [`Self::page_count`]; out-of-range indices inside
+    /// the bitset's tail word read as SMem.
+    #[inline]
+    fn is_fmem_raw(&self, i: usize) -> bool {
+        let (w, m) = bit_parts(i);
+        self.fmem_bits[w] & m != 0
+    }
+
+    /// Infallible FMem-residency test: one bitset word probe. The fast
+    /// form of `tier_of_unchecked(p) == Tier::FMem` used by the per-tick
+    /// candidate scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the page id is unregistered.
+    #[inline]
+    pub fn is_fmem(&self, page: PageId) -> bool {
+        debug_assert!(page.index() < self.n_pages, "unregistered {page:?}");
+        self.is_fmem_raw(page.index())
+    }
+
+    /// The residency bitset words (bit set ⇔ FMem). The tail word's bits
+    /// at and above [`Self::page_count`] are zero.
+    #[inline]
+    pub fn fmem_bit_words(&self) -> &[u64] {
+        &self.fmem_bits
     }
 
     /// Pages currently used in a tier.
@@ -282,7 +328,7 @@ impl TieredMemory {
             });
         }
         let id = WorkloadId(self.regions.len() as u16);
-        let base = self.pages.len() as u32;
+        let base = self.n_pages as u32;
         let region = PageRegion {
             base,
             n_pages: n_pages as u32,
@@ -298,6 +344,9 @@ impl TieredMemory {
             InitialPlacement::FmemFirst => n_pages.min(self.free_pages(Tier::FMem)),
         };
         let mut res = Residency::default();
+        self.owners.resize(self.n_pages + n_pages as usize, id);
+        self.fmem_bits
+            .resize((self.n_pages + n_pages as usize).div_ceil(64), 0);
         for rank in 0..n_pages {
             // FmemFirst places the lowest ranks (hottest, by convention)
             // in FMem; AllSmem spills the highest ranks into FMem only if
@@ -307,9 +356,10 @@ impl TieredMemory {
                 InitialPlacement::AllSmem if rank >= n_pages - fmem_take => Tier::FMem,
                 _ => Tier::SMem,
             };
-            self.pages.push(PageMeta { owner: id, tier });
             match tier {
                 Tier::FMem => {
+                    let (w, m) = bit_parts(self.n_pages + rank as usize);
+                    self.fmem_bits[w] |= m;
                     self.fmem_used += 1;
                     res.fmem_pages += 1;
                 }
@@ -319,6 +369,7 @@ impl TieredMemory {
                 }
             }
         }
+        self.n_pages += n_pages as usize;
         self.regions.push(region);
         self.residency.push(res);
         self.popularity.push(None);
@@ -367,7 +418,7 @@ impl TieredMemory {
             comp: 0.0,
         };
         for (rank, page) in region.iter().enumerate() {
-            if self.pages[page.index()].tier == Tier::FMem {
+            if self.is_fmem_raw(page.index()) {
                 mass.add(mass.weights[rank]);
             }
         }
@@ -413,10 +464,14 @@ impl TieredMemory {
     /// Returns [`TierMemError::UnknownPage`] for an unregistered page id.
     #[inline]
     pub fn tier_of(&self, page: PageId) -> Result<Tier, TierMemError> {
-        self.pages
-            .get(page.index())
-            .map(|m| m.tier)
-            .ok_or(TierMemError::UnknownPage(page))
+        if page.index() >= self.n_pages {
+            return Err(TierMemError::UnknownPage(page));
+        }
+        Ok(if self.is_fmem_raw(page.index()) {
+            Tier::FMem
+        } else {
+            Tier::SMem
+        })
     }
 
     /// Returns the workload that owns a page.
@@ -426,9 +481,9 @@ impl TieredMemory {
     /// Returns [`TierMemError::UnknownPage`] for an unregistered page id.
     #[inline]
     pub fn owner_of(&self, page: PageId) -> Result<WorkloadId, TierMemError> {
-        self.pages
+        self.owners
             .get(page.index())
-            .map(|m| m.owner)
+            .copied()
             .ok_or(TierMemError::UnknownPage(page))
     }
 
@@ -440,7 +495,12 @@ impl TieredMemory {
     /// iterate over a [`PageRegion`] obtained from this same system.
     #[inline]
     pub fn tier_of_unchecked(&self, page: PageId) -> Tier {
-        self.pages[page.index()].tier
+        assert!(page.index() < self.n_pages, "unregistered {page:?}");
+        if self.is_fmem_raw(page.index()) {
+            Tier::FMem
+        } else {
+            Tier::SMem
+        }
     }
 
     /// Moves a page to `to` tier.
@@ -451,12 +511,9 @@ impl TieredMemory {
     /// * [`TierMemError::AlreadyResident`] — the page is already in `to`.
     /// * [`TierMemError::TierFull`] — no free page frames in `to`.
     pub fn migrate(&mut self, page: PageId, to: Tier) -> Result<(), TierMemError> {
-        let meta = self
-            .pages
-            .get(page.index())
-            .copied()
-            .ok_or(TierMemError::UnknownPage(page))?;
-        if meta.tier == to {
+        let i = page.index();
+        let owner = *self.owners.get(i).ok_or(TierMemError::UnknownPage(page))?;
+        if self.is_fmem_raw(i) == (to == Tier::FMem) {
             return Err(TierMemError::AlreadyResident { page, tier: to });
         }
         if self.free_pages(to) == 0 {
@@ -465,28 +522,109 @@ impl TieredMemory {
                 capacity_pages: self.spec.tier_pages(to),
             });
         }
-        self.pages[page.index()].tier = to;
-        let res = &mut self.residency[meta.owner.index()];
+        let (w, m) = bit_parts(i);
+        let res = &mut self.residency[owner.index()];
         match to {
             Tier::FMem => {
+                self.fmem_bits[w] |= m;
                 self.fmem_used += 1;
                 self.smem_used -= 1;
                 res.fmem_pages += 1;
                 res.smem_pages -= 1;
             }
             Tier::SMem => {
+                self.fmem_bits[w] &= !m;
                 self.smem_used += 1;
                 self.fmem_used -= 1;
                 res.smem_pages += 1;
                 res.fmem_pages -= 1;
             }
         }
-        if let Some(mass) = self.popularity[meta.owner.index()].as_mut() {
-            let rank = (page.0 - self.regions[meta.owner.index()].base) as usize;
-            let w = mass.weights[rank];
-            mass.add(if to == Tier::FMem { w } else { -w });
+        if let Some(mass) = self.popularity[owner.index()].as_mut() {
+            let rank = (page.0 - self.regions[owner.index()].base) as usize;
+            let wt = mass.weights[rank];
+            mass.add(if to == Tier::FMem { wt } else { -wt });
         }
         Ok(())
+    }
+
+    /// Moves every movable page of `pages` to `to`, in slice order,
+    /// stopping when the destination tier fills. Pages already resident
+    /// in `to` are skipped (they still consume their slice slot, exactly
+    /// as the per-page `migrate` loop they replace burned a granted
+    /// budget slot on the failed call). Returns the number of pages
+    /// actually moved.
+    ///
+    /// Batching model: residency bitset words and the integer occupancy
+    /// counters (`fmem_used`/`smem_used`, per-workload residency) are
+    /// accumulated over each run of slice entries sharing one owner —
+    /// contiguous ranks of one workload — and applied once per run.
+    /// Popularity mass is the one per-page cost kept deliberately
+    /// per-page *in slice order*: the Kahan-compensated sum is
+    /// order-sensitive at the last ULP, and the determinism contract
+    /// (bit-identical seeded runs vs. the per-page legacy path) pins the
+    /// legacy call order.
+    pub fn migrate_batch(&mut self, pages: &[PageId], to: Tier) -> u64 {
+        let promote = to == Tier::FMem;
+        let mut free = self.free_pages(to);
+        let mut moved_total = 0u64;
+        let Self {
+            owners,
+            fmem_bits,
+            regions,
+            residency,
+            popularity,
+            fmem_used,
+            smem_used,
+            ..
+        } = self;
+        let mut i = 0usize;
+        while i < pages.len() && free > 0 {
+            let owner = owners[pages[i].index()];
+            let o = owner.index();
+            let base = regions[o].base;
+            let mut mass = popularity[o].as_mut();
+            let mut run_moved = 0u64;
+            // Inner loop: one owner's run of candidates.
+            while i < pages.len() && free > 0 {
+                let p = pages[i];
+                let idx = p.index();
+                if owners[idx] != owner {
+                    break;
+                }
+                i += 1;
+                let (w, m) = bit_parts(idx);
+                if (fmem_bits[w] & m != 0) == promote {
+                    continue;
+                }
+                if promote {
+                    fmem_bits[w] |= m;
+                } else {
+                    fmem_bits[w] &= !m;
+                }
+                if let Some(mass) = mass.as_deref_mut() {
+                    let wt = mass.weights[(p.0 - base) as usize];
+                    mass.add(if promote { wt } else { -wt });
+                }
+                run_moved += 1;
+                free -= 1;
+            }
+            // Counters once per owner run.
+            let res = &mut residency[o];
+            if promote {
+                *fmem_used += run_moved;
+                *smem_used -= run_moved;
+                res.fmem_pages += run_moved;
+                res.smem_pages -= run_moved;
+            } else {
+                *smem_used += run_moved;
+                *fmem_used -= run_moved;
+                res.smem_pages += run_moved;
+                res.fmem_pages -= run_moved;
+            }
+            moved_total += run_moved;
+        }
+        moved_total
     }
 
     /// Performs a simultaneous bidirectional exchange: `demote` pages move
@@ -516,9 +654,10 @@ impl TieredMemory {
     /// Iterates over the pages of workload `w` resident in `tier`.
     pub fn pages_in_tier(&self, w: WorkloadId, tier: Tier) -> impl Iterator<Item = PageId> + '_ {
         let region = self.regions[w.index()];
+        let want_fmem = tier == Tier::FMem;
         region
             .iter()
-            .filter(move |&p| self.pages[p.index()].tier == tier)
+            .filter(move |&p| self.is_fmem_raw(p.index()) == want_fmem)
     }
 
     /// Bytes of workload `w` resident in FMem.
@@ -543,23 +682,32 @@ impl TieredMemory {
         let mut fmem = 0u64;
         let mut smem = 0u64;
         let mut per_w: Vec<Residency> = vec![Residency::default(); self.regions.len()];
-        for (i, m) in self.pages.iter().enumerate() {
-            let r = &mut per_w[m.owner.index()];
-            match m.tier {
-                Tier::FMem => {
-                    fmem += 1;
-                    r.fmem_pages += 1;
-                }
-                Tier::SMem => {
-                    smem += 1;
-                    r.smem_pages += 1;
-                }
+        for (i, &owner) in self.owners.iter().enumerate() {
+            let r = &mut per_w[owner.index()];
+            if self.is_fmem_raw(i) {
+                fmem += 1;
+                r.fmem_pages += 1;
+            } else {
+                smem += 1;
+                r.smem_pages += 1;
             }
-            let region = self.regions[m.owner.index()];
+            let region = self.regions[owner.index()];
             if (i as u32) < region.base || (i as u32) >= region.base + region.n_pages {
                 return Err(AuditViolation::PageOutsideRegion {
                     page_index: i,
-                    workload: m.owner,
+                    workload: owner,
+                });
+            }
+        }
+        // Bitset shape: the tail word must not carry residency bits for
+        // pages beyond the registered range.
+        if let Some(&tail) = self.fmem_bits.last() {
+            let used_bits = self.n_pages - (self.fmem_bits.len() - 1) * 64;
+            if used_bits < 64 && tail >> used_bits != 0 {
+                return Err(AuditViolation::TierCount {
+                    tier: Tier::FMem,
+                    counter: self.fmem_used,
+                    recount: fmem + (tail >> used_bits).count_ones() as u64,
                 });
             }
         }
@@ -606,7 +754,7 @@ impl TieredMemory {
             let scratch: f64 = region
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| self.pages[p.index()].tier == Tier::FMem)
+                .filter(|(_, p)| self.is_fmem_raw(p.index()))
                 .map(|(rank, _)| mass.weights[rank])
                 .sum();
             if (scratch - mass.fmem_mass).abs() > 1e-9 {
@@ -667,17 +815,14 @@ impl TieredMemory {
         let mut fmem = 0u64;
         let mut smem = 0u64;
         let mut per_w: Vec<Residency> = vec![Residency::default(); self.regions.len()];
-        for m in &self.pages {
-            let r = &mut per_w[m.owner.index()];
-            match m.tier {
-                Tier::FMem => {
-                    fmem += 1;
-                    r.fmem_pages += 1;
-                }
-                Tier::SMem => {
-                    smem += 1;
-                    r.smem_pages += 1;
-                }
+        for (i, &owner) in self.owners.iter().enumerate() {
+            let r = &mut per_w[owner.index()];
+            if self.is_fmem_raw(i) {
+                fmem += 1;
+                r.fmem_pages += 1;
+            } else {
+                smem += 1;
+                r.smem_pages += 1;
             }
         }
         if self.fmem_used != fmem {
@@ -700,7 +845,10 @@ impl TieredMemory {
             let recomputed: f64 = region
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| self.pages[p.index()].tier == Tier::FMem)
+                .filter(|(_, p)| {
+                    let (w, m) = bit_parts(p.index());
+                    self.fmem_bits[w] & m != 0
+                })
                 .map(|(rank, _)| mass.weights[rank])
                 .sum();
             // `!(x <= tol)` instead of `x > tol` so a NaN-poisoned mass

@@ -262,6 +262,21 @@ impl MigrationEngine {
         self.failed_last_call
     }
 
+    /// Whether a granted move can currently fail (fault injection armed
+    /// with a nonzero per-move failure probability). When this is
+    /// `false`, `try_consume_pages(k)` deterministically grants
+    /// `min(k, remaining)` and completes every granted page — so a
+    /// caller may replace a sequence of consume calls with one call for
+    /// the batch total and get bit-identical engine state. When `true`,
+    /// callers must keep the per-call cadence: the failure stream draws
+    /// one RNG sample per granted page *per call*, and the call
+    /// boundaries are observable through
+    /// [`MigrationEngine::failed_in_last_call`].
+    #[inline]
+    pub fn may_fail(&self) -> bool {
+        self.fault_fail_prob > 0.0 && self.fault_rng.is_some()
+    }
+
     /// Total page moves that transiently failed since construction.
     #[inline]
     pub fn failed_moves(&self) -> u64 {

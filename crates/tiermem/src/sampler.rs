@@ -107,6 +107,14 @@ impl WeightTable {
         &self.weights
     }
 
+    /// The alias-slot index the high bits of draw `r` select
+    /// (multiply-shift); stage-1 of the pipelined scatter prefetches
+    /// this slot before [`Self::event_rank`] reads it.
+    #[inline]
+    fn slot_index(&self, r: u64) -> usize {
+        (((r >> 32) * self.alias.len() as u64) >> 32) as usize
+    }
+
     /// Maps one 64-bit uniform draw to a rank, distributed proportionally
     /// to the table weights. The high 32 bits pick an alias slot by
     /// multiply-shift; the low 32 bits are the fixed-point coin deciding
@@ -115,7 +123,9 @@ impl WeightTable {
     fn event_rank(&self, r: u64) -> usize {
         let n = self.alias.len() as u64;
         let j = (((r >> 32) * n) >> 32) as usize;
-        let slot = self.alias[j];
+        debug_assert!(j < self.alias.len());
+        // SAFETY: `(x >> 32) * n >> 32 < n` for any 32-bit `x >> 32`.
+        let slot = unsafe { *self.alias.get_unchecked(j) };
         if (r as u32) < slot.thresh {
             j
         } else {
@@ -171,6 +181,139 @@ fn build_alias(weights: &[f64], total: f64) -> Vec<AliasSlot> {
         };
     }
     slots
+}
+
+/// Events per pipelined-scatter chunk: enough to cover the prefetch
+/// latency, small enough to stay register/L1-resident.
+const SCATTER_CHUNK: usize = 64;
+
+/// Best-effort cache-line prefetch — the pipelined scatter loops hide
+/// the alias-table and estimate-buffer miss latency behind the RNG
+/// work of later events. A no-op on non-x86 targets.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Dirty-rank bitset over a sampled-estimate buffer: one bit per rank,
+/// set for every rank the sampler scattered at least one event into
+/// this tick. Consumers (the hotness tracker) iterate set bits instead
+/// of walking every page, and the sampler itself zeroes only the
+/// previously-touched words instead of the whole buffer — the per-tick
+/// cost becomes O(events), not O(pages).
+///
+/// The conservative fallback is *all-dirty* ([`TouchedSet::default`]):
+/// a buffer whose touched-set provenance is unknown (legacy accounting,
+/// hand-built observations in tests) is treated as entirely dirty, so
+/// dense iteration semantics are preserved exactly.
+#[derive(Debug)]
+pub struct TouchedSet {
+    words: Vec<u64>,
+    all: bool,
+}
+
+impl Clone for TouchedSet {
+    fn clone(&self) -> Self {
+        Self {
+            words: self.words.clone(),
+            all: self.all,
+        }
+    }
+
+    /// Reuses the destination's word buffer — the staleness-view copy
+    /// runs every tick and must not allocate.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.all = source.all;
+    }
+}
+
+impl Default for TouchedSet {
+    /// All-dirty: every rank is considered touched until a batched
+    /// sampler pass takes ownership of the buffer.
+    fn default() -> Self {
+        Self {
+            words: Vec::new(),
+            all: true,
+        }
+    }
+}
+
+impl TouchedSet {
+    /// Whether the set is in the dense all-dirty fallback state.
+    #[inline]
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// Forces the dense all-dirty fallback (used by code paths that
+    /// write estimate buffers without tracking ranks).
+    #[inline]
+    pub fn set_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Marks rank `i` touched. The set must have been sized by
+    /// [`TouchedSet::reset`] first.
+    #[inline]
+    fn set(&mut self, i: usize) {
+        debug_assert!(i >> 6 < self.words.len());
+        // SAFETY: `reset` sized `words` to cover every rank of the
+        // buffer, and callers only pass in-buffer ranks (the scatter
+        // loops draw them from `gen_range(0..n)` / the alias table).
+        unsafe {
+            *self.words.get_unchecked_mut(i >> 6) |= 1u64 << (i & 63);
+        }
+    }
+
+    /// Zeroes exactly the buffer entries recorded as touched (or the
+    /// whole buffer in the all-dirty state), then resets the set to
+    /// empty, sized for `out.len()` ranks. Restores the all-zero buffer
+    /// invariant in O(touched) instead of O(pages).
+    fn reset(&mut self, out: &mut [u64]) {
+        let n_words = out.len().div_ceil(64);
+        if self.all || self.words.len() != n_words {
+            out.fill(0);
+            self.words.clear();
+            self.words.resize(n_words, 0);
+            self.all = false;
+            return;
+        }
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let mut bits = *w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out[(wi << 6) | b] = 0;
+                bits &= bits - 1;
+            }
+            *w = 0;
+        }
+    }
+
+    /// Iterates touched ranks in ascending order — the same order a
+    /// dense front-to-back walk would visit them, so consumers keyed on
+    /// visit order (histogram bin insertion) behave identically. Must
+    /// not be called in the all-dirty state.
+    pub fn iter_ranks(&self) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(!self.all, "dense fallback has no rank list");
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some((wi << 6) | b)
+            })
+        })
+    }
 }
 
 /// Thins true access counts down to sampled-event counts.
@@ -380,6 +523,142 @@ impl AccessSampler {
     fn scale_events_to_estimates(&self, out: &mut [u64]) {
         for v in out.iter_mut() {
             *v = (*v as f64 * self.period).round() as u64;
+        }
+    }
+
+    /// [`Self::sample_uniform_estimates`] with touched-rank tracking:
+    /// `touched` records exactly the ranks that received events, the
+    /// buffer is cleared through the set (O(events from last tick), not
+    /// O(pages)), and only touched entries are period-scaled. The RNG
+    /// stream and the resulting estimates are bit-identical to the
+    /// untracked path.
+    pub fn sample_uniform_estimates_touched(
+        &mut self,
+        out: &mut [u64],
+        touched: &mut TouchedSet,
+        per_page_true: f64,
+    ) {
+        let _span = self.obs.span_here("sample");
+        touched.reset(out);
+        let n = out.len();
+        if self.fault_blackout || n == 0 {
+            if self.fault_blackout {
+                self.obs.count("tiermem.sampler.blackout_batches", 1);
+            }
+            return;
+        }
+        let mean_total = per_page_true.max(0.0) * n as f64 / self.period * self.fault_keep;
+        let events = poisson(&mut self.rng, mean_total);
+        // Pipelined scatter: draw a chunk of ranks (prefetching each
+        // destination), then apply the increments. The RNG call order
+        // and the resulting counts are identical to the one-at-a-time
+        // loop — increments within a chunk commute.
+        let mut ranks = [0usize; SCATTER_CHUNK];
+        let mut left = events as usize;
+        while left > 0 {
+            let k = left.min(SCATTER_CHUNK);
+            for slot in ranks.iter_mut().take(k) {
+                let r = self.rng.gen_range(0..n);
+                prefetch(&out[r]);
+                *slot = r;
+            }
+            for &r in ranks.iter().take(k) {
+                debug_assert!(r < out.len());
+                // SAFETY: `gen_range(0..n)` with `n == out.len()`.
+                unsafe {
+                    *out.get_unchecked_mut(r) += 1;
+                }
+                touched.set(r);
+            }
+            left -= k;
+        }
+        self.obs.count("tiermem.sampler.batches", 1);
+        self.obs.count("tiermem.sampler.events", events);
+        self.scale_touched(out, touched);
+    }
+
+    /// [`Self::sample_weighted_estimates`] with touched-rank tracking
+    /// (see [`Self::sample_uniform_estimates_touched`]). Bit-identical
+    /// output and RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != table.len()`.
+    pub fn sample_weighted_estimates_touched(
+        &mut self,
+        out: &mut [u64],
+        touched: &mut TouchedSet,
+        total_true: f64,
+        table: &WeightTable,
+    ) {
+        let _span = self.obs.span_here("sample");
+        assert_eq!(
+            out.len(),
+            table.len(),
+            "output slice must cover every table rank"
+        );
+        touched.reset(out);
+        if self.fault_blackout || out.is_empty() {
+            if self.fault_blackout {
+                self.obs.count("tiermem.sampler.blackout_batches", 1);
+            }
+            return;
+        }
+        let c = total_true.max(0.0) / self.period * self.fault_keep;
+        if c <= 0.0 || table.total() <= 0.0 {
+            return;
+        }
+        let events = poisson(&mut self.rng, table.total() * c);
+        // Three-stage pipelined scatter: (1) draw a chunk and prefetch
+        // each draw's alias slot, (2) resolve ranks and prefetch each
+        // destination, (3) apply the increments. The RNG stream and the
+        // resulting counts are identical to the one-at-a-time loop —
+        // rank resolution is pure and increments within a chunk
+        // commute.
+        let mut draws = [0u64; SCATTER_CHUNK];
+        let mut ranks = [0usize; SCATTER_CHUNK];
+        let mut left = events as usize;
+        while left > 0 {
+            let k = left.min(SCATTER_CHUNK);
+            for slot in draws.iter_mut().take(k) {
+                let r = self.rng.next_u64();
+                prefetch(&table.alias[table.slot_index(r)]);
+                *slot = r;
+            }
+            for i in 0..k {
+                let rank = table.event_rank(draws[i]);
+                prefetch(&out[rank]);
+                ranks[i] = rank;
+            }
+            for &rank in ranks.iter().take(k) {
+                debug_assert!(rank < out.len());
+                // SAFETY: `event_rank` returns a rank below
+                // `table.len()`, which the entry assert pinned to
+                // `out.len()`.
+                unsafe {
+                    *out.get_unchecked_mut(rank) += 1;
+                }
+                touched.set(rank);
+            }
+            left -= k;
+        }
+        self.obs.count("tiermem.sampler.batches", 1);
+        self.obs.count("tiermem.sampler.events", events);
+        self.scale_touched(out, touched);
+    }
+
+    /// Period-scales exactly the touched entries (all nonzero entries
+    /// are touched by construction, so untouched entries scale to
+    /// themselves and can be skipped).
+    fn scale_touched(&self, out: &mut [u64], touched: &TouchedSet) {
+        for r in touched.iter_ranks() {
+            debug_assert!(r < out.len());
+            // SAFETY: the set only holds ranks the scatter loop wrote,
+            // all below `out.len()`.
+            unsafe {
+                let v = out.get_unchecked_mut(r);
+                *v = (*v as f64 * self.period).round() as u64;
+            }
         }
     }
 }

@@ -309,3 +309,121 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The rank→(bin,slot) arena index survives arbitrary `add_rank` /
+    /// `age` interleavings: per-rank counts match a naive model vector,
+    /// the internal index cross-check passes after every operation, and
+    /// the final total equals the model sum. This pins the SoA
+    /// histogram's swap-remove/segment-push bookkeeping (including the
+    /// aging fast path that skips zero-count ranks) against the obvious
+    /// reference implementation.
+    #[test]
+    fn histogram_index_consistent_under_arbitrary_ops(
+        n in 4u32..96,
+        ops in prop::collection::vec((0u32..96, 0u64..1_000_000, 0u8..8), 1..200),
+    ) {
+        let region = PageRegion { base: 7, n_pages: n };
+        let mut h = AccessHistogram::new(region);
+        let mut model = vec![0u64; n as usize];
+        for &(r, delta, kind) in &ops {
+            if kind == 0 {
+                h.age();
+                for c in model.iter_mut() {
+                    *c /= 2;
+                }
+            } else {
+                let rank = r % n;
+                h.add_rank(rank, delta);
+                model[rank as usize] = model[rank as usize].saturating_add(delta);
+            }
+            prop_assert!(h.check_invariants().is_ok(), "{:?}", h.check_invariants());
+        }
+        let mut total = 0u64;
+        for (rank, &c) in model.iter().enumerate() {
+            prop_assert_eq!(h.count(region.page(rank as u32)), c);
+            total += c;
+        }
+        prop_assert_eq!(h.total(), total);
+        // Bin dominance of the hottest scan: every selected page's bin
+        // is at least every unselected page's bin (selection is
+        // bin-granular by construction).
+        let k = (n / 3).max(1) as usize;
+        let sel = h.hottest_matching(k, |_| true);
+        let min_sel = sel.iter().map(|&p| h.bin_of(p)).min().unwrap_or(0);
+        for rank in 0..n {
+            let p = region.page(rank);
+            if !sel.contains(&p) {
+                prop_assert!(h.bin_of(p) <= min_sel);
+            }
+        }
+    }
+
+    /// The FMem residency bitset answers `is_fmem` identically to the
+    /// authoritative tier array after arbitrary batched-migrate /
+    /// exchange sequences driven through a (possibly flaky) migration
+    /// engine, per-workload residency counters match a per-page
+    /// recount, and the bitset-predicate hottest/coldest scans return
+    /// exactly what naive tier-filtered scans return.
+    #[test]
+    fn residency_bitset_consistent_under_arbitrary_ops(
+        seed in 0u64..1_000,
+        prob in 0.0f64..0.9,
+        ops in prop::collection::vec((0u8..3, 0u32..24, 1u32..8), 1..60),
+    ) {
+        let spec = MemorySpec::new(8 * MIB, 64 * MIB, MIB).unwrap();
+        let mut mem = TieredMemory::new(spec);
+        let a = mem.register_workload(12 * MIB, InitialPlacement::FmemFirst).unwrap();
+        let b = mem.register_workload(24 * MIB, InitialPlacement::AllSmem).unwrap();
+        // A histogram over `b`'s region drives the predicate scans.
+        let mut h = AccessHistogram::new(mem.region(b));
+        for r in 0..24 {
+            h.add_rank(r, (r as u64 + 1) * 3);
+        }
+        let mut e = MigrationEngine::new(64.0 * MIB as f64, MIB, 10.0).unwrap();
+        e.set_fault_seed(seed);
+        for (i, &(kind, start, len)) in ops.iter().enumerate() {
+            e.set_tick_faults(1.0, prob);
+            e.begin_tick(1.0);
+            match kind {
+                0 | 1 => {
+                    let w = if kind == 0 { a } else { b };
+                    let region = mem.region(w);
+                    let s = start % region.n_pages;
+                    let l = len.min(region.n_pages - s);
+                    let pages: Vec<PageId> = (s..s + l).map(|r| region.page(r)).collect();
+                    let to = if i % 2 == 0 { Tier::FMem } else { Tier::SMem };
+                    let granted = e.try_consume_pages(pages.len() as u64) as usize;
+                    mem.migrate_batch(&pages[..granted], to);
+                }
+                _ => {
+                    let pa = mem.region(a).page(start % 12);
+                    let pb = mem.region(b).page(start % 24);
+                    let (fa, fb) = (mem.is_fmem(pa), mem.is_fmem(pb));
+                    if fa && !fb {
+                        let _ = mem.exchange(&[pb], &[pa]);
+                    } else if fb && !fa {
+                        let _ = mem.exchange(&[pa], &[pb]);
+                    }
+                }
+            }
+            for w in [a, b] {
+                let region = mem.region(w);
+                let mut fmem = 0u64;
+                for r in 0..region.n_pages {
+                    let p = region.page(r);
+                    prop_assert_eq!(mem.is_fmem(p), mem.tier_of_unchecked(p) == Tier::FMem);
+                    fmem += u64::from(mem.is_fmem(p));
+                }
+                prop_assert_eq!(mem.residency(w).fmem_pages, fmem);
+            }
+            prop_assert!(mem.check_invariants().is_ok());
+            let hot_bitset = h.hottest_matching(6, |p| !mem.is_fmem(p));
+            let hot_naive = h.hottest_matching(6, |p| mem.tier_of_unchecked(p) == Tier::SMem);
+            prop_assert_eq!(hot_bitset, hot_naive);
+            let cold_bitset = h.coldest_matching(6, |p| mem.is_fmem(p));
+            let cold_naive = h.coldest_matching(6, |p| mem.tier_of_unchecked(p) == Tier::FMem);
+            prop_assert_eq!(cold_bitset, cold_naive);
+        }
+    }
+}
