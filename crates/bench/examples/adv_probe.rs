@@ -1,0 +1,113 @@
+//! Diagnostic probe for the adversarial matrix cells: runs one
+//! (scenario, arm) cell with the hardened and naive MTAT policies and
+//! dumps a per-tick TSV of the guard state next to the physics, plus
+//! the end-of-run guard counters — the data needed to tune the
+//! hardening thresholds honestly instead of by folklore.
+//!
+//! Usage: `adv_probe <scenario> [faulted]`
+
+use mtat_core::config::SimConfig;
+use mtat_core::policy::mtat::{MtatConfig, MtatPolicy};
+use mtat_core::policy::{Policy, SimState, WorkloadClass, WorkloadObs};
+use mtat_core::runner::Experiment;
+use mtat_tiermem::memory::{InitialPlacement, TieredMemory};
+use mtat_workloads::be::BeSpec;
+use mtat_workloads::lc::LcSpec;
+use mtat_workloads::load::LoadPattern;
+use mtat_workloads::scenario::{adversarial_fault_plan, adversarial_scenarios};
+
+/// Wraps an MTAT policy and snapshots the guard state every tick.
+struct Probe {
+    inner: MtatPolicy,
+    log: Vec<(f64, f64, bool, u32)>,
+}
+
+impl Policy for Probe {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn init(&mut self, mem: &TieredMemory, workloads: &[WorkloadObs]) {
+        self.inner.init(mem, workloads);
+    }
+    fn on_tick(&mut self, sim: &mut SimState<'_>) {
+        self.inner.on_tick(sim);
+        if let Some(h) = self.inner.hardening_state() {
+            self.log.push((
+                sim.now_secs,
+                h.thrash_signal(),
+                h.quarantined(),
+                h.throttle_shift(),
+            ));
+        }
+    }
+    fn initial_placement(&self, class: WorkloadClass) -> InitialPlacement {
+        self.inner.initial_placement(class)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario = args.get(1).map_or("thrash_rotate", String::as_str);
+    let faulted = args.iter().any(|a| a == "faulted");
+
+    let cfg = SimConfig::paper().with_constrained_bandwidth();
+    let lc = LcSpec::redis();
+    let bes = BeSpec::all_paper_workloads();
+    let load = LoadPattern::Steps(vec![(100.0, 0.45), (60.0, 0.9), (80.0, 0.45)]);
+    let spec = adversarial_scenarios()
+        .into_iter()
+        .find(|s| s.name == scenario)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario}"));
+
+    let mk_exp = || {
+        let mut e = Experiment::new(cfg.clone(), lc.clone(), load.clone(), bes.clone())
+            .with_duration(240.0)
+            .with_scenario(spec.clone());
+        if faulted {
+            e = e.with_fault_plan(adversarial_fault_plan());
+        }
+        e
+    };
+
+    let exp = mk_exp();
+    let mut hardened = Probe {
+        inner: MtatPolicy::new(MtatConfig::full().hardened(), &cfg, &lc, &bes),
+        log: Vec::new(),
+    };
+    let rh = exp.run(&mut hardened);
+    let stats = hardened
+        .inner
+        .hardening_state()
+        .map(|h| h.stats())
+        .unwrap_or_default();
+
+    let exp = mk_exp();
+    let mut naive = MtatPolicy::new(MtatConfig::full().supervised(), &cfg, &lc, &bes);
+    let rn = exp.run(&mut naive);
+
+    println!(
+        "# t\tsignal\tquar\tthrottle\tmig_bw_h\tmig_bw_n\tp99_h\tp99_n\tbe_h\tbe_n\tfmem_h\tfmem_n"
+    );
+    for (((t, sig, q, ts), th), tn) in hardened.log.iter().zip(&rh.ticks).zip(&rn.ticks) {
+        println!(
+            "{t:.0}\t{sig:.3}\t{}\t{ts}\t{:.1}\t{:.1}\t{:.4}\t{:.4}\t{:.0}\t{:.0}\t{}\t{}",
+            u8::from(*q),
+            th.migration_bw / 1e6,
+            tn.migration_bw / 1e6,
+            th.lc_p99 * 1e3,
+            tn.lc_p99 * 1e3,
+            th.be_throughput.iter().sum::<f64>(),
+            tn.be_throughput.iter().sum::<f64>(),
+            th.fmem_bytes.first().copied().unwrap_or(0) >> 20,
+            tn.fmem_bytes.first().copied().unwrap_or(0) >> 20,
+        );
+    }
+    eprintln!(
+        "# {scenario}{}: hardened vr {:.4} be {:.1} | naive vr {:.4} be {:.1} | guard stats {stats:?}",
+        if faulted { "/faulted" } else { "" },
+        rh.violation_rate_after(20.0),
+        rh.be_total_throughput(),
+        rn.violation_rate_after(20.0),
+        rn.be_total_throughput(),
+    );
+}

@@ -1,5 +1,5 @@
 //! Chaos matrix — robustness of the MTAT control loop under injected
-//! substrate faults.
+//! substrate faults and adversarial workload dynamics.
 //!
 //! Runs a policy × fault-scenario matrix (sampler blackout, migration
 //! stall, telemetry staleness, flaky migrations, bandwidth contention)
@@ -15,8 +15,18 @@
 //!   supervisor's transition log, and the time from fault clearance to
 //!   re-promotion of the RL sizer.
 //!
-//! Every run is deterministic: the simulation seed and the fault plan's
-//! seed fix the entire trajectory. Output is a JSON document on stdout.
+//! A second matrix crosses policies (hardened MTAT, naive MTAT, and the
+//! rival baselines) with the adversarial workload scenarios from
+//! `mtat_workloads::scenario` (hot-set thrash, zipf phase shifts,
+//! working-set blowups, leak drift, antagonist bursts, flash crowds),
+//! each in a nominal and a substrate-faulted arm, and asserts that the
+//! hardened arm beats the naive arm and every rival on BE throughput at
+//! equal SLO compliance in the thrash and blowup cells.
+//!
+//! Every run is deterministic: the simulation seed, the scenario seed,
+//! and the fault plan's seed fix the entire trajectory. Output is a
+//! JSON document on stdout. `--quick` runs only the adversarial
+//! assertion cells (the PR-gate mode).
 
 use std::panic::{self, AssertUnwindSafe};
 
@@ -27,98 +37,28 @@ use mtat_core::stats::RunResult;
 use mtat_core::HealthConfig;
 use mtat_obs::export::{json_f64, json_opt_f64};
 use mtat_obs::{obs_enabled, trace_enabled, Obs};
-use mtat_tiermem::faults::{FaultKind, FaultPlan};
+use mtat_tiermem::faults::FaultPlan;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
+use mtat_workloads::scenario::{
+    adversarial_fault_plan, adversarial_scenarios, chaos_fault_scenarios, heal_fault_scenarios,
+    ScenarioSpec, FAULT_START_SECS, FAULT_WINDOW_SECS,
+};
 
 /// Simulation-time shape shared by every scenario: the fault arrives
 /// during a calm phase (where a blinded sizer can silently mis-size the
 /// partition) and persists through the onset of a load surge — the
-/// moment the control loop matters most.
-const FAULT_START: f64 = 40.0;
-const FAULT_SECS: f64 = 95.0;
+/// moment the control loop matters most. The timings live in the shared
+/// scenario registry; these aliases keep the report code readable.
+const FAULT_START: f64 = FAULT_START_SECS;
+const FAULT_SECS: f64 = FAULT_WINDOW_SECS;
 const DURATION: f64 = 240.0;
 
 const POLICIES: [&str; 2] = ["mtat_full", "mtat_full_supervised"];
 
 fn scenarios() -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        (
-            "sampler_blackout",
-            FaultPlan::new(0xB1ACC).with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
-        ),
-        (
-            // A cascading memory-subsystem brown-out: the PEBS sampler
-            // goes dark first, and 50 s later the migration path wedges
-            // too (stalled until the whole fault clears). Whatever
-            // provisioning the control loop managed in between is frozen
-            // in place for the surge.
-            "migration_stall",
-            FaultPlan::new(0x57A11)
-                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS)
-                .with(
-                    FaultKind::MigrationStall,
-                    FAULT_START + 50.0,
-                    FAULT_SECS - 50.0,
-                ),
-        ),
-        (
-            "telemetry_stale",
-            FaultPlan::new(0x57A1E)
-                .with(
-                    FaultKind::TelemetryStale { ticks: 5 },
-                    FAULT_START,
-                    FAULT_SECS,
-                )
-                .with(
-                    FaultKind::TelemetryNoise { amplitude: 0.35 },
-                    FAULT_START,
-                    FAULT_SECS,
-                ),
-        ),
-        (
-            "flaky_migration",
-            FaultPlan::new(0xF1A2)
-                .with(
-                    FaultKind::MigrationFlaky { prob: 0.6 },
-                    FAULT_START,
-                    FAULT_SECS,
-                )
-                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
-        ),
-        (
-            "bandwidth_spike",
-            FaultPlan::new(0xB0057)
-                .with(
-                    FaultKind::BandwidthSpike { extra: 0.4 },
-                    FAULT_START,
-                    FAULT_SECS,
-                )
-                .with(FaultKind::SamplerBlackout, FAULT_START, FAULT_SECS),
-        ),
-        (
-            // The PP-M daemon itself dies mid-run and stays down through
-            // the surge. PP-E keeps enforcing the last plan; the restarted
-            // daemon either resumes from its checkpoint (supervised arm)
-            // or comes back cold with an untrained sizer (unsupervised).
-            "ppm_crash",
-            FaultPlan::new(0xDEAD1).with(FaultKind::PpmCrash, FAULT_START, FAULT_SECS),
-        ),
-        (
-            // Crash-loop: three consecutive daemon deaths with short
-            // recovery gaps, the last one clearing at the usual fault_end.
-            // The first freeze spans the surge onset and the gaps fall
-            // inside the surge, so every restart drops the daemon into
-            // the worst moment and repeats the checkpoint-vs-cold
-            // divergence under pressure.
-            "ppm_crash_loop",
-            FaultPlan::new(0xDEAD3)
-                .with(FaultKind::PpmCrash, 85.0, 15.0)
-                .with(FaultKind::PpmCrash, 105.0, 15.0)
-                .with(FaultKind::PpmCrash, 125.0, 10.0),
-        ),
-    ]
+    chaos_fault_scenarios()
 }
 
 /// Self-healing scenarios: the fault strikes late in the surge plateau
@@ -128,24 +68,27 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
 const HEAL_POLICY: &str = "mtat_full_supervised";
 
 fn heal_scenarios() -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        (
-            // The learned controller's actor network is poisoned with
-            // NaN mid-surge — detection, rollback to the last known-good
-            // checkpoint, and re-entry all happen under pressure.
-            "ppm_poison",
-            FaultPlan::new(0x9015).with(FaultKind::SacPoison, 130.0, 2.0),
-        ),
-        (
-            // The worst correlated failure: sampler thinning, migration
-            // throttle + flakiness, telemetry noise, a bandwidth spike,
-            // and (at this intensity) an actor poisoning at the rising
-            // edge, sustained from late surge into the recovery phase.
-            "fault_storm",
-            FaultPlan::new(0x5702).with(FaultKind::FaultStorm { intensity: 0.95 }, 125.0, 40.0),
-        ),
-    ]
+    heal_fault_scenarios()
 }
+
+/// The adversarial matrix's policy axis: the hardened arm first (the
+/// assertions index it), then its naive ablation (same supervisor, no
+/// guards), then the rival baselines.
+const ADV_POLICIES: [&str; 5] = [
+    "mtat_full_hardened",
+    "mtat_full_supervised",
+    "memtis",
+    "tpp",
+    "fmem_all",
+];
+
+/// Scenarios whose cells carry the hardened-vs-naive win assertions.
+const ADV_ASSERT_SCENARIOS: [&str; 2] = ["thrash_rotate", "ws_blowup"];
+
+/// "Equal SLO compliance" tolerance for the win assertions: the
+/// hardened arm's violation rate may exceed a rival's by at most this
+/// much while still claiming the BE-throughput win.
+const ADV_VR_TOL: f64 = 0.02;
 
 fn heal_arms() -> Vec<(&'static str, HealthConfig)> {
     vec![
@@ -305,6 +248,160 @@ fn emit_metrics(tele: &Obs, runs: &[RunResult], path: Option<&str>) {
     }
 }
 
+/// Runs the adversarial policy × scenario × {nominal, faulted} matrix,
+/// prints its JSON section (the value of the `"adversarial"` key —
+/// caller prints the key), verifies the hardened-vs-naive win
+/// assertions in the thrash and blowup cells, and returns every run
+/// for the metrics cross-check. `quick` restricts the scenario axis to
+/// the assertion cells (the PR-gate mode).
+#[allow(clippy::too_many_lines)]
+fn run_adversarial(
+    quick: bool,
+    tele: &Obs,
+    cfg: &SimConfig,
+    lc: &LcSpec,
+    bes: &[BeSpec],
+    base: &Experiment,
+) -> Vec<RunResult> {
+    // The adversarial matrix runs in the §7 bandwidth-constrained regime
+    // (25.6 GB/s FMem, 12 GB/s SMem) instead of the paper-scale one. At
+    // paper-scale capacities contention is negligible, so the sustained
+    // ~1.3 GB/s of futile hot-set chasing these scenarios provoke is
+    // essentially free and the thrash guard has nothing real to save;
+    // under the constrained model migration traffic competes with demand
+    // traffic for the same channels, which is exactly the waste the
+    // hardening exists to prevent. The knee reference (`lc_max_ref`)
+    // depends only on capacity and burstiness, so reusing the base
+    // experiment with a swapped bandwidth model changes nothing else.
+    let cfg = cfg.clone().with_constrained_bandwidth();
+    let base = {
+        let mut b = base.clone();
+        b.cfg = cfg.clone();
+        b
+    };
+    let scs: Vec<ScenarioSpec> = adversarial_scenarios()
+        .into_iter()
+        .filter(|s| !quick || ADV_ASSERT_SCENARIOS.contains(&s.name))
+        .collect();
+    const ARMS: [&str; 2] = ["nominal", "faulted"];
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for si in 0..scs.len() {
+        for (ai, _) in ARMS.iter().enumerate() {
+            for pi in 0..ADV_POLICIES.len() {
+                cells.push((si, ai, pi));
+            }
+        }
+    }
+    let runs = unwrap_cells(harness::run_matrix(
+        &cells,
+        harness::worker_count(cells.len()),
+        |_, &(si, ai, pi)| {
+            let label = format!("{}/{}/{}", ADV_POLICIES[pi], scs[si].name, ARMS[ai]);
+            let res = panic::catch_unwind(AssertUnwindSafe(|| {
+                let _cell = tele.span_labeled(0.0, "cell", &label);
+                let mut exp = base.clone().with_scenario(scs[si].clone());
+                if ARMS[ai] == "faulted" {
+                    exp = exp.with_fault_plan(adversarial_fault_plan());
+                }
+                let mut p = make_policy(ADV_POLICIES[pi], &cfg, lc, bes);
+                exp.with_obs(tele.clone()).run(p.as_mut())
+            }))
+            .map_err(panic_message);
+            (label, res)
+        },
+    ));
+    let cell = |si: usize, ai: usize, pi: usize| {
+        &runs[si * ARMS.len() * ADV_POLICIES.len() + ai * ADV_POLICIES.len() + pi]
+    };
+
+    println!("[");
+    let mut failures: Vec<String> = Vec::new();
+    for (si, spec) in scs.iter().enumerate() {
+        println!("    {{");
+        println!("      \"name\": \"{}\",", spec.name);
+        println!("      \"arms\": [");
+        for (ai, arm) in ARMS.iter().enumerate() {
+            println!("        {{");
+            println!("          \"arm\": \"{arm}\",");
+            println!("          \"runs\": [");
+            let mut stats = Vec::new();
+            for (pi, name) in ADV_POLICIES.iter().enumerate() {
+                let r = cell(si, ai, pi);
+                let vr = r.violation_rate_after(20.0);
+                let be = r.be_total_throughput();
+                stats.push((vr, be));
+                println!("            {{");
+                println!("              \"policy\": \"{name}\",");
+                println!("              \"violation_rate\": {},", json_f64(vr));
+                println!("              \"be_total_throughput\": {},", json_f64(be));
+                println!(
+                    "              \"degraded_tick_fraction\": {}",
+                    json_f64(r.degraded_tick_fraction(0.0))
+                );
+                let comma = if pi + 1 < ADV_POLICIES.len() { "," } else { "" };
+                println!("            }}{comma}");
+            }
+            // The win predicate follows the paper's objective — maximize
+            // BE throughput *subject to* the LC SLO. Hardening must not
+            // buy its throughput by busting the SLO (the hardened arm,
+            // index 0, stays within ADV_VR_TOL of its naive ablation,
+            // index 1), and it must retain at least as much BE
+            // throughput as every policy inside the same compliance
+            // band. A rival whose violation rate exceeds the hardened
+            // arm's by more than the tolerance forfeited the SLO
+            // constraint and is excluded from the throughput comparison
+            // (MEMTIS-style policies post high BE numbers at 40 %+
+            // violation rates). Asserted only in the thrash/blowup
+            // cells; reported everywhere.
+            let (vr_h, be_h) = stats[0];
+            let wins = vr_h <= stats[1].0 + ADV_VR_TOL
+                && stats[1..]
+                    .iter()
+                    .all(|&(vr, be)| vr > vr_h + ADV_VR_TOL || be_h >= be);
+            println!("          ],");
+            println!("          \"hardened_wins\": {wins}");
+            if ADV_ASSERT_SCENARIOS.contains(&spec.name) && !wins {
+                failures.push(format!(
+                    "{}/{arm}: hardened (vr {vr_h:.4}, be {be_h:.1}) vs {:?}",
+                    spec.name,
+                    ADV_POLICIES[1..]
+                        .iter()
+                        .zip(&stats[1..])
+                        .collect::<Vec<_>>()
+                ));
+            }
+            let comma = if ai + 1 < ARMS.len() { "," } else { "" };
+            println!("        }}{comma}");
+        }
+        println!("      ]");
+        let comma = if si + 1 < scs.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+
+    eprintln!("# adversarial scenario\tarm\tpolicy\tviolation_rate\tbe_throughput");
+    for (si, spec) in scs.iter().enumerate() {
+        for (ai, arm) in ARMS.iter().enumerate() {
+            for (pi, name) in ADV_POLICIES.iter().enumerate() {
+                let r = cell(si, ai, pi);
+                eprintln!(
+                    "# {}\t{arm}\t{name}\t{:.4}\t{:.1}",
+                    spec.name,
+                    r.violation_rate_after(20.0),
+                    r.be_total_throughput()
+                );
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "hardened MTAT must beat naive MTAT and every rival on BE throughput at \
+         equal SLO compliance in the thrash/blowup cells:\n{}",
+        failures.join("\n")
+    );
+    runs
+}
+
 /// Writes the span-trace document (spans + decision provenance) to
 /// `path`. No-op unless the handle traces and a path was given.
 fn emit_trace(tele: &Obs, path: Option<&str>) {
@@ -324,7 +421,10 @@ fn main() {
     // `--trace-out PATH` records phase spans + decision provenance for
     // every cell and writes the `mtat-trace` document there (also
     // enabled by `MTAT_TRACE=on`, which prints nothing without a path).
+    // `--quick` runs only the adversarial assertion cells (thrash and
+    // blowup scenarios, both arms, all policies) — the PR-gate mode.
     let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let trace = args
         .iter()
         .position(|a| a == "--trace")
@@ -363,6 +463,17 @@ fn main() {
     let fault_end = FAULT_START + FAULT_SECS;
 
     let base = Experiment::new(cfg.clone(), lc.clone(), load, bes.clone()).with_duration(DURATION);
+
+    if quick {
+        println!("{{");
+        println!("  \"lc\": \"{}\",", lc.name);
+        print!("  \"adversarial\": ");
+        let runs = run_adversarial(true, &tele, &cfg, &lc, &bes, &base);
+        println!("}}");
+        emit_metrics(&tele, &runs, metrics_out.as_deref());
+        emit_trace(&tele, trace_out.as_deref());
+        return;
+    }
 
     if let Some(scenario) = trace {
         let plan = scenarios()
@@ -589,10 +700,19 @@ fn main() {
         let comma = if si + 1 < heal_scs.len() { "," } else { "" };
         println!("    }}{comma}");
     }
-    println!("  ]");
+    println!("  ],");
+
+    // ---- Adversarial workload dynamics: hardened vs naive vs rivals ----
+    print!("  \"adversarial\": ");
+    let adv_runs = run_adversarial(false, &tele, &cfg, &lc, &bes, &base);
     println!("}}");
 
-    let all_runs: Vec<RunResult> = runs.iter().chain(&heal_runs).cloned().collect();
+    let all_runs: Vec<RunResult> = runs
+        .iter()
+        .chain(&heal_runs)
+        .chain(&adv_runs)
+        .cloned()
+        .collect();
     emit_metrics(&tele, &all_runs, metrics_out.as_deref());
     emit_trace(&tele, trace_out.as_deref());
 

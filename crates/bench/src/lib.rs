@@ -71,6 +71,9 @@ pub fn make_policy(name: &str, cfg: &SimConfig, lc: &LcSpec, bes: &[BeSpec]) -> 
             lc,
             bes,
         )),
+        "mtat_full_hardened" => {
+            Box::new(MtatPolicy::new(MtatConfig::full().hardened(), cfg, lc, bes))
+        }
         "memtis" => Box::new(MemtisPolicy::new()),
         "hotset" => Box::new(mtat_core::HotsetPolicy::new()),
         "tpp" => Box::new(TppPolicy::new()),

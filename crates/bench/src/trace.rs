@@ -310,6 +310,16 @@ pub fn plan_chain(doc: &TraceDoc, tick: u64) -> Result<String, String> {
     let mut out = String::new();
     out.push_str(&format!("plan seq {seq} @ tick {tick} (t={now:.3}s)\n"));
     out.push_str(&format!("  inputs:  {}\n", kv_line(field(rec, "inputs")?)));
+    // Scenario phase is absent in traces captured before the adversarial
+    // engine existed; print it only when the record carries one.
+    if let Some(phase) = rec.get("scenario_phase").and_then(Value::as_u64) {
+        let label = if phase == 0 {
+            "(baseline — no mutation active)"
+        } else {
+            "(adversarial mutation active)"
+        };
+        out.push_str(&format!("  phase:   {phase} {label}\n"));
+    }
     out.push_str(&format!(
         "  mode:    {}\n",
         field(rec, "mode")?.as_str().unwrap_or("?")
@@ -406,7 +416,7 @@ mod tests {
         let prov = "{\"seq\":1,\"tick\":40,\"now_secs\":4,\
              \"inputs\":{\"usage_ratio\":0.9,\"access_ratio\":0.75,\
              \"access_count_norm\":1.25,\"p99_secs\":0.000073,\"violated\":false},\
-             \"mode\":\"rl\",\"sac\":{\"raw_action\":-1500000,\"alpha\":0.2,\
+             \"scenario_phase\":2,\"mode\":\"rl\",\"sac\":{\"raw_action\":-1500000,\"alpha\":0.2,\
              \"entropy\":1.42},\"anneal\":null,\
              \"clamps\":{\"sizer_bytes\":1073741824,\"guard_floor_bytes\":0,\
              \"guard_applied\":false,\"fmem_clamped\":false},\
@@ -471,6 +481,7 @@ mod tests {
         for needle in [
             "plan seq 1 @ tick 40",
             "usage_ratio 0.9",
+            "phase:   2 (adversarial mutation active)",
             "mode:    rl",
             "raw_action -1500000",
             "alpha 0.2",

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod hardening;
 pub mod health;
 pub mod policy;
 pub mod ppe;
@@ -52,6 +53,7 @@ pub mod supervisor;
 pub mod tracker;
 
 pub use config::SimConfig;
+pub use hardening::{Hardening, HardeningCfg, LeakCfg, PressureCfg, ThrashCfg};
 pub use health::{HealthConfig, HealthMonitor, HealthState, HealthSummary, RecoveryMode};
 pub use policy::hotset::HotsetPolicy;
 pub use policy::memtis::MemtisPolicy;

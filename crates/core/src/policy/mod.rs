@@ -109,6 +109,11 @@ pub struct SimState<'a> {
     pub fmem_bw_util: f64,
     /// Slow-tier bandwidth utilization (0..1) observed last tick.
     pub smem_bw_util: f64,
+    /// Active adversarial-scenario phase id (0 = no scenario). Threaded
+    /// into decision provenance so "what was the workload doing when
+    /// this plan landed" reconstructs post-hoc; policies must not act
+    /// on it (the scenario is the adversary, not a sensor).
+    pub scenario_phase: u32,
 }
 
 /// A page-placement policy under evaluation.

@@ -31,6 +31,7 @@ use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 
 use crate::config::SimConfig;
+use crate::hardening::{Hardening, HardeningCfg};
 use crate::policy::{Policy, SimState, WorkloadObs};
 use crate::ppe::PartitionPolicyEnforcer;
 use crate::ppm::annealing::AnnealingConfig;
@@ -77,6 +78,10 @@ pub struct MtatConfig {
     /// telemetry, dead sensors, or sustained SLO violation (`None`
     /// disables — the paper's unsupervised behavior).
     pub supervisor: Option<SupervisorConfig>,
+    /// Adversarial-dynamics guards ([`crate::hardening`]): thrash
+    /// quarantine, working-set-pressure throttle, leak renormalization
+    /// (`None` disables — the naive ablation arm).
+    pub hardening: Option<HardeningCfg>,
 }
 
 impl MtatConfig {
@@ -92,6 +97,7 @@ impl MtatConfig {
             seed: 0x517A7,
             bandwidth_freeze_util: None,
             supervisor: None,
+            hardening: None,
         }
     }
 
@@ -127,6 +133,19 @@ impl MtatConfig {
     pub fn supervised(self) -> Self {
         self.with_supervisor(SupervisorConfig::default())
     }
+
+    /// Arms the adversarial-dynamics guards (thrash quarantine,
+    /// pressure throttle, leak renormalization) with default
+    /// thresholds. Hardening implies supervision: the pressure guard
+    /// escalates through the supervisor's ladder, so one is installed
+    /// if not already configured.
+    pub fn hardened(mut self) -> Self {
+        self.hardening = Some(HardeningCfg::hardened());
+        if self.supervisor.is_none() {
+            self.supervisor = Some(SupervisorConfig::default());
+        }
+        self
+    }
 }
 
 /// The MTAT policy.
@@ -151,6 +170,10 @@ pub struct MtatPolicy {
     latest_plan: Option<PartitionPlan>,
     /// Graceful-degradation supervisor (None = unsupervised).
     supervisor: Option<Supervisor>,
+    /// Adversarial-dynamics guards (None = naive). Ephemeral state:
+    /// excluded from checkpoints (like PP-E, it models monitoring that
+    /// survives a daemon crash in place) and reset on cold restart.
+    hardening: Option<Hardening>,
     /// True while the PP-M daemon is crashed
     /// ([`crate::policy::Policy::on_controller_crash`]): PP-E keeps
     /// enforcing the last plan; no new decisions are made.
@@ -276,12 +299,16 @@ impl MtatPolicy {
             (MtatVariant::LcOnly, false) => "mtat_lc_only_heuristic",
         }
         .to_string();
-        if cfg.supervisor.is_some() {
+        if cfg.hardening.is_some() {
+            // Hardened implies supervised; one suffix names the arm.
+            name.push_str("_hardened");
+        } else if cfg.supervisor.is_some() {
             name.push_str("_supervised");
         }
         let ref_access_rate =
             lc_spec.max_load(lc_spec.full_fmem_hit_ratio(fmem_total)) * lc_spec.accesses_per_req;
         let supervisor = cfg.supervisor.clone().map(Supervisor::new);
+        let hardening = cfg.hardening.clone().map(Hardening::new);
         Self {
             cfg,
             name,
@@ -298,6 +325,7 @@ impl MtatPolicy {
             acc_ticks: 0,
             latest_plan: None,
             supervisor,
+            hardening,
             ppm_down: false,
             lc_spec: lc_spec.clone(),
             fmem_total,
@@ -354,6 +382,12 @@ impl MtatPolicy {
         self.latest_plan.as_ref()
     }
 
+    /// Live hardening-guard state (None unless configured via
+    /// [`MtatConfig::hardened`]) — diagnostics and tests.
+    pub fn hardening_state(&self) -> Option<&Hardening> {
+        self.hardening.as_ref()
+    }
+
     /// Opens the provenance record for a freshly decided `plan` —
     /// interval inputs, supervisor mode, SAC/anneal telemetry, clamp
     /// diagnostics — and snapshots the migration-engine counters that
@@ -392,6 +426,7 @@ impl MtatPolicy {
             access_count_norm: obs.access_count_norm,
             p99_secs: obs.p99_secs,
             violated: obs.violated,
+            scenario_phase: sim.scenario_phase,
             mode: self.ppm.mode().label(),
             sac,
             anneal,
@@ -529,6 +564,9 @@ impl MtatPolicy {
         self.ppm.cold_restart(sizer, self.cfg.seed ^ 0xBE);
         if let Some(sup) = &mut self.supervisor {
             *sup = Supervisor::new(self.cfg.supervisor.clone().unwrap_or_default());
+        }
+        if let Some(h) = &mut self.hardening {
+            h.reset();
         }
         self.latest_plan = None;
         self.reset_accumulators();
@@ -707,6 +745,20 @@ impl Policy for MtatPolicy {
                 .supervisor
                 .as_ref()
                 .map_or(0, |s| s.transitions().len());
+            // Adversarial-dynamics guards observe the interval first:
+            // a pressure escalation must land on the supervisor before
+            // its own on_interval runs, so the demotion takes effect in
+            // this decision rather than the next.
+            let guard_acts = self
+                .hardening
+                .as_mut()
+                .map(|h| h.on_interval(sim.mem, sim.workloads))
+                .unwrap_or_default();
+            if guard_acts.escalate_pressure {
+                if let Some(sup) = &mut self.supervisor {
+                    sup.force_demote(DegradationState::Proportional, sim.now_secs);
+                }
+            }
             let prev_lc_bytes = self
                 .latest_plan
                 .as_ref()
@@ -745,7 +797,29 @@ impl Policy for MtatPolicy {
                 let mode = sup.on_interval(sim.now_secs, obs.violated, sensor_dead);
                 self.ppm.set_mode(mode);
             }
-            let plan = self.ppm.decide(&obs);
+            let mut plan = self.ppm.decide(&obs);
+            // Migration quarantine applies Jenga-style hysteresis to the
+            // throughput side of the plan: while the thrash guard holds,
+            // the BE-to-BE split is pinned at its pre-quarantine
+            // proportions (rescaled into whatever pool the fresh
+            // decision leaves the BEs), so the annealer stops feeding
+            // Algorithm 3 slab flip-flops. The LC target keeps tracking
+            // load — the SLO constraint always outranks the hysteresis,
+            // so a load surge or drop re-sizes the LC partition even
+            // mid-quarantine. The quarantine is bounded, so the full
+            // plan always resumes within `quarantine_intervals`.
+            let hold_plan = self.hardening.as_ref().is_some_and(Hardening::quarantined);
+            if hold_plan {
+                if let Some(prev) = &self.latest_plan {
+                    let pool: u64 = plan.be_bytes.iter().sum();
+                    let held: u64 = prev.be_bytes.iter().sum();
+                    if held > 0 && prev.be_bytes.len() == plan.be_bytes.len() {
+                        for (b, &h) in plan.be_bytes.iter_mut().zip(&prev.be_bytes) {
+                            *b = (u128::from(h) * u128::from(pool) / u128::from(held)) as u64;
+                        }
+                    }
+                }
+            }
             if self.supervisor.is_some() && self.ppm.mode() == DegradationState::Rl {
                 if let Some(raw) = self.ppm.rl_raw_action() {
                     if !raw.is_finite() {
@@ -764,7 +838,7 @@ impl Policy for MtatPolicy {
             targets[lc_id.index()] = Some(plan.lc_bytes / self.page_size);
             if self.cfg.variant == MtatVariant::Full {
                 let mut be_iter = plan.be_bytes.iter();
-                for w in sim.workloads {
+                for w in sim.workloads.iter() {
                     if !w.is_lc() {
                         if let Some(&bytes) = be_iter.next() {
                             targets[w.id.index()] = Some(bytes / self.page_size);
@@ -774,11 +848,47 @@ impl Policy for MtatPolicy {
             }
             ppe.set_plan(sim.mem, targets);
             ppe.age();
+            if guard_acts.extra_age {
+                // Leak-drift renormalization: one extra halving round
+                // drains the popularity mass that dead (leaked) pages
+                // accumulated, so live pages win refinement again.
+                ppe.age();
+            }
             drop(plan_span);
             if self.obs.tracing_enabled() {
                 self.open_plan_provenance(sim, &obs, &plan);
             }
             if self.obs.is_enabled() {
+                if let Some(h) = &self.hardening {
+                    self.obs.gauge("mtat.thrash_signal", h.thrash_signal());
+                    self.obs
+                        .gauge("mtat.guard_throttle_shift", h.throttle_shift() as f64);
+                    let fire = |kind: &str| {
+                        self.obs.count("mtat.guard_events", 1);
+                        self.obs.event(
+                            sim.now_secs,
+                            "mtat",
+                            Severity::Warn,
+                            "guard",
+                            &[("kind", kind.to_string())],
+                        );
+                    };
+                    if guard_acts.quarantine_entered {
+                        fire("quarantine_entered");
+                    }
+                    if guard_acts.quarantine_exited {
+                        fire("quarantine_exited");
+                    }
+                    if guard_acts.escalate_pressure {
+                        fire("pressure_escalation");
+                    }
+                    if guard_acts.extra_age {
+                        fire("leak_renorm");
+                    }
+                    if hold_plan {
+                        fire("plan_held");
+                    }
+                }
                 self.emit_interval_telemetry(sim.now_secs, &plan, prev_lc_bytes);
                 if let Some(sup) = &self.supervisor {
                     let transitions = sup.transitions();
@@ -800,8 +910,20 @@ impl Policy for MtatPolicy {
             self.reset_accumulators();
         }
 
-        if let Some(threshold) = self.cfg.bandwidth_freeze_util {
-            ppe.set_placement_frozen(sim.fmem_bw_util > threshold);
+        // Placement freeze composes two causes: the §7 bandwidth
+        // extension and the thrash guard's quarantine. Either alone
+        // freezes; the setter only runs when at least one knob is
+        // configured so the plain paper configuration is untouched.
+        let bw_frozen = self
+            .cfg
+            .bandwidth_freeze_util
+            .is_some_and(|t| sim.fmem_bw_util > t);
+        let quarantined = self.hardening.as_ref().is_some_and(Hardening::quarantined);
+        if self.cfg.bandwidth_freeze_util.is_some() || self.hardening.is_some() {
+            ppe.set_placement_frozen(bw_frozen || quarantined);
+        }
+        if let Some(h) = &self.hardening {
+            ppe.set_migration_throttle(h.throttle_shift());
         }
         {
             let _enforce = self.obs.span(sim.now_secs, "ppe-enforce");
@@ -915,6 +1037,7 @@ mod tests {
                 obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
+                scenario_phase: 0,
             };
             policy.on_tick(&mut sim);
         }
@@ -941,6 +1064,7 @@ mod tests {
                 obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
+                scenario_phase: 0,
             };
             policy.on_tick(&mut sim);
         }
@@ -1012,6 +1136,7 @@ mod tests {
                     obs_age_ticks: 0,
                     fmem_bw_util: 0.0,
                     smem_bw_util: 0.0,
+                    scenario_phase: 0,
                 };
                 policy.on_tick(&mut sim);
             }
@@ -1079,6 +1204,7 @@ mod tests {
                 obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
+                scenario_phase: 0,
             };
             policy.on_tick(&mut sim);
         }
@@ -1138,6 +1264,7 @@ mod tests {
                 obs_age_ticks: 0,
                 fmem_bw_util: 0.0,
                 smem_bw_util: 0.0,
+                scenario_phase: 0,
             };
             policy.on_tick(&mut sim);
         }

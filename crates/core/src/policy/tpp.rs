@@ -208,6 +208,7 @@ mod tests {
             obs_age_ticks: 0,
             fmem_bw_util: 0.0,
             smem_bw_util: 0.0,
+            scenario_phase: 0,
         };
         policy.on_tick(&mut sim);
     }

@@ -72,6 +72,10 @@ pub struct PartitionPolicyEnforcer {
     p_max_pairs: u64,
     refine_pairs_per_workload: u64,
     placement_frozen: bool,
+    /// Working-set-pressure throttle: both migration budgets above are
+    /// right-shifted by this many bits while the hardening guard holds
+    /// the throttle (0 = nominal).
+    throttle_shift: u32,
     /// Moves that failed under transient migration faults, awaiting
     /// retry with capped exponential backoff. Empty whenever no fault
     /// injection is active (the engine never fails moves then).
@@ -106,6 +110,7 @@ impl PartitionPolicyEnforcer {
             p_max_pairs: p_max_pairs.max(1),
             refine_pairs_per_workload,
             placement_frozen: false,
+            throttle_shift: 0,
             retry_queue: VecDeque::new(),
             scratch: placement::PlacementScratch::default(),
             slice_pages: Vec::new(),
@@ -132,6 +137,21 @@ impl PartitionPolicyEnforcer {
     /// Whether placement refinement is currently suspended.
     pub fn placement_frozen(&self) -> bool {
         self.placement_frozen
+    }
+
+    /// Sets the working-set-pressure migration throttle: per-slice pair
+    /// caps and per-workload refinement appetite are right-shifted by
+    /// `shift` bits (0 = nominal). Used by the hardening pressure guard
+    /// to stop the enforcer from burning the migration budget chasing a
+    /// blown-up working set; the slice cap keeps a floor of one pair so
+    /// Algorithm 3 always makes forward progress.
+    pub fn set_migration_throttle(&mut self, shift: u32) {
+        self.throttle_shift = shift.min(16);
+    }
+
+    /// The current migration-throttle shift.
+    pub fn migration_throttle(&self) -> u32 {
+        self.throttle_shift
     }
 
     /// The access histograms (shared with diagnostics/tests).
@@ -207,10 +227,14 @@ impl PartitionPolicyEnforcer {
         // spent or the adjustment completes. LC-first ordering holds
         // within every slice.
         let adjust_span = self.obs.span_here("adjust");
+        // Pressure throttle: shrink both budgets while the guard holds
+        // it, but keep one adjustment pair so Algorithm 3 stays live.
+        let p_max = (self.p_max_pairs >> self.throttle_shift).max(1);
+        let refine_budget = self.refine_pairs_per_workload >> self.throttle_shift;
         loop {
             let slice = match &mut self.schedule {
                 Some(schedule) if !schedule.is_complete() => {
-                    let pairs = (engine.remaining_tick_pages() / 2).min(self.p_max_pairs);
+                    let pairs = (engine.remaining_tick_pages() / 2).min(p_max);
                     if pairs == 0 {
                         break;
                     }
@@ -288,7 +312,7 @@ impl PartitionPolicyEnforcer {
                         engine,
                         &self.tracker,
                         w,
-                        self.refine_pairs_per_workload,
+                        refine_budget,
                         HOTNESS_HYSTERESIS,
                     );
                 }
@@ -316,7 +340,7 @@ impl PartitionPolicyEnforcer {
                 &self.tracker,
                 &unenforced,
                 pool_cap,
-                self.refine_pairs_per_workload * unenforced.len() as u64,
+                refine_budget * unenforced.len() as u64,
                 HOTNESS_HYSTERESIS,
             );
         }

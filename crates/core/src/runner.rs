@@ -39,6 +39,7 @@ use mtat_workloads::access::Popularity;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
 use mtat_workloads::load::LoadPattern;
+use mtat_workloads::scenario::{PopMutation, ScenarioSchedule, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,6 +95,14 @@ pub struct Experiment {
     /// default) keeps the pre-existing behavior: detections abort the
     /// run instead of triggering autonomous recovery.
     pub health: Option<HealthConfig>,
+    /// Adversarial workload scenario ([`mtat_workloads::scenario`]).
+    /// `None` (the default) runs the nominal workload mix; the run is
+    /// then bit-identical to one built before scenario support existed.
+    /// With a scenario, its compiled schedule mutates BE popularity
+    /// distributions, BE access rates, and LC offered load at phase
+    /// boundaries, and the active phase id is threaded into obs events
+    /// and decision provenance.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 /// Checkpointing and crash-recovery configuration for a run.
@@ -326,6 +335,7 @@ impl Experiment {
             obs: None,
             slo_streak_dump: None,
             health: None,
+            scenario: None,
         }
     }
 
@@ -383,6 +393,15 @@ impl Experiment {
         self
     }
 
+    /// Drives the run through an adversarial workload scenario (see
+    /// [`Experiment::scenario`]). The spec is compiled at run start; a
+    /// malformed spec fails [`Self::try_run`] with
+    /// [`TierMemError::InvalidConfig`] instead of panicking mid-run.
+    pub fn with_scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.scenario = Some(spec);
+        self
+    }
+
     /// Runs the experiment under `policy`, panicking on runtime errors.
     ///
     /// # Panics
@@ -404,32 +423,30 @@ impl Experiment {
     ///
     /// Returns [`TierMemError::Audit`] when the runtime invariant
     /// auditor (enabled by default in debug builds, or via `MTAT_AUDIT`)
-    /// detects an accounting violation, and
-    /// [`TierMemError::Checkpoint`] when checkpoint persistence fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configured workloads do not fit in the configured
-    /// memory — a misconfigured experiment, not a runtime condition.
+    /// detects an accounting violation,
+    /// [`TierMemError::Checkpoint`] when checkpoint persistence fails,
+    /// [`TierMemError::OutOfMemory`] when the configured workloads do
+    /// not fit in the configured memory, and
+    /// [`TierMemError::InvalidConfig`] for a malformed adversarial
+    /// scenario — misconfigured experiments surface as typed errors so
+    /// a matrix harness can fail one cell without `catch_unwind`.
     pub fn try_run(&self, policy: &mut dyn Policy) -> Result<RunResult, TierMemError> {
         let page_size = self.cfg.mem.page_size();
         let mut mem = TieredMemory::new(self.cfg.mem);
-        let lc_id = mem
-            .register_workload(
-                self.lc.rss_bytes,
-                policy.initial_placement(WorkloadClass::Lc),
-            )
-            .expect("LC workload must fit in memory");
+        let lc_id = mem.register_workload(
+            self.lc.rss_bytes,
+            policy.initial_placement(WorkloadClass::Lc),
+        )?;
         let mut be_ids = Vec::with_capacity(self.bes.len());
         for be in &self.bes {
             be_ids.push(
-                mem.register_workload(be.rss_bytes, policy.initial_placement(WorkloadClass::Be))
-                    .expect("BE workload must fit in memory"),
+                mem.register_workload(be.rss_bytes, policy.initial_placement(WorkloadClass::Be))?,
             );
         }
 
-        // Popularity distributions, hottest-first by rank.
-        let be_pops: Vec<Popularity> = self
+        // Popularity distributions, hottest-first by rank. Mutable: an
+        // adversarial scenario swaps them at phase boundaries.
+        let mut be_pops: Vec<Popularity> = self
             .bes
             .iter()
             .zip(&be_ids)
@@ -439,15 +456,31 @@ impl Experiment {
         // BE's FMem hit ratio is an incrementally maintained counter
         // (O(1) per migration) instead of an O(pages) rescan per tick,
         // and precompute the sampler's weight tables for batched draws.
-        let be_tables: Vec<mtat_tiermem::sampler::WeightTable> = if self.legacy_accounting {
+        let mut be_tables: Vec<mtat_tiermem::sampler::WeightTable> = if self.legacy_accounting {
             Vec::new()
         } else {
             for (pop, &id) in be_pops.iter().zip(&be_ids) {
-                mem.register_popularity(id, pop.weights())
-                    .expect("popularity covers exactly the registered region");
+                mem.register_popularity(id, pop.weights())?;
             }
             be_pops.iter().map(|p| p.to_weight_table()).collect()
         };
+
+        // Adversarial scenario: compile the mutator set into a
+        // deterministic piecewise-constant schedule up front, so a
+        // malformed spec fails the run (and its matrix cell) cleanly
+        // before any tick executes.
+        let schedule: Option<ScenarioSchedule> = match &self.scenario {
+            Some(spec) => Some(
+                spec.compile(self.cfg.tick_secs, self.duration_secs, self.bes.len())
+                    .map_err(|e| TierMemError::InvalidConfig {
+                        what: "scenario",
+                        detail: e.to_string(),
+                    })?,
+            ),
+            None => None,
+        };
+        let mut cur_phase: u32 = 0;
+        let mut cur_pop_muts: Vec<Option<PopMutation>> = vec![None; self.bes.len()];
 
         let mut sampler = AccessSampler::new(self.cfg.sampler_period, self.cfg.seed ^ 0x5A)
             .expect("valid sampler period");
@@ -612,6 +645,56 @@ impl Experiment {
             let now = tick_index as f64 * tick_secs;
             let _tick_span = tele.span(now, "tick");
 
+            // ---- Adversarial scenario phase ----
+            // The scenario mutates the *workload*, not the policy's
+            // view: at a phase boundary the mutated BE popularity is
+            // materialized and re-registered (the incremental resident
+            // mass recomputes from current placement, so accounting
+            // stays exact), the sampler weight tables are rebuilt, and
+            // the new phase id is announced on the obs stream.
+            let phase = schedule.as_ref().map(|s| s.phase_at(tick_index));
+            if let Some(ph) = phase {
+                if ph.id != cur_phase {
+                    for (bi, (spec, &id)) in self.bes.iter().zip(&be_ids).enumerate() {
+                        let want = ph.be[bi].pop;
+                        if want == cur_pop_muts[bi] {
+                            continue;
+                        }
+                        let n = mem.region(id).len();
+                        let pop = match want {
+                            Some(m) => m.materialize(spec.pattern, n).map_err(|e| {
+                                TierMemError::InvalidConfig {
+                                    what: "scenario popularity",
+                                    detail: e.to_string(),
+                                }
+                            })?,
+                            None => spec.popularity(n),
+                        };
+                        if !self.legacy_accounting {
+                            mem.register_popularity(id, pop.weights())?;
+                            be_tables[bi] = pop.to_weight_table();
+                        }
+                        be_pops[bi] = pop;
+                        cur_pop_muts[bi] = want;
+                    }
+                    cur_phase = ph.id;
+                    if tele.is_enabled() {
+                        tele.count("runner.scenario_phases", 1);
+                        tele.event(
+                            now,
+                            "scenario",
+                            Severity::Info,
+                            "phase",
+                            &[
+                                ("id", ph.id.to_string()),
+                                ("label", ph.label.clone()),
+                                ("lc_load_mult", format!("{:.3}", ph.lc_load_mult)),
+                            ],
+                        );
+                    }
+                }
+            }
+
             // ---- Fault effects for this tick ----
             let tf = if faults_enabled {
                 let tf = injector.begin_tick(now);
@@ -723,7 +806,11 @@ impl Experiment {
 
             // ---- LC performance from current placement ----
             let level = self.load.level_at(now);
-            let offered = level * self.lc_max_ref;
+            // Flash crowds scale the offered load on top of the load
+            // pattern. With no scenario the multiplier is exactly 1.0,
+            // and `x * 1.0` is bit-exact for finite x — the no-scenario
+            // run stays bit-identical to the pre-scenario runner.
+            let offered = level * self.lc_max_ref * phase.map_or(1.0, |p| p.lc_load_mult);
             let burst = if sigma > 0.0 {
                 // Truncated at ±2.5σ: real load generators have bounded
                 // short-term variance, and a bounded tail is what makes
@@ -845,7 +932,12 @@ impl Experiment {
                 let thr = spec.cores as f64 / s_op;
                 be_ops[bi] += thr * tick_secs;
                 be_thr_tick.push(thr);
-                let access_rate = thr * spec.accesses_per_op;
+                // An antagonistic burst multiplies the workload's memory
+                // traffic — sampled pressure and bandwidth demand — not
+                // its op throughput (same bit-exactness argument as the
+                // LC multiplier above).
+                let access_rate =
+                    thr * spec.accesses_per_op * phase.map_or(1.0, |p| p.be[bi].rate_mult);
                 let o = &mut obs[1 + bi];
                 o.hit_ratio = hit;
                 o.access_rate = access_rate;
@@ -937,6 +1029,7 @@ impl Experiment {
                     obs_age_ticks,
                     fmem_bw_util: fmem_util,
                     smem_bw_util: smem_util,
+                    scenario_phase: cur_phase,
                 };
                 policy.on_tick(&mut sim);
             }

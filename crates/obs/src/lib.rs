@@ -638,6 +638,7 @@ mod tests {
             access_count_norm: 1.0,
             p99_secs: 1e-4,
             violated: true,
+            scenario_phase: 0,
             mode: "heuristic",
             sac: None,
             anneal: None,
@@ -675,6 +676,7 @@ mod tests {
             access_count_norm: 0.0,
             p99_secs: 0.0,
             violated: false,
+            scenario_phase: 0,
             mode: "static",
             sac: None,
             anneal: None,

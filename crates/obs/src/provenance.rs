@@ -81,6 +81,9 @@ pub struct PlanProvenance {
     pub access_count_norm: f64,
     pub p99_secs: f64,
     pub violated: bool,
+    /// Active adversarial-scenario phase id at decision time (0 = no
+    /// scenario installed, or its pre-mutation baseline phase).
+    pub scenario_phase: u32,
     /// Supervisor-selected sizer mode at decision time.
     pub mode: &'static str,
     /// Present when the LC sizer ran its SAC agent.
@@ -138,7 +141,7 @@ impl PlanProvenance {
             "{{\"seq\":{},\"tick\":{},\"now_secs\":{},\
              \"inputs\":{{\"usage_ratio\":{},\"access_ratio\":{},\"access_count_norm\":{},\
              \"p99_secs\":{},\"violated\":{}}},\
-             \"mode\":{},\"sac\":{sac},\"anneal\":{anneal},\
+             \"scenario_phase\":{},\"mode\":{},\"sac\":{sac},\"anneal\":{anneal},\
              \"clamps\":{{\"sizer_bytes\":{},\"guard_floor_bytes\":{},\"guard_applied\":{},\
              \"fmem_clamped\":{}}},\
              \"plan\":{{\"lc_bytes\":{},\"be_total_bytes\":{}}},\"enforce\":{enforce}}}",
@@ -150,6 +153,7 @@ impl PlanProvenance {
             jnum(self.access_count_norm),
             jnum(self.p99_secs),
             self.violated,
+            self.scenario_phase,
             json_string(self.mode),
             self.sizer_bytes,
             self.guard_floor_bytes,
@@ -222,6 +226,7 @@ mod tests {
             access_count_norm: 1.25,
             p99_secs: 7.3e-5,
             violated: false,
+            scenario_phase: 0,
             mode: "rl",
             sac: Some(SacTrace {
                 raw_action: -1.5e6,

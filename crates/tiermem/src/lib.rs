@@ -65,7 +65,7 @@ pub use bandwidth::BandwidthModel;
 pub use error::TierMemError;
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow, TickFaults};
 pub use histogram::AccessHistogram;
-pub use memory::{InitialPlacement, MemorySpec, TieredMemory};
+pub use memory::{InitialPlacement, MemorySpec, MigrationFlow, TieredMemory};
 pub use migration::MigrationEngine;
 pub use page::{PageId, Tier, WorkloadId};
 pub use sampler::{AccessSampler, TouchedSet};

@@ -161,6 +161,19 @@ impl Residency {
     }
 }
 
+/// Cumulative per-workload migration flow: how many page moves each
+/// direction has executed since registration. Unlike [`Residency`]
+/// (current placement), these only ever grow — the promote↔demote
+/// *reversal* rate a thrash detector needs is invisible in net
+/// residency, which a perfect ping-pong leaves unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationFlow {
+    /// Cumulative SMem→FMem page moves.
+    pub promoted: u64,
+    /// Cumulative FMem→SMem page moves.
+    pub demoted: u64,
+}
+
 /// One `u64` word of residency bits per 64 pages: bit set ⇔ the page is
 /// FMem-resident. The word index and mask for page-table index `i`.
 #[inline]
@@ -218,6 +231,7 @@ pub struct TieredMemory {
     regions: Vec<PageRegion>,
     residency: Vec<Residency>,
     popularity: Vec<Option<PopularityMass>>,
+    flows: Vec<MigrationFlow>,
     fmem_used: u64,
     smem_used: u64,
 }
@@ -233,6 +247,7 @@ impl TieredMemory {
             regions: Vec::new(),
             residency: Vec::new(),
             popularity: Vec::new(),
+            flows: Vec::new(),
             fmem_used: 0,
             smem_used: 0,
         }
@@ -373,6 +388,7 @@ impl TieredMemory {
         self.regions.push(region);
         self.residency.push(res);
         self.popularity.push(None);
+        self.flows.push(MigrationFlow::default());
         Ok(id)
     }
 
@@ -457,6 +473,18 @@ impl TieredMemory {
         self.residency[w.index()]
     }
 
+    /// Returns the cumulative per-direction migration flow of a
+    /// workload. Monotone counters; consumers (the thrash detector)
+    /// diff successive reads to get per-interval promote/demote volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` was not returned by [`Self::register_workload`].
+    #[inline]
+    pub fn migration_flow(&self, w: WorkloadId) -> MigrationFlow {
+        self.flows[w.index()]
+    }
+
     /// Returns the tier a page currently resides in.
     ///
     /// # Errors
@@ -524,6 +552,7 @@ impl TieredMemory {
         }
         let (w, m) = bit_parts(i);
         let res = &mut self.residency[owner.index()];
+        let flow = &mut self.flows[owner.index()];
         match to {
             Tier::FMem => {
                 self.fmem_bits[w] |= m;
@@ -531,6 +560,7 @@ impl TieredMemory {
                 self.smem_used -= 1;
                 res.fmem_pages += 1;
                 res.smem_pages -= 1;
+                flow.promoted += 1;
             }
             Tier::SMem => {
                 self.fmem_bits[w] &= !m;
@@ -538,6 +568,7 @@ impl TieredMemory {
                 self.fmem_used -= 1;
                 res.smem_pages += 1;
                 res.fmem_pages -= 1;
+                flow.demoted += 1;
             }
         }
         if let Some(mass) = self.popularity[owner.index()].as_mut() {
@@ -574,6 +605,7 @@ impl TieredMemory {
             regions,
             residency,
             popularity,
+            flows,
             fmem_used,
             smem_used,
             ..
@@ -611,16 +643,19 @@ impl TieredMemory {
             }
             // Counters once per owner run.
             let res = &mut residency[o];
+            let flow = &mut flows[o];
             if promote {
                 *fmem_used += run_moved;
                 *smem_used -= run_moved;
                 res.fmem_pages += run_moved;
                 res.smem_pages -= run_moved;
+                flow.promoted += run_moved;
             } else {
                 *smem_used += run_moved;
                 *fmem_used -= run_moved;
                 res.smem_pages += run_moved;
                 res.fmem_pages -= run_moved;
+                flow.demoted += run_moved;
             }
             moved_total += run_moved;
         }

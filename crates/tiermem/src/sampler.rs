@@ -54,10 +54,36 @@ impl WeightTable {
     /// or non-finite, or the sequence increases anywhere — rank order is
     /// hotness order everywhere a table is consumed.
     pub fn new(weights: &[f64]) -> Result<Self, TierMemError> {
+        let mut prev = f64::INFINITY;
+        for &w in weights {
+            if w > prev {
+                return Err(TierMemError::InvalidConfig {
+                    what: "weight table",
+                    detail: "weights must be non-increasing (hottest first)".to_string(),
+                });
+            }
+            if w.is_finite() {
+                prev = w;
+            }
+        }
+        Self::new_unsorted(weights)
+    }
+
+    /// Builds a table from non-negative, finite weights in *arbitrary*
+    /// rank order. The alias decomposition and prefix sums are
+    /// order-agnostic, so sampling is exact either way; this constructor
+    /// exists for scenario-mutated distributions (rotated hot sets,
+    /// leaked prefixes) where rank identity must be preserved and rank
+    /// order is deliberately not hotness order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierMemError::InvalidConfig`] if any weight is negative
+    /// or non-finite.
+    pub fn new_unsorted(weights: &[f64]) -> Result<Self, TierMemError> {
         let mut prefix = Vec::with_capacity(weights.len() + 1);
         prefix.push(0.0);
         let mut acc = 0.0f64;
-        let mut prev = f64::INFINITY;
         for &w in weights {
             if !w.is_finite() || w < 0.0 {
                 return Err(TierMemError::InvalidConfig {
@@ -65,13 +91,6 @@ impl WeightTable {
                     detail: format!("weights must be finite and non-negative, got {w}"),
                 });
             }
-            if w > prev {
-                return Err(TierMemError::InvalidConfig {
-                    what: "weight table",
-                    detail: "weights must be non-increasing (hottest first)".to_string(),
-                });
-            }
-            prev = w;
             acc += w;
             prefix.push(acc);
         }

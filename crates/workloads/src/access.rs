@@ -12,6 +12,45 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why a [`Popularity`] distribution could not be built.
+///
+/// Scenario-facing constructors return this instead of panicking so a
+/// malformed adversarial scenario fails its matrix cell cleanly (the
+/// cell reports the error) rather than unwinding through the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PopularityError {
+    /// The distribution covers zero pages.
+    NoPages,
+    /// A Zipf exponent was negative or non-finite.
+    BadZipfExponent(f64),
+    /// An explicit weight was negative or non-finite.
+    BadWeight(f64),
+    /// The weight vector sums to zero (or less) — nothing to normalize.
+    ZeroMass,
+}
+
+impl std::fmt::Display for PopularityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PopularityError::NoPages => write!(f, "popularity needs at least one page"),
+            PopularityError::BadZipfExponent(e) => {
+                write!(f, "zipf exponent must be finite and non-negative, got {e}")
+            }
+            PopularityError::BadWeight(w) => {
+                write!(
+                    f,
+                    "popularity weight must be finite and non-negative, got {w}"
+                )
+            }
+            PopularityError::ZeroMass => {
+                write!(f, "popularity weights must carry positive total mass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PopularityError {}
+
 /// The shape of a workload's page-popularity distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AccessPattern {
@@ -63,31 +102,74 @@ impl Popularity {
     /// # Panics
     ///
     /// Panics if `n_pages == 0` or a Zipf exponent is negative/non-finite.
+    /// Scenario-driven paths use [`Popularity::try_new`] instead.
     pub fn new(pattern: AccessPattern, n_pages: usize) -> Self {
-        assert!(n_pages > 0, "popularity needs at least one page");
-        if let AccessPattern::Zipfian { exponent } = pattern {
-            assert!(
-                exponent.is_finite() && exponent >= 0.0,
-                "zipf exponent must be finite and non-negative, got {exponent}"
-            );
+        Self::try_new(pattern, n_pages).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Popularity::new`]: a malformed pattern (zero
+    /// pages, bad Zipf exponent) is a typed [`PopularityError`] instead
+    /// of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`PopularityError::NoPages`] for `n_pages == 0`;
+    /// [`PopularityError::BadZipfExponent`] for a negative or non-finite
+    /// exponent.
+    pub fn try_new(pattern: AccessPattern, n_pages: usize) -> Result<Self, PopularityError> {
+        if n_pages == 0 {
+            return Err(PopularityError::NoPages);
         }
-        let mut weights: Vec<f64> = (0..n_pages).map(|r| pattern.raw_weight(r)).collect();
+        if let AccessPattern::Zipfian { exponent } = pattern {
+            if !(exponent.is_finite() && exponent >= 0.0) {
+                return Err(PopularityError::BadZipfExponent(exponent));
+            }
+        }
+        let weights: Vec<f64> = (0..n_pages).map(|r| pattern.raw_weight(r)).collect();
+        Self::from_weights(pattern, weights)
+    }
+
+    /// Builds a distribution from an explicit (unnormalized) weight
+    /// vector, keeping `pattern` as the recorded provenance. This is the
+    /// scenario engine's entry point: mutated distributions — rotated
+    /// hot sets, leaked (zeroed) prefixes — are *not* non-increasing in
+    /// rank, so rank identity is preserved and no sorting happens here.
+    ///
+    /// # Errors
+    ///
+    /// [`PopularityError::NoPages`] for an empty vector,
+    /// [`PopularityError::BadWeight`] for a negative or non-finite
+    /// entry, [`PopularityError::ZeroMass`] when the weights sum to
+    /// zero.
+    pub fn from_weights(
+        pattern: AccessPattern,
+        mut weights: Vec<f64>,
+    ) -> Result<Self, PopularityError> {
+        if weights.is_empty() {
+            return Err(PopularityError::NoPages);
+        }
+        if let Some(&bad) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(PopularityError::BadWeight(bad));
+        }
         let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(PopularityError::ZeroMass);
+        }
         for w in &mut weights {
             *w /= total;
         }
-        let mut prefix = Vec::with_capacity(n_pages + 1);
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
         prefix.push(0.0);
         let mut acc = 0.0;
         for &w in &weights {
             acc += w;
             prefix.push(acc);
         }
-        Self {
+        Ok(Self {
             pattern,
             weights,
             prefix,
-        }
+        })
     }
 
     /// The pattern this distribution was built from.
@@ -136,15 +218,17 @@ impl Popularity {
     /// Builds the sampler's [`WeightTable`] over these weights, enabling
     /// the batched weighted sampling path
     /// ([`AccessSampler::sample_weighted_estimates`]). Weights are
-    /// normalized and non-increasing by construction, so this cannot
-    /// fail.
+    /// normalized, finite, and non-negative by construction, so this
+    /// cannot fail. Scenario-mutated distributions
+    /// ([`Popularity::from_weights`]) are not rank-sorted, so the
+    /// order-agnostic table constructor is used.
     ///
     /// [`WeightTable`]: mtat_tiermem::sampler::WeightTable
     /// [`AccessSampler::sample_weighted_estimates`]:
     ///     mtat_tiermem::sampler::AccessSampler::sample_weighted_estimates
     pub fn to_weight_table(&self) -> mtat_tiermem::sampler::WeightTable {
-        mtat_tiermem::sampler::WeightTable::new(&self.weights)
-            .expect("popularity weights are normalized and non-increasing")
+        mtat_tiermem::sampler::WeightTable::new_unsorted(&self.weights)
+            .expect("popularity weights are normalized, finite, and non-negative")
     }
 
     /// The smallest number of hottest pages whose combined popularity
@@ -249,5 +333,46 @@ mod tests {
     #[should_panic(expected = "zipf exponent")]
     fn negative_exponent_panics() {
         let _ = Popularity::new(AccessPattern::Zipfian { exponent: -1.0 }, 10);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(
+            Popularity::try_new(AccessPattern::Uniform, 0),
+            Err(PopularityError::NoPages)
+        );
+        assert!(matches!(
+            Popularity::try_new(AccessPattern::Zipfian { exponent: f64::NAN }, 4),
+            Err(PopularityError::BadZipfExponent(_))
+        ));
+        let ok = Popularity::try_new(AccessPattern::Zipfian { exponent: 0.8 }, 16).unwrap();
+        assert_eq!(ok.n_pages(), 16);
+    }
+
+    #[test]
+    fn from_weights_preserves_rank_identity() {
+        // A rotated (non-monotone) distribution: rank 2 is the hottest.
+        let p = Popularity::from_weights(AccessPattern::Uniform, vec![1.0, 1.0, 6.0, 2.0]).unwrap();
+        assert!((p.weight(2) - 0.6).abs() < 1e-12);
+        assert!((p.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The weight table accepts the unsorted order.
+        let t = p.to_weight_table();
+        assert_eq!(t.weights(), p.weights());
+    }
+
+    #[test]
+    fn from_weights_rejects_bad_vectors() {
+        assert_eq!(
+            Popularity::from_weights(AccessPattern::Uniform, vec![]),
+            Err(PopularityError::NoPages)
+        );
+        assert!(matches!(
+            Popularity::from_weights(AccessPattern::Uniform, vec![1.0, -2.0]),
+            Err(PopularityError::BadWeight(_))
+        ));
+        assert_eq!(
+            Popularity::from_weights(AccessPattern::Uniform, vec![0.0, 0.0]),
+            Err(PopularityError::ZeroMass)
+        );
     }
 }

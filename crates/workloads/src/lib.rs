@@ -41,10 +41,15 @@ pub mod access;
 pub mod be;
 pub mod lc;
 pub mod load;
+pub mod scenario;
 pub mod trace;
 
-pub use access::{AccessPattern, Popularity};
+pub use access::{AccessPattern, Popularity, PopularityError};
 pub use be::BeSpec;
 pub use lc::LcSpec;
 pub use load::LoadPattern;
+pub use scenario::{
+    BePhase, BeSelector, Mutator, PopMutation, ScenarioError, ScenarioPhase, ScenarioSchedule,
+    ScenarioSpec,
+};
 pub use trace::LoadTrace;
