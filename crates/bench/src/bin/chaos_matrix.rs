@@ -227,6 +227,11 @@ fn emit_metrics(tele: &Obs, runs: &[RunResult], path: Option<&str>) {
         return;
     }
     assert_registry_consistent(tele, runs);
+    // Record the execution shape in the snapshot itself, so determinism
+    // claims ("byte-identical at any worker count") are auditable from
+    // the artifact alone.
+    tele.gauge("harness.workers", harness::worker_count(runs.len()) as f64);
+    tele.gauge("harness.cells", runs.len() as f64);
     let json = tele.snapshot_json().expect("telemetry enabled");
     let prom = tele
         .snapshot_prometheus(&[("bench", "chaos_matrix")])
@@ -469,6 +474,11 @@ fn main() {
         println!("  \"lc\": \"{}\",", lc.name);
         print!("  \"adversarial\": ");
         let runs = run_adversarial(true, &tele, &cfg, &lc, &bes, &base);
+        println!(
+            "  ,\"workers\": {}, \"cells\": {}",
+            harness::worker_count(runs.len()),
+            runs.len()
+        );
         println!("}}");
         emit_metrics(&tele, &runs, metrics_out.as_deref());
         emit_trace(&tele, trace_out.as_deref());
@@ -705,7 +715,6 @@ fn main() {
     // ---- Adversarial workload dynamics: hardened vs naive vs rivals ----
     print!("  \"adversarial\": ");
     let adv_runs = run_adversarial(false, &tele, &cfg, &lc, &bes, &base);
-    println!("}}");
 
     let all_runs: Vec<RunResult> = runs
         .iter()
@@ -713,6 +722,12 @@ fn main() {
         .chain(&adv_runs)
         .cloned()
         .collect();
+    println!(
+        "  ,\"workers\": {}, \"cells\": {}",
+        harness::worker_count(all_runs.len()),
+        all_runs.len()
+    );
+    println!("}}");
     emit_metrics(&tele, &all_runs, metrics_out.as_deref());
     emit_trace(&tele, trace_out.as_deref());
 

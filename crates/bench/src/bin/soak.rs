@@ -24,10 +24,8 @@
 use mtat_bench::make_policy;
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{CheckpointCfg, Experiment};
-use mtat_core::stats::RunResult;
 use mtat_core::{HealthConfig, HealthState};
 use mtat_obs::Obs;
-use mtat_snapshot::fnv1a64;
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
 use mtat_tiermem::GIB;
 use mtat_workloads::be::BeSpec;
@@ -132,27 +130,6 @@ fn small_be() -> BeSpec {
     s
 }
 
-/// FNV-1a-64 digest over the bit patterns of every tick record — any
-/// single-ULP divergence anywhere in the run changes the digest.
-fn run_digest(r: &RunResult) -> u64 {
-    let mut bytes = Vec::with_capacity(r.ticks.len() * 64);
-    for t in &r.ticks {
-        bytes.extend_from_slice(&t.t.to_bits().to_le_bytes());
-        bytes.extend_from_slice(&t.lc_load_rps.to_bits().to_le_bytes());
-        bytes.extend_from_slice(&t.lc_p99.to_bits().to_le_bytes());
-        bytes.push(u8::from(t.lc_violated));
-        bytes.extend_from_slice(&t.lc_fmem_ratio.to_bits().to_le_bytes());
-        for &b in &t.fmem_bytes {
-            bytes.extend_from_slice(&b.to_le_bytes());
-        }
-        for &thr in &t.be_throughput {
-            bytes.extend_from_slice(&thr.to_bits().to_le_bytes());
-        }
-        bytes.extend_from_slice(&t.migration_bw.to_bits().to_le_bytes());
-    }
-    fnv1a64(&bytes)
-}
-
 fn build_experiment(hours: f64, seed: u64) -> (Experiment, u32) {
     let cfg = SimConfig::small_test().with_seed(seed);
     let (plan, incident_windows) = fault_schedule(hours, seed ^ 0x50AC);
@@ -212,10 +189,14 @@ fn main() {
         let mut p = make_policy(POLICY, &exp.cfg, &exp.lc, &exp.bes);
         exp.run(p.as_mut())
     };
-    let (d1, d2) = (run_digest(&r1), run_digest(&r2));
+    let (d1, d2) = (r1.digest(), r2.digest());
 
     let h = r1.health.as_ref().expect("health summary present");
     println!("{{");
+    // A soak is a single-host, single-threaded run (two serial passes);
+    // the worker/shard counts are recorded anyway so every harness
+    // artifact is audit-uniform with chaos_matrix and fleet_sim.
+    println!("  \"workers\": 1, \"shards\": 1,");
     println!("  \"sim_hours\": {hours}, \"ticks\": {},", r1.ticks.len());
     println!(
         "  \"rollbacks\": {}, \"repairs\": {}, \"unrecovered\": {},",

@@ -239,6 +239,33 @@ impl RunResult {
         Ok(())
     }
 
+    /// FNV-1a-64 digest over the bit patterns of every tick record —
+    /// any single-ULP divergence anywhere in the run changes the
+    /// digest. This is the replay-identity check used by the soak and
+    /// fleet harnesses: two runs of the same configuration must produce
+    /// equal digests regardless of worker count, shard execution order,
+    /// or whether observability was attached (instrumentation never
+    /// feeds back into physics).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.ticks.len() * 64);
+        for t in &self.ticks {
+            bytes.extend_from_slice(&t.t.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&t.lc_load_rps.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&t.lc_p99.to_bits().to_le_bytes());
+            bytes.push(u8::from(t.lc_violated));
+            bytes.extend_from_slice(&t.lc_fmem_ratio.to_bits().to_le_bytes());
+            for &b in &t.fmem_bytes {
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+            for &thr in &t.be_throughput {
+                bytes.extend_from_slice(&thr.to_bits().to_le_bytes());
+            }
+            bytes.extend_from_slice(&t.migration_bw.to_bits().to_le_bytes());
+        }
+        mtat_snapshot::fnv1a64(&bytes)
+    }
+
     /// The TSV time series as a `String` (see [`Self::write_tsv`]).
     pub fn to_tsv_string(&self) -> String {
         let mut buf = Vec::new();
@@ -354,6 +381,19 @@ mod tests {
         assert!(lines[1].ends_with("\trl"));
         assert!(lines[2].ends_with("\tproportional"));
         assert!(lines[3].ends_with("\tstatic"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_bit_sensitive() {
+        let r = result();
+        let d = r.digest();
+        assert_eq!(d, r.clone().digest(), "digest must be deterministic");
+        let mut nudged = r.clone();
+        nudged.ticks[2].lc_p99 = f64::from_bits(nudged.ticks[2].lc_p99.to_bits() ^ 1);
+        assert_ne!(d, nudged.digest(), "a single-ULP change must be visible");
+        let mut flagged = r;
+        flagged.ticks[1].lc_violated = true;
+        assert_ne!(d, flagged.digest());
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Fleet-scale simulation driver.
+//!
+//! Runs a [`Fleet`] of N simulated MTAT hosts under diurnal routed
+//! traffic and prints a fleet summary as JSON on stdout (status lines
+//! go to stderr, `#`-prefixed, like every harness binary here).
+//!
+//! Usage:
+//!
+//! ```text
+//! fleet_sim [--shards N] [--workers N] [--quick] [--check]
+//!           [--policy NAME] [--routing static|least|hot[:MULT]]
+//!           [--seed S] [--duration SECS] [--epoch SECS]
+//!           [--chaos] [--drain] [--self-heal]
+//!           [--metrics-out FILE] [--trace-out FILE] [--digests-out FILE]
+//! ```
+//!
+//! * `--quick` is the PR-gate preset: 1000 shards, a compressed
+//!   2-simulated-minute day, cheap heuristic policy.
+//! * `--check` asserts the determinism contract and exits non-zero on
+//!   violation: per-shard and aggregate digests bit-identical between
+//!   `--workers 1` and `--workers N`; every shard receives traffic; and
+//!   fault confinement — chaos on a targeted subset leaves every
+//!   untargeted shard's digest unchanged (router draining off).
+//! * `--chaos` arms the default fleet fault planes (a fault storm plus
+//!   a PP-M crash on the first eighth of the fleet).
+//! * `--metrics-out` writes the merged fleet registry (JSON);
+//!   `--digests-out` writes one `{"shard":..,"seed":..,"digest":..}`
+//!   line per shard (JSONL) — the nightly artifacts.
+
+use mtat_bench::harness;
+use mtat_fleet::{Fleet, FleetConfig, RouterCfg, RoutingPolicy, ShardFaultPlane, ShardSize};
+use mtat_tiermem::faults::{FaultKind, FaultPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_f64 = |name: &str, default: f64| -> f64 {
+        opt(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("bad {name}: {v:?}")))
+        })
+    };
+    let parse_usize = |name: &str, default: usize| -> usize {
+        opt(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("bad {name}: {v:?}")))
+        })
+    };
+
+    let quick = flag("--quick");
+    // Quick: many cheap shards (PR gate, exercises fleet-scale
+    // claiming). Full: fewer shards over a longer simulated day with
+    // the real policy (nightly).
+    let n_shards = parse_usize("--shards", if quick { 1000 } else { 128 });
+    let duration = parse_f64("--duration", if quick { 120.0 } else { 900.0 });
+    let epoch = parse_f64("--epoch", if quick { 10.0 } else { 30.0 });
+    let policy = opt("--policy").unwrap_or_else(|| {
+        // Quick uses the heuristic PP-M (no SAC pretraining, ~8× the
+        // shard throughput); the nightly full fleet runs the real agent.
+        if quick {
+            "mtat_full_heuristic".into()
+        } else {
+            "mtat_full".into()
+        }
+    });
+    let seed = parse_f64("--seed", 0xF1EE7 as f64) as u64;
+    let workers = parse_usize("--workers", harness::worker_count(n_shards));
+
+    let routing = opt("--routing").map_or(RoutingPolicy::HotShardAware { hot_mult: 1.25 }, |v| {
+        RoutingPolicy::parse(&v).unwrap_or_else(|| die(&format!("bad --routing: {v:?}")))
+    });
+
+    let mut cfg = FleetConfig::new(n_shards, seed, duration, epoch);
+    cfg.policy = policy;
+    cfg.shard_size = opt("--size").map_or(
+        if quick {
+            ShardSize::Tiny
+        } else {
+            ShardSize::Small
+        },
+        |v| match v.as_str() {
+            "small" => ShardSize::Small,
+            "tiny" => ShardSize::Tiny,
+            _ => die(&format!("bad --size: {v:?} (small|tiny)")),
+        },
+    );
+    cfg.router = RouterCfg {
+        policy: routing,
+        drain: flag("--drain"),
+        ..RouterCfg::default()
+    };
+    cfg.self_heal = flag("--self-heal");
+    cfg.metrics = opt("--metrics-out").is_some();
+    cfg.trace_shard = opt("--trace-out").map(|_| 0);
+    if flag("--chaos") {
+        cfg.faults = default_chaos(n_shards, seed, duration);
+    }
+
+    eprintln!(
+        "# fleet_sim: {n_shards} shards x {duration:.0}s sim, epoch {epoch:.0}s, \
+         policy {}, routing {}, {workers} workers",
+        cfg.policy,
+        cfg.router.policy.label()
+    );
+
+    let fleet = Fleet::plan(cfg.clone()).unwrap_or_else(|e| die(&format!("plan failed: {e}")));
+    let t0 = std::time::Instant::now();
+    let result = fleet.run(workers);
+    eprintln!("# fleet run: {:.1}s wall", t0.elapsed().as_secs_f64());
+
+    if flag("--check") {
+        run_checks(&cfg, &fleet, &result, workers);
+    }
+
+    if let Some(path) = opt("--metrics-out") {
+        write_file(&path, &result.registry.to_json());
+        eprintln!("# wrote fleet metrics to {path}");
+    }
+    if let Some(path) = opt("--trace-out") {
+        if let Some(trace) = result.shards.first().and_then(|s| s.trace.as_deref()) {
+            write_file(&path, trace);
+            eprintln!("# wrote shard-0 trace to {path}");
+        }
+    }
+    if let Some(path) = opt("--digests-out") {
+        let mut lines = String::with_capacity(result.shards.len() * 64);
+        for s in &result.shards {
+            lines.push_str(&format!(
+                "{{\"shard\":{},\"seed\":{},\"digest\":{}}}\n",
+                s.shard, s.seed, s.digest
+            ));
+        }
+        write_file(&path, &lines);
+        eprintln!(
+            "# wrote {} per-shard digests to {path}",
+            result.shards.len()
+        );
+    }
+
+    print_summary(&cfg, &result, workers, quick);
+}
+
+/// The default fleet chaos: a correlated fault storm plus a PP-M crash
+/// confined to the first eighth of the fleet (at least one shard).
+/// Intensity stays below the 0.9 poison threshold so the plan is safe
+/// without the self-healing runtime; pass `--self-heal` for hotter
+/// plans.
+fn default_chaos(n_shards: usize, seed: u64, duration: f64) -> Vec<ShardFaultPlane> {
+    let targeted = (n_shards / 8).max(1);
+    vec![ShardFaultPlane {
+        shards: 0..targeted,
+        plan: FaultPlan::new(seed ^ 0x50AC)
+            .with(
+                FaultKind::FaultStorm { intensity: 0.6 },
+                duration * 0.25 + 1.0,
+                duration * 0.15,
+            )
+            .with(FaultKind::PpmCrash, duration * 0.6 + 1.0, duration * 0.05),
+    }]
+}
+
+/// The `--check` gate: bit-identity across worker counts, universal
+/// traffic delivery, and fault confinement on a sub-fleet.
+fn run_checks(
+    cfg: &FleetConfig,
+    fleet: &Fleet,
+    result: &mtat_fleet::fleet::FleetResult,
+    workers: usize,
+) {
+    eprintln!("# check: replaying fleet with 1 worker for bit-identity");
+    let serial = fleet.run(1);
+    assert_eq!(
+        serial.aggregate_digest, result.aggregate_digest,
+        "aggregate digest diverged between 1 and {workers} workers"
+    );
+    for (a, b) in serial.shards.iter().zip(&result.shards) {
+        assert_eq!(
+            a.digest, b.digest,
+            "shard {} digest diverged between 1 and {workers} workers",
+            a.shard
+        );
+    }
+
+    for s in &result.shards {
+        assert!(s.lc_requests > 0.0, "shard {} received no traffic", s.shard);
+        assert!(s.ticks > 0, "shard {} ran no ticks", s.shard);
+    }
+
+    // Confinement: chaos on a targeted subset of a small sub-fleet must
+    // leave untargeted digests bit-identical (drain off, so routing
+    // never sees the faults).
+    eprintln!("# check: fault confinement on a sub-fleet");
+    let sub = cfg.n_shards.min(64);
+    let mut base_cfg = cfg.clone();
+    base_cfg.n_shards = sub;
+    base_cfg.faults.clear();
+    base_cfg.router.drain = false;
+    base_cfg.metrics = false;
+    base_cfg.trace_shard = None;
+    let mut chaos_cfg = base_cfg.clone();
+    chaos_cfg.faults = default_chaos(sub, cfg.fleet_seed, cfg.duration_secs);
+    let targeted = chaos_cfg.faults[0].shards.clone();
+    let base = Fleet::plan(base_cfg)
+        .expect("base sub-fleet plans")
+        .run(workers);
+    let chaos = Fleet::plan(chaos_cfg)
+        .expect("chaos sub-fleet plans")
+        .run(workers);
+    let mut diverged = false;
+    for (a, b) in base.shards.iter().zip(&chaos.shards) {
+        if targeted.contains(&a.shard) {
+            diverged |= a.digest != b.digest;
+        } else {
+            assert_eq!(
+                a.digest, b.digest,
+                "fault leaked into untargeted shard {}",
+                a.shard
+            );
+        }
+    }
+    assert!(
+        diverged,
+        "chaos plan had no observable effect on targeted shards"
+    );
+    eprintln!("# check: all assertions passed");
+}
+
+fn print_summary(
+    cfg: &FleetConfig,
+    result: &mtat_fleet::fleet::FleetResult,
+    workers: usize,
+    quick: bool,
+) {
+    // Per-shard violation rates are the robust tail summary (a single
+    // load-step transient makes worst_p99 infinite); worst_p99 is still
+    // reported fleet-wide.
+    let mut rates: Vec<f64> = result.shards.iter().map(|s| s.violation_rate()).collect();
+    rates.sort_by(f64::total_cmp);
+    let pct = |q: f64| rates[((rates.len() - 1) as f64 * q) as usize];
+    let total_requests: f64 = result.shards.iter().map(|s| s.lc_requests).sum();
+    println!("{{");
+    println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    println!("  \"shards\": {}, \"workers\": {workers},", cfg.n_shards);
+    println!("  \"policy\": \"{}\",", cfg.policy);
+    println!("  \"routing\": \"{}\",", cfg.router.policy.label());
+    println!(
+        "  \"duration_secs\": {}, \"epoch_secs\": {},",
+        cfg.duration_secs, cfg.epoch_secs
+    );
+    println!("  \"seed\": {},", cfg.fleet_seed);
+    println!("  \"chaos_planes\": {},", cfg.faults.len());
+    println!("  \"lc_requests\": {total_requests:.0},");
+    println!("  \"slo_violation_rate\": {:.6},", result.violation_rate());
+    println!(
+        "  \"be_total_throughput\": {:.1},",
+        result.be_total_throughput()
+    );
+    println!(
+        "  \"migration_gib\": {:.3},",
+        result.total_migration_bytes() as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "  \"failed_moves\": {},",
+        result.shards.iter().map(|s| s.failed_moves).sum::<u64>()
+    );
+    println!("  \"dropped_demand\": {:.4},", result.dropped_demand);
+    // A saturated shard has an unbounded queueing P99; `inf` is not
+    // valid JSON, so saturation prints as null.
+    let ms = |v: f64| {
+        if v.is_finite() {
+            format!("{:.3}", v * 1e3)
+        } else {
+            "null".into()
+        }
+    };
+    println!("  \"worst_p99_ms\": {},", ms(result.worst_p99()));
+    println!(
+        "  \"shard_violation_rate\": {{ \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6} }},",
+        pct(0.5),
+        pct(0.9),
+        pct(0.99)
+    );
+    println!(
+        "  \"aggregate_digest\": \"{:016x}\"",
+        result.aggregate_digest
+    );
+    println!("}}");
+}
+
+fn write_file(path: &str, content: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("# fleet_sim: {msg}");
+    std::process::exit(2);
+}

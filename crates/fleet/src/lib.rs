@@ -1,0 +1,88 @@
+//! # mtat-fleet — sharded fleet simulation over the MTAT stack
+//!
+//! The paper evaluates MTAT on one tiered-memory server; the ROADMAP
+//! north star is a production-scale deployment serving millions of
+//! users. This crate is that fleet layer: a [`Fleet`] of N simulated
+//! hosts, each an independent `Experiment`-shaped **shard** with its
+//! own PP-M/PP-E instance, LC + BE co-location, and a deterministic
+//! seed split from the fleet seed ([`shard_seed`]), driven by a
+//! fleet-level open-loop traffic generator and executed on the
+//! `bench::harness` scoped-thread pool.
+//!
+//! The moving parts:
+//!
+//! * [`traffic`] — fleet demand over **routing epochs**: a diurnal
+//!   base curve times the `lc_load_mult` of a fleet-scope
+//!   `workloads::scenario` schedule (flash crowds), with per-epoch
+//!   shard-affinity weights drawn from the same schedule's popularity
+//!   mutations (Zipf shifts sharpen the request skew across shards,
+//!   hot-set rotations move which shards are hot). The scenario
+//!   machinery is reused verbatim at fleet scope: shards play the role
+//!   of pages, the affinity vector the role of a popularity
+//!   distribution.
+//! * [`routing`] — turns per-epoch demand into per-shard offered-load
+//!   levels under a routing policy: [`RoutingPolicy::StaticHash`]
+//!   (pure affinity — hot shards overload), [`RoutingPolicy::LeastLoaded`]
+//!   (capacity-aware water-filling — the idealized load balancer), and
+//!   [`RoutingPolicy::HotShardAware`] (bounded-load consistent hashing:
+//!   affinity kept except excess above a hot threshold, which spills to
+//!   cold shards).
+//! * [`fleet`] — the shard runner and aggregation: each shard is a pure
+//!   function of `(FleetConfig, shard_id)`, so results are bit-identical
+//!   at any worker count and under any shard execution order
+//!   (`run_matrix_chunked` claims chunks, never changes inputs).
+//!   Per-shard fault planes confine chaos to a targeted id range;
+//!   per-shard registries merge in shard order
+//!   (`mtat_obs::registry::Registry::merge`) into fleet-level SLO
+//!   compliance, BE throughput, and migration totals.
+//!
+//! The `fleet_sim` binary drives all of this from the command line;
+//! `--check` asserts the determinism contract (workers-1 vs workers-N
+//! bit-identity, non-zero routed traffic on every shard, fault
+//! confinement) and is the CI PR gate.
+//!
+//! ## Seed discipline
+//!
+//! Every shard's `SimConfig` seed is `shard_seed(fleet_seed, id)` — a
+//! SplitMix64 split, not a plain XOR, so neighbouring shard ids get
+//! decorrelated RNG streams (a `fleet_seed ^ shard_id` split would make
+//! shards 2k and 2k+1 differ in one bit). The fleet-scope scenario
+//! seeds from the fleet seed alone; routing is deterministic arithmetic
+//! with no RNG at all.
+
+pub mod fleet;
+pub mod routing;
+pub mod traffic;
+
+pub use fleet::{Fleet, FleetConfig, FleetResult, ShardFaultPlane, ShardOutcome, ShardSize};
+pub use routing::{RouterCfg, RoutingPolicy};
+pub use traffic::{FleetTraffic, TrafficSpec};
+
+/// Deterministic per-shard seed: a SplitMix64 split of the fleet seed
+/// keyed by the shard id. The same `(fleet_seed, shard)` always gives
+/// the same seed, independent of worker count or execution order, and
+/// distinct shards give decorrelated streams (see the collision
+/// property test).
+#[must_use]
+pub fn shard_seed(fleet_seed: u64, shard: usize) -> u64 {
+    // Domain-separate from bench::harness::cell_seed so a fleet shard
+    // and a matrix cell with the same index never share a stream.
+    mtat_bench::harness::cell_seed(fleet_seed ^ 0xF1EE_7000_0000_0001, shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..10_000).map(|i| shard_seed(7, i)).collect();
+        let unique: HashSet<_> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "seed collision");
+        assert_eq!(shard_seed(7, 42), shard_seed(7, 42));
+        assert_ne!(shard_seed(7, 42), shard_seed(8, 42));
+        // Domain separation from matrix cells.
+        assert_ne!(shard_seed(7, 42), mtat_bench::harness::cell_seed(7, 42));
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared environment-variable parsing for the workspace's runtime
+//! switches.
+//!
+//! Every `MTAT_*` knob historically rolled its own parse: `MTAT_OBS`
+//! and `MTAT_TRACE` accepted `off`/`false`/`no`, `MTAT_AUDIT` only
+//! `0`/empty, and `MTAT_BENCH_THREADS` silently ignored garbage. This
+//! module is the single vocabulary all of them now share:
+//!
+//! * **flags** ([`env_flag`]) — `""`, `0`, `off`, `false`, `no` (any
+//!   case) mean *off*; `1`, `on`, `true`, `yes` mean *on*; anything
+//!   else **warns on stderr** and is treated as *on* (a set variable is
+//!   a request for the feature — the warning surfaces the typo instead
+//!   of silently flipping the default).
+//! * **numbers** ([`env_usize`]) — a trimmed base-10 `usize`; anything
+//!   else **warns on stderr** and reads as unset, so the caller's
+//!   documented default applies rather than a silent one.
+//!
+//! Warnings are de-duplicated per `(variable, value)` pair so a harness
+//! calling [`env_usize`] once per matrix does not spam the log.
+//!
+//! The callers, and their defaults when the variable is unset:
+//!
+//! | variable | parser | unset default |
+//! |---|---|---|
+//! | `MTAT_OBS` | [`env_flag`] | off |
+//! | `MTAT_TRACE` | [`env_flag`] | off |
+//! | `MTAT_AUDIT` | [`env_flag`] | on in debug builds, off in release |
+//! | `MTAT_BENCH_THREADS` | [`env_usize`] | `available_parallelism` |
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+
+/// Warn once per `(name, value)` pair; repeated reads of the same
+/// garbage stay quiet.
+fn warn_once(name: &str, value: &str, hint: &str) {
+    static SEEN: OnceLock<Mutex<BTreeSet<(String, String)>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    if seen
+        .lock()
+        .expect("env warn set poisoned")
+        .insert((name.to_string(), value.to_string()))
+    {
+        eprintln!("# warning: unrecognized {name}={value:?}; {hint}");
+    }
+}
+
+/// Parses the boolean switch `name`.
+///
+/// Returns `None` when the variable is unset (callers apply their own
+/// default), `Some(false)` for an explicit negative (empty, `0`,
+/// `off`, `false`, `no`, any case), `Some(true)` for an explicit
+/// positive (`1`, `on`, `true`, `yes`, any case). Any other value
+/// warns on stderr and reads as `Some(true)` — a set variable asks for
+/// the feature, and the warning beats a silent default.
+#[must_use]
+pub fn env_flag(name: &str) -> Option<bool> {
+    let v = std::env::var(name).ok()?;
+    let t = v.trim();
+    if t.is_empty()
+        || t == "0"
+        || t.eq_ignore_ascii_case("off")
+        || t.eq_ignore_ascii_case("false")
+        || t.eq_ignore_ascii_case("no")
+    {
+        return Some(false);
+    }
+    if t != "1"
+        && !t.eq_ignore_ascii_case("on")
+        && !t.eq_ignore_ascii_case("true")
+        && !t.eq_ignore_ascii_case("yes")
+    {
+        warn_once(
+            name,
+            &v,
+            "treating as on (use 1/on/true/yes or 0/off/false/no)",
+        );
+    }
+    Some(true)
+}
+
+/// Parses the numeric knob `name` as a base-10 `usize`.
+///
+/// Returns `None` when the variable is unset **or** unparseable; the
+/// unparseable case warns on stderr so the caller's documented default
+/// applies loudly rather than silently.
+#[must_use]
+pub fn env_usize(name: &str) -> Option<usize> {
+    let v = std::env::var(name).ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            warn_once(
+                name,
+                &v,
+                "expected a non-negative integer; using the default",
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global env mutations race with other tests, so every
+    // case here uses a variable name unique to this test binary and
+    // restores the slate afterwards.
+
+    #[test]
+    fn flag_vocabulary() {
+        let name = "MTAT_TEST_FLAG_VOCAB";
+        assert_eq!(env_flag(name), None);
+        for (val, want) in [
+            ("", false),
+            ("0", false),
+            ("off", false),
+            ("OFF", false),
+            ("False", false),
+            ("no", false),
+            ("1", true),
+            ("on", true),
+            ("TRUE", true),
+            ("yes", true),
+            (" on ", true),
+        ] {
+            std::env::set_var(name, val);
+            assert_eq!(env_flag(name), Some(want), "value {val:?}");
+        }
+        // Garbage warns but still reads as on.
+        std::env::set_var(name, "maybe");
+        assert_eq!(env_flag(name), Some(true));
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn usize_vocabulary() {
+        let name = "MTAT_TEST_USIZE_VOCAB";
+        assert_eq!(env_usize(name), None);
+        std::env::set_var(name, " 12 ");
+        assert_eq!(env_usize(name), Some(12));
+        std::env::set_var(name, "0");
+        assert_eq!(env_usize(name), Some(0));
+        // Garbage warns and reads as unset.
+        std::env::set_var(name, "three");
+        assert_eq!(env_usize(name), None);
+        std::env::set_var(name, "-4");
+        assert_eq!(env_usize(name), None);
+        std::env::remove_var(name);
+    }
+}

@@ -74,6 +74,7 @@
 //! bit-identical (asserted by `mtat-core`'s integration tests).
 
 pub mod bucket;
+pub mod env;
 pub mod event;
 pub mod export;
 pub mod hist;
@@ -99,7 +100,7 @@ use span::{SpanGuard, Tracer};
 /// smoke test relies on the disabled path being the ambient one.
 #[must_use]
 pub fn obs_enabled() -> bool {
-    env_flag("MTAT_OBS")
+    env::env_flag("MTAT_OBS").unwrap_or(false)
 }
 
 /// Returns whether `MTAT_TRACE` asks for span tracing + decision
@@ -110,23 +111,7 @@ pub fn obs_enabled() -> bool {
 /// a traced handle regardless of `MTAT_OBS`).
 #[must_use]
 pub fn trace_enabled() -> bool {
-    env_flag("MTAT_TRACE")
-}
-
-/// Shared opt-in parse for the observability env switches: a variable
-/// is on when set to anything except an explicit negative
-/// (empty, `0`, `off`, `false`, `no`, any case).
-fn env_flag(name: &str) -> bool {
-    match std::env::var(name) {
-        Ok(v) => {
-            !(v.is_empty()
-                || v == "0"
-                || v.eq_ignore_ascii_case("off")
-                || v.eq_ignore_ascii_case("false")
-                || v.eq_ignore_ascii_case("no"))
-        }
-        Err(_) => false,
-    }
+    env::env_flag("MTAT_TRACE").unwrap_or(false)
 }
 
 #[derive(Debug)]

@@ -114,6 +114,36 @@ impl Registry {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
+    /// Folds `other` into `self` — the fleet-aggregation primitive
+    /// (one registry per shard, merged in shard order after the run):
+    ///
+    /// * counters **add** (totals across shards stay totals);
+    /// * gauges are **last-write-wins in merge order** — merging shard
+    ///   registries 0..N deterministically leaves shard N−1's value,
+    ///   unlike sharing one live registry across concurrent runs, where
+    ///   the final writer is a scheduling race;
+    /// * histograms **merge bucket-wise** ([`Histogram::merge`]), so
+    ///   fleet-level quantiles come from the union of observations.
+    ///
+    /// Merging is associative, and commutative except for the gauge
+    /// order; callers wanting order-independent output should merge in
+    /// a canonical (e.g. shard-id) order.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_set(k, *v);
+        }
+        for (k, h) in &other.hists {
+            if let Some(mine) = self.hists.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.hists.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
     /// Snapshot as a pretty-printed JSON object with `counters`,
     /// `gauges`, and `histograms` sections; histograms export count,
     /// min/max/mean, and the standard quantile ladder.
@@ -238,6 +268,55 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.min(), 10);
         assert_eq!(h.max(), 20);
+    }
+
+    #[test]
+    fn merge_combines_all_metric_kinds() {
+        let mut a = Registry::new();
+        a.counter_add("c.shared", 2);
+        a.counter_add("c.only_a", 1);
+        a.gauge_set("g", 1.0);
+        a.observe_n("h.shared", 10, 3);
+        let mut b = Registry::new();
+        b.counter_add("c.shared", 5);
+        b.counter_add("c.only_b", 7);
+        b.gauge_set("g", 2.5);
+        b.observe_n("h.shared", 40, 2);
+        b.observe("h.only_b", 9);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c.shared"), 7);
+        assert_eq!(a.counter("c.only_a"), 1);
+        assert_eq!(a.counter("c.only_b"), 7);
+        // Gauges: last write (the merged-in registry) wins.
+        assert_eq!(a.gauge("g"), Some(2.5));
+        let h = a.histogram("h.shared").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert_eq!(a.histogram("h.only_b").unwrap().count(), 1);
+        // `b` is untouched.
+        assert_eq!(b.counter("c.shared"), 5);
+    }
+
+    #[test]
+    fn merge_is_associative_on_counters_and_hists() {
+        let mk = |seed: u64| {
+            let mut r = Registry::new();
+            r.counter_add("n", seed);
+            r.observe("h", seed * 10 + 1);
+            r
+        };
+        let (x, y, z) = (mk(1), mk(2), mk(3));
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x.clone();
+        right.merge(&yz);
+        assert_eq!(left.counter("n"), right.counter("n"));
+        assert_eq!(left.to_json(), right.to_json());
     }
 
     #[test]

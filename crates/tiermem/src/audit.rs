@@ -139,16 +139,17 @@ impl std::error::Error for AuditViolation {}
 
 /// Whether the per-tick invariant audit should run.
 ///
-/// * `MTAT_AUDIT=0` — force off (even in debug builds).
-/// * `MTAT_AUDIT=<anything else, non-empty>` — force on (the release
-///   opt-in; CI runs the release test suite once this way).
+/// Parsed with the workspace-shared vocabulary
+/// ([`mtat_obs::env::env_flag`]):
+///
+/// * `MTAT_AUDIT=0`/`off`/`false`/`no`/empty — force off (even in
+///   debug builds).
+/// * `MTAT_AUDIT=1`/`on`/`true`/`yes` — force on (the release opt-in;
+///   CI runs the release test suite once this way). Any other set
+///   value warns on stderr and reads as on.
 /// * unset — on in debug/test builds (`debug_assertions`), off in release.
 pub fn audit_enabled() -> bool {
-    match std::env::var("MTAT_AUDIT") {
-        Ok(v) if v == "0" || v.is_empty() => false,
-        Ok(_) => true,
-        Err(_) => cfg!(debug_assertions),
-    }
+    mtat_obs::env::env_flag("MTAT_AUDIT").unwrap_or(cfg!(debug_assertions))
 }
 
 #[cfg(test)]
