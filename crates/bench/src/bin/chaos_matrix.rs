@@ -29,6 +29,7 @@
 //! assertion cells (the PR-gate mode).
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mtat_bench::{harness, make_policy};
 use mtat_core::config::SimConfig;
@@ -36,6 +37,7 @@ use mtat_core::runner::{CheckpointCfg, Experiment};
 use mtat_core::stats::RunResult;
 use mtat_core::HealthConfig;
 use mtat_obs::export::{json_f64, json_opt_f64};
+use mtat_obs::serve::{TelemetryHub, TelemetryServer};
 use mtat_obs::{obs_enabled, trace_enabled, Obs};
 use mtat_tiermem::faults::FaultPlan;
 use mtat_workloads::be::BeSpec;
@@ -96,6 +98,63 @@ fn heal_arms() -> Vec<(&'static str, HealthConfig)> {
         ("crash_stop", HealthConfig::crash_stop()),
         ("no_rollback", HealthConfig::no_rollback()),
     ]
+}
+
+/// Live cell-progress publisher: counts completed matrix cells and,
+/// when `--serve` is up, pushes each completion into the hub's event
+/// tail and refreshes the `/status` document. Cells finish on worker
+/// threads in a nondeterministic order, so the counter is atomic and
+/// the published document carries only monotone aggregate state — the
+/// matrix results themselves are untouched (serving is read-only).
+struct MatrixProgress {
+    hub: Option<TelemetryHub>,
+    done: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl MatrixProgress {
+    fn new(hub: Option<TelemetryHub>) -> Self {
+        Self {
+            hub,
+            done: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Announces `n` more cells in flight (called once per sub-matrix).
+    fn add_cells(&self, n: usize, section: &str) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+        if let Some(hub) = &self.hub {
+            hub.push_event(format!("section {section}: {n} cells queued"));
+        }
+        self.publish("running");
+    }
+
+    fn cell_done(&self, label: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(hub) = &self.hub {
+            hub.push_event(format!(
+                "cell done ({done}/{}): {label}",
+                self.total.load(Ordering::Relaxed)
+            ));
+        }
+        self.publish("running");
+    }
+
+    fn publish(&self, phase: &str) {
+        let Some(hub) = &self.hub else { return };
+        let done = self.done.load(Ordering::Relaxed);
+        let total = self.total.load(Ordering::Relaxed);
+        let progress = if total == 0 {
+            0.0
+        } else {
+            done as f64 / total as f64
+        };
+        hub.publish_status(format!(
+            "{{\"harness\":\"chaos_matrix\",\"phase\":\"{phase}\",\"cells_done\":{done},\
+             \"cells_total\":{total},\"progress\":{progress:.4}}}"
+        ));
+    }
 }
 
 /// Extracts a printable message from a caught panic payload.
@@ -267,6 +326,7 @@ fn run_adversarial(
     lc: &LcSpec,
     bes: &[BeSpec],
     base: &Experiment,
+    progress: &MatrixProgress,
 ) -> Vec<RunResult> {
     // The adversarial matrix runs in the §7 bandwidth-constrained regime
     // (25.6 GB/s FMem, 12 GB/s SMem) instead of the paper-scale one. At
@@ -297,6 +357,7 @@ fn run_adversarial(
             }
         }
     }
+    progress.add_cells(cells.len(), "adversarial");
     let runs = unwrap_cells(harness::run_matrix(
         &cells,
         harness::worker_count(cells.len()),
@@ -312,6 +373,7 @@ fn run_adversarial(
                 exp.with_obs(tele.clone()).run(p.as_mut())
             }))
             .map_err(panic_message);
+            progress.cell_done(&label);
             (label, res)
         },
     ));
@@ -407,6 +469,26 @@ fn run_adversarial(
     runs
 }
 
+/// Final serving state: the aggregated registry lands on `/metrics`,
+/// `/status` flips to done, and the listener shuts down. No-op when
+/// `--serve` was not given.
+fn finish_serving(
+    tele: &Obs,
+    hub: &TelemetryHub,
+    server: Option<TelemetryServer>,
+    progress: &MatrixProgress,
+) {
+    if server.is_none() {
+        return;
+    }
+    if let Some(prom) = tele.snapshot_prometheus(&[("bench", "chaos_matrix")]) {
+        hub.publish_metrics(prom);
+    }
+    progress.publish("done");
+    hub.publish_health("done", true);
+    drop(server);
+}
+
 /// Writes the span-trace document (spans + decision provenance) to
 /// `path`. No-op unless the handle traces and a path was given.
 fn emit_trace(tele: &Obs, path: Option<&str>) {
@@ -428,6 +510,10 @@ fn main() {
     // enabled by `MTAT_TRACE=on`, which prints nothing without a path).
     // `--quick` runs only the adversarial assertion cells (thrash and
     // blowup scenarios, both arms, all policies) — the PR-gate mode.
+    // `--serve ADDR` exposes the matrix live over HTTP: `/status`
+    // tracks cell completion, `/events` tails one line per finished
+    // cell, and `/metrics` carries the aggregated registry once the
+    // matrix is done.
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let trace = args
@@ -445,17 +531,35 @@ fn main() {
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let serve = args
+        .iter()
+        .position(|a| a == "--serve")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // One registry shared by every cell: counters and histograms
     // aggregate across the whole matrix. Telemetry never perturbs the
     // simulation, so the report below is byte-identical either way.
+    // Serving needs the registry for /metrics, so --serve implies it.
     let tele = if trace_out.is_some() || trace_enabled() {
         Obs::traced()
-    } else if obs_enabled() || metrics_out.is_some() {
+    } else if obs_enabled() || metrics_out.is_some() || serve.is_some() {
         Obs::enabled()
     } else {
         Obs::disabled()
     };
+
+    let hub = TelemetryHub::new();
+    let server: Option<TelemetryServer> = serve.as_deref().map(|addr| {
+        let s = TelemetryServer::bind(addr, hub.clone())
+            .unwrap_or_else(|e| panic!("cannot serve on {addr}: {e}"));
+        eprintln!("# serving telemetry on http://{}/", s.local_addr());
+        s
+    });
+    let progress = MatrixProgress::new(server.as_ref().map(|_| hub.clone()));
+    if server.is_some() {
+        hub.publish_health("running", true);
+    }
 
     let cfg = SimConfig::paper();
     let lc = LcSpec::redis();
@@ -473,7 +577,7 @@ fn main() {
         println!("{{");
         println!("  \"lc\": \"{}\",", lc.name);
         print!("  \"adversarial\": ");
-        let runs = run_adversarial(true, &tele, &cfg, &lc, &bes, &base);
+        let runs = run_adversarial(true, &tele, &cfg, &lc, &bes, &base, &progress);
         println!(
             "  ,\"workers\": {}, \"cells\": {}",
             harness::worker_count(runs.len()),
@@ -482,6 +586,7 @@ fn main() {
         println!("}}");
         emit_metrics(&tele, &runs, metrics_out.as_deref());
         emit_trace(&tele, trace_out.as_deref());
+        finish_serving(&tele, &hub, server, &progress);
         return;
     }
 
@@ -492,6 +597,7 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown scenario {scenario}"))
             .1;
         let exp = base.with_fault_plan(plan);
+        progress.add_cells(POLICIES.len(), "trace");
         let runs = unwrap_cells(harness::run_matrix(
             &POLICIES,
             harness::worker_count(POLICIES.len()),
@@ -505,6 +611,7 @@ fn main() {
                         .run(p.as_mut())
                 }))
                 .map_err(panic_message);
+                progress.cell_done(&label);
                 (label, res)
             },
         ));
@@ -514,6 +621,7 @@ fn main() {
         }
         emit_metrics(&tele, &runs, metrics_out.as_deref());
         emit_trace(&tele, trace_out.as_deref());
+        finish_serving(&tele, &hub, server, &progress);
         return;
     }
 
@@ -530,6 +638,7 @@ fn main() {
             cells.push((Some(si), name));
         }
     }
+    progress.add_cells(cells.len(), "faults");
     let runs = unwrap_cells(harness::run_matrix(
         &cells,
         harness::worker_count(cells.len()),
@@ -549,6 +658,7 @@ fn main() {
                 exp.with_obs(tele.clone()).run(p.as_mut())
             }))
             .map_err(panic_message);
+            progress.cell_done(&label);
             (label, res)
         },
     ));
@@ -655,6 +765,7 @@ fn main() {
             heal_cells.push((si, ai));
         }
     }
+    progress.add_cells(heal_cells.len(), "self_healing");
     let heal_runs = unwrap_cells(harness::run_matrix(
         &heal_cells,
         harness::worker_count(heal_cells.len()),
@@ -671,6 +782,7 @@ fn main() {
                 exp.with_obs(tele.clone()).run(p.as_mut())
             }))
             .map_err(panic_message);
+            progress.cell_done(&label);
             (label, res)
         },
     ));
@@ -714,7 +826,7 @@ fn main() {
 
     // ---- Adversarial workload dynamics: hardened vs naive vs rivals ----
     print!("  \"adversarial\": ");
-    let adv_runs = run_adversarial(false, &tele, &cfg, &lc, &bes, &base);
+    let adv_runs = run_adversarial(false, &tele, &cfg, &lc, &bes, &base, &progress);
 
     let all_runs: Vec<RunResult> = runs
         .iter()
@@ -730,6 +842,7 @@ fn main() {
     println!("}}");
     emit_metrics(&tele, &all_runs, metrics_out.as_deref());
     emit_trace(&tele, trace_out.as_deref());
+    finish_serving(&tele, &hub, server, &progress);
 
     eprintln!("# heal scenario\tarm\tviolation_rate\tbe_throughput");
     for (s, stats, wins) in &heal_verdicts {

@@ -9,7 +9,7 @@
 //!          [--load fig7 | --load 0.8 | --load spike]
 //!          [--duration SECS] [--seed N] [--lc-cores N]
 //!          [--be sssp,bfs,pr,xsbench] [--timeseries]
-//!          [--trace-out PATH]
+//!          [--trace-out PATH] [--serve ADDR]
 //! ```
 //!
 //! Examples:
@@ -24,6 +24,8 @@ use std::process::ExitCode;
 use mtat_bench::make_policy;
 use mtat_core::config::SimConfig;
 use mtat_core::runner::Experiment;
+use mtat_obs::alert::AlertRule;
+use mtat_obs::serve::{TelemetryHub, TelemetryServer};
 use mtat_obs::Obs;
 use mtat_workloads::be::BeSpec;
 use mtat_workloads::lc::LcSpec;
@@ -39,12 +41,14 @@ struct Args {
     be: Vec<String>,
     timeseries: bool,
     trace_out: Option<String>,
+    serve: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: mtat_sim [--lc NAME] [--policy NAME] [--load fig7|spike|FRAC]\n\
      \x20               [--duration SECS] [--seed N] [--lc-cores N]\n\
      \x20               [--be a,b,c] [--timeseries] [--trace-out PATH]\n\
+     \x20               [--serve ADDR]\n\
      \n\
      LC workloads:  redis (default), memcached, mongodb, silo\n\
      policies:      mtat_full (default), mtat_lc_only, memtis, tpp,\n\
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         be: vec!["sssp".into(), "bfs".into(), "pr".into(), "xsbench".into()],
         timeseries: false,
         trace_out: None,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--timeseries" => args.timeseries = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--serve" => args.serve = Some(value("--serve")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -156,11 +162,36 @@ fn run() -> Result<(), String> {
         exp = exp.with_duration(d);
     }
     // Tracing never perturbs the simulation; attaching a traced handle
-    // only when asked keeps the default run allocation-free.
-    let tele = args.trace_out.as_ref().map(|_| Obs::traced());
+    // only when asked keeps the default run allocation-free. Serving
+    // needs a live registry for /metrics, so --serve implies at least a
+    // metrics-enabled handle.
+    let tele = if args.trace_out.is_some() {
+        Some(Obs::traced())
+    } else if args.serve.is_some() {
+        Some(Obs::enabled())
+    } else {
+        None
+    };
     if let Some(t) = &tele {
         exp = exp.with_obs(t.clone());
     }
+    // Live telemetry plane: interval snapshots flow to the hub; the
+    // server threads only read them, so the run is bit-identical with
+    // serving on or off. The SLO burn-rate alert engine rides along so
+    // /status shows firing alerts on a struggling run.
+    let _server = match args.serve.as_deref() {
+        Some(addr) => {
+            let hub = TelemetryHub::new();
+            let s = TelemetryServer::bind(addr, hub.clone())
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            eprintln!("serving telemetry on http://{}/", s.local_addr());
+            exp = exp
+                .with_hub(hub)
+                .with_alerts(AlertRule::default_rules(0.01));
+            Some(s)
+        }
+        None => None,
+    };
 
     eprintln!(
         "running {} under {} for {:.0}s (ref max {:.1} KRPS, seed {:#x})",
@@ -208,6 +239,13 @@ fn run() -> Result<(), String> {
         result.total_migration_bytes as f64 / (1u64 << 30) as f64,
         result.avg_migration_bw() / 1e9
     );
+    if args.serve.is_some() {
+        let fired = result.alerts.iter().filter(|a| a.to == "firing").count();
+        eprintln!(
+            "alerts:               {} transitions, {fired} fired",
+            result.alerts.len()
+        );
+    }
     Ok(())
 }
 

@@ -15,6 +15,10 @@
 //! mtat-trace export --chrome FILE         Chrome trace-event JSON
 //!                                         (open in Perfetto)
 //! mtat-trace export --folded FILE         collapsed stacks (inferno)
+//! mtat-trace promlint FILE|-              lint a Prometheus scrape
+//!                                         (a `/metrics` response or
+//!                                         `--metrics-out` file; `-`
+//!                                         reads stdin)
 //! ```
 
 use std::io::Write;
@@ -27,6 +31,12 @@ fn usage() -> &'static str {
      \x20      mtat-trace slowest-phases FILE [-n N]\n\
      \x20      mtat-trace plan TICK FILE\n\
      \x20      mtat-trace export --chrome|--folded FILE\n\
+     \x20      mtat-trace promlint FILE|-\n\
+     \n\
+     promlint checks a Prometheus text-format scrape (a /metrics\n\
+     response, or a --metrics-out file) the way `promtool check\n\
+     metrics` would: parse errors and structural lint issues are\n\
+     reported one per line and exit nonzero.\n\
      \n\
      FILE is a trace document produced by --trace-out (mtat_sim,\n\
      chaos_matrix) or Obs::trace_json. Chrome exports load directly in\n\
@@ -71,6 +81,24 @@ fn run(args: &[String]) -> Result<String, String> {
                 "--chrome" => Ok(trace::export_chrome(&doc)),
                 "--folded" => Ok(trace::export_folded(&doc)),
                 other => Err(format!("unknown export format {other}")),
+            }
+        }
+        "promlint" => {
+            let path = args.get(1).ok_or("promlint needs FILE (or - for stdin)")?;
+            let text = if path == "-" {
+                let mut buf = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+            };
+            let samples = mtat_obs::promlint::parse(&text).map_err(|e| format!("parse: {e}"))?;
+            let issues = mtat_obs::promlint::lint(&text);
+            if issues.is_empty() {
+                Ok(format!("OK: {} samples, 0 lint issues\n", samples.len()))
+            } else {
+                Err(issues.join("\n"))
             }
         }
         "--help" | "-h" => Err(String::new()),

@@ -14,17 +14,26 @@
 //!   detection, rollback, and re-learning are all part of the
 //!   deterministic simulation.
 //!
-//! Usage: `soak [--hours N] [--quick] [--seed S] [--out DIR]`
+//! Usage: `soak [--hours N] [--quick] [--seed S] [--out DIR] [--serve ADDR]`
 //!
 //! `--quick` is the PR-gate variant (~2 simulated hours, every fault
 //! kind exercised once). The default 48 simulated hours is the nightly
-//! soak; `--out DIR` writes the health event log (JSONL), the final
-//! flight-recorder dump, and a metrics snapshot for CI artifacts.
+//! soak; `--out DIR` writes the health event log (JSONL), the SLO
+//! alert log (JSONL), the final flight-recorder dump, and a metrics
+//! snapshot for CI artifacts.
+//!
+//! `--serve ADDR` exposes the instrumented pass live over HTTP
+//! (`/metrics`, `/healthz`, `/status`, `/events`); both passes run the
+//! SLO burn-rate alert engine either way, and the contract asserts the
+//! two passes' alert transition logs are identical — alerting is part
+//! of the deterministic replay.
 
 use mtat_bench::make_policy;
 use mtat_core::config::SimConfig;
 use mtat_core::runner::{CheckpointCfg, Experiment};
 use mtat_core::{HealthConfig, HealthState};
+use mtat_obs::alert::AlertRule;
+use mtat_obs::serve::{TelemetryHub, TelemetryServer};
 use mtat_obs::Obs;
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
 use mtat_tiermem::GIB;
@@ -34,6 +43,14 @@ use mtat_workloads::load::LoadPattern;
 
 const POLICY: &str = "mtat_full_supervised";
 const STORM_PERIOD_HOURS: f64 = 6.0;
+
+/// SLO error budget fed to the burn-rate alert rules: 1 % of requests
+/// may violate — the conventional "two nines and a half" starting
+/// point. A healthy soak fires nothing (the self-healing runtime keeps
+/// the violation rate at zero through every fault storm — that silence
+/// is itself part of the contract); the alert log artifact is the
+/// evidence, and the replay assert pins its determinism either way.
+const SLO_BUDGET: f64 = 0.01;
 
 /// Diurnal load: one-hour steps tracing a smooth day curve — trough
 /// 0.35 at midnight, peak 0.75 midday. Purely a function of the hour,
@@ -160,6 +177,7 @@ fn main() {
     };
     let seed: u64 = opt("--seed").map_or(7, |v| v.parse().expect("--seed takes a number"));
     let out = opt("--out");
+    let serve = opt("--serve");
 
     let (exp, incident_windows) = build_experiment(hours, seed);
     eprintln!(
@@ -168,24 +186,47 @@ fn main() {
         incident_windows
     );
 
-    // Pass 1: instrumented run — health events and the flight recorder
-    // come from here.
+    // Live telemetry plane: the hub receives interval snapshots from
+    // the instrumented pass; server threads only ever read them, so the
+    // replay contract below covers serving too (pass 2 runs with no hub
+    // attached and must still be bit-identical).
+    let hub = TelemetryHub::new();
+    let server: Option<TelemetryServer> = serve.as_deref().map(|addr| {
+        let s = TelemetryServer::bind(addr, hub.clone())
+            .unwrap_or_else(|e| panic!("cannot serve on {addr}: {e}"));
+        eprintln!("# serving telemetry on http://{}/", s.local_addr());
+        s
+    });
+
+    // Pass 1: instrumented run — health events, the flight recorder,
+    // and the SLO alert log come from here.
     let tele = Obs::enabled();
     let t0 = std::time::Instant::now();
     let r1 = {
-        let exp = exp.clone().with_obs(tele.clone());
+        let mut exp = exp
+            .clone()
+            .with_obs(tele.clone())
+            .with_alerts(AlertRule::default_rules(SLO_BUDGET));
+        if server.is_some() {
+            exp = exp.with_hub(hub.clone());
+        }
         let mut p = make_policy(POLICY, &exp.cfg, &exp.lc, &exp.bes);
         exp.run(p.as_mut())
     };
     eprintln!(
-        "# pass 1: {} ticks in {:.1}s wall",
+        "# pass 1: {} ticks in {:.1}s wall, {} alert transitions",
         r1.ticks.len(),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64(),
+        r1.alerts.len()
     );
 
-    // Pass 2: telemetry off — physics must not notice, and the whole
-    // run (detection, rollback, re-learning) must replay bit-for-bit.
+    // Pass 2: telemetry and serving off — physics must not notice, and
+    // the whole run (detection, rollback, re-learning, alerting) must
+    // replay bit-for-bit.
     let r2 = {
+        let exp = exp
+            .clone()
+            .with_alerts(AlertRule::default_rules(SLO_BUDGET));
         let mut p = make_policy(POLICY, &exp.cfg, &exp.lc, &exp.bes);
         exp.run(p.as_mut())
     };
@@ -217,6 +258,11 @@ fn main() {
         r1.violation_rate_after(20.0),
         r1.be_total_throughput()
     );
+    let fired = r1.alerts.iter().filter(|a| a.to == "firing").count();
+    println!(
+        "  \"alert_transitions\": {}, \"alerts_fired\": {fired},",
+        r1.alerts.len()
+    );
     println!("  \"digest\": \"{d1:016x}\", \"replay_digest\": \"{d2:016x}\"");
     println!("}}");
 
@@ -225,6 +271,9 @@ fn main() {
         let events: String = h.events.iter().map(|e| e.jsonl() + "\n").collect();
         let ev_path = format!("{dir}/health_events.jsonl");
         std::fs::write(&ev_path, events).unwrap_or_else(|e| panic!("write {ev_path}: {e}"));
+        let al_path = format!("{dir}/alerts.jsonl");
+        std::fs::write(&al_path, r1.alerts_jsonl())
+            .unwrap_or_else(|e| panic!("write {al_path}: {e}"));
         let dump = tele
             .dump_flight_recorder("soak end")
             .unwrap_or_else(|| "(flight recorder empty)".to_string());
@@ -234,7 +283,7 @@ fn main() {
             let m_path = format!("{dir}/metrics.json");
             std::fs::write(&m_path, json).unwrap_or_else(|e| panic!("write {m_path}: {e}"));
         }
-        eprintln!("# wrote {ev_path}, {fr_path}");
+        eprintln!("# wrote {ev_path}, {al_path}, {fr_path}");
     }
 
     // ---- The soak contract ----
@@ -261,8 +310,17 @@ fn main() {
         h.final_state
     );
     assert_eq!(d1, d2, "soak replay must be bit-identical");
+    // Alert transitions — rule, sim-time timestamp, states, and burn
+    // rates — are part of the deterministic replay, served or not.
+    assert_eq!(
+        r1.alerts, r2.alerts,
+        "alert transition log must replay bit-identically"
+    );
+    drop(server);
     eprintln!(
-        "# soak OK: {} rollbacks, {} repairs, digest {d1:016x}",
-        h.rollbacks, h.repairs
+        "# soak OK: {} rollbacks, {} repairs, {} alert transitions, digest {d1:016x}",
+        h.rollbacks,
+        h.repairs,
+        r1.alerts.len()
     );
 }

@@ -23,7 +23,11 @@
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
+use mtat_obs::alert::{AlertRule, AlertState, BurnRateEngine};
 use mtat_obs::event::Severity;
+use mtat_obs::export::{json_f64, json_string};
+use mtat_obs::registry::GaugeMerge;
+use mtat_obs::serve::TelemetryHub;
 use mtat_obs::Obs;
 use mtat_snapshot::{seal, unseal, CheckpointStore, SnapError};
 use mtat_tiermem::bandwidth::BandwidthModel;
@@ -46,7 +50,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::SimConfig;
 use crate::health::{Directive, HealthConfig, HealthMonitor, Incident};
 use crate::policy::{Policy, SimState, WorkloadClass, WorkloadObs};
-use crate::stats::{RunResult, TickRecord};
+use crate::stats::{AlertRecord, RunResult, TickRecord};
 
 /// A configured co-location experiment.
 #[derive(Debug, Clone)]
@@ -103,6 +107,20 @@ pub struct Experiment {
     /// boundaries, and the active phase id is threaded into obs events
     /// and decision provenance.
     pub scenario: Option<ScenarioSpec>,
+    /// Live telemetry hub ([`mtat_obs::serve`]). `None` (the default)
+    /// publishes nothing. With a hub attached, the runner pushes
+    /// rendered metrics/health/status snapshots at partitioning-interval
+    /// boundaries and tails the event stream into the hub's SSE ring.
+    /// The hub is publish-only — HTTP server threads read immutable
+    /// snapshots and nothing flows back — so runs are bit-identical
+    /// with serving on or off.
+    pub hub: Option<TelemetryHub>,
+    /// SLO burn-rate alert rules ([`mtat_obs::alert`]). `None` (the
+    /// default) skips the engine entirely. Rules are evaluated on sim
+    /// time, so alert transitions — timestamps included — replay
+    /// bit-identically; the engine observes the run and never feeds
+    /// back into the physics.
+    pub alerts: Option<Vec<AlertRule>>,
 }
 
 /// Checkpointing and crash-recovery configuration for a run.
@@ -306,6 +324,60 @@ fn handle_incidents(
     Ok(())
 }
 
+/// Renders the `/status` JSON document published to the telemetry hub:
+/// run progress, the active scenario phase, the supervisor's degradation
+/// mode, health state, and currently firing alerts. Hand-rolled like the
+/// rest of the JSON surface — the schema is small and dependency-free.
+#[allow(clippy::too_many_arguments)]
+fn render_status(
+    policy: &str,
+    tick: u64,
+    n_ticks: u64,
+    now: f64,
+    duration: f64,
+    phase: Option<(u32, &str)>,
+    supervisor: Option<&'static str>,
+    health: &str,
+    firing: &[&str],
+    violated_ticks: u64,
+) -> String {
+    let progress = if n_ticks == 0 {
+        1.0
+    } else {
+        (tick + 1) as f64 / n_ticks as f64
+    };
+    let mut s = String::with_capacity(256);
+    s.push('{');
+    s.push_str(&format!("\"policy\":{},", json_string(policy)));
+    s.push_str(&format!("\"tick\":{tick},\"ticks_total\":{n_ticks},"));
+    s.push_str(&format!("\"t_secs\":{},", json_f64(now)));
+    s.push_str(&format!("\"duration_secs\":{},", json_f64(duration)));
+    s.push_str(&format!("\"progress\":{},", json_f64(progress)));
+    match phase {
+        Some((id, label)) => s.push_str(&format!(
+            "\"scenario_phase\":{{\"id\":{id},\"label\":{}}},",
+            json_string(label)
+        )),
+        None => s.push_str("\"scenario_phase\":null,"),
+    }
+    match supervisor {
+        Some(mode) => s.push_str(&format!("\"supervisor_mode\":{},", json_string(mode))),
+        None => s.push_str("\"supervisor_mode\":null,"),
+    }
+    s.push_str(&format!("\"health\":{},", json_string(health)));
+    s.push_str("\"alerts_firing\":[");
+    for (i, name) in firing.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_string(name));
+    }
+    s.push_str("],");
+    s.push_str(&format!("\"violated_ticks\":{violated_ticks}"));
+    s.push('}');
+    s
+}
+
 impl Experiment {
     /// Creates an experiment. Duration defaults to the load pattern's
     /// length (or 240 s for open-ended patterns).
@@ -336,6 +408,8 @@ impl Experiment {
             slo_streak_dump: None,
             health: None,
             scenario: None,
+            hub: None,
+            alerts: None,
         }
     }
 
@@ -399,6 +473,22 @@ impl Experiment {
     /// [`TierMemError::InvalidConfig`] instead of panicking mid-run.
     pub fn with_scenario(mut self, spec: ScenarioSpec) -> Self {
         self.scenario = Some(spec);
+        self
+    }
+
+    /// Publishes live metrics/health/status snapshots (and an SSE tail
+    /// of the event stream) to a telemetry hub, typically one served
+    /// over HTTP by [`mtat_obs::serve::TelemetryServer`] (see
+    /// [`Experiment::hub`]).
+    pub fn with_hub(mut self, hub: TelemetryHub) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Arms the SLO burn-rate alert engine with the given rules (see
+    /// [`Experiment::alerts`] and [`mtat_obs::alert`]).
+    pub fn with_alerts(mut self, rules: Vec<AlertRule>) -> Self {
+        self.alerts = Some(rules);
         self
     }
 
@@ -521,6 +611,19 @@ impl Experiment {
             );
         }
         policy.set_obs(&tele);
+        // Live telemetry plane: the hub receives rendered snapshots at
+        // interval boundaries plus a tail of every obs event. Server
+        // threads only ever read what is published here — publication
+        // is one-way, so serving cannot perturb the physics.
+        if let Some(hub) = &self.hub {
+            tele.attach_hub(hub);
+        }
+        // SLO burn-rate alerting, fed from the same per-tick violation
+        // verdict the SLO accounting uses. Sim-time windows only: the
+        // transition log (timestamps included) replays bit-identically.
+        let mut alert_engine: Option<BurnRateEngine> = self.alerts.clone().map(BurnRateEngine::new);
+        let mut alerts_seen = 0usize;
+        let mut violated_ticks: u64 = 0;
         // Root span for the whole run; every per-tick span nests under
         // it. Closed by the guard when `try_run` returns.
         let _run_span = tele.span(0.0, "run");
@@ -842,6 +945,50 @@ impl Experiment {
             lc_requests += offered * tick_secs;
             if violated {
                 lc_violated_requests += offered * tick_secs;
+                violated_ticks += 1;
+            }
+            if let Some(eng) = &mut alert_engine {
+                let reqs = offered * tick_secs;
+                eng.observe(now, if violated { reqs } else { 0.0 }, reqs);
+                let transitions = eng.transitions();
+                for t in &transitions[alerts_seen..] {
+                    if tele.is_enabled() {
+                        tele.count("alert.transitions", 1);
+                        tele.gauge_merged("alert.fast_burn", t.fast_burn, GaugeMerge::Max);
+                        let sev = if t.to == AlertState::Firing {
+                            Severity::Warn
+                        } else {
+                            Severity::Info
+                        };
+                        tele.event(
+                            now,
+                            "alert",
+                            sev,
+                            "transition",
+                            &[
+                                ("rule", t.rule.clone()),
+                                ("from", t.from.label().to_string()),
+                                ("to", t.to.label().to_string()),
+                                ("fast_burn", format!("{:.3}", t.fast_burn)),
+                                ("slow_burn", format!("{:.3}", t.slow_burn)),
+                            ],
+                        );
+                        if t.to == AlertState::Firing {
+                            tele.count("alert.firing", 1);
+                            // A firing alert is exactly the moment an
+                            // on-call would want the recent event tail.
+                            tele.dump_flight_recorder("alert firing");
+                        }
+                    }
+                }
+                alerts_seen = transitions.len();
+                if tele.is_enabled() {
+                    tele.gauge_merged(
+                        "alert.firing_now",
+                        eng.firing().len() as f64,
+                        GaugeMerge::Sum,
+                    );
+                }
             }
             if tele.is_enabled() {
                 tele.count("runner.ticks", 1);
@@ -1303,6 +1450,40 @@ impl Experiment {
                 smem_bw_util: smem_util,
                 degradation: policy.degradation(),
             });
+
+            // ---- Live telemetry publication ----
+            // Snapshots are rendered at interval boundaries (and on the
+            // final tick) and handed to the hub whole; scrapes between
+            // boundaries see the previous snapshot. Publication reads
+            // sim state but writes none back.
+            if let Some(hub) = &self.hub {
+                if interval_boundary || tick_index + 1 == n_ticks {
+                    if let Some(text) = tele.snapshot_prometheus(&[("policy", policy.name())]) {
+                        hub.publish_metrics(text);
+                    }
+                    let (hstate, serving) = match &monitor {
+                        Some(m) => (m.state().label(), !m.is_quarantined()),
+                        None => ("healthy", true),
+                    };
+                    hub.publish_health(hstate, serving);
+                    let firing: Vec<&str> = alert_engine
+                        .as_ref()
+                        .map(BurnRateEngine::firing)
+                        .unwrap_or_default();
+                    hub.publish_status(render_status(
+                        policy.name(),
+                        tick_index,
+                        n_ticks,
+                        now,
+                        self.duration_secs,
+                        phase.map(|p| (p.id, p.label.as_str())),
+                        policy.degradation().map(|d| d.label()),
+                        hstate,
+                        &firing,
+                        violated_ticks,
+                    ));
+                }
+            }
         }
 
         debug_assert!(mem.check_invariants().is_ok(), "placement invariants");
@@ -1334,6 +1515,9 @@ impl Experiment {
             duration_secs: duration,
             tick_secs,
             health: monitor.map(|m| m.summary(final_audit_ok)),
+            alerts: alert_engine
+                .map(|e| e.transitions().iter().map(AlertRecord::from).collect())
+                .unwrap_or_default(),
         })
     }
 

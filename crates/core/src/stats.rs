@@ -33,6 +33,58 @@ pub struct TickRecord {
     pub degradation: Option<DegradationState>,
 }
 
+/// One SLO alert state transition, as recorded in the run summary.
+///
+/// A serializable mirror of [`mtat_obs::alert::AlertTransition`] —
+/// states are carried as their lowercase labels so the record survives
+/// serde round-trips without coupling the obs crate to serde.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRecord {
+    /// Rule name (`slo_fast_burn`, ...).
+    pub rule: String,
+    /// Sim time of the transition (seconds).
+    pub at_secs: f64,
+    /// State label before (`inactive`/`pending`/`firing`).
+    pub from: String,
+    /// State label after.
+    pub to: String,
+    /// Fast-window burn rate at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the transition.
+    pub slow_burn: f64,
+}
+
+impl From<&mtat_obs::alert::AlertTransition> for AlertRecord {
+    fn from(t: &mtat_obs::alert::AlertTransition) -> Self {
+        Self {
+            rule: t.rule.clone(),
+            at_secs: t.at_secs,
+            from: t.from.label().to_string(),
+            to: t.to.label().to_string(),
+            fast_burn: t.fast_burn,
+            slow_burn: t.slow_burn,
+        }
+    }
+}
+
+impl AlertRecord {
+    /// One-line JSON record (the alert-log JSONL format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use mtat_obs::export::{json_f64, json_string};
+        format!(
+            "{{\"rule\":{},\"at_secs\":{},\"from\":{},\"to\":{},\
+             \"fast_burn\":{},\"slow_burn\":{}}}",
+            json_string(&self.rule),
+            json_f64(self.at_secs),
+            json_string(&self.from),
+            json_string(&self.to),
+            json_f64(self.fast_burn),
+            json_f64(self.slow_burn),
+        )
+    }
+}
+
 /// The result of one co-location run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -67,6 +119,11 @@ pub struct RunResult {
     /// Self-healing accounting (`None` when the health subsystem is
     /// disabled for the run).
     pub health: Option<crate::health::HealthSummary>,
+    /// SLO burn-rate alert transitions, in sim-time order (empty when
+    /// no alert rules were armed). Deterministic across replays —
+    /// timestamps included — because the engine runs on sim time only.
+    #[serde(default)]
+    pub alerts: Vec<AlertRecord>,
 }
 
 impl RunResult {
@@ -266,6 +323,19 @@ impl RunResult {
         mtat_snapshot::fnv1a64(&bytes)
     }
 
+    /// The alert transition log as JSONL (one record per line; empty
+    /// string when no rules were armed or none transitioned). This is
+    /// the artifact format the soak harness dumps and CI uploads.
+    #[must_use]
+    pub fn alerts_jsonl(&self) -> String {
+        let mut out = String::new();
+        for a in &self.alerts {
+            out.push_str(&a.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
     /// The TSV time series as a `String` (see [`Self::write_tsv`]).
     pub fn to_tsv_string(&self) -> String {
         let mut buf = Vec::new();
@@ -313,6 +383,7 @@ mod tests {
             duration_secs: 4.0,
             tick_secs: 1.0,
             health: None,
+            alerts: Vec::new(),
         }
     }
 

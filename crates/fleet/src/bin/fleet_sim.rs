@@ -10,7 +10,7 @@
 //! fleet_sim [--shards N] [--workers N] [--quick] [--check]
 //!           [--policy NAME] [--routing static|least|hot[:MULT]]
 //!           [--seed S] [--duration SECS] [--epoch SECS]
-//!           [--chaos] [--drain] [--self-heal]
+//!           [--chaos] [--drain] [--self-heal] [--serve ADDR]
 //!           [--metrics-out FILE] [--trace-out FILE] [--digests-out FILE]
 //! ```
 //!
@@ -18,17 +18,30 @@
 //!   2-simulated-minute day, cheap heuristic policy.
 //! * `--check` asserts the determinism contract and exits non-zero on
 //!   violation: per-shard and aggregate digests bit-identical between
-//!   `--workers 1` and `--workers N`; every shard receives traffic; and
+//!   `--workers 1` and `--workers N`; every shard receives traffic;
 //!   fault confinement — chaos on a targeted subset leaves every
-//!   untargeted shard's digest unchanged (router draining off).
+//!   untargeted shard's digest unchanged (router draining off) — and
+//!   anomaly precision: the MAD detector flags only targeted shards.
+//!   With `--serve`, additionally asserts that the scrape endpoints
+//!   answered *while* the fleet was still running.
 //! * `--chaos` arms the default fleet fault planes (a fault storm plus
 //!   a PP-M crash on the first eighth of the fleet).
+//! * `--serve ADDR` (e.g. `127.0.0.1:9090`, port 0 for ephemeral)
+//!   exposes the run live over HTTP: `/metrics` (Prometheus text),
+//!   `/healthz`, `/status` (progress + top anomaly outliers), and
+//!   `/events` (SSE tail). Serving is read-only — digests are
+//!   bit-identical with it on or off, which `--check` verifies.
 //! * `--metrics-out` writes the merged fleet registry (JSON);
 //!   `--digests-out` writes one `{"shard":..,"seed":..,"digest":..}`
 //!   line per shard (JSONL) — the nightly artifacts.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use mtat_bench::harness;
+use mtat_fleet::anomaly::{self, AnomalyConfig, AnomalyReport};
 use mtat_fleet::{Fleet, FleetConfig, RouterCfg, RoutingPolicy, ShardFaultPlane, ShardSize};
+use mtat_obs::serve::{TelemetryHub, TelemetryServer};
 use mtat_tiermem::faults::{FaultKind, FaultPlan};
 
 fn main() {
@@ -96,7 +109,10 @@ fn main() {
         ..RouterCfg::default()
     };
     cfg.self_heal = flag("--self-heal");
-    cfg.metrics = opt("--metrics-out").is_some();
+    let serve_addr = opt("--serve");
+    // Serving needs per-shard registries to render /metrics, so --serve
+    // implies fleet metrics. Metrics never perturb shard physics.
+    cfg.metrics = opt("--metrics-out").is_some() || serve_addr.is_some();
     cfg.trace_shard = opt("--trace-out").map(|_| 0);
     if flag("--chaos") {
         cfg.faults = default_chaos(n_shards, seed, duration);
@@ -109,13 +125,107 @@ fn main() {
         cfg.router.policy.label()
     );
 
+    // Live telemetry plane. The hub holds whole published snapshots;
+    // the server threads only ever read them, so the fleet result is
+    // bit-identical with serving on or off (--check verifies this: the
+    // serial replay below runs without any publication at all).
+    let hub = TelemetryHub::new();
+    let server: Option<TelemetryServer> = serve_addr.as_deref().map(|addr| {
+        let s = TelemetryServer::bind(addr, hub.clone())
+            .unwrap_or_else(|e| die(&format!("cannot serve on {addr}: {e}")));
+        eprintln!("# serving telemetry on http://{}/", s.local_addr());
+        s
+    });
+
     let fleet = Fleet::plan(cfg.clone()).unwrap_or_else(|e| die(&format!("plan failed: {e}")));
     let t0 = std::time::Instant::now();
-    let result = fleet.run(workers);
+
+    // Self-scrape watchdog: under --check --serve, poll our own /status
+    // from a side thread and record whether it answered while shards
+    // were still running — the "scrape answers during the run" gate.
+    let run_done = Arc::new(AtomicBool::new(false));
+    let scraped_mid_run = Arc::new(AtomicBool::new(false));
+    let scraper = server.as_ref().filter(|_| flag("--check")).map(|s| {
+        let addr = s.local_addr();
+        let done = Arc::clone(&run_done);
+        let hit = Arc::clone(&scraped_mid_run);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                if self_scrape(addr, "/status").is_some_and(|r| r.starts_with("HTTP/1.1 200")) {
+                    hit.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    });
+
+    let result = if server.is_some() {
+        let total = cfg.n_shards;
+        hub.publish_health("running", true);
+        hub.publish_status(fleet_status_json("running", 0, total, 0.0, None));
+        fleet.run_with_progress(workers, &|done, outcome| {
+            hub.push_event(format!(
+                "shard {:4} done ({done}/{total}) viol_rate={:.4}",
+                outcome.shard,
+                outcome.violation_rate()
+            ));
+            hub.publish_status(fleet_status_json("running", done, total, 0.0, None));
+        })
+    } else {
+        fleet.run(workers)
+    };
+    run_done.store(true, Ordering::Relaxed);
+    if let Some(t) = scraper {
+        let _ = t.join();
+    }
     eprintln!("# fleet run: {:.1}s wall", t0.elapsed().as_secs_f64());
 
+    // Fleet anomaly sweep: robust per-shard outlier scores over the
+    // completed outcomes, folded into the merged registry and the
+    // /status document.
+    let mut result = result;
+    let report = anomaly::detect(&result.shards, &AnomalyConfig::default());
+    report.annotate(&mut result.registry);
+    if !report.flagged.is_empty() {
+        eprintln!(
+            "# anomaly: {} shard(s) flagged, max score {:.1}",
+            report.flagged.len(),
+            report.max_score()
+        );
+    }
+    if server.is_some() {
+        hub.publish_metrics(result.registry.to_prometheus(&[("harness", "fleet_sim")]));
+        hub.publish_status(fleet_status_json(
+            "checking",
+            cfg.n_shards,
+            cfg.n_shards,
+            result.violation_rate(),
+            Some(&report),
+        ));
+    }
+
     if flag("--check") {
-        run_checks(&cfg, &fleet, &result, workers);
+        run_checks(
+            &cfg,
+            &fleet,
+            &result,
+            workers,
+            if server.is_some() { Some(&hub) } else { None },
+            server
+                .as_ref()
+                .map(|_| scraped_mid_run.load(Ordering::Relaxed)),
+        );
+    }
+
+    if server.is_some() {
+        hub.publish_health("done", true);
+        hub.publish_status(fleet_status_json(
+            "done",
+            cfg.n_shards,
+            cfg.n_shards,
+            result.violation_rate(),
+            Some(&report),
+        ));
     }
 
     if let Some(path) = opt("--metrics-out") {
@@ -166,13 +276,24 @@ fn default_chaos(n_shards: usize, seed: u64, duration: f64) -> Vec<ShardFaultPla
 }
 
 /// The `--check` gate: bit-identity across worker counts, universal
-/// traffic delivery, and fault confinement on a sub-fleet.
+/// traffic delivery, fault confinement on a sub-fleet, anomaly-detector
+/// precision on that same sub-fleet, and — when serving — live-scrape
+/// availability plus serve-on/off bit-identity.
 fn run_checks(
     cfg: &FleetConfig,
     fleet: &Fleet,
     result: &mtat_fleet::fleet::FleetResult,
     workers: usize,
+    hub: Option<&TelemetryHub>,
+    scraped_mid_run: Option<bool>,
 ) {
+    if let Some(hit) = scraped_mid_run {
+        assert!(
+            hit,
+            "telemetry /status never answered while the fleet was running"
+        );
+        eprintln!("# check: /status answered mid-run");
+    }
     eprintln!("# check: replaying fleet with 1 worker for bit-identity");
     let serial = fleet.run(1);
     assert_eq!(
@@ -206,7 +327,7 @@ fn run_checks(
     let mut chaos_cfg = base_cfg.clone();
     chaos_cfg.faults = default_chaos(sub, cfg.fleet_seed, cfg.duration_secs);
     let targeted = chaos_cfg.faults[0].shards.clone();
-    let base = Fleet::plan(base_cfg)
+    let base = Fleet::plan(base_cfg.clone())
         .expect("base sub-fleet plans")
         .run(workers);
     let chaos = Fleet::plan(chaos_cfg)
@@ -228,7 +349,92 @@ fn run_checks(
         diverged,
         "chaos plan had no observable effect on targeted shards"
     );
+
+    // Anomaly precision: on the chaos sub-fleet, the MAD detector must
+    // flag fault-windowed shards and *only* fault-windowed shards —
+    // chaos elsewhere in a confined fleet must not smear suspicion
+    // across clean hosts.
+    eprintln!("# check: anomaly detection on the chaos sub-fleet");
+    let chaos_report = anomaly::detect(&chaos.shards, &AnomalyConfig::default());
+    assert!(
+        !chaos_report.flagged.is_empty(),
+        "no anomalies flagged on the fault-windowed sub-fleet"
+    );
+    for a in &chaos_report.flagged {
+        assert!(
+            targeted.contains(&a.shard),
+            "untargeted shard {} falsely flagged (score {:.1})",
+            a.shard,
+            a.score
+        );
+    }
+    if let Some(hub) = hub {
+        hub.publish_status(fleet_status_json(
+            "checking",
+            sub,
+            sub,
+            chaos.violation_rate(),
+            Some(&chaos_report),
+        ));
+    }
+
+    // Serve-on/off bit-identity, witnessed directly: the same sub-fleet
+    // with per-shard metrics collection (what --serve turns on) must
+    // produce the identical aggregate digest as the blind run above.
+    if hub.is_some() {
+        eprintln!("# check: serve-on/off bit-identity on the sub-fleet");
+        let mut served_cfg = base_cfg;
+        served_cfg.metrics = true;
+        let served = Fleet::plan(served_cfg)
+            .expect("served sub-fleet plans")
+            .run(workers);
+        assert_eq!(
+            served.aggregate_digest, base.aggregate_digest,
+            "metrics collection for serving perturbed the fleet digest"
+        );
+    }
     eprintln!("# check: all assertions passed");
+}
+
+/// Fleet-level `/status` document. `done`/`total` count shards;
+/// `report` carries the anomaly verdict once detection has run.
+fn fleet_status_json(
+    phase: &str,
+    done: usize,
+    total: usize,
+    violation_rate: f64,
+    report: Option<&AnomalyReport>,
+) -> String {
+    let progress = if total == 0 {
+        1.0
+    } else {
+        done as f64 / total as f64
+    };
+    let outliers = report.map_or_else(|| "[]".to_string(), AnomalyReport::top_outliers_json);
+    let flagged = report.map_or(0, |r| r.flagged.len());
+    format!(
+        "{{\"harness\":\"fleet_sim\",\"phase\":\"{phase}\",\"shards_done\":{done},\
+         \"shards_total\":{total},\"progress\":{progress:.4},\
+         \"violation_rate\":{violation_rate:.6},\"anomalies_flagged\":{flagged},\
+         \"top_outliers\":{outliers}}}"
+    )
+}
+
+/// One HTTP/1.1 GET against our own telemetry server; `None` on any
+/// socket error (the server may not have finished binding yet).
+fn self_scrape(addr: std::net::SocketAddr, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s =
+        std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(2)).ok()?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .ok()?;
+    s.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .ok()?;
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).ok()?;
+    Some(String::from_utf8_lossy(&out).into_owned())
 }
 
 fn print_summary(

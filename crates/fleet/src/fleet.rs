@@ -337,9 +337,30 @@ impl Fleet {
     /// for any `workers`.
     #[must_use]
     pub fn run(&self, workers: usize) -> FleetResult {
+        self.run_with_progress(workers, &|_, _| {})
+    }
+
+    /// [`Fleet::run`] with a completion callback: `progress(done, &outcome)`
+    /// fires from worker threads after each shard finishes, with `done`
+    /// the total completed so far. The callback observes outcomes but
+    /// cannot influence them — shard inputs are fixed at plan time — so
+    /// results stay bit-identical with or without a callback attached
+    /// (the live-telemetry contract). Callback *ordering* follows
+    /// execution order and is therefore not deterministic; deterministic
+    /// consumers should read the returned result, which is.
+    #[must_use]
+    pub fn run_with_progress(
+        &self,
+        workers: usize,
+        progress: &(dyn Fn(usize, &ShardOutcome) + Sync),
+    ) -> FleetResult {
         let ids: Vec<usize> = (0..self.cfg.n_shards).collect();
+        let done = std::sync::atomic::AtomicUsize::new(0);
         let shards = run_matrix_chunked(&ids, workers, chunk_for(ids.len(), workers), |_, &i| {
-            self.run_shard(i)
+            let outcome = self.run_shard(i);
+            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            progress(n, &outcome);
+            outcome
         });
 
         // Merge registries in shard order — deterministic aggregation
@@ -488,6 +509,21 @@ mod tests {
             }
         }
         assert!(targeted_diverged, "the storm had no observable effect");
+    }
+
+    #[test]
+    fn progress_callback_does_not_perturb_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fleet = Fleet::plan(tiny_cfg(4)).expect("valid config");
+        let calls = AtomicUsize::new(0);
+        let observed = fleet.run_with_progress(2, &|done, o| {
+            assert!(o.ticks > 0);
+            assert!((1..=4).contains(&done));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        let blind = fleet.run(2);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(observed.aggregate_digest, blind.aggregate_digest);
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   per-shard registries merge in shard order
 //!   (`mtat_obs::registry::Registry::merge`) into fleet-level SLO
 //!   compliance, BE throughput, and migration totals.
+//! * [`anomaly`] — MAD-based robust outlier scoring over shard
+//!   outcomes (violation rate, migration churn, failed moves): the
+//!   "which hosts are not like the others" report, surfaced on the
+//!   live `/status` endpoint and as `fleet.anomaly.*` metrics.
 //!
 //! The `fleet_sim` binary drives all of this from the command line;
 //! `--check` asserts the determinism contract (workers-1 vs workers-N
@@ -50,10 +54,12 @@
 //! seeds from the fleet seed alone; routing is deterministic arithmetic
 //! with no RNG at all.
 
+pub mod anomaly;
 pub mod fleet;
 pub mod routing;
 pub mod traffic;
 
+pub use anomaly::{AnomalyConfig, AnomalyReport, ShardAnomaly};
 pub use fleet::{Fleet, FleetConfig, FleetResult, ShardFaultPlane, ShardOutcome, ShardSize};
 pub use routing::{RouterCfg, RoutingPolicy};
 pub use traffic::{FleetTraffic, TrafficSpec};

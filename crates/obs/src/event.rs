@@ -147,6 +147,12 @@ impl FlightRecorder {
         self.buf.iter()
     }
 
+    /// The most recently pushed event still retained, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&Event> {
+        self.buf.back()
+    }
+
     /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -98,6 +98,34 @@ pub fn prometheus_labels(labels: &[(&str, &str)]) -> String {
     out
 }
 
+/// Escapes free text for a `# HELP` line body. The exposition format
+/// gives `# HELP` its own escape table — only backslash and newline
+/// (label values additionally escape `"`); a raw newline in the help
+/// text would otherwise split the comment mid-line and desynchronize
+/// the scraper. Internal metric names are caller-controlled today, but
+/// the scenario engine interpolates phase labels into names, so this
+/// is load-bearing, not defensive.
+///
+/// ```
+/// use mtat_obs::export::prometheus_help_text;
+/// assert_eq!(prometheus_help_text("a\\b\nc"), "a\\\\b\\nc");
+/// ```
+#[must_use]
+pub fn prometheus_help_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            // A raw carriage return is not escapable in the format and
+            // would corrupt the line for strict parsers; neutralize it.
+            '\r' => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a float for Prometheus sample values (`NaN`/`+Inf`/`-Inf`
 /// spellings per the exposition format).
 #[must_use]
@@ -147,6 +175,14 @@ mod tests {
             "{cell=\"ppm_crash/mtat_full\",q=\"0.99\"}"
         );
         assert_eq!(prometheus_labels(&[("v", "a\"b")]), "{v=\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn prometheus_help_text_escapes() {
+        assert_eq!(prometheus_help_text("plain text"), "plain text");
+        assert_eq!(prometheus_help_text("a\\b"), "a\\\\b");
+        assert_eq!(prometheus_help_text("line1\nline2"), "line1\\nline2");
+        assert_eq!(prometheus_help_text("cr\rhere"), "cr here");
     }
 
     #[test]

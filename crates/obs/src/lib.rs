@@ -73,6 +73,7 @@
 //! control decisions. Runs with observability on and off are
 //! bit-identical (asserted by `mtat-core`'s integration tests).
 
+pub mod alert;
 pub mod bucket;
 pub mod env;
 pub mod event;
@@ -82,13 +83,15 @@ pub mod json;
 pub mod promlint;
 pub mod provenance;
 pub mod registry;
+pub mod serve;
 pub mod span;
 
 use std::sync::{Arc, Mutex};
 
 use event::{FlightRecorder, Severity};
 use provenance::{EnforceOutcome, PlanProvenance, ProvenanceBook};
-use registry::Registry;
+use registry::{GaugeMerge, Registry};
+use serve::TelemetryHub;
 use span::{SpanGuard, Tracer};
 
 /// Returns whether `MTAT_OBS` asks for observability: unset, empty,
@@ -126,6 +129,9 @@ struct ObsInner {
     tracer: Option<Mutex<Tracer>>,
     /// Decision-provenance book — rides the same axis as the tracer.
     provenance: Option<Mutex<ProvenanceBook>>,
+    /// Live telemetry hub; when attached ([`Obs::attach_hub`]) every
+    /// [`Obs::event`] also lands in the hub's SSE ring.
+    hub: Mutex<Option<TelemetryHub>>,
 }
 
 /// Cheap, cloneable instrumentation handle.
@@ -181,6 +187,7 @@ impl Obs {
                 last_dump: Mutex::new(None),
                 tracer: None,
                 provenance: None,
+                hub: Mutex::new(None),
             })),
         }
     }
@@ -198,6 +205,7 @@ impl Obs {
                 last_dump: Mutex::new(None),
                 tracer: Some(Mutex::new(Tracer::new(Tracer::DEFAULT_CAPACITY))),
                 provenance: Some(Mutex::new(ProvenanceBook::new())),
+                hub: Mutex::new(None),
             })),
         }
     }
@@ -250,6 +258,41 @@ impl Obs {
         }
     }
 
+    /// Sets gauge `name` to `value` with a fleet-merge annotation
+    /// ([`GaugeMerge`]) — use for gauges whose cross-shard aggregate is
+    /// a sum or a maximum rather than "whichever shard merged last".
+    #[inline]
+    pub fn gauge_merged(&self, name: &str, value: f64, merge: GaugeMerge) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("obs poisoned")
+                .gauge_set_merged(name, value, merge);
+        }
+    }
+
+    /// Attaches a live [`TelemetryHub`]: from now on every
+    /// [`Obs::event`] is also pushed (rendered) into the hub's SSE
+    /// ring. No-op on a disabled handle. The hub only ever *receives*
+    /// copies — nothing is read back, so determinism is unaffected.
+    pub fn attach_hub(&self, hub: &TelemetryHub) {
+        if let Some(inner) = &self.inner {
+            *inner.hub.lock().expect("obs poisoned") = Some(hub.clone());
+        }
+    }
+
+    /// The attached hub, if any.
+    #[must_use]
+    pub fn hub(&self) -> Option<TelemetryHub> {
+        self.inner
+            .as_ref()?
+            .hub
+            .lock()
+            .expect("obs poisoned")
+            .clone()
+    }
+
     /// Records `value` into histogram `name`.
     #[inline]
     pub fn observe(&self, name: &str, value: u64) {
@@ -286,13 +329,14 @@ impl Obs {
         kv: &[(&'static str, String)],
     ) {
         if let Some(inner) = &self.inner {
-            inner.recorder.lock().expect("obs poisoned").push(
-                now_secs,
-                component,
-                severity,
-                name,
-                kv.to_vec(),
-            );
+            let mut recorder = inner.recorder.lock().expect("obs poisoned");
+            recorder.push(now_secs, component, severity, name, kv.to_vec());
+            let hub = inner.hub.lock().expect("obs poisoned").clone();
+            if let Some(hub) = hub {
+                if let Some(e) = recorder.last() {
+                    hub.push_event(e.to_string());
+                }
+            }
         }
     }
 
@@ -518,8 +562,11 @@ mod tests {
         assert!(!obs.is_enabled());
         obs.count("c", 1);
         obs.gauge("g", 1.0);
+        obs.gauge_merged("gm", 1.0, GaugeMerge::Max);
         obs.observe("h", 1);
         obs.event(0.0, "t", Severity::Error, "e", &[]);
+        obs.attach_hub(&TelemetryHub::new());
+        assert!(obs.hub().is_none());
         assert_eq!(obs.counter_value("c"), None);
         assert_eq!(obs.gauge_value("g"), None);
         assert_eq!(obs.dump_flight_recorder("x"), None);
@@ -552,6 +599,37 @@ mod tests {
         assert!(dump.contains("t.e"));
         assert_eq!(b.last_dump().unwrap(), dump);
         assert_eq!(a.counter_value("obs.flight_dumps"), Some(1));
+    }
+
+    #[test]
+    fn attached_hub_tails_events() {
+        let obs = Obs::enabled();
+        let hub = TelemetryHub::new();
+        obs.event(0.5, "runner", Severity::Info, "before_attach", &[]);
+        obs.attach_hub(&hub);
+        obs.event(
+            1.0,
+            "runner",
+            Severity::Warn,
+            "after_attach",
+            &[("k", "v".into())],
+        );
+        let lines = hub.events_after(0, 10);
+        assert_eq!(lines.len(), 1, "only post-attach events are tailed");
+        assert!(lines[0].1.contains("runner.after_attach"));
+        assert!(lines[0].1.contains("k=v"));
+        // Metrics/registry reads are unaffected.
+        assert!(obs.hub().is_some());
+    }
+
+    #[test]
+    fn gauge_merged_annotates_registry() {
+        let obs = Obs::enabled();
+        obs.gauge_merged("bw", 0.4, GaugeMerge::Max);
+        assert_eq!(
+            obs.with_registry(|r| r.gauge_merge("bw")).unwrap(),
+            Some(GaugeMerge::Max)
+        );
     }
 
     #[test]

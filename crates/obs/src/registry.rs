@@ -8,8 +8,51 @@
 
 use std::collections::BTreeMap;
 
-use crate::export::{json_f64, json_string, prometheus_f64, prometheus_labels, prometheus_name};
+use crate::export::{
+    json_f64, json_string, prometheus_f64, prometheus_help_text, prometheus_labels, prometheus_name,
+};
 use crate::hist::Histogram;
+
+/// How a gauge combines under [`Registry::merge`].
+///
+/// Counters always add and histograms always union, but a gauge's
+/// aggregation depends on what it *means*: a utilization gauge merged
+/// last-write-wins across a fleet silently reports whichever shard
+/// merged last. The annotation rides with the gauge so the fleet
+/// aggregator doesn't need a name-based table of special cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeMerge {
+    /// Last write wins in merge order (the only pre-annotation
+    /// behaviour; still right for point-in-time configuration echoes
+    /// that are identical across shards, e.g. `fleet.workers`).
+    #[default]
+    Last,
+    /// Values add (per-shard absolute quantities: planned bytes,
+    /// offered load).
+    Sum,
+    /// The maximum survives (saturation-style signals: bandwidth
+    /// utilization, thrash score — "the worst shard" is the question).
+    Max,
+}
+
+impl GaugeMerge {
+    /// Lowercase label for exports and debugging.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GaugeMerge::Last => "last",
+            GaugeMerge::Sum => "sum",
+            GaugeMerge::Max => "max",
+        }
+    }
+}
+
+/// A gauge value plus its merge annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gauge {
+    value: f64,
+    merge: GaugeMerge,
+}
 
 /// Counters (monotone `u64`), gauges (`f64` last-write-wins), and
 /// log-linear histograms, all addressed by dotted name.
@@ -29,7 +72,7 @@ use crate::hist::Histogram;
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, Gauge>,
     hists: BTreeMap<String, Histogram>,
 }
 
@@ -55,19 +98,45 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets gauge `name` to `value` (last write wins).
+    /// Sets gauge `name` to `value` (last write wins locally). The
+    /// merge annotation is preserved if the gauge already carries one.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
         if let Some(g) = self.gauges.get_mut(name) {
-            *g = value;
+            g.value = value;
         } else {
-            self.gauges.insert(name.to_string(), value);
+            self.gauges.insert(
+                name.to_string(),
+                Gauge {
+                    value,
+                    merge: GaugeMerge::Last,
+                },
+            );
+        }
+    }
+
+    /// Sets gauge `name` to `value` and annotates how it aggregates
+    /// under [`Registry::merge`]. Within one registry the set itself is
+    /// still last-write-wins — the mode only governs cross-registry
+    /// folds.
+    pub fn gauge_set_merged(&mut self, name: &str, value: f64, merge: GaugeMerge) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            g.value = value;
+            g.merge = merge;
+        } else {
+            self.gauges.insert(name.to_string(), Gauge { value, merge });
         }
     }
 
     /// Current gauge value, if ever set.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.gauges.get(name).map(|g| g.value)
+    }
+
+    /// Merge annotation of gauge `name`, if it exists.
+    #[must_use]
+    pub fn gauge_merge(&self, name: &str) -> Option<GaugeMerge> {
+        self.gauges.get(name).map(|g| g.merge)
     }
 
     /// Records `value` into histogram `name`, creating it at the
@@ -118,22 +187,38 @@ impl Registry {
     /// (one registry per shard, merged in shard order after the run):
     ///
     /// * counters **add** (totals across shards stay totals);
-    /// * gauges are **last-write-wins in merge order** — merging shard
-    ///   registries 0..N deterministically leaves shard N−1's value,
-    ///   unlike sharing one live registry across concurrent runs, where
-    ///   the final writer is a scheduling race;
+    /// * gauges combine per their [`GaugeMerge`] annotation — `Sum`
+    ///   adds, `Max` keeps the maximum, and un-annotated (`Last`)
+    ///   gauges stay last-write-wins in merge order, so merging shard
+    ///   registries 0..N deterministically leaves shard N−1's value.
+    ///   When the two sides disagree on the annotation, the non-`Last`
+    ///   one wins (an annotated writer outranks a default one);
     /// * histograms **merge bucket-wise** ([`Histogram::merge`]), so
     ///   fleet-level quantiles come from the union of observations.
     ///
-    /// Merging is associative, and commutative except for the gauge
-    /// order; callers wanting order-independent output should merge in
-    /// a canonical (e.g. shard-id) order.
+    /// Merging is associative, and commutative except for the
+    /// `Last`-gauge order; callers wanting order-independent output
+    /// should merge in a canonical (e.g. shard-id) order.
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
             self.counter_add(k, *v);
         }
-        for (k, v) in &other.gauges {
-            self.gauge_set(k, *v);
+        for (k, g) in &other.gauges {
+            match self.gauges.get_mut(k) {
+                None => {
+                    self.gauges.insert(k.clone(), *g);
+                }
+                Some(mine) => {
+                    if mine.merge == GaugeMerge::Last {
+                        mine.merge = g.merge;
+                    }
+                    match mine.merge {
+                        GaugeMerge::Last => mine.value = g.value,
+                        GaugeMerge::Sum => mine.value += g.value,
+                        GaugeMerge::Max => mine.value = mine.value.max(g.value),
+                    }
+                }
+            }
         }
         for (k, h) in &other.hists {
             if let Some(mine) = self.hists.get_mut(k) {
@@ -157,11 +242,11 @@ impl Registry {
             out.push_str(&format!("\n    {}: {v}", json_string(k)));
         }
         out.push_str("\n  },\n  \"gauges\": {");
-        for (i, (k, v)) in self.gauges.iter().enumerate() {
+        for (i, (k, g)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n    {}: {}", json_string(k), json_f64(*v)));
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_f64(g.value)));
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (k, h)) in self.hists.iter().enumerate() {
@@ -200,19 +285,22 @@ impl Registry {
         let mut out = String::new();
         for (k, v) in &self.counters {
             let name = prometheus_name(k);
-            out.push_str(&format!("# HELP {name}_total mtat counter {k}\n"));
+            let help = prometheus_help_text(k);
+            out.push_str(&format!("# HELP {name}_total mtat counter {help}\n"));
             out.push_str(&format!("# TYPE {name}_total counter\n"));
             out.push_str(&format!("{name}_total{sel} {v}\n"));
         }
-        for (k, v) in &self.gauges {
+        for (k, g) in &self.gauges {
             let name = prometheus_name(k);
-            out.push_str(&format!("# HELP {name} mtat gauge {k}\n"));
+            let help = prometheus_help_text(k);
+            out.push_str(&format!("# HELP {name} mtat gauge {help}\n"));
             out.push_str(&format!("# TYPE {name} gauge\n"));
-            out.push_str(&format!("{name}{sel} {}\n", prometheus_f64(*v)));
+            out.push_str(&format!("{name}{sel} {}\n", prometheus_f64(g.value)));
         }
         for (k, h) in &self.hists {
             let name = prometheus_name(k);
-            out.push_str(&format!("# HELP {name} mtat histogram {k}\n"));
+            let help = prometheus_help_text(k);
+            out.push_str(&format!("# HELP {name} mtat histogram {help}\n"));
             out.push_str(&format!("# TYPE {name} summary\n"));
             for (q, v) in [
                 ("0.5", h.p50()),
@@ -367,16 +455,100 @@ mod tests {
     }
 
     /// A registry exercising every metric kind plus hostile label
-    /// values and names needing sanitization.
+    /// values and names needing sanitization, including the alerting
+    /// and fleet-anomaly families served by the live telemetry plane.
     fn conformance_registry() -> Registry {
         let mut r = Registry::new();
         r.counter_add("runner.ticks", 7);
         r.counter_add("tiermem.migration.granted_pages", 123);
+        r.counter_add("alert.transitions", 3);
+        r.counter_add("alert.firing", 1);
+        r.counter_add("fleet.anomaly.flagged", 8);
         r.gauge_set("mtat.sac_alpha", 0.25);
         r.gauge_set("weird-name with spaces", -1.5);
         r.gauge_set("nan.gauge", f64::NAN);
+        r.gauge_set_merged("fleet.anomaly.max_score", 12.5, GaugeMerge::Max);
+        r.gauge_set_merged("alert.fast_burn", 4.2, GaugeMerge::Max);
+        // A name with every character the HELP escape table covers —
+        // scenario-phase interpolation can produce these.
+        r.gauge_set("phase \"spike\\drain\"\nrotate", 2.0);
         r.observe_n("runner.lc_p99_ns", 73_000, 10);
         r
+    }
+
+    #[test]
+    fn hostile_metric_name_keeps_help_single_line() {
+        let text = conformance_registry().to_prometheus(&[]);
+        // The raw name contains a newline; an unescaped HELP body would
+        // split the comment and leave `rotate` at the start of a line.
+        assert!(!text.contains("\nrotate"));
+        assert!(text.contains("spike\\\\drain"), "backslash not doubled");
+        assert!(text.contains("\\nrotate"), "newline not escaped");
+        // Still parses and lints cleanly.
+        assert!(crate::promlint::parse(&text).is_ok());
+        assert!(crate::promlint::lint(&text).is_empty());
+    }
+
+    #[test]
+    fn gauge_merge_modes_combine_correctly() {
+        let mut a = Registry::new();
+        a.gauge_set_merged("bw.util", 0.7, GaugeMerge::Max);
+        a.gauge_set_merged("load.rps", 100.0, GaugeMerge::Sum);
+        a.gauge_set("cfg.workers", 8.0);
+        let mut b = Registry::new();
+        b.gauge_set_merged("bw.util", 0.4, GaugeMerge::Max);
+        b.gauge_set_merged("load.rps", 50.0, GaugeMerge::Sum);
+        b.gauge_set("cfg.workers", 8.0);
+        a.merge(&b);
+        assert_eq!(a.gauge("bw.util"), Some(0.7));
+        assert_eq!(a.gauge("load.rps"), Some(150.0));
+        assert_eq!(a.gauge("cfg.workers"), Some(8.0));
+        assert_eq!(a.gauge_merge("bw.util"), Some(GaugeMerge::Max));
+        assert_eq!(a.gauge_merge("load.rps"), Some(GaugeMerge::Sum));
+        assert_eq!(a.gauge_merge("cfg.workers"), Some(GaugeMerge::Last));
+    }
+
+    #[test]
+    fn annotated_side_wins_over_default_last() {
+        // One side annotated, the other default: annotation survives in
+        // either merge direction.
+        let mut plain = Registry::new();
+        plain.gauge_set("bw.util", 0.2);
+        let mut annotated = Registry::new();
+        annotated.gauge_set_merged("bw.util", 0.9, GaugeMerge::Max);
+        let mut left = plain.clone();
+        left.merge(&annotated);
+        assert_eq!(left.gauge("bw.util"), Some(0.9));
+        assert_eq!(left.gauge_merge("bw.util"), Some(GaugeMerge::Max));
+        let mut right = annotated.clone();
+        right.merge(&plain);
+        assert_eq!(right.gauge("bw.util"), Some(0.9));
+        assert_eq!(right.gauge_merge("bw.util"), Some(GaugeMerge::Max));
+    }
+
+    #[test]
+    fn sum_and_max_merges_are_commutative_and_associative() {
+        let mk = |v: f64| {
+            let mut r = Registry::new();
+            r.gauge_set_merged("s", v, GaugeMerge::Sum);
+            r.gauge_set_merged("m", v, GaugeMerge::Max);
+            r
+        };
+        let (x, y, z) = (mk(1.0), mk(4.0), mk(2.0));
+        let mut ab = x.clone();
+        ab.merge(&y);
+        ab.merge(&z);
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut a_bc = x.clone();
+        a_bc.merge(&yz);
+        assert_eq!(ab.gauge("s"), a_bc.gauge("s"));
+        assert_eq!(ab.gauge("m"), a_bc.gauge("m"));
+        let mut ba = y.clone();
+        ba.merge(&x);
+        ba.merge(&z);
+        assert_eq!(ab.gauge("s"), ba.gauge("s"));
+        assert_eq!(ab.gauge("m"), Some(4.0));
     }
 
     #[test]

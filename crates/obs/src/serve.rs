@@ -1,0 +1,640 @@
+//! Live telemetry plane: published snapshots + a zero-dependency
+//! HTTP/1.1 scrape server.
+//!
+//! Every exporter in this crate is pull-at-exit; this module makes a
+//! *running* experiment observable. The design keeps the determinism
+//! contract trivial to argue: the simulation thread **publishes**
+//! immutable snapshots (Prometheus text, health, status JSON, event
+//! lines) into a [`TelemetryHub`], and the server threads only ever
+//! **read** those snapshots. Nothing the server does can reach back
+//! into simulation state, and publishing itself reads only values the
+//! runner already computed — so a run is bit-identical with serving on
+//! or off (asserted by `mtat-core`'s telemetry tests and the
+//! `fleet_sim --check --serve` gate).
+//!
+//! Endpoints (all `GET`, `Connection: close`):
+//!
+//! * `/metrics` — latest Prometheus text snapshot
+//!   ([`crate::registry::Registry::to_prometheus`]).
+//! * `/healthz` — health-monitor state; `200` while serving traffic,
+//!   `503` once quarantined/crash-stopped.
+//! * `/status` — latest status JSON (run progress, scenario phase,
+//!   supervisor mode, firing alerts, top-k outlier shards).
+//! * `/events` — `text/event-stream` (SSE) tail of the published
+//!   event ring; frames carry the hub sequence number as `id:`.
+//!
+//! The request parser is a pure function over raw bytes
+//! ([`parse_request`]) with a hard size cap, property-tested against
+//! arbitrary byte streams (`tests/serve_props.rs`): it never panics
+//! and never asks for unbounded input.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on the bytes read for one request head. Anything longer is
+/// answered `431` and the connection closed.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Events retained for late-joining `/events` subscribers.
+pub const EVENT_RING_CAPACITY: usize = 1024;
+
+/// Poll interval for the SSE loop (wall clock; serving is outside the
+/// sim-time universe by construction).
+const SSE_POLL: Duration = Duration::from_millis(25);
+
+/// SSE keepalive comment cadence, in poll intervals (~2 s).
+const SSE_KEEPALIVE_POLLS: u32 = 80;
+
+#[derive(Debug)]
+struct EventRing {
+    next_seq: u64,
+    buf: VecDeque<(u64, String)>,
+}
+
+#[derive(Debug)]
+struct HubInner {
+    metrics: RwLock<Option<String>>,
+    /// `(state label, serving)` — `serving == false` maps to `503`.
+    health: RwLock<(String, bool)>,
+    status: RwLock<Option<String>>,
+    events: Mutex<EventRing>,
+}
+
+/// Shared snapshot store between one producer (the simulation thread)
+/// and any number of HTTP readers. Cheap to clone; clones share state.
+///
+/// ```
+/// use mtat_obs::serve::TelemetryHub;
+///
+/// let hub = TelemetryHub::new();
+/// hub.publish_metrics("mtat_up 1\n".to_string());
+/// hub.publish_health("healthy", true);
+/// assert_eq!(hub.metrics().as_deref(), Some("mtat_up 1\n"));
+/// let seq = hub.push_event("t=1.0s INFO runner.plan".to_string());
+/// assert_eq!(hub.events_after(seq - 1, 10), vec![(seq, "t=1.0s INFO runner.plan".to_string())]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TelemetryHub {
+    inner: Arc<HubInner>,
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryHub {
+    /// An empty hub: no metrics/status yet, health `("starting", true)`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(HubInner {
+                metrics: RwLock::new(None),
+                health: RwLock::new(("starting".to_string(), true)),
+                status: RwLock::new(None),
+                events: Mutex::new(EventRing {
+                    next_seq: 1,
+                    buf: VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Atomically replaces the `/metrics` snapshot.
+    pub fn publish_metrics(&self, text: String) {
+        *self.inner.metrics.write().expect("hub poisoned") = Some(text);
+    }
+
+    /// Atomically replaces the `/healthz` view. `serving == false`
+    /// makes the endpoint answer `503` (load balancers drain the host).
+    pub fn publish_health(&self, label: &str, serving: bool) {
+        *self.inner.health.write().expect("hub poisoned") = (label.to_string(), serving);
+    }
+
+    /// Atomically replaces the `/status` JSON document.
+    pub fn publish_status(&self, json: String) {
+        *self.inner.status.write().expect("hub poisoned") = Some(json);
+    }
+
+    /// Appends one event line to the ring (oldest dropped past
+    /// [`EVENT_RING_CAPACITY`]) and returns its sequence number.
+    pub fn push_event(&self, line: String) -> u64 {
+        let mut ring = self.inner.events.lock().expect("hub poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == EVENT_RING_CAPACITY {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back((seq, line));
+        seq
+    }
+
+    /// Latest `/metrics` snapshot, if one was published.
+    #[must_use]
+    pub fn metrics(&self) -> Option<String> {
+        self.inner.metrics.read().expect("hub poisoned").clone()
+    }
+
+    /// Latest health view as `(state label, serving)`.
+    #[must_use]
+    pub fn health(&self) -> (String, bool) {
+        self.inner.health.read().expect("hub poisoned").clone()
+    }
+
+    /// Latest `/status` document, if one was published.
+    #[must_use]
+    pub fn status(&self) -> Option<String> {
+        self.inner.status.read().expect("hub poisoned").clone()
+    }
+
+    /// Up to `max` retained events with sequence numbers strictly
+    /// greater than `after`, oldest first.
+    #[must_use]
+    pub fn events_after(&self, after: u64, max: usize) -> Vec<(u64, String)> {
+        let ring = self.inner.events.lock().expect("hub poisoned");
+        ring.buf
+            .iter()
+            .filter(|(seq, _)| *seq > after)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// Sequence number of the newest event ever pushed (0 when none).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.inner.events.lock().expect("hub poisoned").next_seq - 1
+    }
+}
+
+/// Outcome of feeding bytes to the request parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Head not complete yet and under the size cap: read more.
+    Incomplete,
+    /// Head exceeded [`MAX_REQUEST_BYTES`] — answer `431`.
+    TooLarge,
+    /// Syntactically broken request line — answer `400`.
+    Malformed(&'static str),
+    /// A parsed request head.
+    Request {
+        /// HTTP method, verbatim (`GET`, `HEAD`, ...).
+        method: String,
+        /// Request target, verbatim (path plus optional query).
+        target: String,
+    },
+}
+
+/// Parses an HTTP/1.1 request head from raw bytes. Total function: any
+/// byte string maps to exactly one [`ParseOutcome`], no panics, and
+/// `Incomplete` is never returned once `buf` reaches
+/// [`MAX_REQUEST_BYTES`] — together those two properties bound the
+/// read loop (property-tested in `tests/serve_props.rs`).
+#[must_use]
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    // Find the end of the head: CRLFCRLF (tolerating bare LFLF).
+    let head_end = find_head_end(buf);
+    let Some(end) = head_end else {
+        return if buf.len() >= MAX_REQUEST_BYTES {
+            ParseOutcome::TooLarge
+        } else {
+            ParseOutcome::Incomplete
+        };
+    };
+    if end > MAX_REQUEST_BYTES {
+        return ParseOutcome::TooLarge;
+    }
+    let head = &buf[..end];
+    let line_end = head
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(head.len(), |i| i);
+    let line = &head[..line_end];
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    let Ok(line) = std::str::from_utf8(line) else {
+        return ParseOutcome::Malformed("request line is not UTF-8");
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Malformed("request line needs METHOD TARGET VERSION");
+    };
+    if parts.next().is_some() {
+        return ParseOutcome::Malformed("request line has trailing tokens");
+    }
+    if !version.starts_with("HTTP/") {
+        return ParseOutcome::Malformed("bad HTTP version");
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return ParseOutcome::Malformed("bad method");
+    }
+    ParseOutcome::Request {
+        method: method.to_string(),
+        target: target.to_string(),
+    }
+}
+
+/// Index one past the head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Renders one SSE frame: an `id:` line, `data:` lines (one per input
+/// line), and the blank-line terminator. Inverse of [`sse_parse`].
+#[must_use]
+pub fn sse_frame(id: u64, data: &str) -> String {
+    let mut out = format!("id: {id}\n");
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses one SSE frame produced by [`sse_frame`] back into
+/// `(id, data)`. Comment lines (leading `:`) are ignored; returns
+/// `None` when the frame carries no `id` or no `data`.
+#[must_use]
+pub fn sse_parse(frame: &str) -> Option<(u64, String)> {
+    let mut id = None;
+    let mut data: Option<String> = None;
+    for line in frame.lines() {
+        if let Some(v) = line.strip_prefix("id:") {
+            id = v.trim().parse().ok();
+        } else if let Some(v) = line.strip_prefix("data:") {
+            let v = v.strip_prefix(' ').unwrap_or(v);
+            match &mut data {
+                None => data = Some(v.to_string()),
+                Some(d) => {
+                    d.push('\n');
+                    d.push_str(v);
+                }
+            }
+        }
+    }
+    Some((id?, data?))
+}
+
+/// The scrape server: one accept thread, one short-lived thread per
+/// connection, all reading one [`TelemetryHub`]. Shuts down (and joins
+/// the accept thread) on drop.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free one)
+    /// and starts serving `hub`.
+    pub fn bind(addr: &str, hub: TelemetryHub) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("mtat-telemetry".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let hub = hub.clone();
+                    let stop = Arc::clone(&stop2);
+                    // Connection threads are detached; they hold no
+                    // simulation state and exit on their own (bounded
+                    // request read, `Connection: close`, and the SSE
+                    // loop watches the stop flag).
+                    let _ = std::thread::Builder::new()
+                        .name("mtat-telemetry-conn".to_string())
+                        .spawn(move || handle_connection(stream, &hub, &stop));
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins it.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, hub: &TelemetryHub, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let (method, target) = loop {
+        match parse_request(&buf) {
+            ParseOutcome::Incomplete => match stream.read(&mut chunk) {
+                Ok(0) => return, // peer closed before a full head
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return, // timeout or reset
+            },
+            ParseOutcome::TooLarge => {
+                respond(
+                    &mut stream,
+                    431,
+                    "Request Header Fields Too Large",
+                    "text/plain; charset=utf-8",
+                    "request head exceeds 8 KiB\n",
+                );
+                lingering_close(&mut stream);
+                return;
+            }
+            ParseOutcome::Malformed(why) => {
+                respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "text/plain; charset=utf-8",
+                    &format!("malformed request: {why}\n"),
+                );
+                lingering_close(&mut stream);
+                return;
+            }
+            ParseOutcome::Request { method, target } => break (method, target),
+        }
+    };
+    if method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => match hub.metrics() {
+            Some(text) => respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &text,
+            ),
+            None => respond(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain; charset=utf-8",
+                "no metrics published yet\n",
+            ),
+        },
+        "/healthz" => {
+            let (label, serving) = hub.health();
+            let (code, reason) = if serving {
+                (200, "OK")
+            } else {
+                (503, "Service Unavailable")
+            };
+            let body = format!(
+                "{{\"state\":{},\"serving\":{}}}\n",
+                crate::export::json_string(&label),
+                serving
+            );
+            respond(&mut stream, code, reason, "application/json", &body);
+        }
+        "/status" => match hub.status() {
+            Some(json) => respond(&mut stream, 200, "OK", "application/json", &json),
+            None => respond(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain; charset=utf-8",
+                "no status published yet\n",
+            ),
+        },
+        "/events" => serve_events(&mut stream, hub, stop),
+        "/" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            "mtat telemetry plane: /metrics /healthz /status /events\n",
+        ),
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics /healthz /status /events\n",
+        ),
+    }
+}
+
+/// Half-closes the write side and drains (bounded) whatever the client
+/// is still sending. Closing with unread input pending would make the
+/// kernel send RST, which can destroy the error response before the
+/// client reads it.
+fn lingering_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, reason: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Streams the event ring as SSE until the client disconnects or the
+/// server stops. Replays the retained ring from the start so a late
+/// subscriber still sees recent history.
+fn serve_events(stream: &mut TcpStream, hub: &TelemetryHub, stop: &AtomicBool) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut last_seq = 0u64;
+    let mut idle_polls = 0u32;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let batch = hub.events_after(last_seq, 64);
+        if batch.is_empty() {
+            idle_polls += 1;
+            if idle_polls >= SSE_KEEPALIVE_POLLS {
+                idle_polls = 0;
+                if stream.write_all(b": keepalive\n\n").is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+            }
+            std::thread::sleep(SSE_POLL);
+            continue;
+        }
+        idle_polls = 0;
+        let mut out = String::new();
+        for (seq, line) in &batch {
+            last_seq = *seq;
+            out.push_str(&sse_frame(*seq, line));
+        }
+        if stream.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_snapshots_replace_atomically() {
+        let hub = TelemetryHub::new();
+        assert_eq!(hub.metrics(), None);
+        assert_eq!(hub.status(), None);
+        assert_eq!(hub.health(), ("starting".to_string(), true));
+        hub.publish_metrics("a 1\n".into());
+        hub.publish_metrics("a 2\n".into());
+        assert_eq!(hub.metrics().as_deref(), Some("a 2\n"));
+        hub.publish_health("quarantined", false);
+        assert_eq!(hub.health(), ("quarantined".to_string(), false));
+        hub.publish_status("{}".into());
+        assert_eq!(hub.status().as_deref(), Some("{}"));
+    }
+
+    #[test]
+    fn hub_clones_share_state() {
+        let a = TelemetryHub::new();
+        let b = a.clone();
+        a.publish_status("{\"x\":1}".into());
+        assert_eq!(b.status().as_deref(), Some("{\"x\":1}"));
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_filters_by_seq() {
+        let hub = TelemetryHub::new();
+        for i in 0..(EVENT_RING_CAPACITY + 10) {
+            hub.push_event(format!("e{i}"));
+        }
+        assert_eq!(hub.last_seq(), (EVENT_RING_CAPACITY + 10) as u64);
+        let all = hub.events_after(0, usize::MAX);
+        assert_eq!(all.len(), EVENT_RING_CAPACITY);
+        assert_eq!(all[0].1, "e10"); // 10 oldest dropped
+        let tail = hub.events_after(hub.last_seq() - 2, usize::MAX);
+        assert_eq!(tail.len(), 2);
+        let capped = hub.events_after(0, 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn parse_accepts_plain_get() {
+        let out = parse_request(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(
+            out,
+            ParseOutcome::Request {
+                method: "GET".into(),
+                target: "/metrics".into()
+            }
+        );
+        // Bare-LF framing is tolerated.
+        let out = parse_request(b"GET / HTTP/1.0\n\n");
+        assert!(matches!(out, ParseOutcome::Request { .. }));
+    }
+
+    #[test]
+    fn parse_flags_incomplete_then_too_large() {
+        assert_eq!(parse_request(b"GET /metr"), ParseOutcome::Incomplete);
+        let huge = vec![b'A'; MAX_REQUEST_BYTES];
+        assert_eq!(parse_request(&huge), ParseOutcome::TooLarge);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(
+            parse_request(b"GARBAGE\r\n\r\n"),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET /x\r\n\r\n"),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET /x NOTHTTP\r\n\r\n"),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(b"G@T /x HTTP/1.1\r\n\r\n"),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(b"\xff\xfe\xfd /x HTTP/1.1\r\n\r\n"),
+            ParseOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn sse_round_trips_single_and_multi_line() {
+        for data in ["plain", "two\nlines", "", "trailing\n", "a\rb"] {
+            let frame = sse_frame(7, data);
+            assert_eq!(sse_parse(&frame), Some((7, data.to_string())), "{data:?}");
+        }
+    }
+
+    #[test]
+    fn sse_parse_ignores_comments_and_rejects_empty() {
+        assert_eq!(sse_parse(": keepalive\n\n"), None);
+        assert_eq!(
+            sse_parse(": keepalive\nid: 3\ndata: x\n\n"),
+            Some((3, "x".to_string()))
+        );
+        assert_eq!(sse_parse("data: orphan\n\n"), None);
+    }
+}

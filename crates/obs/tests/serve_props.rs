@@ -1,0 +1,163 @@
+//! Property tests for the live telemetry plane (ISSUE 10 satellite):
+//! the HTTP request parser is a total, bounded function over arbitrary
+//! byte streams, and SSE framing round-trips arbitrary payloads.
+
+use mtat_obs::serve::{parse_request, sse_frame, sse_parse, ParseOutcome, MAX_REQUEST_BYTES};
+use proptest::prelude::*;
+
+/// Arbitrary byte streams: raw noise, plus streams biased toward
+/// HTTP-ish shapes so the parser's accept paths get exercised too.
+fn request_bytes() -> impl Strategy<Value = Vec<u8>> {
+    (
+        prop::collection::vec(0u64..u64::MAX, 0..64),
+        0usize..4,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(words, kind, salt)| {
+            let noise: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            match kind {
+                // Pure noise.
+                0 => noise,
+                // A plausible request with noisy target.
+                1 => {
+                    let mut v = b"GET /".to_vec();
+                    v.extend_from_slice(&noise[..noise.len().min(32)]);
+                    v.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+                    v
+                }
+                // Noise with an embedded terminator.
+                2 => {
+                    let mut v = noise.clone();
+                    let cut = (salt as usize) % (v.len() + 1);
+                    v.insert(cut.min(v.len()), b'\n');
+                    v.extend_from_slice(b"\r\n\r\n");
+                    v
+                }
+                // Oversized stream.
+                _ => {
+                    let mut v = noise;
+                    let target = MAX_REQUEST_BYTES + (salt as usize % 1024);
+                    while v.len() < target {
+                        let n = v.len().clamp(1, 4096);
+                        let chunk: Vec<u8> = v.iter().take(n).copied().collect();
+                        v.extend_from_slice(&chunk);
+                        if chunk.is_empty() {
+                            v.push(b'A');
+                        }
+                    }
+                    v.truncate(target);
+                    v
+                }
+            }
+        })
+}
+
+/// Arbitrary UTF-8 payloads for SSE framing, biased toward newline-rich
+/// and empty shapes.
+fn sse_payload() -> impl Strategy<Value = String> {
+    (prop::collection::vec(0u64..u64::MAX, 0..32), 0usize..3).prop_map(|(words, kind)| {
+        let mut s = String::new();
+        for w in &words {
+            for i in 0..8 {
+                let b = ((w >> (i * 8)) & 0xff) as u32;
+                match kind {
+                    0 => s.push(char::from_u32(0x20 + b % 0x5f).unwrap()),
+                    1 => {
+                        if b.is_multiple_of(7) {
+                            s.push('\n');
+                        } else {
+                            s.push(char::from_u32(0x20 + b % 0x5f).unwrap());
+                        }
+                    }
+                    _ => {
+                        // Any scalar value (skip unpaired surrogates).
+                        if let Some(c) = char::from_u32(b * 0x1f7 + 1) {
+                            s.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    /// Total function: any byte stream maps to exactly one outcome
+    /// without panicking, and the outcome is stable (pure).
+    #[test]
+    fn parser_never_panics_and_is_pure(buf in request_bytes()) {
+        let a = parse_request(&buf);
+        let b = parse_request(&buf);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Bounded reads: once the buffer reaches the cap, the parser never
+    /// answers `Incomplete` — so the server's read loop terminates for
+    /// every possible stream.
+    #[test]
+    fn parser_bounds_reads(buf in request_bytes()) {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            let out = parse_request(&buf);
+            prop_assert!(out != ParseOutcome::Incomplete, "unbounded: {out:?}");
+        }
+    }
+
+    /// Incremental feeding (the server reads in chunks) agrees with
+    /// one-shot parsing: a prefix is never `Request` unless the full
+    /// buffer up to that point contains the head.
+    #[test]
+    fn parser_prefix_monotone(buf in request_bytes(), cut in 0usize..8192) {
+        let cut = cut % (buf.len() + 1);
+        let prefix = parse_request(&buf[..cut]);
+        // A parsed request from a prefix must survive appending bytes
+        // (the head is already terminated; later bytes are body).
+        if let ParseOutcome::Request { method, target } = prefix {
+            match parse_request(&buf) {
+                ParseOutcome::Request { method: m2, target: t2 } => {
+                    prop_assert_eq!(method, m2);
+                    prop_assert_eq!(target, t2);
+                }
+                other => prop_assert!(false, "request degraded to {other:?}"),
+            }
+        }
+    }
+
+    /// Well-formed GET requests always parse to `Request` with the
+    /// exact target echoed back.
+    #[test]
+    fn well_formed_gets_always_parse(raw_path in prop::collection::vec(0u64..36, 0..64)) {
+        let mut path = String::from("/");
+        for d in &raw_path {
+            path.push(char::from_digit(*d as u32, 36).unwrap());
+        }
+        let raw = format!("GET {path} HTTP/1.1\r\nHost: h\r\n\r\n");
+        match parse_request(raw.as_bytes()) {
+            ParseOutcome::Request { method, target } => {
+                prop_assert_eq!(method, "GET");
+                prop_assert_eq!(target, path);
+            }
+            other => prop_assert!(false, "expected request, got {other:?}"),
+        }
+    }
+
+    /// SSE frames round-trip arbitrary ids and payloads.
+    #[test]
+    fn sse_frame_round_trips(id in 0u64..u64::MAX, data in sse_payload()) {
+        let frame = sse_frame(id, &data);
+        // Frame shape: terminated by a blank line, every payload line
+        // prefixed.
+        prop_assert!(frame.ends_with("\n\n"));
+        let parsed = sse_parse(&frame);
+        prop_assert_eq!(parsed, Some((id, data)));
+    }
+
+    /// Keepalive comments interleaved into a frame don't corrupt it.
+    #[test]
+    fn sse_parse_skips_comments(id in 0u64..1_000_000, raw in prop::collection::vec(0u64..0x5f, 0..64)) {
+        let data: String = raw.iter().map(|b| char::from_u32(0x20 + *b as u32).unwrap()).collect();
+        let mut frame = String::from(": keepalive\n");
+        frame.push_str(&sse_frame(id, &data));
+        prop_assert_eq!(sse_parse(&frame), Some((id, data)));
+    }
+}
